@@ -1,0 +1,124 @@
+//! A flat bitmask over linearized partition colors.
+//!
+//! Listing 3 of the paper allocates one boolean per sub-collection of the
+//! partition being checked. We pack the booleans into `u64` words; the
+//! interesting operation is [`test_and_set`](BitMask::test_and_set), which
+//! is the inner step of the dynamic check.
+
+/// A fixed-size bitmask indexed by linearized partition color.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl BitMask {
+    /// Allocate a cleared bitmask of `len` bits.
+    pub fn new(len: u64) -> Self {
+        let words = vec![0u64; len.div_ceil(64) as usize];
+        BitMask { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx >= len` (the dynamic check bounds-checks functor
+    /// values *before* touching the mask, mirroring line 13 of Listing 3).
+    #[inline]
+    pub fn get(&self, idx: u64) -> bool {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        (self.words[(idx / 64) as usize] >> (idx % 64)) & 1 != 0
+    }
+
+    /// Set bit `idx`.
+    #[inline]
+    pub fn set(&mut self, idx: u64) {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        self.words[(idx / 64) as usize] |= 1 << (idx % 64);
+    }
+
+    /// Set bit `idx`, returning its previous value — the core of the
+    /// duplicate-detection loop.
+    #[inline]
+    pub fn test_and_set(&mut self, idx: u64) -> bool {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        let word = &mut self.words[(idx / 64) as usize];
+        let bit = 1u64 << (idx % 64);
+        let was = *word & bit != 0;
+        *word |= bit;
+        was
+    }
+
+    /// Clear every bit (reuse between check phases).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMask::new(130);
+        assert_eq!(m.len(), 130);
+        assert!(!m.get(0));
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(129);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(129));
+        assert!(!m.get(1) && !m.get(65) && !m.get(128));
+        assert_eq!(m.count_ones(), 4);
+    }
+
+    #[test]
+    fn test_and_set_semantics() {
+        let mut m = BitMask::new(10);
+        assert!(!m.test_and_set(7));
+        assert!(m.test_and_set(7));
+        assert!(m.get(7));
+        assert!(!m.test_and_set(6));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = BitMask::new(100);
+        for i in 0..100 {
+            m.set(i);
+        }
+        assert_eq!(m.count_ones(), 100);
+        m.clear();
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut m = BitMask::new(64);
+        m.set(64);
+    }
+
+    #[test]
+    fn zero_length() {
+        let m = BitMask::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.count_ones(), 0);
+    }
+}

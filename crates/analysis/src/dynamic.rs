@@ -1,0 +1,368 @@
+//! The dynamic projection-functor checks (Listing 3).
+//!
+//! The dynamic analysis "is a simple loop that evaluates the projection
+//! functor at each domain point and determines if it is injective" (§4).
+//! Despite its simplicity it is *sound and complete* for injectivity, which
+//! is what lets the hybrid design support arbitrary functors. The
+//! multi-argument cross-check runs in linear time using a single bitmask
+//! per partition: write/reduce arguments are checked first and set bits;
+//! read-only arguments are checked afterwards and only test bits.
+
+use crate::bitmask::BitMask;
+use crate::proj::ProjExpr;
+use il_geometry::{Domain, DomainPoint};
+
+/// Outcome of a dynamic check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// All checked accesses are non-interfering: the index launch is safe.
+    Safe,
+    /// Two accesses selected the same sub-collection.
+    Conflict {
+        /// Index (into the argument list) of the access that tripped.
+        arg: usize,
+        /// The launch-domain point whose functor value collided.
+        point: DomainPoint,
+        /// The colliding color.
+        color: DomainPoint,
+    },
+}
+
+/// Summary of one dynamic check run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Safe or the first conflict found (the check exits early, as in
+    /// Listing 3).
+    pub outcome: CheckOutcome,
+    /// Functor evaluations performed (O(|D|) per argument; the runtime
+    /// charges simulated time proportional to this).
+    pub evals: u64,
+    /// Functor values that fell outside the color space. Listing 3 skips
+    /// such points (they fail the bounds check on line 13); we count them
+    /// so callers can surface the likely program error.
+    pub out_of_bounds: u64,
+}
+
+impl CheckReport {
+    /// True iff the launch was verified safe.
+    pub fn is_safe(&self) -> bool {
+        self.outcome == CheckOutcome::Safe
+    }
+}
+
+/// One argument of a multi-argument cross-check.
+#[derive(Clone, Debug)]
+pub struct ArgCheck<'a> {
+    /// Position in the original argument list (for diagnostics).
+    pub index: usize,
+    /// The argument's projection functor.
+    pub functor: &'a ProjExpr,
+    /// True for write, read-write, or reduce privileges ("we consider
+    /// reductions to be writes for the purposes of these checks", §4).
+    pub writes: bool,
+}
+
+/// Self-check of a single argument: is `functor` injective over `domain`,
+/// with values landing inside `color_bounds` (the partition's color
+/// space)? This is exactly the generated code of Listing 3.
+pub fn self_check(domain: &Domain, functor: &ProjExpr, color_bounds: &Domain) -> CheckReport {
+    let volume = color_bounds.bbox_volume();
+    let mut bitmask = BitMask::new(volume);
+    let mut evals = 0u64;
+    let mut oob = 0u64;
+    // Fast path for the overwhelmingly common dense 1-D case (the shape
+    // of Tables 2–3): iterate raw coordinates and linearize inline.
+    if let (Domain::Rect1(d), Domain::Rect1(c)) = (domain, color_bounds) {
+        let (clo, chi) = (c.lo[0], c.hi[0]);
+        for i in d.lo[0]..=d.hi[0] {
+            let color = functor.eval(DomainPoint::new1(i));
+            evals += 1;
+            let v = color.x();
+            if v < clo || v > chi {
+                oob += 1;
+                continue;
+            }
+            if bitmask.test_and_set((v - clo) as u64) {
+                return CheckReport {
+                    outcome: CheckOutcome::Conflict {
+                        arg: 0,
+                        point: DomainPoint::new1(i),
+                        color,
+                    },
+                    evals,
+                    out_of_bounds: oob,
+                };
+            }
+        }
+        return CheckReport { outcome: CheckOutcome::Safe, evals, out_of_bounds: oob };
+    }
+    for point in domain.iter() {
+        let color = functor.eval(point);
+        evals += 1;
+        // Bounds check (line 13 of Listing 3): skip out-of-range values.
+        match color_bounds.linearize(color) {
+            Some(value) => {
+                if bitmask.test_and_set(value) {
+                    return CheckReport {
+                        outcome: CheckOutcome::Conflict { arg: 0, point, color },
+                        evals,
+                        out_of_bounds: oob,
+                    };
+                }
+            }
+            None => oob += 1,
+        }
+    }
+    CheckReport {
+        outcome: CheckOutcome::Safe,
+        evals,
+        out_of_bounds: oob,
+    }
+}
+
+/// Cross-check of multiple arguments sharing one (disjoint) partition.
+///
+/// Uses a single bitmask: all write/reduce arguments are processed before
+/// any read-only argument; writers set bits (catching write–write
+/// conflicts, including non-injectivity of a single writer), readers only
+/// test them (catching write–read conflicts without making read–read
+/// sharing a false positive). This is the linear-time algorithm of §4.
+pub fn cross_check(domain: &Domain, args: &[ArgCheck<'_>], color_bounds: &Domain) -> CheckReport {
+    let volume = color_bounds.bbox_volume();
+    let mut bitmask = BitMask::new(volume);
+    let mut evals = 0u64;
+    let mut oob = 0u64;
+
+    // Writers first, then readers; stable within each class.
+    let mut ordered: Vec<&ArgCheck<'_>> = args.iter().filter(|a| a.writes).collect();
+    ordered.extend(args.iter().filter(|a| !a.writes));
+
+    for arg in ordered {
+        for point in domain.iter() {
+            let color = arg.functor.eval(point);
+            evals += 1;
+            let Some(value) = color_bounds.linearize(color) else {
+                oob += 1;
+                continue;
+            };
+            if arg.writes {
+                if bitmask.test_and_set(value) {
+                    return CheckReport {
+                        outcome: CheckOutcome::Conflict { arg: arg.index, point, color },
+                        evals,
+                        out_of_bounds: oob,
+                    };
+                }
+            } else if bitmask.get(value) {
+                return CheckReport {
+                    outcome: CheckOutcome::Conflict { arg: arg.index, point, color },
+                    evals,
+                    out_of_bounds: oob,
+                };
+            }
+        }
+    }
+    CheckReport {
+        outcome: CheckOutcome::Safe,
+        evals,
+        out_of_bounds: oob,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use il_geometry::Rect;
+
+    fn d1(n: i64) -> Domain {
+        Domain::range(n)
+    }
+
+    #[test]
+    fn identity_self_check_safe() {
+        let r = self_check(&d1(100), &ProjExpr::Identity, &d1(100));
+        assert!(r.is_safe());
+        assert_eq!(r.evals, 100);
+        assert_eq!(r.out_of_bounds, 0);
+    }
+
+    #[test]
+    fn listing2_modular_conflict() {
+        // i % 3 over [0,5): conflict at i = 3 (color 0 already taken).
+        let f = ProjExpr::Modular { a: 1, b: 0, m: 3 };
+        let r = self_check(&d1(5), &f, &d1(3));
+        assert_eq!(
+            r.outcome,
+            CheckOutcome::Conflict {
+                arg: 0,
+                point: DomainPoint::new1(3),
+                color: DomainPoint::new1(0),
+            }
+        );
+        // Early exit: evaluated 0,1,2,3 only.
+        assert_eq!(r.evals, 4);
+    }
+
+    #[test]
+    fn out_of_bounds_skipped_and_counted() {
+        // f(i) = i + 8 over [0,5) with colors [0,10): 13,14 evals fall out? No:
+        // values 8..12; colors 0..9 -> i=2,3,4 give 10,11,12 out of bounds.
+        let f = ProjExpr::linear(1, 8);
+        let r = self_check(&d1(5), &f, &d1(10));
+        assert!(r.is_safe());
+        assert_eq!(r.out_of_bounds, 3);
+    }
+
+    #[test]
+    fn quadratic_safe_case() {
+        // i² over [0,10): injective.
+        let f = ProjExpr::Quadratic { a: 1, b: 0, c: 0 };
+        let r = self_check(&d1(10), &f, &d1(100));
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn dom_sweep_functor_on_diagonal_slice() {
+        // A 3-D diagonal slice (x+y+z = const) projected to the (x,y)
+        // plane is injective iff no duplicate (x,y) pairs — true for a
+        // proper wavefront (§6.2.3).
+        let slice = Domain::sparse(vec![
+            DomainPoint::new3(0, 0, 2),
+            DomainPoint::new3(0, 1, 1),
+            DomainPoint::new3(1, 0, 1),
+            DomainPoint::new3(1, 1, 0),
+            DomainPoint::new3(0, 2, 0),
+            DomainPoint::new3(2, 0, 0),
+        ]);
+        let plane: Domain = Rect::new2((0, 0), (2, 2)).into();
+        let f = ProjExpr::Swizzle(vec![0, 1]);
+        assert!(self_check(&slice, &f, &plane).is_safe());
+
+        // A bogus "slice" with duplicate (x,y): caught.
+        let bad = Domain::sparse(vec![
+            DomainPoint::new3(0, 0, 0),
+            DomainPoint::new3(0, 0, 1),
+        ]);
+        let r = self_check(&bad, &f, &plane);
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn cross_check_write_then_reads_safe() {
+        // Writer on even colors, readers on odd colors: disjoint images.
+        let w = ProjExpr::linear(2, 0);
+        let r1 = ProjExpr::linear(2, 1);
+        let r2 = ProjExpr::linear(2, 1);
+        let args = [
+            ArgCheck { index: 0, functor: &w, writes: true },
+            ArgCheck { index: 1, functor: &r1, writes: false },
+            ArgCheck { index: 2, functor: &r2, writes: false },
+        ];
+        let rep = cross_check(&d1(10), &args, &d1(20));
+        assert!(rep.is_safe());
+        assert_eq!(rep.evals, 30);
+    }
+
+    #[test]
+    fn cross_check_read_sharing_is_fine() {
+        // Two readers with identical images: no conflict (reads don't set).
+        let f = ProjExpr::Identity;
+        let g = ProjExpr::Identity;
+        let args = [
+            ArgCheck { index: 0, functor: &f, writes: false },
+            ArgCheck { index: 1, functor: &g, writes: false },
+        ];
+        assert!(cross_check(&d1(8), &args, &d1(8)).is_safe());
+    }
+
+    #[test]
+    fn cross_check_write_read_overlap_caught() {
+        // Writer i -> i; reader i -> i+1: reader at i hits writer's i+1.
+        let w = ProjExpr::Identity;
+        let r = ProjExpr::linear(1, 1);
+        let args = [
+            ArgCheck { index: 0, functor: &w, writes: true },
+            ArgCheck { index: 1, functor: &r, writes: false },
+        ];
+        let rep = cross_check(&d1(8), &args, &d1(9));
+        assert_eq!(
+            rep.outcome,
+            CheckOutcome::Conflict {
+                arg: 1,
+                point: DomainPoint::new1(0),
+                color: DomainPoint::new1(1),
+            }
+        );
+    }
+
+    #[test]
+    fn cross_check_order_is_writers_first() {
+        // Reader listed first, writer second — writer still checked first,
+        // so the overlap is attributed to the reader pass.
+        let r = ProjExpr::Identity;
+        let w = ProjExpr::Identity;
+        let args = [
+            ArgCheck { index: 0, functor: &r, writes: false },
+            ArgCheck { index: 1, functor: &w, writes: true },
+        ];
+        let rep = cross_check(&d1(4), &args, &d1(4));
+        assert_eq!(
+            rep.outcome,
+            CheckOutcome::Conflict {
+                arg: 0,
+                point: DomainPoint::new1(0),
+                color: DomainPoint::new1(0),
+            }
+        );
+    }
+
+    #[test]
+    fn cross_check_write_write_self_conflict() {
+        // A single non-injective writer is caught by the same bitmask.
+        let f = ProjExpr::Modular { a: 1, b: 0, m: 4 };
+        let args = [ArgCheck { index: 0, functor: &f, writes: true }];
+        let rep = cross_check(&d1(6), &args, &d1(4));
+        assert!(!rep.is_safe());
+    }
+
+    #[test]
+    fn brute_force_agreement() {
+        // The bitmask cross-check must agree with a quadratic pairwise
+        // oracle on a batch of small scenarios.
+        use std::collections::HashSet;
+        let functors = [
+            ProjExpr::Identity,
+            ProjExpr::linear(1, 3),
+            ProjExpr::linear(2, 0),
+            ProjExpr::Modular { a: 1, b: 0, m: 5 },
+            ProjExpr::Quadratic { a: 1, b: 0, c: 0 },
+        ];
+        let dom = d1(6);
+        let colors = d1(40);
+        for wi in 0..functors.len() {
+            for ri in 0..functors.len() {
+                let args = [
+                    ArgCheck { index: 0, functor: &functors[wi], writes: true },
+                    ArgCheck { index: 1, functor: &functors[ri], writes: false },
+                ];
+                let got = cross_check(&dom, &args, &colors).is_safe();
+                // Oracle: writer must be injective in-bounds, and reader
+                // image must avoid writer image.
+                let mut wset = HashSet::new();
+                let mut winj = true;
+                for p in dom.iter() {
+                    let c = functors[wi].eval(p);
+                    if colors.linearize(c).is_some() && !wset.insert(c) {
+                        winj = false;
+                    }
+                }
+                let roverlap = dom.iter().any(|p| {
+                    let c = functors[ri].eval(p);
+                    colors.linearize(c).is_some() && wset.contains(&c)
+                });
+                let expect = winj && !roverlap;
+                assert_eq!(got, expect, "w={wi} r={ri}");
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The projection-functor expression IR.
+//!
+//! A projection functor maps a task's index within a launch domain to the
+//! color of the sub-collection that task will use (§1, §3). Listing 1's
+//! `p[i]` is the identity functor; `q[f(i)]` is an opaque functor. Keeping
+//! functors as a small expression IR lets the static analyzer recognize
+//! the trivial cases (§4) while [`ProjExpr::Opaque`] admits completely
+//! arbitrary user functions, which only the dynamic check can validate.
+
+use il_geometry::{DomainPoint, DynTransform};
+use std::fmt;
+use std::sync::Arc;
+
+/// An opaque user projection function.
+pub type OpaqueFn = Arc<dyn Fn(DomainPoint) -> DomainPoint + Send + Sync>;
+
+/// A projection functor expression.
+#[derive(Clone)]
+pub enum ProjExpr {
+    /// `f(i) = i` — the trivial functor of Listing 1.
+    Identity,
+    /// `f(i) = c` for a fixed color.
+    Constant(DomainPoint),
+    /// An affine map `f(p) = A·p + b` (covers the "linear" row of Table 2).
+    Affine(DynTransform),
+    /// 1-D modular arithmetic `f(i) = (a·i + b) mod m` (Listing 2's `i%3`
+    /// and Table 2's "modular" row). The result is normalized to
+    /// `0..m`.
+    Modular {
+        /// Coefficient of `i`.
+        a: i64,
+        /// Offset added before the modulo.
+        b: i64,
+        /// The modulus (must be positive).
+        m: i64,
+    },
+    /// 1-D quadratic `f(i) = a·i² + b·i + c` (Table 2's "quadratic" row).
+    Quadratic {
+        /// Quadratic coefficient.
+        a: i64,
+        /// Linear coefficient.
+        b: i64,
+        /// Constant term.
+        c: i64,
+    },
+    /// Coordinate selection: `f(p) = (p[take[0]], …, p[take[k-1]])`. The
+    /// DOM sweep's 3-D-wavefront → 2-D-exchange-plane functors (§6.2.3)
+    /// are `Swizzle([0,1])`, `Swizzle([1,2])`, `Swizzle([0,2])`.
+    Swizzle(Vec<usize>),
+    /// Composition: `Compose(g, f)` is `g ∘ f` (apply `f` first).
+    Compose(Box<ProjExpr>, Box<ProjExpr>),
+    /// An arbitrary user function — statically opaque, dynamically checked.
+    Opaque(OpaqueFn),
+}
+
+impl ProjExpr {
+    /// Evaluate the functor at a launch-domain point.
+    pub fn eval(&self, p: DomainPoint) -> DomainPoint {
+        match self {
+            ProjExpr::Identity => p,
+            ProjExpr::Constant(c) => *c,
+            ProjExpr::Affine(t) => t.apply(p),
+            ProjExpr::Modular { a, b, m } => {
+                assert!(*m > 0, "modulus must be positive");
+                assert_eq!(p.dim(), 1, "modular functor is 1-D");
+                DomainPoint::new1((a * p.x() + b).rem_euclid(*m))
+            }
+            ProjExpr::Quadratic { a, b, c } => {
+                assert_eq!(p.dim(), 1, "quadratic functor is 1-D");
+                let i = p.x();
+                DomainPoint::new1(a * i * i + b * i + c)
+            }
+            ProjExpr::Swizzle(take) => {
+                let coords: Vec<i64> = take.iter().map(|&d| p.coord(d)).collect();
+                DomainPoint::from_slice(&coords)
+            }
+            ProjExpr::Compose(g, f) => g.eval(f.eval(p)),
+            ProjExpr::Opaque(f) => f(p),
+        }
+    }
+
+    /// Wrap a closure as an opaque functor.
+    pub fn opaque<F>(f: F) -> Self
+    where
+        F: Fn(DomainPoint) -> DomainPoint + Send + Sync + 'static,
+    {
+        ProjExpr::Opaque(Arc::new(f))
+    }
+
+    /// 1-D linear functor `a·i + b`.
+    pub fn linear(a: i64, b: i64) -> Self {
+        ProjExpr::Affine(DynTransform::affine1(a, b))
+    }
+
+    /// Structural equality. Opaque functors compare by closure identity
+    /// (same `Arc`), which is the only sound notion available.
+    pub fn structurally_eq(&self, other: &ProjExpr) -> bool {
+        match (self, other) {
+            (ProjExpr::Identity, ProjExpr::Identity) => true,
+            (ProjExpr::Constant(a), ProjExpr::Constant(b)) => a == b,
+            (ProjExpr::Affine(a), ProjExpr::Affine(b)) => a == b,
+            (
+                ProjExpr::Modular { a, b, m },
+                ProjExpr::Modular { a: a2, b: b2, m: m2 },
+            ) => a == a2 && b == b2 && m == m2,
+            (
+                ProjExpr::Quadratic { a, b, c },
+                ProjExpr::Quadratic { a: a2, b: b2, c: c2 },
+            ) => a == a2 && b == b2 && c == c2,
+            (ProjExpr::Swizzle(a), ProjExpr::Swizzle(b)) => a == b,
+            (ProjExpr::Compose(g1, f1), ProjExpr::Compose(g2, f2)) => {
+                g1.structurally_eq(g2) && f1.structurally_eq(f2)
+            }
+            (ProjExpr::Opaque(a), ProjExpr::Opaque(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// True iff this functor is the identity (the "trivial" functors of
+    /// the Circuit and Stencil applications, §6.1).
+    pub fn is_identity(&self) -> bool {
+        matches!(self, ProjExpr::Identity)
+    }
+}
+
+impl fmt::Debug for ProjExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjExpr::Identity => write!(f, "λi.i"),
+            ProjExpr::Constant(c) => write!(f, "λi.{c:?}"),
+            ProjExpr::Affine(t) => write!(f, "λi.{t:?}(i)"),
+            ProjExpr::Modular { a, b, m } => write!(f, "λi.({a}i+{b}) mod {m}"),
+            ProjExpr::Quadratic { a, b, c } => write!(f, "λi.{a}i²+{b}i+{c}"),
+            ProjExpr::Swizzle(take) => write!(f, "λp.swizzle{take:?}(p)"),
+            ProjExpr::Compose(g, other) => write!(f, "({g:?})∘({other:?})"),
+            ProjExpr::Opaque(_) => write!(f, "λi.f(i)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_identity_and_constant() {
+        let p = DomainPoint::new2(3, 4);
+        assert_eq!(ProjExpr::Identity.eval(p), p);
+        assert_eq!(
+            ProjExpr::Constant(DomainPoint::new1(7)).eval(p),
+            DomainPoint::new1(7)
+        );
+    }
+
+    #[test]
+    fn eval_linear_modular_quadratic() {
+        let i5 = DomainPoint::new1(5);
+        assert_eq!(ProjExpr::linear(3, 2).eval(i5), DomainPoint::new1(17));
+        assert_eq!(
+            ProjExpr::Modular { a: 1, b: 0, m: 3 }.eval(i5),
+            DomainPoint::new1(2)
+        );
+        // rem_euclid keeps results nonnegative.
+        assert_eq!(
+            ProjExpr::Modular { a: -1, b: 0, m: 3 }.eval(i5),
+            DomainPoint::new1(1)
+        );
+        assert_eq!(
+            ProjExpr::Quadratic { a: 1, b: -1, c: 2 }.eval(i5),
+            DomainPoint::new1(22)
+        );
+    }
+
+    #[test]
+    fn eval_swizzle() {
+        let p = DomainPoint::new3(7, 8, 9);
+        assert_eq!(
+            ProjExpr::Swizzle(vec![0, 1]).eval(p),
+            DomainPoint::new2(7, 8)
+        );
+        assert_eq!(
+            ProjExpr::Swizzle(vec![2, 0]).eval(p),
+            DomainPoint::new2(9, 7)
+        );
+        assert_eq!(ProjExpr::Swizzle(vec![1]).eval(p), DomainPoint::new1(8));
+    }
+
+    #[test]
+    fn eval_compose_and_opaque() {
+        // (i -> 2i) then (j -> j+1): compose(g=+1, f=*2)(5) = 11.
+        let f = ProjExpr::linear(2, 0);
+        let g = ProjExpr::linear(1, 1);
+        let c = ProjExpr::Compose(Box::new(g), Box::new(f));
+        assert_eq!(c.eval(DomainPoint::new1(5)), DomainPoint::new1(11));
+
+        let sq = ProjExpr::opaque(|p| DomainPoint::new1(p.x() * p.x()));
+        assert_eq!(sq.eval(DomainPoint::new1(6)), DomainPoint::new1(36));
+    }
+
+    #[test]
+    fn structural_equality() {
+        assert!(ProjExpr::Identity.structurally_eq(&ProjExpr::Identity));
+        assert!(ProjExpr::linear(2, 1).structurally_eq(&ProjExpr::linear(2, 1)));
+        assert!(!ProjExpr::linear(2, 1).structurally_eq(&ProjExpr::linear(2, 2)));
+        let o1 = ProjExpr::opaque(|p| p);
+        let o2 = o1.clone();
+        let o3 = ProjExpr::opaque(|p| p);
+        assert!(o1.structurally_eq(&o2));
+        assert!(!o1.structurally_eq(&o3));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", ProjExpr::Identity), "λi.i");
+        assert_eq!(
+            format!("{:?}", ProjExpr::Modular { a: 1, b: 0, m: 3 }),
+            "λi.(1i+0) mod 3"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "modular functor is 1-D")]
+    fn modular_rejects_2d() {
+        ProjExpr::Modular { a: 1, b: 0, m: 3 }.eval(DomainPoint::new2(0, 0));
+    }
+}

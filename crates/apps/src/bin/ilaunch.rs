@@ -1,0 +1,212 @@
+//! `ilaunch` — run any of the paper's applications from the command line.
+//!
+//! ```text
+//! cargo run -p il-apps --release --bin ilaunch -- circuit --nodes 8 --validate
+//! cargo run -p il-apps --release --bin ilaunch -- stencil --nodes 64
+//! cargo run -p il-apps --release --bin ilaunch -- soleil --nodes 16 --fluid-only
+//! cargo run -p il-apps --release --bin ilaunch -- circuit --nodes 256 --no-idx
+//! ```
+//!
+//! Scale mode (default) runs the cost-modeled simulation and reports
+//! throughput; `--validate` runs real kernels on a small problem and
+//! checks the result against the sequential reference.
+
+use il_apps::{circuit, soleil, stencil};
+use il_runtime::{execute, RunReport, RuntimeConfig};
+
+struct Args {
+    app: String,
+    nodes: usize,
+    validate: bool,
+    dcr: bool,
+    idx: bool,
+    tracing: bool,
+    checks: bool,
+    fluid_only: bool,
+    overdecompose: usize,
+    strong: bool,
+}
+
+fn parse() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        app: String::new(),
+        nodes: 4,
+        validate: false,
+        dcr: true,
+        idx: true,
+        tracing: true,
+        checks: true,
+        fluid_only: false,
+        overdecompose: 1,
+        strong: false,
+    };
+    let mut it = argv.into_iter();
+    args.app = it.next().ok_or("usage: ilaunch <circuit|stencil|soleil> [flags]")?;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = it
+                    .next()
+                    .ok_or("--nodes takes a value")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--overdecompose" => {
+                args.overdecompose = it
+                    .next()
+                    .ok_or("--overdecompose takes a value")?
+                    .parse()
+                    .map_err(|e| format!("--overdecompose: {e}"))?;
+            }
+            "--validate" => args.validate = true,
+            "--strong" => args.strong = true,
+            "--no-dcr" => args.dcr = false,
+            "--no-idx" => args.idx = false,
+            "--no-tracing" => args.tracing = false,
+            "--no-checks" => args.checks = false,
+            "--fluid-only" => args.fluid_only = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn runtime_config(a: &Args) -> RuntimeConfig {
+    let base = if a.validate {
+        RuntimeConfig::validate(a.nodes)
+    } else {
+        RuntimeConfig::scale(a.nodes)
+    };
+    base.with_axes(a.dcr, a.idx)
+        .with_tracing(a.tracing)
+        .with_dynamic_checks(a.checks)
+}
+
+fn report_line(report: &RunReport) {
+    println!(
+        "tasks: {}   makespan: {}   elapsed(timed): {}   messages: {}   bytes: {}   dyn-checks: {}",
+        report.tasks,
+        report.makespan,
+        report.elapsed,
+        report.messages,
+        report.bytes,
+        report.dynamic_check_time
+    );
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let rt = runtime_config(&args);
+    println!(
+        "{} on {} simulated nodes [dcr={} idx={} tracing={} checks={} mode={}]",
+        args.app,
+        args.nodes,
+        args.dcr,
+        args.idx,
+        args.tracing,
+        args.checks,
+        if args.validate { "validate" } else { "scale" }
+    );
+
+    match args.app.as_str() {
+        "circuit" => {
+            let config = if args.validate {
+                circuit::CircuitConfig::tiny(args.nodes.max(2))
+            } else if args.strong {
+                circuit::CircuitConfig::strong(args.nodes)
+            } else {
+                circuit::CircuitConfig::weak(args.nodes, args.overdecompose)
+            };
+            let app = circuit::build(&config);
+            let report = execute(&app.program, &rt);
+            report_line(&report);
+            println!(
+                "throughput: {:.3e} wires/s ({:.3e} per node)",
+                circuit::throughput(&config, &report),
+                circuit::throughput(&config, &report) / args.nodes as f64
+            );
+            if args.validate {
+                let got = circuit::extract_voltages(&app, &report);
+                let want = circuit::reference(&config, &app.wires);
+                let err = got
+                    .iter()
+                    .zip(&want)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                println!("validation: max |voltage error| = {err:.2e}");
+                assert!(err < 1e-9, "validation failed");
+            }
+        }
+        "stencil" => {
+            let config = if args.validate {
+                stencil::StencilConfig::tiny((2, 2))
+            } else if args.strong {
+                stencil::StencilConfig::strong(args.nodes)
+            } else {
+                stencil::StencilConfig::weak(args.nodes)
+            };
+            let app = stencil::build(&config);
+            let report = execute(&app.program, &rt);
+            report_line(&report);
+            println!(
+                "throughput: {:.3e} cells/s ({:.3e} per node)",
+                stencil::throughput(&config, &report),
+                stencil::throughput(&config, &report) / args.nodes as f64
+            );
+            if args.validate {
+                let got = stencil::extract_fout(&app, &report);
+                let want = stencil::reference(&config);
+                let err = got
+                    .iter()
+                    .zip(&want)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                println!("validation: max |error| = {err:.2e}");
+                assert!(err < 1e-9, "validation failed");
+            }
+        }
+        "soleil" => {
+            let config = if args.validate {
+                let mut c = soleil::SoleilConfig::tiny((2, 2, 2));
+                if args.fluid_only {
+                    c.dom = false;
+                    c.particles = false;
+                }
+                c
+            } else if args.fluid_only {
+                soleil::SoleilConfig::fluid_weak(args.nodes)
+            } else {
+                soleil::SoleilConfig::full_weak(args.nodes)
+            };
+            let app = soleil::build(&config);
+            let report = execute(&app.program, &rt);
+            report_line(&report);
+            println!(
+                "throughput: {:.3} iter/s per node",
+                soleil::throughput(&config, &report)
+            );
+            if args.validate {
+                let got = soleil::extract_u(&app, &report);
+                let want = soleil::reference(&config);
+                let err = got
+                    .iter()
+                    .zip(&want)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                println!("validation: max |u error| = {err:.2e}");
+                assert!(err < 1e-12, "validation failed");
+            }
+        }
+        other => {
+            eprintln!("unknown app {other:?} (expected circuit, stencil, or soleil)");
+            std::process::exit(2);
+        }
+    }
+}

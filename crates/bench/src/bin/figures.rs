@@ -1,0 +1,88 @@
+//! Regenerate the paper's evaluation artifacts.
+//!
+//! ```text
+//! cargo run -p il-bench --release --bin figures -- all
+//! cargo run -p il-bench --release --bin figures -- fig5 fig10 table2
+//! cargo run -p il-bench --release --bin figures -- fig4 --max-nodes 64
+//! ```
+//!
+//! ASCII tables print to stdout; CSVs land in `results/`.
+
+use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure};
+use il_bench::render::{render_figure, render_table, write_figure_csv, write_table_csv};
+use il_bench::tables::{extrapolate_checks, table2, table3};
+use il_runtime::ThreadPool;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut max_nodes = 1024usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-nodes" => {
+                i += 1;
+                max_nodes = args[i].parse().expect("--max-nodes takes a number");
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3",
+            "extrapolate",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let pool = ThreadPool::with_default_parallelism();
+    let out_dir = PathBuf::from("results");
+
+    for target in &targets {
+        match target.as_str() {
+            "fig4" => emit(fig4(&pool, max_nodes), false, &out_dir),
+            "fig5" => emit(fig5(&pool, max_nodes), true, &out_dir),
+            "fig6" => emit(fig6(&pool, max_nodes), true, &out_dir),
+            "fig7" => emit(fig7(&pool, max_nodes), false, &out_dir),
+            "fig8" => emit(fig8(&pool, max_nodes), true, &out_dir),
+            "fig9" => emit(fig9(&pool, max_nodes), true, &out_dir),
+            "fig10" => emit(fig10(&pool, max_nodes), true, &out_dir),
+            "table2" => {
+                let rows = table2();
+                print!("{}", render_table("Table 2: dynamic self-checks", "Projection functor", &rows));
+                write_table_csv("table2", &rows, &out_dir).expect("write table2.csv");
+                println!();
+            }
+            "extrapolate" => {
+                let rows = extrapolate_checks();
+                print!(
+                    "{}",
+                    render_table(
+                        "Extrapolation (§6.3): dynamic-check cost at future machine scales",
+                        "Launch domain size ->",
+                        &rows
+                    )
+                );
+                write_table_csv("extrapolate", &rows, &out_dir).expect("write extrapolate.csv");
+                println!();
+            }
+            "table3" => {
+                let rows = table3();
+                print!("{}", render_table("Table 3: dynamic cross-checks", "Number of arguments", &rows));
+                write_table_csv("table3", &rows, &out_dir).expect("write table3.csv");
+                println!();
+            }
+            other => eprintln!("unknown target {other:?} (expected fig4..fig10, table2, table3, all)"),
+        }
+    }
+}
+
+fn emit(fig: Figure, per_node: bool, out_dir: &std::path::Path) {
+    print!("{}", render_figure(&fig, per_node));
+    write_figure_csv(&fig, out_dir).expect("write figure csv");
+    println!();
+}

@@ -1,0 +1,382 @@
+//! The scaling experiments of §6.2 (Figures 4–10).
+
+use il_apps::{circuit, soleil, stencil};
+use il_runtime::{execute, RuntimeConfig, ThreadPool};
+use serde::{Deserialize, Serialize};
+
+/// One data point of a figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigPoint {
+    /// Figure id (e.g. "fig5").
+    pub figure: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Configuration label (e.g. "DCR, IDX").
+    pub config: String,
+    /// Aggregate throughput in the figure's work unit per second.
+    pub throughput: f64,
+    /// Throughput per node.
+    pub per_node: f64,
+    /// Parallel efficiency vs. the same configuration at 1 node
+    /// (weak scaling) or ideal speedup (strong scaling).
+    pub efficiency: f64,
+    /// Simulated elapsed time of the timed portion (ms).
+    pub elapsed_ms: f64,
+    /// Simulated time spent in dynamic safety checks (ms).
+    pub dyn_check_ms: f64,
+}
+
+/// A rendered figure: its points grouped by configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure id.
+    pub id: String,
+    /// Caption (what the paper's figure shows).
+    pub caption: String,
+    /// Work-unit label for the throughput column.
+    pub unit: String,
+    /// All measured points.
+    pub points: Vec<FigPoint>,
+}
+
+/// The four (DCR × IDX) corners, labeled as in the paper's legends.
+pub const AXES: [(&str, bool, bool); 4] = [
+    ("DCR, IDX", true, true),
+    ("DCR, No IDX", true, false),
+    ("No DCR, IDX", false, true),
+    ("No DCR, No IDX", false, false),
+];
+
+fn pow2_up_to(max: usize) -> Vec<usize> {
+    let mut v = vec![1usize];
+    while *v.last().unwrap() < max {
+        let next = v.last().unwrap() * 2;
+        v.push(next);
+    }
+    v
+}
+
+fn fill_efficiency(points: &mut [FigPoint], weak: bool) {
+    // Efficiency is relative to the same configuration at the smallest
+    // node count.
+    let mut configs: Vec<String> = Vec::new();
+    for p in points.iter() {
+        if !configs.contains(&p.config) {
+            configs.push(p.config.clone());
+        }
+    }
+    for config in configs {
+        let base = points
+            .iter()
+            .filter(|p| p.config == config)
+            .min_by_key(|p| p.nodes)
+            .map(|p| (p.nodes, p.throughput))
+            .unwrap();
+        for p in points.iter_mut().filter(|p| p.config == config) {
+            p.efficiency = if weak {
+                p.per_node / (base.1 / base.0 as f64)
+            } else {
+                (p.throughput / base.1) / (p.nodes as f64 / base.0 as f64)
+            };
+        }
+    }
+}
+
+/// Figure 4: Circuit strong scaling (5.1×10⁶ wires), 1–512 nodes,
+/// DCR × IDX.
+pub fn fig4(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    let nodes_list = pow2_up_to(max_nodes.min(512));
+    let jobs: Vec<_> = nodes_list
+        .iter()
+        .flat_map(|&nodes| {
+            AXES.iter().map(move |&(label, dcr, idx)| {
+                move || {
+                    let config = circuit::CircuitConfig::strong(nodes);
+                    let app = circuit::build(&config);
+                    let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx);
+                    let report = execute(&app.program, &rt);
+                    let tput = circuit::throughput(&config, &report);
+                    FigPoint {
+                        figure: "fig4".into(),
+                        nodes,
+                        config: label.to_string(),
+                        throughput: tput,
+                        per_node: tput / nodes as f64,
+                        efficiency: 0.0,
+                        elapsed_ms: report.elapsed.as_ms_f64(),
+                        dyn_check_ms: report.dynamic_check_time.as_ms_f64(),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut points = pool.map(jobs);
+    fill_efficiency(&mut points, false);
+    Figure {
+        id: "fig4".into(),
+        caption: "Circuit strong scaling".into(),
+        unit: "wires/s".into(),
+        points,
+    }
+}
+
+/// Figure 5: Circuit weak scaling (2×10⁵ wires/node), 1–1024 nodes.
+pub fn fig5(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    circuit_weak(pool, max_nodes, 1, true, "fig5", "Circuit weak scaling")
+}
+
+/// Figure 6: Circuit weak scaling, 10× overdecomposed, tracing disabled.
+pub fn fig6(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    circuit_weak(
+        pool,
+        max_nodes,
+        10,
+        false,
+        "fig6",
+        "Circuit weak scaling, overdecomposed, no tracing",
+    )
+}
+
+fn circuit_weak(
+    pool: &ThreadPool,
+    max_nodes: usize,
+    overdecompose: usize,
+    tracing: bool,
+    id: &str,
+    caption: &str,
+) -> Figure {
+    let nodes_list = pow2_up_to(max_nodes.min(1024));
+    let id_owned = id.to_string();
+    let jobs: Vec<_> = nodes_list
+        .iter()
+        .flat_map(|&nodes| {
+            let id_owned = id_owned.clone();
+            AXES.iter().map(move |&(label, dcr, idx)| {
+                let id_owned = id_owned.clone();
+                move || {
+                    let config = circuit::CircuitConfig::weak(nodes, overdecompose);
+                    let app = circuit::build(&config);
+                    let rt = RuntimeConfig::scale(nodes)
+                        .with_axes(dcr, idx)
+                        .with_tracing(tracing);
+                    let report = execute(&app.program, &rt);
+                    let tput = circuit::throughput(&config, &report);
+                    FigPoint {
+                        figure: id_owned,
+                        nodes,
+                        config: label.to_string(),
+                        throughput: tput,
+                        per_node: tput / nodes as f64,
+                        efficiency: 0.0,
+                        elapsed_ms: report.elapsed.as_ms_f64(),
+                        dyn_check_ms: report.dynamic_check_time.as_ms_f64(),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut points = pool.map(jobs);
+    fill_efficiency(&mut points, true);
+    Figure {
+        id: id.into(),
+        caption: caption.into(),
+        unit: "wires/s".into(),
+        points,
+    }
+}
+
+/// Figure 7: Stencil strong scaling (9×10⁸ cells), 1–512 nodes.
+pub fn fig7(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    let nodes_list = pow2_up_to(max_nodes.min(512));
+    let jobs: Vec<_> = nodes_list
+        .iter()
+        .flat_map(|&nodes| {
+            AXES.iter().map(move |&(label, dcr, idx)| {
+                move || {
+                    let config = stencil::StencilConfig::strong(nodes);
+                    let app = stencil::build(&config);
+                    let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx);
+                    let report = execute(&app.program, &rt);
+                    let tput = stencil::throughput(&config, &report);
+                    FigPoint {
+                        figure: "fig7".into(),
+                        nodes,
+                        config: label.to_string(),
+                        throughput: tput,
+                        per_node: tput / nodes as f64,
+                        efficiency: 0.0,
+                        elapsed_ms: report.elapsed.as_ms_f64(),
+                        dyn_check_ms: report.dynamic_check_time.as_ms_f64(),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut points = pool.map(jobs);
+    fill_efficiency(&mut points, false);
+    Figure {
+        id: "fig7".into(),
+        caption: "Stencil strong scaling".into(),
+        unit: "cells/s".into(),
+        points,
+    }
+}
+
+/// Figure 8: Stencil weak scaling (9×10⁸ cells/node), 1–1024 nodes.
+pub fn fig8(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    let nodes_list = pow2_up_to(max_nodes.min(1024));
+    let jobs: Vec<_> = nodes_list
+        .iter()
+        .flat_map(|&nodes| {
+            AXES.iter().map(move |&(label, dcr, idx)| {
+                move || {
+                    let config = stencil::StencilConfig::weak(nodes);
+                    let app = stencil::build(&config);
+                    let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx);
+                    let report = execute(&app.program, &rt);
+                    let tput = stencil::throughput(&config, &report);
+                    FigPoint {
+                        figure: "fig8".into(),
+                        nodes,
+                        config: label.to_string(),
+                        throughput: tput,
+                        per_node: tput / nodes as f64,
+                        efficiency: 0.0,
+                        elapsed_ms: report.elapsed.as_ms_f64(),
+                        dyn_check_ms: report.dynamic_check_time.as_ms_f64(),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut points = pool.map(jobs);
+    fill_efficiency(&mut points, true);
+    Figure {
+        id: "fig8".into(),
+        caption: "Stencil weak scaling".into(),
+        unit: "cells/s".into(),
+        points,
+    }
+}
+
+/// Figure 9: Soleil-X fluid-only weak scaling, 1–512 nodes, DCR ± IDX.
+pub fn fig9(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    let nodes_list = pow2_up_to(max_nodes.min(512));
+    let jobs: Vec<_> = nodes_list
+        .iter()
+        .flat_map(|&nodes| {
+            [("DCR, IDX", true), ("DCR, No IDX", false)]
+                .into_iter()
+                .map(move |(label, idx)| {
+                    move || {
+                        let config = soleil::SoleilConfig::fluid_weak(nodes);
+                        let app = soleil::build(&config);
+                        let rt = RuntimeConfig::scale(nodes).with_axes(true, idx);
+                        let report = execute(&app.program, &rt);
+                        let tput = soleil::throughput(&config, &report);
+                        FigPoint {
+                            figure: "fig9".into(),
+                            nodes,
+                            config: label.to_string(),
+                            throughput: tput,
+                            per_node: tput,
+                            efficiency: 0.0,
+                            elapsed_ms: report.elapsed.as_ms_f64(),
+                            dyn_check_ms: report.dynamic_check_time.as_ms_f64(),
+                        }
+                    }
+                })
+        })
+        .collect();
+    let mut points = pool.map(jobs);
+    fill_efficiency(&mut points, true);
+    Figure {
+        id: "fig9".into(),
+        caption: "Soleil-X (fluid-only) weak scaling".into(),
+        unit: "iter/s".into(),
+        points,
+    }
+}
+
+/// Figure 10: Soleil-X full physics (fluid, particles, DOM) weak
+/// scaling, 1–32 nodes: dynamic check vs. no check vs. no IDX.
+pub fn fig10(pool: &ThreadPool, max_nodes: usize) -> Figure {
+    let nodes_list = pow2_up_to(max_nodes.min(32));
+    let configs: [(&str, bool, bool); 3] = [
+        ("DCR, IDX (dynamic check)", true, true),
+        ("DCR, IDX (no check)", true, false),
+        ("DCR, No IDX", false, false),
+    ];
+    let jobs: Vec<_> = nodes_list
+        .iter()
+        .flat_map(|&nodes| {
+            configs.into_iter().map(move |(label, idx, checks)| {
+                move || {
+                    let config = soleil::SoleilConfig::full_weak(nodes);
+                    let app = soleil::build(&config);
+                    let rt = RuntimeConfig::scale(nodes)
+                        .with_axes(true, idx)
+                        .with_dynamic_checks(checks);
+                    let report = execute(&app.program, &rt);
+                    let tput = soleil::throughput(&config, &report);
+                    FigPoint {
+                        figure: "fig10".into(),
+                        nodes,
+                        config: label.to_string(),
+                        throughput: tput,
+                        per_node: tput,
+                        efficiency: 0.0,
+                        elapsed_ms: report.elapsed.as_ms_f64(),
+                        dyn_check_ms: report.dynamic_check_time.as_ms_f64(),
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut points = pool.map(jobs);
+    fill_efficiency(&mut points, true);
+    Figure {
+        id: "fig10".into(),
+        caption: "Soleil-X (fluid, particles and DOM) weak scaling".into(),
+        unit: "iter/s".into(),
+        points,
+    }
+}
+
+/// Per-node throughput of a configuration at a node count (test helper).
+pub fn per_node(figure: &Figure, config: &str, nodes: usize) -> f64 {
+    figure
+        .points
+        .iter()
+        .find(|p| p.config == config && p.nodes == nodes)
+        .unwrap_or_else(|| panic!("{}: no point {config}@{nodes}", figure.id))
+        .per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_lists() {
+        assert_eq!(pow2_up_to(8), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_up_to(1), vec![1]);
+    }
+
+    #[test]
+    fn small_fig4_has_expected_points() {
+        let pool = ThreadPool::new(4);
+        let fig = fig4(&pool, 4);
+        assert_eq!(fig.points.len(), 3 * 4);
+        assert!(fig.points.iter().all(|p| p.throughput > 0.0));
+    }
+
+    #[test]
+    fn weak_efficiency_is_one_at_one_node() {
+        let pool = ThreadPool::new(4);
+        let fig = fig5(&pool, 2);
+        for p in fig.points.iter().filter(|p| p.nodes == 1) {
+            assert!((p.efficiency - 1.0).abs() < 1e-9, "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! ASCII rendering and CSV output of figures and tables.
+
+use crate::figures::Figure;
+use crate::tables::TableRow;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render a figure as an ASCII table: one column per node count, one row
+/// per configuration, cells showing the figure's y-axis value.
+pub fn render_figure(fig: &Figure, per_node: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {}: {} ({}) ===", fig.id, fig.caption, fig.unit);
+    let mut nodes: Vec<usize> = fig.points.iter().map(|p| p.nodes).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut configs: Vec<String> = Vec::new();
+    for p in &fig.points {
+        if !configs.contains(&p.config) {
+            configs.push(p.config.clone());
+        }
+    }
+
+    let _ = write!(out, "{:<28}", if per_node { "config \\ nodes (per-node)" } else { "config \\ nodes" });
+    for n in &nodes {
+        let _ = write!(out, "{n:>12}");
+    }
+    let _ = writeln!(out);
+    for config in &configs {
+        let _ = write!(out, "{config:<28}");
+        for &n in &nodes {
+            match fig.points.iter().find(|p| p.config == *config && p.nodes == n) {
+                Some(p) => {
+                    let v = if per_node { p.per_node } else { p.throughput };
+                    let _ = write!(out, "{:>12}", human(v));
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    // Efficiency row for the primary configuration.
+    if let Some(first) = configs.first() {
+        let _ = write!(out, "{:<28}", format!("  efficiency [{first}]"));
+        for &n in &nodes {
+            match fig.points.iter().find(|p| &p.config == first && p.nodes == n) {
+                Some(p) => {
+                    let _ = write!(out, "{:>11.0}%", p.efficiency * 100.0);
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a timing table (Tables 2–3).
+pub fn render_table(title: &str, first_col: &str, rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} (elapsed µs, 5-run average) ===");
+    let _ = write!(out, "{first_col:<24}");
+    if let Some(r) = rows.first() {
+        for (n, _) in &r.cells {
+            let _ = write!(out, "{:>12}", format!("10^{}", (*n as f64).log10() as u32));
+        }
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        let _ = write!(out, "{:<24}", row.label);
+        for (_, us) in &row.cells {
+            let _ = write!(out, "{us:>12.1}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Human-readable engineering notation.
+pub fn human(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    let (scaled, suffix) = if v >= 1e9 {
+        (v / 1e9, "G")
+    } else if v >= 1e6 {
+        (v / 1e6, "M")
+    } else if v >= 1e3 {
+        (v / 1e3, "k")
+    } else {
+        (v, "")
+    };
+    if scaled >= 100.0 {
+        format!("{scaled:.0}{suffix}")
+    } else {
+        format!("{scaled:.2}{suffix}")
+    }
+}
+
+/// Write a figure's points as CSV.
+pub fn write_figure_csv(fig: &Figure, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut csv = String::from("figure,nodes,config,throughput,per_node,efficiency,elapsed_ms,dyn_check_ms\n");
+    for p in &fig.points {
+        let _ = writeln!(
+            csv,
+            "{},{},{:?},{},{},{},{},{}",
+            p.figure, p.nodes, p.config, p.throughput, p.per_node, p.efficiency, p.elapsed_ms, p.dyn_check_ms
+        );
+    }
+    std::fs::write(dir.join(format!("{}.csv", fig.id)), csv)
+}
+
+/// Write a timing table as CSV.
+pub fn write_table_csv(name: &str, rows: &[TableRow], dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut csv = String::from("label,size,elapsed_us\n");
+    for row in rows {
+        for (n, us) in &row.cells {
+            let _ = writeln!(csv, "{:?},{},{}", row.label, n, us);
+        }
+    }
+    std::fs::write(dir.join(format!("{name}.csv")), csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigPoint;
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human(1234.0), "1.23k");
+        assert_eq!(human(5.1e6), "5.10M");
+        assert_eq!(human(2.3e9), "2.30G");
+        assert_eq!(human(42.0), "42.00");
+        assert_eq!(human(345e6), "345M");
+    }
+
+    #[test]
+    fn figure_renders_all_configs() {
+        let fig = Figure {
+            id: "figX".into(),
+            caption: "test".into(),
+            unit: "u/s".into(),
+            points: vec![
+                FigPoint {
+                    figure: "figX".into(),
+                    nodes: 1,
+                    config: "A".into(),
+                    throughput: 10.0,
+                    per_node: 10.0,
+                    efficiency: 1.0,
+                    elapsed_ms: 1.0,
+                    dyn_check_ms: 0.0,
+                },
+                FigPoint {
+                    figure: "figX".into(),
+                    nodes: 2,
+                    config: "A".into(),
+                    throughput: 18.0,
+                    per_node: 9.0,
+                    efficiency: 0.9,
+                    elapsed_ms: 1.0,
+                    dyn_check_ms: 0.0,
+                },
+            ],
+        };
+        let text = render_figure(&fig, true);
+        assert!(text.contains("figX"));
+        assert!(text.contains("A"));
+        assert!(text.contains("90%"));
+    }
+}

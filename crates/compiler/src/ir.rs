@@ -1,0 +1,149 @@
+//! The task-loop IR.
+//!
+//! Models the shape the Regent optimizer works on: a counted loop whose
+//! body launches one task with region arguments `p[f(i)]` (a partition
+//! indexed by a projection-functor expression of the loop variable), plus
+//! simple statements that may read, assign, or reduce to scalars.
+
+use il_analysis::ProjExpr;
+use il_geometry::Domain;
+use il_region::{FieldId, FieldSpaceId, IndexPartitionId, Privilege, RegionTreeId};
+use std::fmt;
+
+/// A region argument `p[f(i)]` of the launched task.
+#[derive(Clone, Debug)]
+pub struct RegionArg {
+    /// Display name of the partition variable (diagnostics).
+    pub name: String,
+    /// The partition `p`.
+    pub partition: IndexPartitionId,
+    /// The indexing expression `f(i)`.
+    pub functor: ProjExpr,
+    /// The privilege the task declares on this parameter.
+    pub privilege: Privilege,
+    /// Fields accessed (empty = all).
+    pub fields: Vec<FieldId>,
+    /// The region tree of the partitioned collection.
+    pub tree: RegionTreeId,
+    /// The collection's field space.
+    pub field_space: FieldSpaceId,
+}
+
+/// How a body statement uses a scalar variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScalarUse {
+    /// The scalar is only read.
+    Read,
+    /// The scalar is assigned a value that does not depend on its prior
+    /// value in a reduction pattern (a genuine loop-carried dependence).
+    Assign,
+    /// The scalar accumulates through a commutative reduction
+    /// (`acc += …`), which §4 explicitly permits.
+    Reduce,
+}
+
+/// A simple (non-launch) statement of the loop body.
+#[derive(Clone, Debug)]
+pub enum LoopStmt {
+    /// A local variable declaration (always allowed).
+    LocalDecl {
+        /// Variable name.
+        name: String,
+    },
+    /// A use of a scalar defined outside the loop.
+    ScalarAccess {
+        /// Variable name.
+        name: String,
+        /// How it is used.
+        usage: ScalarUse,
+    },
+}
+
+/// A counted task-launch loop: `for i in D do T(p₁[f₁(i)], …) end`.
+#[derive(Clone, Debug)]
+pub struct TaskLoop {
+    /// Name of the launched task (diagnostics).
+    pub task_name: String,
+    /// The loop domain D.
+    pub domain: Domain,
+    /// The region arguments.
+    pub args: Vec<RegionArg>,
+    /// Other simple statements in the body.
+    pub body: Vec<LoopStmt>,
+}
+
+impl TaskLoop {
+    /// Names of scalars with genuine loop-carried dependencies (read and
+    /// assigned in the body, not as a reduction).
+    pub fn loop_carried_scalars(&self) -> Vec<&str> {
+        let mut carried = Vec::new();
+        for stmt in &self.body {
+            if let LoopStmt::ScalarAccess { name, usage } = stmt {
+                if *usage == ScalarUse::Assign
+                    && !carried.contains(&name.as_str())
+                {
+                    carried.push(name.as_str());
+                }
+            }
+        }
+        carried
+    }
+}
+
+impl fmt::Display for TaskLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "for i in {:?} do {}(", self.domain, self.task_name)?;
+        for (k, arg) in self.args.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}[{:?}]", arg.name, arg.functor)?;
+        }
+        write!(f, ") end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use il_region::{FieldSpaceId, IndexPartitionId, RegionTreeId};
+
+    fn arg(name: &str, functor: ProjExpr) -> RegionArg {
+        RegionArg {
+            name: name.into(),
+            partition: IndexPartitionId(0),
+            functor,
+            privilege: Privilege::Read,
+            fields: vec![],
+            tree: RegionTreeId(0),
+            field_space: FieldSpaceId(0),
+        }
+    }
+
+    #[test]
+    fn display_renders_listing1_shape() {
+        let l = TaskLoop {
+            task_name: "foo".into(),
+            domain: Domain::range(4),
+            args: vec![arg("p", ProjExpr::Identity)],
+            body: vec![],
+        };
+        assert_eq!(format!("{l}"), "for i in [(0)..(3)] do foo(p[λi.i]) end");
+    }
+
+    #[test]
+    fn loop_carried_detection() {
+        let l = TaskLoop {
+            task_name: "t".into(),
+            domain: Domain::range(4),
+            args: vec![],
+            body: vec![
+                LoopStmt::LocalDecl { name: "tmp".into() },
+                LoopStmt::ScalarAccess { name: "acc".into(), usage: ScalarUse::Reduce },
+                LoopStmt::ScalarAccess { name: "bad".into(), usage: ScalarUse::Assign },
+                LoopStmt::ScalarAccess { name: "cfg".into(), usage: ScalarUse::Read },
+            ],
+        };
+        assert_eq!(l.loop_carried_scalars(), vec!["bad"]);
+    }
+}

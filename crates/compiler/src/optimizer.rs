@@ -1,0 +1,430 @@
+//! The hybrid loop-optimization pass (§4).
+
+use crate::ir::TaskLoop;
+use il_analysis::{analyze_launch, DynamicCheckPlan, HybridVerdict, LaunchArg, UnsafeReason};
+use il_region::RegionForest;
+use std::fmt;
+
+/// The optimizer's decision for one loop.
+#[derive(Debug)]
+pub enum Plan {
+    /// Statically proven safe: emit a plain index launch.
+    IndexLaunch {
+        /// Compiler-style explanation of the proof.
+        diagnostics: Vec<String>,
+    },
+    /// Statically undecidable: emit the dynamic check of Listing 3
+    /// followed by a branch between the index launch and the original
+    /// loop.
+    Guarded {
+        /// The generated dynamic check.
+        check: DynamicCheckPlan,
+        /// Compiler-style explanation.
+        diagnostics: Vec<String>,
+    },
+    /// Statically proven unsafe: keep the sequential task loop.
+    Sequential {
+        /// Why the loop cannot be an index launch.
+        reason: Option<UnsafeReason>,
+        /// Compiler-style explanation (mirrors the paper's Listing 2
+        /// walkthrough).
+        diagnostics: Vec<String>,
+    },
+}
+
+impl Plan {
+    /// True when the loop executes as an index launch (possibly guarded).
+    pub fn is_index_launch(&self) -> bool {
+        !matches!(self, Plan::Sequential { .. })
+    }
+
+    /// The diagnostics of any variant.
+    pub fn diagnostics(&self) -> &[String] {
+        match self {
+            Plan::IndexLaunch { diagnostics }
+            | Plan::Guarded { diagnostics, .. }
+            | Plan::Sequential { diagnostics, .. } => diagnostics,
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head = match self {
+            Plan::IndexLaunch { .. } => "index launch (statically verified)",
+            Plan::Guarded { .. } => "index launch guarded by dynamic check",
+            Plan::Sequential { .. } => "sequential task loop",
+        };
+        writeln!(f, "decision: {head}")?;
+        for d in self.diagnostics() {
+            writeln!(f, "  note: {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Optimize one task-launch loop.
+///
+/// Follows §4: check eligibility (no loop-carried scalar dependencies
+/// other than reductions), then run the hybrid §3 analysis over the
+/// arguments. Every decision is accompanied by diagnostics.
+pub fn optimize_loop(forest: &RegionForest, l: &TaskLoop) -> Plan {
+    let mut diagnostics = Vec::new();
+
+    // Eligibility: loop-carried scalar dependencies.
+    let carried = l.loop_carried_scalars();
+    if !carried.is_empty() {
+        diagnostics.push(format!(
+            "loop has loop-carried scalar dependence(s) on {:?}; only reductions are permitted",
+            carried
+        ));
+        return Plan::Sequential { reason: None, diagnostics };
+    }
+    diagnostics.push("no loop-carried dependencies (other than reductions)".into());
+
+    let args: Vec<LaunchArg> = l
+        .args
+        .iter()
+        .map(|a| LaunchArg {
+            partition: a.partition,
+            functor: a.functor.clone(),
+            privilege: a.privilege,
+            fields: a.fields.clone(),
+        })
+        .collect();
+
+    match analyze_launch(forest, &l.domain, &args) {
+        HybridVerdict::SafeStatic => {
+            for a in &l.args {
+                diagnostics.push(format!(
+                    "argument {}[{:?}] ({}) verified statically",
+                    a.name, a.functor, a.privilege
+                ));
+            }
+            Plan::IndexLaunch { diagnostics }
+        }
+        HybridVerdict::NeedsDynamic(check) => {
+            for group in &check.groups {
+                let names: Vec<&str> = group
+                    .args
+                    .iter()
+                    .map(|(i, _, _)| l.args[*i].name.as_str())
+                    .collect();
+                diagnostics.push(format!(
+                    "arguments {names:?} on partition {:?} could not be verified statically; \
+                     emitting a dynamic bitmask check over {} sub-collections",
+                    group.partition,
+                    group.color_bounds.volume()
+                ));
+            }
+            diagnostics.push(format!(
+                "dynamic check costs {} functor evaluation(s); on conflict the original loop runs",
+                check.planned_evals()
+            ));
+            Plan::Guarded { check, diagnostics }
+        }
+        HybridVerdict::Unsafe(reason) => {
+            // Mirror the paper's Listing 2 bullet-point reasoning.
+            match &reason {
+                UnsafeReason::NonInjectiveWrite { arg } => {
+                    let a = &l.args[*arg];
+                    diagnostics.push(format!(
+                        "{} requests {} privileges on its argument {}",
+                        l.task_name, a.privilege, a.name
+                    ));
+                    diagnostics.push(format!(
+                        "the projection functor {:?} of {} is non-injective over the launch domain",
+                        a.functor, a.name
+                    ));
+                    diagnostics.push(
+                        "therefore two simultaneous invocations would receive the same \
+                         sub-collection and race"
+                            .into(),
+                    );
+                }
+                other => diagnostics.push(other.to_string()),
+            }
+            Plan::Sequential { reason: Some(reason), diagnostics }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{LoopStmt, RegionArg, ScalarUse};
+    use il_analysis::ProjExpr;
+    use il_geometry::Domain;
+    use il_region::{
+        equal_partition_1d, FieldSpaceDesc, FieldSpaceId, IndexPartitionId, Privilege,
+        RegionTreeId,
+    };
+
+    struct Fx {
+        forest: RegionForest,
+        p: IndexPartitionId,
+        q: IndexPartitionId,
+        tree_p: RegionTreeId,
+        tree_q: RegionTreeId,
+        fs: FieldSpaceId,
+    }
+
+    fn fixture() -> Fx {
+        let mut forest = RegionForest::new();
+        let fs = forest.create_field_space(FieldSpaceDesc::new());
+        let rp = forest.create_region(Domain::range(50), fs);
+        let rq = forest.create_region(Domain::range(50), fs);
+        let p = equal_partition_1d(&mut forest, rp.space, 5);
+        let q = equal_partition_1d(&mut forest, rq.space, 5);
+        Fx { forest, p, q, tree_p: rp.tree, tree_q: rq.tree, fs }
+    }
+
+    fn arg(fx: &Fx, name: &str, part: IndexPartitionId, functor: ProjExpr, privilege: Privilege) -> RegionArg {
+        let tree = if part == fx.p { fx.tree_p } else { fx.tree_q };
+        RegionArg {
+            name: name.into(),
+            partition: part,
+            functor,
+            privilege,
+            fields: vec![],
+            tree,
+            field_space: fx.fs,
+        }
+    }
+
+    #[test]
+    fn listing1_first_loop_is_static_index_launch() {
+        // for i = 0, N do foo(p[i]) — trivial functor.
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "foo".into(),
+            domain: Domain::range(5),
+            args: vec![arg(&fx, "p", fx.p, ProjExpr::Identity, Privilege::ReadWrite)],
+            body: vec![],
+        };
+        let plan = optimize_loop(&fx.forest, &l);
+        assert!(matches!(plan, Plan::IndexLaunch { .. }), "{plan}");
+    }
+
+    #[test]
+    fn listing1_second_loop_is_guarded() {
+        // for i = 0, N do bar(q[f(i)]) — opaque functor.
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "bar".into(),
+            domain: Domain::range(5),
+            args: vec![arg(
+                &fx,
+                "q",
+                fx.q,
+                ProjExpr::opaque(|p| p), // opaque identity: safe, but only dynamically provable
+                Privilege::Write,
+            )],
+            body: vec![],
+        };
+        let plan = optimize_loop(&fx.forest, &l);
+        let Plan::Guarded { check, .. } = &plan else {
+            panic!("expected guarded plan, got {plan}");
+        };
+        assert!(check.run().is_ok());
+    }
+
+    #[test]
+    fn listing2_rejected_with_papers_reasoning() {
+        // for i = 0, 5 do foo(p[i], q[i%3]) with writes(q).
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "foo".into(),
+            domain: Domain::range(5),
+            args: vec![
+                arg(&fx, "p", fx.p, ProjExpr::Identity, Privilege::Read),
+                arg(&fx, "q", fx.q, ProjExpr::Modular { a: 1, b: 0, m: 3 }, Privilege::Write),
+            ],
+            body: vec![],
+        };
+        let plan = optimize_loop(&fx.forest, &l);
+        let Plan::Sequential { reason, diagnostics } = &plan else {
+            panic!("expected sequential, got {plan}");
+        };
+        assert!(matches!(reason, Some(UnsafeReason::NonInjectiveWrite { arg: 1 })));
+        let text = diagnostics.join("\n");
+        assert!(text.contains("writes"), "{text}");
+        assert!(text.contains("non-injective"), "{text}");
+    }
+
+    #[test]
+    fn loop_carried_scalar_blocks_optimization() {
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "foo".into(),
+            domain: Domain::range(5),
+            args: vec![arg(&fx, "p", fx.p, ProjExpr::Identity, Privilege::Read)],
+            body: vec![LoopStmt::ScalarAccess { name: "prev".into(), usage: ScalarUse::Assign }],
+        };
+        let plan = optimize_loop(&fx.forest, &l);
+        assert!(matches!(plan, Plan::Sequential { reason: None, .. }), "{plan}");
+    }
+
+    #[test]
+    fn reduction_scalar_is_permitted() {
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "foo".into(),
+            domain: Domain::range(5),
+            args: vec![arg(&fx, "p", fx.p, ProjExpr::Identity, Privilege::Read)],
+            body: vec![LoopStmt::ScalarAccess { name: "acc".into(), usage: ScalarUse::Reduce }],
+        };
+        assert!(optimize_loop(&fx.forest, &l).is_index_launch());
+    }
+
+    #[test]
+    fn guarded_plan_rejects_at_runtime_on_conflict() {
+        // Quadratic functor that degenerates: i² mod-like collisions via
+        // opaque floor(i/2): dynamic check trips, loop stays sequential at
+        // run time (the generated branch takes the task-loop arm).
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "bar".into(),
+            domain: Domain::range(4),
+            args: vec![arg(
+                &fx,
+                "q",
+                fx.q,
+                ProjExpr::opaque(|p| il_geometry::DomainPoint::new1(p.x() / 2)),
+                Privilege::Write,
+            )],
+            body: vec![],
+        };
+        let plan = optimize_loop(&fx.forest, &l);
+        let Plan::Guarded { check, .. } = &plan else {
+            panic!("expected guarded plan");
+        };
+        assert!(check.run().is_err());
+    }
+
+    #[test]
+    fn display_formats_decision() {
+        let fx = fixture();
+        let l = TaskLoop {
+            task_name: "foo".into(),
+            domain: Domain::range(5),
+            args: vec![arg(&fx, "p", fx.p, ProjExpr::Identity, Privilege::ReadWrite)],
+            body: vec![],
+        };
+        let text = format!("{}", optimize_loop(&fx.forest, &l));
+        assert!(text.starts_with("decision: index launch (statically verified)"));
+        assert!(text.contains("verified statically"));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::ir::{RegionArg, TaskLoop};
+    use il_analysis::ProjExpr;
+    use il_geometry::Domain;
+    use il_region::{
+        equal_partition_1d, FieldSpaceDesc, Privilege, RegionForest, ReductionKind,
+    };
+
+    #[test]
+    fn mixed_reduction_arguments_stay_static() {
+        // distribute_charge's shape: read wires + two same-op reductions
+        // through different partitions of the node region.
+        let mut forest = RegionForest::new();
+        let fs = forest.create_field_space(FieldSpaceDesc::new());
+        let wires = forest.create_region(Domain::range(40), fs);
+        let nodes = forest.create_region(Domain::range(40), fs);
+        let wp = equal_partition_1d(&mut forest, wires.space, 4);
+        let np = equal_partition_1d(&mut forest, nodes.space, 4);
+        let sum = Privilege::Reduce(ReductionKind::Sum.id());
+        let l = TaskLoop {
+            task_name: "distribute_charge".into(),
+            domain: Domain::range(4),
+            args: vec![
+                RegionArg {
+                    name: "w".into(),
+                    partition: wp,
+                    functor: ProjExpr::Identity,
+                    privilege: Privilege::Read,
+                    fields: vec![],
+                    tree: wires.tree,
+                    field_space: fs,
+                },
+                RegionArg {
+                    name: "own".into(),
+                    partition: np,
+                    functor: ProjExpr::Identity,
+                    privilege: sum,
+                    fields: vec![],
+                    tree: nodes.tree,
+                    field_space: fs,
+                },
+                RegionArg {
+                    name: "ghost".into(),
+                    partition: np,
+                    functor: ProjExpr::linear(1, 0),
+                    privilege: sum,
+                    fields: vec![],
+                    tree: nodes.tree,
+                    field_space: fs,
+                },
+            ],
+            body: vec![],
+        };
+        let plan = optimize_loop(&forest, &l);
+        assert!(matches!(plan, Plan::IndexLaunch { .. }), "{plan}");
+    }
+
+    #[test]
+    fn composed_functor_verified_statically() {
+        let mut forest = RegionForest::new();
+        let fs = forest.create_field_space(FieldSpaceDesc::new());
+        let region = forest.create_region(Domain::range(64), fs);
+        let p = equal_partition_1d(&mut forest, region.space, 8);
+        let l = TaskLoop {
+            task_name: "t".into(),
+            domain: Domain::range(4),
+            args: vec![RegionArg {
+                name: "p".into(),
+                partition: p,
+                // (i+4) o (i): injective composition, statically proven.
+                functor: ProjExpr::Compose(
+                    Box::new(ProjExpr::linear(1, 4)),
+                    Box::new(ProjExpr::Identity),
+                ),
+                privilege: Privilege::Write,
+                fields: vec![],
+                tree: region.tree,
+                field_space: fs,
+            }],
+            body: vec![],
+        };
+        assert!(matches!(optimize_loop(&forest, &l), Plan::IndexLaunch { .. }));
+    }
+
+    #[test]
+    fn guarded_plan_display() {
+        let mut forest = RegionForest::new();
+        let fs = forest.create_field_space(FieldSpaceDesc::new());
+        let region = forest.create_region(Domain::range(64), fs);
+        let p = equal_partition_1d(&mut forest, region.space, 8);
+        let l = TaskLoop {
+            task_name: "t".into(),
+            domain: Domain::range(4),
+            args: vec![RegionArg {
+                name: "q".into(),
+                partition: p,
+                functor: ProjExpr::opaque(|pt| pt),
+                privilege: Privilege::Write,
+                fields: vec![],
+                tree: region.tree,
+                field_space: fs,
+            }],
+            body: vec![],
+        };
+        let text = format!("{}", optimize_loop(&forest, &l));
+        assert!(text.contains("guarded by dynamic check"), "{text}");
+        assert!(text.contains("functor evaluation"), "{text}");
+    }
+}

@@ -1,0 +1,87 @@
+//! # index-launch
+//!
+//! A reproduction of *"Index Launches: Scalable, Flexible Representation
+//! of Parallel Task Groups"* (Soi et al., SC '21): a Legion/Regent-style
+//! task-based programming model in which a group of |D| parallel tasks is
+//! carried as a single O(1) descriptor — `forall(D, T, ⟨P₁,f₁⟩, …,
+//! ⟨Pₙ,fₙ⟩)` — through issuance, dependence analysis, and distribution,
+//! with a hybrid static/dynamic analysis proving the group
+//! non-interfering.
+//!
+//! The workspace layers:
+//!
+//! * [`geometry`] — points, rectangles, domains, affine transforms;
+//! * [`region`] — collections, partitions, privileges, physical
+//!   instances, reductions;
+//! * [`machine`] — the deterministic discrete-event machine simulator
+//!   standing in for a 1024-node supercomputer;
+//! * [`analysis`] — projection functors and the hybrid safety analysis
+//!   (static injectivity + the Listing-3 dynamic bitmask checks);
+//! * [`runtime`] — the four-stage pipeline (issuance, logical analysis,
+//!   distribution, physical analysis) with DCR, tracing, and both task
+//!   representations;
+//! * [`compiler`] — the mini-Regent loop optimizer that turns sequential
+//!   task loops into (guarded) index launches;
+//! * [`apps`] — the paper's evaluation codes: Circuit, Stencil,
+//!   Soleil-mini.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use index_launch::prelude::*;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let mut fsd = FieldSpaceDesc::new();
+//! let val = fsd.add("val", FieldKind::F64);
+//! let fs = b.forest.create_field_space(fsd);
+//! let region = b.forest.create_region(Domain::range(100), fs);
+//! let blocks = equal_partition_1d(&mut b.forest, region.space, 4);
+//!
+//! let fill = b.task("fill", move |ctx| {
+//!     let pts: Vec<_> = ctx.domain(0).iter().collect();
+//!     for p in pts {
+//!         ctx.write(0, val, p, p.x() as f64);
+//!     }
+//! });
+//!
+//! // forall(D, fill, ⟨blocks, λi.i⟩) — an index launch of 4 tasks.
+//! Forall::new(fill, Domain::range(4))
+//!     .arg(blocks, ProjExpr::Identity, Privilege::Write, region.tree, fs)
+//!     .launch(&mut b);
+//!
+//! let program = b.build();
+//! let report = execute(&program, &RuntimeConfig::validate(2));
+//! assert_eq!(report.tasks, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use il_analysis as analysis;
+pub use il_apps as apps;
+pub use il_compiler as compiler;
+pub use il_geometry as geometry;
+pub use il_machine as machine;
+pub use il_region as region;
+pub use il_runtime as runtime;
+
+pub mod api;
+
+pub use api::Forall;
+
+/// Everything needed to write and run an index-launch program.
+pub mod prelude {
+    pub use crate::api::Forall;
+    pub use il_analysis::{analyze_launch, HybridVerdict, LaunchArg, ProjExpr};
+    pub use il_geometry::{Domain, DomainPoint, Point, Rect};
+    pub use il_machine::SimTime;
+    pub use il_region::{
+        block_partition_2d, block_partition_3d, coloring_partition, equal_partition_1d,
+        halo_partition_2d, halo_partition_3d, FieldId, FieldKind, FieldSpaceDesc, Privilege,
+        RegionForest, ReductionKind,
+    };
+    pub use il_runtime::{
+        execute, CostSpec, ExecutionMode, IndexLaunchDesc, Program, ProgramBuilder, RegionReq,
+        RunReport, RuntimeConfig, TaskContext,
+    };
+}

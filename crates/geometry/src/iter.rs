@@ -1,0 +1,163 @@
+//! Iterators over rectangles and domains.
+
+use crate::domain::{Domain, DomainPoint};
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Row-major iterator over the points of a [`Rect`].
+#[derive(Clone, Debug)]
+pub struct RectIter<const N: usize> {
+    rect: Rect<N>,
+    next: Option<Point<N>>,
+}
+
+impl<const N: usize> RectIter<N> {
+    /// Create an iterator over `rect` (yields nothing if empty).
+    pub fn new(rect: Rect<N>) -> Self {
+        let next = if rect.is_empty() { None } else { Some(rect.lo) };
+        RectIter { rect, next }
+    }
+}
+
+impl<const N: usize> Iterator for RectIter<N> {
+    type Item = Point<N>;
+
+    fn next(&mut self) -> Option<Point<N>> {
+        let cur = self.next?;
+        // Advance: increment the last dimension, carrying.
+        let mut nxt = cur;
+        let mut d = N;
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            nxt[d] += 1;
+            if nxt[d] <= self.rect.hi[d] {
+                self.next = Some(nxt);
+                break;
+            }
+            nxt[d] = self.rect.lo[d];
+        }
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match self.next {
+            None => 0,
+            Some(p) => {
+                // Volume from p to the end in row-major order.
+                let total = self.rect.volume();
+                let done = self.rect.linearize(p).unwrap_or(total);
+                (total - done) as usize
+            }
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl<const N: usize> ExactSizeIterator for RectIter<N> {}
+
+/// Iterator over the points of a rank-erased [`Domain`].
+#[derive(Clone, Debug)]
+pub enum DomainIter {
+    /// Iterating a 1-D dense rectangle.
+    D1(RectIter<1>),
+    /// Iterating a 2-D dense rectangle.
+    D2(RectIter<2>),
+    /// Iterating a 3-D dense rectangle.
+    D3(RectIter<3>),
+    /// Iterating an explicit point list.
+    Sparse {
+        /// The shared point list.
+        points: std::sync::Arc<Vec<DomainPoint>>,
+        /// Next index to yield.
+        next: usize,
+    },
+}
+
+impl Iterator for DomainIter {
+    type Item = DomainPoint;
+
+    fn next(&mut self) -> Option<DomainPoint> {
+        match self {
+            DomainIter::D1(it) => it.next().map(DomainPoint::from),
+            DomainIter::D2(it) => it.next().map(DomainPoint::from),
+            DomainIter::D3(it) => it.next().map(DomainPoint::from),
+            DomainIter::Sparse { points, next } => {
+                let p = points.get(*next).copied();
+                if p.is_some() {
+                    *next += 1;
+                }
+                p
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            DomainIter::D1(it) => it.size_hint(),
+            DomainIter::D2(it) => it.size_hint(),
+            DomainIter::D3(it) => it.size_hint(),
+            DomainIter::Sparse { points, next } => {
+                let rem = points.len() - next;
+                (rem, Some(rem))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for DomainIter {}
+
+impl IntoIterator for &Domain {
+    type Item = DomainPoint;
+    type IntoIter = DomainIter;
+    fn into_iter(self) -> DomainIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_iter_order_and_count() {
+        let r = Rect::new2((0, 0), (1, 2));
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new2(0, 0),
+                Point::new2(0, 1),
+                Point::new2(0, 2),
+                Point::new2(1, 0),
+                Point::new2(1, 1),
+                Point::new2(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn rect_iter_empty() {
+        assert_eq!(Rect::<3>::empty().iter().count(), 0);
+    }
+
+    #[test]
+    fn rect_iter_exact_size() {
+        let r = Rect::new3((0, 0, 0), (2, 2, 2));
+        let mut it = r.iter();
+        assert_eq!(it.len(), 27);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 25);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let r = Rect::new1(-3, -1);
+        let pts: Vec<_> = r.iter().map(|p| p[0]).collect();
+        assert_eq!(pts, vec![-3, -2, -1]);
+    }
+}

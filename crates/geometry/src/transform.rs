@@ -1,0 +1,313 @@
+//! Affine transforms between coordinate spaces.
+//!
+//! Affine projection functors — the statically analyzable fragment in the
+//! paper's hybrid design (§4) — are represented as an integer matrix plus
+//! offset: `f(p) = A·p + b`. The static analyzer proves injectivity of such
+//! functors over a launch domain; everything else falls back to the dynamic
+//! check.
+
+use crate::domain::DomainPoint;
+use crate::point::Point;
+use std::fmt;
+
+/// An affine map from `N`-dimensional points to `M`-dimensional points:
+/// `f(p) = A·p + b` with `A : M×N` integer matrix and `b : M` offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Transform<const M: usize, const N: usize> {
+    /// Row-major matrix: `matrix[r][c]` multiplies input coordinate `c`
+    /// contributing to output coordinate `r`.
+    pub matrix: [[i64; N]; M],
+    /// Translation added after the matrix product.
+    pub offset: [i64; M],
+}
+
+impl<const M: usize, const N: usize> Transform<M, N> {
+    /// The zero transform (maps everything to `offset`).
+    pub fn constant(offset: [i64; M]) -> Self {
+        Transform { matrix: [[0; N]; M], offset }
+    }
+
+    /// Apply the transform to a typed point.
+    #[inline]
+    pub fn apply(&self, p: Point<N>) -> Point<M> {
+        let mut out = Point::<M>::ZERO;
+        for r in 0..M {
+            let mut acc = self.offset[r];
+            for c in 0..N {
+                acc += self.matrix[r][c] * p[c];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// True iff the transform is injective on all of `Z^N`, i.e. the matrix
+    /// has full column rank (requires `M >= N`).
+    ///
+    /// For the ranks used here (≤ 3) we compute rank by fraction-free
+    /// Gaussian elimination over the integers.
+    pub fn is_injective(&self) -> bool {
+        if M < N {
+            return false;
+        }
+        // Fraction-free elimination on a copy of the matrix (as i128 to
+        // avoid overflow while pivoting).
+        let mut a = [[0i128; N]; M];
+        for r in 0..M {
+            for c in 0..N {
+                a[r][c] = self.matrix[r][c] as i128;
+            }
+        }
+        let mut rank = 0usize;
+        let mut row = 0usize;
+        for col in 0..N {
+            // Find a pivot.
+            let Some(pivot) = (row..M).find(|&r| a[r][col] != 0) else {
+                continue;
+            };
+            a.swap(row, pivot);
+            let pv = a[row][col];
+            for r in (row + 1)..M {
+                let factor = a[r][col];
+                if factor == 0 {
+                    continue;
+                }
+                for c in col..N {
+                    a[r][c] = a[r][c] * pv - a[row][c] * factor;
+                }
+            }
+            rank += 1;
+            row += 1;
+            if row == M {
+                break;
+            }
+        }
+        rank == N
+    }
+}
+
+impl<const N: usize> Transform<N, N> {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        let mut matrix = [[0i64; N]; N];
+        for (d, matrix_row) in matrix.iter_mut().enumerate() {
+            matrix_row[d] = 1;
+        }
+        Transform { matrix, offset: [0; N] }
+    }
+
+    /// A diagonal scale-and-shift: `f(p)[d] = scale[d]*p[d] + shift[d]`.
+    pub fn scale_shift(scale: [i64; N], shift: [i64; N]) -> Self {
+        let mut matrix = [[0i64; N]; N];
+        for (d, matrix_row) in matrix.iter_mut().enumerate() {
+            matrix_row[d] = scale[d];
+        }
+        Transform { matrix, offset: shift }
+    }
+}
+
+/// A rank-erased affine transform, for contexts (projection functor
+/// registries) where input/output ranks are only known at runtime.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DynTransform {
+    /// Output rank (rows), 1..=3.
+    pub out_dim: u8,
+    /// Input rank (columns), 1..=3.
+    pub in_dim: u8,
+    /// Row-major `out_dim × in_dim` matrix, padded within a 3×3 array.
+    pub matrix: [[i64; 3]; 3],
+    /// Offset of length `out_dim`, padded within a 3-array.
+    pub offset: [i64; 3],
+}
+
+impl DynTransform {
+    /// Identity transform of rank `dim`.
+    pub fn identity(dim: usize) -> Self {
+        assert!((1..=3).contains(&dim));
+        let mut matrix = [[0i64; 3]; 3];
+        for (d, matrix_row) in matrix.iter_mut().enumerate().take(dim) {
+            matrix_row[d] = 1;
+        }
+        DynTransform {
+            out_dim: dim as u8,
+            in_dim: dim as u8,
+            matrix,
+            offset: [0; 3],
+        }
+    }
+
+    /// 1-D affine transform `i ↦ a·i + b`.
+    pub fn affine1(a: i64, b: i64) -> Self {
+        let mut matrix = [[0i64; 3]; 3];
+        matrix[0][0] = a;
+        DynTransform { out_dim: 1, in_dim: 1, matrix, offset: [b, 0, 0] }
+    }
+
+    /// Build from explicit rows. `rows[r]` lists the coefficients of input
+    /// coordinates for output coordinate `r`.
+    pub fn from_rows(in_dim: usize, rows: &[&[i64]], offset: &[i64]) -> Self {
+        assert!((1..=3).contains(&in_dim));
+        assert!((1..=3).contains(&rows.len()));
+        assert_eq!(rows.len(), offset.len());
+        let mut matrix = [[0i64; 3]; 3];
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), in_dim);
+            matrix[r][..in_dim].copy_from_slice(row);
+        }
+        let mut off = [0i64; 3];
+        off[..offset.len()].copy_from_slice(offset);
+        DynTransform {
+            out_dim: rows.len() as u8,
+            in_dim: in_dim as u8,
+            matrix,
+            offset: off,
+        }
+    }
+
+    /// Apply to a rank-erased point.
+    ///
+    /// # Panics
+    /// Panics if `p.dim() != in_dim`.
+    pub fn apply(&self, p: DomainPoint) -> DomainPoint {
+        assert_eq!(p.dim(), self.in_dim as usize, "transform input rank mismatch");
+        let mut out = [0i64; 3];
+        for (r, out_coord) in out.iter_mut().enumerate().take(self.out_dim as usize) {
+            let mut acc = self.offset[r];
+            for c in 0..self.in_dim as usize {
+                acc += self.matrix[r][c] * p.coord(c);
+            }
+            *out_coord = acc;
+        }
+        DomainPoint::from_slice(&out[..self.out_dim as usize])
+    }
+
+    /// Injectivity on all of `Z^in_dim` (full column rank, `out >= in`).
+    pub fn is_injective(&self) -> bool {
+        let (m, n) = (self.out_dim as usize, self.in_dim as usize);
+        if m < n {
+            return false;
+        }
+        let mut a = [[0i128; 3]; 3];
+        for r in 0..m {
+            for c in 0..n {
+                a[r][c] = self.matrix[r][c] as i128;
+            }
+        }
+        let mut rank = 0usize;
+        let mut row = 0usize;
+        for col in 0..n {
+            let Some(pivot) = (row..m).find(|&r| a[r][col] != 0) else {
+                continue;
+            };
+            a.swap(row, pivot);
+            let pv = a[row][col];
+            for r in (row + 1)..m {
+                let factor = a[r][col];
+                if factor == 0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r][c] = a[r][c] * pv - a[row][c] * factor;
+                }
+            }
+            rank += 1;
+            row += 1;
+            if row == m {
+                break;
+            }
+        }
+        rank == n
+    }
+}
+
+impl fmt::Debug for DynTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "affine[{}x{}]", self.out_dim, self.in_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_apply() {
+        let t = Transform::<2, 2>::identity();
+        assert_eq!(t.apply(Point::new2(3, -4)), Point::new2(3, -4));
+        assert!(t.is_injective());
+    }
+
+    #[test]
+    fn constant_not_injective() {
+        let t = Transform::<2, 2>::constant([5, 6]);
+        assert_eq!(t.apply(Point::new2(3, -4)), Point::new2(5, 6));
+        assert!(!t.is_injective());
+    }
+
+    #[test]
+    fn scale_shift() {
+        let t = Transform::scale_shift([2, 3], [1, -1]);
+        assert_eq!(t.apply(Point::new2(4, 5)), Point::new2(9, 14));
+        assert!(t.is_injective());
+        let degenerate = Transform::scale_shift([2, 0], [0, 0]);
+        assert!(!degenerate.is_injective());
+    }
+
+    #[test]
+    fn projection_to_lower_rank_not_injective() {
+        // (x, y, z) -> (x, y): 2x3 matrix, M < N.
+        let t = Transform::<2, 3> {
+            matrix: [[1, 0, 0], [0, 1, 0]],
+            offset: [0, 0],
+        };
+        assert!(!t.is_injective());
+        assert_eq!(t.apply(Point::new3(7, 8, 9)), Point::new2(7, 8));
+    }
+
+    #[test]
+    fn embedding_to_higher_rank_injective() {
+        // i -> (i, 2i): full column rank.
+        let t = Transform::<2, 1> { matrix: [[1], [2]], offset: [0, 3] };
+        assert!(t.is_injective());
+        assert_eq!(t.apply(Point::new1(5)), Point::new2(5, 13));
+    }
+
+    #[test]
+    fn rank_deficient_square_matrix() {
+        // Rows are linearly dependent.
+        let t = Transform::<2, 2> { matrix: [[1, 2], [2, 4]], offset: [0, 0] };
+        assert!(!t.is_injective());
+        // Shear: full rank.
+        let s = Transform::<2, 2> { matrix: [[1, 1], [0, 1]], offset: [0, 0] };
+        assert!(s.is_injective());
+    }
+
+    #[test]
+    fn dyn_transform_matches_typed() {
+        let t = DynTransform::affine1(3, 7);
+        assert_eq!(t.apply(DomainPoint::new1(5)), DomainPoint::new1(22));
+        assert!(t.is_injective());
+        assert!(!DynTransform::affine1(0, 7).is_injective());
+
+        let id = DynTransform::identity(3);
+        assert_eq!(
+            id.apply(DomainPoint::new3(1, 2, 3)),
+            DomainPoint::new3(1, 2, 3)
+        );
+        assert!(id.is_injective());
+    }
+
+    #[test]
+    fn dyn_transform_plane_projection() {
+        // (x,y,z) -> (x,y): the DOM exchange-plane shape.
+        let t = DynTransform::from_rows(3, &[&[1, 0, 0], &[0, 1, 0]], &[0, 0]);
+        assert_eq!(t.apply(DomainPoint::new3(4, 5, 6)), DomainPoint::new2(4, 5));
+        assert!(!t.is_injective());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn dyn_transform_rank_mismatch_panics() {
+        DynTransform::identity(2).apply(DomainPoint::new3(0, 0, 0));
+    }
+}

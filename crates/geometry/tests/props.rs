@@ -1,0 +1,164 @@
+//! Property-based tests for the geometry primitives.
+
+use il_geometry::{Domain, DomainPoint, Point, Rect};
+use proptest::prelude::*;
+
+fn small_rect2() -> impl Strategy<Value = Rect<2>> {
+    (-20i64..20, -20i64..20, 0i64..12, 0i64..12)
+        .prop_map(|(x, y, w, h)| Rect::new2((x, y), (x + w, y + h)))
+}
+
+fn small_rect3() -> impl Strategy<Value = Rect<3>> {
+    (-8i64..8, -8i64..8, -8i64..8, 0i64..5, 0i64..5, 0i64..5)
+        .prop_map(|(x, y, z, w, h, d)| Rect::new3((x, y, z), (x + w, y + h, z + d)))
+}
+
+proptest! {
+    #[test]
+    fn linearize_is_bijective_2d(r in small_rect2()) {
+        let mut seen = vec![false; r.volume() as usize];
+        for p in r.iter() {
+            let idx = r.linearize(p).unwrap() as usize;
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+            prop_assert_eq!(r.delinearize(idx as u64), Some(p));
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn linearize_is_bijective_3d(r in small_rect3()) {
+        let mut seen = vec![false; r.volume() as usize];
+        for p in r.iter() {
+            let idx = r.linearize(p).unwrap() as usize;
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+            prop_assert_eq!(r.delinearize(idx as u64), Some(p));
+        }
+    }
+
+    #[test]
+    fn iteration_order_matches_linearization(r in small_rect2()) {
+        for (i, p) in r.iter().enumerate() {
+            prop_assert_eq!(r.linearize(p), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn intersection_symmetric_and_contained(a in small_rect2(), b in small_rect2()) {
+        let i1 = a.intersection(&b);
+        let i2 = b.intersection(&a);
+        prop_assert_eq!(i1, i2);
+        if !i1.is_empty() {
+            prop_assert!(a.contains_rect(&i1));
+            prop_assert!(b.contains_rect(&i1));
+        }
+        // Every point in both rects is in the intersection, and vice versa.
+        for p in a.iter() {
+            prop_assert_eq!(b.contains(p), i1.contains(p));
+        }
+    }
+
+    #[test]
+    fn union_bbox_contains_both(a in small_rect2(), b in small_rect2()) {
+        let u = a.union_bbox(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn split_partitions_rect(r in small_rect2(), parts in 1usize..10) {
+        let pieces = r.split(parts);
+        let total: u64 = pieces.iter().map(|p| p.volume()).sum();
+        prop_assert_eq!(total, r.volume());
+        for (i, a) in pieces.iter().enumerate() {
+            prop_assert!(!a.is_empty());
+            prop_assert!(r.contains_rect(a));
+            for b in pieces.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn domain_split_preserves_points(n in 1i64..200, parts in 1usize..10) {
+        let d = Domain::range(n);
+        let pieces = d.split(parts);
+        let mut collected: Vec<DomainPoint> = pieces.iter().flat_map(|p| p.iter()).collect();
+        collected.sort_unstable();
+        let expected: Vec<DomainPoint> = d.iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn domain_linearize_in_bbox(pts in proptest::collection::btree_set((0i64..10, 0i64..10, 0i64..10), 1..40)) {
+        let points: Vec<DomainPoint> =
+            pts.iter().map(|&(x, y, z)| DomainPoint::new3(x, y, z)).collect();
+        let d = Domain::sparse(points.clone());
+        let vol = d.bbox_volume();
+        for p in &points {
+            let idx = d.linearize(*p).unwrap();
+            prop_assert!(idx < vol);
+        }
+        // Distinct points get distinct indices.
+        let mut ids: Vec<u64> = points.iter().map(|p| d.linearize(*p).unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), points.len());
+    }
+
+    #[test]
+    fn point_arithmetic_laws(ax in -100i64..100, ay in -100i64..100, bx in -100i64..100, by in -100i64..100) {
+        let a = Point::new2(ax, ay);
+        let b = Point::new2(bx, by);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(a.dot(b), b.dot(a));
+        prop_assert_eq!(a.min(b).min(a), a.min(b));
+        prop_assert_eq!(a.max(b), b.max(a));
+    }
+}
+
+mod transform_props {
+    use il_geometry::{DomainPoint, DynTransform};
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// `DynTransform::is_injective` agrees with brute-force evaluation
+        /// over a grid large enough to expose rank deficiency.
+        #[test]
+        fn dyn_transform_injectivity_matches_bruteforce(
+            m00 in -2i64..3, m01 in -2i64..3,
+            m10 in -2i64..3, m11 in -2i64..3,
+            b0 in -5i64..5, b1 in -5i64..5,
+        ) {
+            let t = DynTransform::from_rows(2, &[&[m00, m01], &[m10, m11]], &[b0, b1]);
+            let claimed = t.is_injective();
+            let mut seen = HashSet::new();
+            let mut actually = true;
+            for x in -4..=4i64 {
+                for y in -4..=4i64 {
+                    if !seen.insert(t.apply(DomainPoint::new2(x, y))) {
+                        actually = false;
+                    }
+                }
+            }
+            // Injectivity over Z^2 implies injectivity over the grid; a
+            // rank-deficient integer matrix always collides within the
+            // [-4,4]^2 window for coefficients in [-2,2].
+            prop_assert_eq!(claimed, actually, "matrix [[{},{}],[{},{}]]", m00, m01, m10, m11);
+        }
+
+        /// Applying a transform is linear: f(p) - f(0) is additive.
+        #[test]
+        fn dyn_transform_is_affine(
+            a in -3i64..4, b in -3i64..4,
+            x in -50i64..50, y in -50i64..50,
+        ) {
+            let t = DynTransform::affine1(a, b);
+            let f = |v: i64| t.apply(DomainPoint::new1(v)).x();
+            prop_assert_eq!(f(x + y) - f(0), (f(x) - f(0)) + (f(y) - f(0)));
+        }
+    }
+}

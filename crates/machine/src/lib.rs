@@ -1,0 +1,34 @@
+//! Deterministic discrete-event machine simulator.
+//!
+//! The paper evaluates index launches on up to 1024 nodes of Piz Daint, a
+//! Cray XC50. We do not have a supercomputer; instead the runtime executes
+//! on a *simulated* distributed machine. Every node hosts a real runtime
+//! instance; messages between nodes are delivered by a deterministic
+//! discrete-event simulation ([`Simulator`]) with an α–β [`Network`] cost
+//! model and per-node NIC serialization, and each node's sequential runtime
+//! work is accounted on a per-node node clock.
+//!
+//! The simulation is fully deterministic: events are ordered by
+//! `(timestamp, sequence number)`, so two runs of the same program produce
+//! identical event interleavings, simulated times, and results. This is what
+//! makes the scaling experiments (Figures 4–10) reproducible and lets the
+//! integration tests assert bit-identical application output across all
+//! runtime configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod machine;
+pub mod network;
+pub mod time;
+pub mod topology;
+
+pub use des::{NodeBehavior, NodeCtx, SimStats, Simulator};
+pub use machine::{MachineDesc, ProcId, ProcKind};
+pub use network::Network;
+pub use time::SimTime;
+pub use topology::{binomial_children, binomial_parent, broadcast_depth};
+
+/// Identifier of a node in the simulated machine.
+pub type NodeId = usize;

@@ -1,0 +1,99 @@
+//! α–β network cost model with per-node NIC serialization.
+
+use crate::time::SimTime;
+
+/// An α–β (latency–bandwidth) model of the interconnect.
+///
+/// Transferring a `b`-byte message costs `α + b·β` where `α` is the
+/// per-message latency and `β` the inverse bandwidth. In addition, each
+/// node's NIC injects messages serially: a node sending many messages
+/// back-to-back pays the injection cost (`α_inject + b·β`) sequentially,
+/// which is what makes a centralized (non-DCR) control node a bottleneck at
+/// scale — exactly the effect the paper's non-DCR configurations exhibit.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Network {
+    /// One-way wire latency per message (charged to the receiver's arrival
+    /// time, not the sender's occupancy).
+    pub latency: SimTime,
+    /// Per-message injection overhead at the sender (NIC occupancy).
+    pub injection_overhead: SimTime,
+    /// Bandwidth in bytes per microsecond (per-NIC).
+    pub bytes_per_us: u64,
+}
+
+impl Network {
+    /// A Cray-Aries-like interconnect: ~1.3 µs latency, ~0.4 µs injection
+    /// overhead, ~10 GB/s per NIC.
+    pub fn aries() -> Self {
+        Network {
+            latency: SimTime::ns(1_300),
+            injection_overhead: SimTime::ns(400),
+            bytes_per_us: 10_000,
+        }
+    }
+
+    /// An idealized zero-cost network (useful in unit tests).
+    pub fn ideal() -> Self {
+        Network {
+            latency: SimTime::ZERO,
+            injection_overhead: SimTime::ZERO,
+            bytes_per_us: u64::MAX,
+        }
+    }
+
+    /// Serialization (occupancy) time of a `bytes`-byte message on the NIC.
+    pub fn occupancy(&self, bytes: u64) -> SimTime {
+        let xfer = if self.bytes_per_us == u64::MAX {
+            0
+        } else {
+            // ceil(bytes * 1000 / bytes_per_us) nanoseconds
+            (bytes * 1_000).div_ceil(self.bytes_per_us)
+        };
+        self.injection_overhead + SimTime::ns(xfer)
+    }
+
+    /// Total one-way time from injection start to delivery.
+    pub fn delivery(&self, bytes: u64) -> SimTime {
+        self.occupancy(bytes) + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aries_costs() {
+        let n = Network::aries();
+        // 10 KB at 10 GB/s = 1 us transfer.
+        assert_eq!(n.occupancy(10_000), SimTime::ns(400) + SimTime::us(1));
+        assert_eq!(
+            n.delivery(10_000),
+            SimTime::ns(400) + SimTime::us(1) + SimTime::ns(1_300)
+        );
+    }
+
+    #[test]
+    fn zero_byte_message_still_pays_overheads() {
+        let n = Network::aries();
+        assert_eq!(n.occupancy(0), SimTime::ns(400));
+        assert_eq!(n.delivery(0), SimTime::ns(1_700));
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let n = Network::ideal();
+        assert_eq!(n.delivery(1 << 30), SimTime::ZERO);
+    }
+
+    #[test]
+    fn occupancy_rounds_up() {
+        let n = Network {
+            latency: SimTime::ZERO,
+            injection_overhead: SimTime::ZERO,
+            bytes_per_us: 3,
+        };
+        // 1 byte at 3 bytes/us = 333.33..ns, rounded up to 334.
+        assert_eq!(n.occupancy(1), SimTime::ns(334));
+    }
+}

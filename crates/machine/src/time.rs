@@ -1,0 +1,194 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp within a simulation run
+/// and as a duration; the arithmetic provided covers both uses. Nanosecond
+/// resolution with `u64` gives ~584 simulated years of range, far beyond any
+/// experiment here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From nanoseconds.
+    #[inline]
+    pub const fn ns(v: u64) -> Self {
+        SimTime(v)
+    }
+
+    /// From microseconds.
+    #[inline]
+    pub const fn us(v: u64) -> Self {
+        SimTime(v * 1_000)
+    }
+
+    /// From milliseconds.
+    #[inline]
+    pub const fn ms(v: u64) -> Self {
+        SimTime(v * 1_000_000)
+    }
+
+    /// From seconds.
+    #[inline]
+    pub const fn secs(v: u64) -> Self {
+        SimTime(v * 1_000_000_000)
+    }
+
+    /// From fractional seconds (rounds to nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(v: f64) -> Self {
+        assert!(v >= 0.0 && v.is_finite(), "negative or non-finite duration");
+        SimTime((v * 1e9).round() as u64)
+    }
+
+    /// As nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction (durations never go negative).
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::ms(2), SimTime::us(2000));
+        assert_eq!(SimTime::secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::ms(500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::us(10);
+        let b = SimTime::us(4);
+        assert_eq!(a + b, SimTime::us(14));
+        assert_eq!(a - b, SimTime::us(6));
+        assert_eq!(a * 3, SimTime::us(30));
+        assert_eq!(a / 2, SimTime::us(5));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let total: SimTime = [a, b, b].into_iter().sum();
+        assert_eq!(total, SimTime::us(18));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::ns(17)), "17ns");
+        assert_eq!(format!("{}", SimTime::us(2)), "2.000us");
+        assert_eq!(format!("{}", SimTime::ms(5)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::secs(3)), "3.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn from_secs_rejects_negative() {
+        SimTime::from_secs_f64(-1.0);
+    }
+}

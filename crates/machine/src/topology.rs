@@ -1,0 +1,124 @@
+//! Broadcast-tree topology helpers.
+//!
+//! The non-DCR distribution path ships slices of an index launch around the
+//! machine "in a broadcast tree-like manner" (§5), achieving O(log |D|)
+//! depth. A binomial tree rooted at an arbitrary node provides that
+//! schedule: in round `r`, every node that already holds the message
+//! forwards it to one new node, so `N` nodes are covered in `⌈log2 N⌉`
+//! rounds.
+
+use crate::NodeId;
+
+/// The children of `me` in a binomial broadcast tree over nodes `0..n`
+/// rooted at `root`.
+///
+/// Node ranks are rotated so that `root` behaves as rank 0. Children are
+/// returned in send order (largest subtree first), which gives the classic
+/// `⌈log2 n⌉`-round schedule.
+pub fn binomial_children(root: NodeId, me: NodeId, n: usize) -> Vec<NodeId> {
+    assert!(n > 0 && root < n && me < n, "invalid tree parameters");
+    let vrank = (me + n - root) % n; // virtual rank, root == 0
+    let mut children = Vec::new();
+    // The lowest set bit of vrank bounds the subtree this node owns.
+    let limit = if vrank == 0 {
+        // Root owns the whole range; its "lowest set bit" is above n.
+        n.next_power_of_two()
+    } else {
+        1 << vrank.trailing_zeros()
+    };
+    let mut mask = limit >> 1;
+    while mask > 0 {
+        let child = vrank + mask;
+        if child < n {
+            children.push((child + root) % n);
+        }
+        mask >>= 1;
+    }
+    children
+}
+
+/// The parent of `me` in the binomial tree (None for the root).
+pub fn binomial_parent(root: NodeId, me: NodeId, n: usize) -> Option<NodeId> {
+    assert!(n > 0 && root < n && me < n, "invalid tree parameters");
+    let vrank = (me + n - root) % n;
+    if vrank == 0 {
+        return None;
+    }
+    let parent = vrank & (vrank - 1); // clear lowest set bit
+    Some((parent + root) % n)
+}
+
+/// Number of rounds (tree depth) needed to broadcast to `n` nodes.
+pub fn broadcast_depth(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Simulate the broadcast and check every node is reached exactly once,
+    /// with parent/child relations consistent.
+    fn check_tree(root: NodeId, n: usize) {
+        let mut reached = BTreeSet::new();
+        reached.insert(root);
+        let mut frontier = vec![root];
+        let mut rounds = 0usize;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for child in binomial_children(root, node, n) {
+                    assert!(reached.insert(child), "node {child} reached twice");
+                    assert_eq!(binomial_parent(root, child, n), Some(node));
+                    next.push(child);
+                }
+            }
+            frontier = next;
+            rounds += 1;
+        }
+        assert_eq!(reached.len(), n, "not all nodes reached from root {root}");
+        // Depth bound: a binomial tree delivers within ceil(log2 n) + 1
+        // frontier expansions (the last round may be empty).
+        assert!(rounds <= broadcast_depth(n) as usize + 1);
+    }
+
+    #[test]
+    fn trees_cover_all_nodes() {
+        for n in [1, 2, 3, 4, 5, 7, 8, 16, 31, 32, 100, 1024] {
+            check_tree(0, n);
+        }
+    }
+
+    #[test]
+    fn rotated_roots() {
+        for n in [5, 8, 13] {
+            for root in 0..n {
+                check_tree(root, n);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_values() {
+        assert_eq!(broadcast_depth(1), 0);
+        assert_eq!(broadcast_depth(2), 1);
+        assert_eq!(broadcast_depth(3), 2);
+        assert_eq!(broadcast_depth(4), 2);
+        assert_eq!(broadcast_depth(1024), 10);
+        assert_eq!(broadcast_depth(1025), 11);
+    }
+
+    #[test]
+    fn root_children_of_pow2() {
+        // Root of an 8-node tree sends to vranks 4, 2, 1.
+        assert_eq!(binomial_children(0, 0, 8), vec![4, 2, 1]);
+        assert_eq!(binomial_children(0, 4, 8), vec![6, 5]);
+        assert_eq!(binomial_children(0, 6, 8), vec![7]);
+        assert_eq!(binomial_children(0, 7, 8), Vec::<usize>::new());
+    }
+}

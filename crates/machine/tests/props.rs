@@ -1,0 +1,130 @@
+//! Property tests for the machine simulator: determinism, causality, and
+//! broadcast-tree coverage under randomized inputs.
+
+use il_machine::{
+    binomial_children, binomial_parent, broadcast_depth, MachineDesc, Network, NodeBehavior,
+    NodeCtx, SimTime, Simulator,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A behavior that relays each message a random-but-deterministic number
+/// of hops and records everything it sees.
+struct Relay {
+    hops_seen: Vec<(u64, u32)>, // (arrival ns, ttl)
+}
+
+#[derive(Clone, Debug)]
+struct Hop {
+    ttl: u32,
+    stride: usize,
+    bytes: u64,
+}
+
+impl NodeBehavior<Hop> for Relay {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, Hop>, msg: Hop) {
+        self.hops_seen.push((ctx.arrival().as_ns(), msg.ttl));
+        ctx.charge(SimTime::us(1));
+        if msg.ttl > 0 {
+            let dst = (ctx.node() + msg.stride) % ctx.nodes();
+            ctx.send(dst, Hop { ttl: msg.ttl - 1, ..msg }, msg.bytes);
+        }
+    }
+}
+
+fn run(nodes: usize, seeds: &[(usize, u32, usize, u64)]) -> (u64, u64, u64, Vec<Vec<(u64, u32)>>) {
+    let behaviors = (0..nodes).map(|_| Relay { hops_seen: Vec::new() }).collect();
+    let mut sim = Simulator::new(MachineDesc::piz_daint(nodes), Network::aries(), behaviors);
+    for &(dst, ttl, stride, bytes) in seeds {
+        sim.inject(SimTime::ZERO, dst % nodes, Hop { ttl, stride: stride % nodes.max(1) + 1, bytes: bytes % 10_000 });
+    }
+    sim.run(1_000_000);
+    let makespan = sim.makespan().as_ns();
+    let stats = sim.stats().clone();
+    let logs = (0..nodes).map(|n| sim.node(n).hops_seen.clone()).collect();
+    (makespan, stats.messages, stats.bytes, logs)
+}
+
+proptest! {
+    /// Two runs of the same schedule are bit-identical.
+    #[test]
+    fn simulation_is_deterministic(
+        nodes in 1usize..10,
+        seeds in proptest::collection::vec((0usize..10, 0u32..20, 0usize..10, 0u64..10_000), 1..6),
+    ) {
+        prop_assert_eq!(run(nodes, &seeds), run(nodes, &seeds));
+    }
+
+    /// Causality: every node observes non-decreasing arrival times in its
+    /// own processing order, and total hops match the injected TTLs.
+    #[test]
+    fn causality_and_conservation(
+        nodes in 1usize..8,
+        seeds in proptest::collection::vec((0usize..8, 0u32..15, 0usize..8, 0u64..5_000), 1..5),
+    ) {
+        let (makespan, _msgs, _bytes, logs) = run(nodes, &seeds);
+        let mut total_hops = 0usize;
+        for log in &logs {
+            total_hops += log.len();
+            for (t, _) in log {
+                prop_assert!(*t <= makespan);
+            }
+        }
+        let expected: usize = seeds.iter().map(|(_, ttl, _, _)| *ttl as usize + 1).sum();
+        prop_assert_eq!(total_hops, expected);
+    }
+
+    /// Binomial trees cover all nodes exactly once from any root, within
+    /// the theoretical depth bound.
+    #[test]
+    fn broadcast_tree_coverage(n in 1usize..200, root_raw in 0usize..200) {
+        let root = root_raw % n;
+        let mut reached = BTreeSet::new();
+        reached.insert(root);
+        let mut frontier = vec![root];
+        let mut rounds = 0u32;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for child in binomial_children(root, node, n) {
+                    prop_assert!(reached.insert(child), "node {child} reached twice");
+                    prop_assert_eq!(binomial_parent(root, child, n), Some(node));
+                    next.push(child);
+                }
+            }
+            frontier = next;
+            rounds += 1;
+        }
+        prop_assert_eq!(reached.len(), n);
+        prop_assert!(rounds <= broadcast_depth(n) + 1);
+    }
+
+    /// NIC serialization: sending k messages back-to-back occupies the
+    /// NIC for at least k × occupancy(bytes).
+    #[test]
+    fn nic_occupancy_accumulates(k in 1u64..20, bytes in 0u64..50_000) {
+        struct Burst {
+            k: u64,
+            bytes: u64,
+        }
+        impl NodeBehavior<u8> for Burst {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, msg: u8) {
+                if msg == 0 && ctx.node() == 0 {
+                    for _ in 0..self.k {
+                        ctx.send(1, 1, self.bytes);
+                    }
+                }
+            }
+        }
+        let net = Network::aries();
+        let per_msg = net.occupancy(bytes);
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            net,
+            vec![Burst { k, bytes }, Burst { k: 0, bytes: 0 }],
+        );
+        sim.inject(SimTime::ZERO, 0, 0);
+        sim.run(10_000);
+        prop_assert_eq!(sim.clock(0).nic_free, per_msg * k);
+    }
+}

@@ -1,0 +1,270 @@
+//! A bounding-volume hierarchy over subregion bounding boxes.
+//!
+//! "Legion uses a distributed bounding volume hierarchy to perform this
+//! check in logarithmic time with respect to partition size" (§5): the
+//! physical analysis must find, among all sub-collections touched so far,
+//! the ones overlapping a new access. [`BvhSet`] provides that query:
+//! items (bounding boxes with payloads) are inserted incrementally; a
+//! static median-split BVH is rebuilt lazily when enough inserts
+//! accumulate, keeping amortized insert cost O(log n) and query cost
+//! O(log n + k).
+
+use il_geometry::DomainPoint;
+
+/// A rank-erased bounding box (inclusive), rank 1–3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BBox {
+    /// Lower corner.
+    pub lo: DomainPoint,
+    /// Upper corner.
+    pub hi: DomainPoint,
+}
+
+impl BBox {
+    /// Construct from corners.
+    ///
+    /// # Panics
+    /// Panics when ranks differ.
+    pub fn new(lo: DomainPoint, hi: DomainPoint) -> Self {
+        assert_eq!(lo.dim(), hi.dim(), "bbox corner ranks differ");
+        BBox { lo, hi }
+    }
+
+    /// Rank of the box.
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// True iff the boxes share at least one point (same-rank only;
+    /// different ranks never overlap).
+    pub fn overlaps(&self, other: &BBox) -> bool {
+        if self.dim() != other.dim() {
+            return false;
+        }
+        (0..self.dim()).all(|d| {
+            self.lo.coord(d) <= other.hi.coord(d) && other.lo.coord(d) <= self.hi.coord(d)
+        })
+    }
+
+    /// Smallest box containing both (same rank required).
+    fn merge(&self, other: &BBox) -> BBox {
+        debug_assert_eq!(self.dim(), other.dim());
+        let d = self.dim();
+        let lo: Vec<i64> = (0..d).map(|k| self.lo.coord(k).min(other.lo.coord(k))).collect();
+        let hi: Vec<i64> = (0..d).map(|k| self.hi.coord(k).max(other.hi.coord(k))).collect();
+        BBox::new(DomainPoint::from_slice(&lo), DomainPoint::from_slice(&hi))
+    }
+
+    /// Center coordinate along dimension `d` (doubled, to stay integral).
+    fn center2(&self, d: usize) -> i64 {
+        self.lo.coord(d) + self.hi.coord(d)
+    }
+}
+
+enum Node {
+    Leaf {
+        /// Range of `items` covered by this leaf.
+        start: u32,
+        len: u32,
+        bbox: BBox,
+    },
+    Inner {
+        left: u32,
+        right: u32,
+        bbox: BBox,
+    },
+}
+
+/// An incrementally-filled BVH set with payloads of type `T`.
+pub struct BvhSet<T> {
+    /// All items, reordered during builds.
+    items: Vec<(BBox, T)>,
+    /// Items inserted since the last build (linear-scanned by queries).
+    pending_from: usize,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+const LEAF_SIZE: usize = 8;
+const PENDING_LIMIT: usize = 64;
+
+impl<T: Copy> BvhSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        BvhSet { items: Vec::new(), pending_from: 0, nodes: Vec::new(), root: None }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert an item; rebuilds the tree lazily once enough inserts
+    /// accumulate.
+    pub fn insert(&mut self, bbox: BBox, payload: T) {
+        self.items.push((bbox, payload));
+        if self.items.len() - self.pending_from > PENDING_LIMIT {
+            self.rebuild();
+        }
+    }
+
+    /// Collect payloads of all items whose boxes overlap `query`.
+    pub fn query(&self, query: &BBox, out: &mut Vec<T>) {
+        if let Some(root) = self.root {
+            self.query_node(root, query, out);
+        }
+        for (bbox, payload) in &self.items[self.pending_from..] {
+            if bbox.overlaps(query) {
+                out.push(*payload);
+            }
+        }
+    }
+
+    fn query_node(&self, node: u32, query: &BBox, out: &mut Vec<T>) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, len, bbox } => {
+                if bbox.overlaps(query) {
+                    for (b, payload) in &self.items[*start as usize..(*start + *len) as usize] {
+                        if b.overlaps(query) {
+                            out.push(*payload);
+                        }
+                    }
+                }
+            }
+            Node::Inner { left, right, bbox } => {
+                if bbox.overlaps(query) {
+                    self.query_node(*left, query, out);
+                    self.query_node(*right, query, out);
+                }
+            }
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.nodes.clear();
+        if self.items.is_empty() {
+            self.root = None;
+            self.pending_from = 0;
+            return;
+        }
+        // Mixed-rank content can't share one tree; keep same-rank items in
+        // the tree and leave the (rare) other ranks pending.
+        let major_dim = self.items[0].0.dim();
+        self.items.sort_by_key(|(b, _)| usize::from(b.dim() != major_dim));
+        let tree_count = self.items.iter().take_while(|(b, _)| b.dim() == major_dim).count();
+        let root = self.build_range(0, tree_count);
+        self.root = Some(root);
+        self.pending_from = tree_count;
+    }
+
+    fn build_range(&mut self, start: usize, len: usize) -> u32 {
+        let bbox = self.items[start..start + len]
+            .iter()
+            .map(|(b, _)| *b)
+            .reduce(|a, b| a.merge(&b))
+            .expect("non-empty range");
+        if len <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { start: start as u32, len: len as u32, bbox });
+            return (self.nodes.len() - 1) as u32;
+        }
+        // Split along the widest dimension at the median center.
+        let dim = (0..bbox.dim())
+            .max_by_key(|&d| bbox.hi.coord(d) - bbox.lo.coord(d))
+            .expect("rank >= 1");
+        self.items[start..start + len].sort_by_key(|(b, _)| b.center2(dim));
+        let mid = len / 2;
+        let left = self.build_range(start, mid);
+        let right = self.build_range(start + mid, len - mid);
+        let node = Node::Inner { left, right, bbox };
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+}
+
+impl<T: Copy> Default for BvhSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb1(lo: i64, hi: i64) -> BBox {
+        BBox::new(DomainPoint::new1(lo), DomainPoint::new1(hi))
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut set = BvhSet::new();
+        set.insert(bb1(0, 4), 'a');
+        set.insert(bb1(5, 9), 'b');
+        set.insert(bb1(3, 6), 'c');
+        let mut out = Vec::new();
+        set.query(&bb1(4, 4), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec!['a', 'c']);
+    }
+
+    #[test]
+    fn query_after_rebuild() {
+        let mut set = BvhSet::new();
+        for i in 0..200i64 {
+            set.insert(bb1(i * 10, i * 10 + 5), i);
+        }
+        assert!(set.len() == 200);
+        let mut out = Vec::new();
+        set.query(&bb1(42, 103), &mut out);
+        out.sort_unstable();
+        // Boxes [40,45], [50,55], ..., [100,105] overlap [42,103].
+        assert_eq!(out, vec![4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn mixed_rank_items() {
+        let mut set = BvhSet::new();
+        for i in 0..100i64 {
+            set.insert(bb1(i, i), i);
+        }
+        set.insert(
+            BBox::new(DomainPoint::new2(0, 0), DomainPoint::new2(9, 9)),
+            1000,
+        );
+        let mut out = Vec::new();
+        set.query(&bb1(50, 50), &mut out);
+        assert_eq!(out, vec![50]);
+        out.clear();
+        set.query(
+            &BBox::new(DomainPoint::new2(5, 5), DomainPoint::new2(5, 5)),
+            &mut out,
+        );
+        assert_eq!(out, vec![1000]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set: BvhSet<u32> = BvhSet::new();
+        let mut out = Vec::new();
+        set.query(&bb1(0, 10), &mut out);
+        assert!(out.is_empty());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn bbox_overlap_rules() {
+        assert!(bb1(0, 5).overlaps(&bb1(5, 9)));
+        assert!(!bb1(0, 4).overlaps(&bb1(5, 9)));
+        let a = BBox::new(DomainPoint::new2(0, 0), DomainPoint::new2(3, 3));
+        let b = BBox::new(DomainPoint::new2(3, 3), DomainPoint::new2(6, 6));
+        let c = BBox::new(DomainPoint::new2(4, 0), DomainPoint::new2(6, 2));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&bb1(0, 3))); // rank mismatch
+    }
+}

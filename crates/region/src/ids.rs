@@ -1,0 +1,90 @@
+//! Identifiers for shape metadata.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub u32);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an index space (a set of points).
+    IndexSpaceId,
+    "is"
+);
+id_type!(
+    /// Identifier of an index partition (a coloring of an index space).
+    IndexPartitionId,
+    "ip"
+);
+id_type!(
+    /// Identifier of a field space (a set of fields).
+    FieldSpaceId,
+    "fs"
+);
+id_type!(
+    /// Identifier of a field within a field space.
+    FieldId,
+    "f"
+);
+id_type!(
+    /// Identifier of a region tree (one per top-level collection).
+    RegionTreeId,
+    "t"
+);
+
+/// A logical region: an index space crossed with a field space, within a
+/// region tree. Subregions of a partitioned region share the tree and field
+/// space and name a child index space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct LogicalRegion {
+    /// The region tree this region belongs to.
+    pub tree: RegionTreeId,
+    /// The index space naming the points of the region.
+    pub space: IndexSpaceId,
+    /// The fields attached to every point.
+    pub fields: FieldSpaceId,
+}
+
+impl fmt::Debug for LogicalRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region({:?},{:?},{:?})", self.tree, self.space, self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", IndexSpaceId(3)), "is3");
+        assert_eq!(format!("{}", FieldId(7)), "f7");
+        let r = LogicalRegion {
+            tree: RegionTreeId(1),
+            space: IndexSpaceId(2),
+            fields: FieldSpaceId(3),
+        };
+        assert_eq!(format!("{r:?}"), "region(t1,is2,fs3)");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(IndexSpaceId(1) < IndexSpaceId(2));
+    }
+}

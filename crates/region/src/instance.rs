@@ -1,0 +1,408 @@
+//! Physical instances: dense per-field storage over a domain.
+
+use crate::field::{FieldKind, FieldSpaceDesc, FieldValue};
+use crate::ids::FieldId;
+use crate::reduction::ReductionKind;
+use il_geometry::{Domain, DomainPoint};
+use std::collections::BTreeMap;
+
+/// Type-erased storage for one field of an instance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldStore {
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 64-bit unsigned integers.
+    U64(Vec<u64>),
+    /// 32-bit unsigned integers.
+    U32(Vec<u32>),
+}
+
+impl FieldStore {
+    /// Allocate default-initialized storage of `len` elements of `kind`.
+    pub fn new(kind: FieldKind, len: usize) -> Self {
+        match kind {
+            FieldKind::F64 => FieldStore::F64(vec![0.0; len]),
+            FieldKind::F32 => FieldStore::F32(vec![0.0; len]),
+            FieldKind::I64 => FieldStore::I64(vec![0; len]),
+            FieldKind::I32 => FieldStore::I32(vec![0; len]),
+            FieldKind::U64 => FieldStore::U64(vec![0; len]),
+            FieldKind::U32 => FieldStore::U32(vec![0; len]),
+        }
+    }
+
+    /// The kind of this store.
+    pub fn kind(&self) -> FieldKind {
+        match self {
+            FieldStore::F64(_) => FieldKind::F64,
+            FieldStore::F32(_) => FieldKind::F32,
+            FieldStore::I64(_) => FieldKind::I64,
+            FieldStore::I32(_) => FieldKind::I32,
+            FieldStore::U64(_) => FieldKind::U64,
+            FieldStore::U32(_) => FieldKind::U32,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            FieldStore::F64(v) => v.len(),
+            FieldStore::F32(v) => v.len(),
+            FieldStore::I64(v) => v.len(),
+            FieldStore::I32(v) => v.len(),
+            FieldStore::U64(v) => v.len(),
+            FieldStore::U32(v) => v.len(),
+        }
+    }
+
+    /// True iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy element `src_idx` of `src` into element `dst_idx` of `self`.
+    ///
+    /// # Panics
+    /// Panics on kind mismatch or out-of-bounds indices.
+    pub fn copy_element(&mut self, dst_idx: usize, src: &FieldStore, src_idx: usize) {
+        match (self, src) {
+            (FieldStore::F64(d), FieldStore::F64(s)) => d[dst_idx] = s[src_idx],
+            (FieldStore::F32(d), FieldStore::F32(s)) => d[dst_idx] = s[src_idx],
+            (FieldStore::I64(d), FieldStore::I64(s)) => d[dst_idx] = s[src_idx],
+            (FieldStore::I32(d), FieldStore::I32(s)) => d[dst_idx] = s[src_idx],
+            (FieldStore::U64(d), FieldStore::U64(s)) => d[dst_idx] = s[src_idx],
+            (FieldStore::U32(d), FieldStore::U32(s)) => d[dst_idx] = s[src_idx],
+            (d, s) => panic!("field kind mismatch in copy: {:?} vs {:?}", d.kind(), s.kind()),
+        }
+    }
+
+    /// Fold element `src_idx` of `src` into element `dst_idx` of `self`
+    /// with reduction `kind`. Integer variants use the `i64` fold semantics
+    /// of [`ReductionKind`].
+    pub fn fold_element(&mut self, dst_idx: usize, src: &FieldStore, src_idx: usize, kind: ReductionKind) {
+        match (self, src) {
+            (FieldStore::F64(d), FieldStore::F64(s)) => d[dst_idx] = kind.fold_f64(d[dst_idx], s[src_idx]),
+            (FieldStore::F32(d), FieldStore::F32(s)) => d[dst_idx] = kind.fold_f32(d[dst_idx], s[src_idx]),
+            (FieldStore::I64(d), FieldStore::I64(s)) => d[dst_idx] = kind.fold_i64(d[dst_idx], s[src_idx]),
+            (FieldStore::I32(d), FieldStore::I32(s)) => {
+                d[dst_idx] = kind.fold_i64(d[dst_idx] as i64, s[src_idx] as i64) as i32
+            }
+            (FieldStore::U64(d), FieldStore::U64(s)) => {
+                d[dst_idx] = kind.fold_i64(d[dst_idx] as i64, s[src_idx] as i64) as u64
+            }
+            (FieldStore::U32(d), FieldStore::U32(s)) => {
+                d[dst_idx] = kind.fold_i64(d[dst_idx] as i64, s[src_idx] as i64) as u32
+            }
+            (d, s) => panic!("field kind mismatch in fold: {:?} vs {:?}", d.kind(), s.kind()),
+        }
+    }
+}
+
+/// A physical instance: dense storage for a set of fields over the points
+/// of a domain.
+///
+/// In Legion, instances materialize a subregion's data in a specific
+/// memory; collections "are not fixed in a specific memory but may be
+/// copied and migrated" (§2). Here each simulated node keeps its own
+/// instances, and the runtime copies between them when dependencies cross
+/// nodes. Storage is row-major (struct-of-arrays) over the domain's
+/// bounding rectangle.
+#[derive(Clone, Debug)]
+pub struct PhysicalInstance {
+    domain: Domain,
+    fields: BTreeMap<FieldId, FieldStore>,
+}
+
+impl PhysicalInstance {
+    /// Allocate an instance over `domain` holding `fields` (all fields of
+    /// `desc` when `fields` is empty).
+    pub fn new(domain: Domain, desc: &FieldSpaceDesc, fields: &[FieldId]) -> Self {
+        let len = domain.bbox_volume() as usize;
+        let mut stores = BTreeMap::new();
+        if fields.is_empty() {
+            for (id, kind) in desc.iter() {
+                stores.insert(id, FieldStore::new(kind, len));
+            }
+        } else {
+            for &id in fields {
+                stores.insert(id, FieldStore::new(desc.kind(id), len));
+            }
+        }
+        PhysicalInstance { domain, fields: stores }
+    }
+
+    /// The domain this instance covers.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The field ids present.
+    pub fn field_ids(&self) -> impl Iterator<Item = FieldId> + '_ {
+        self.fields.keys().copied()
+    }
+
+    /// True iff the instance stores `field`.
+    pub fn has_field(&self, field: FieldId) -> bool {
+        self.fields.contains_key(&field)
+    }
+
+    /// Linearized storage index of `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside the instance's domain bounding box.
+    #[inline]
+    pub fn index_of(&self, p: DomainPoint) -> usize {
+        self.domain
+            .linearize(p)
+            .unwrap_or_else(|| panic!("point {p:?} outside instance domain {:?}", self.domain)) as usize
+    }
+
+    /// Typed read-only view of a field's storage.
+    pub fn field<T: FieldValue>(&self, field: FieldId) -> &[T] {
+        T::slice(self.fields.get(&field).expect("field not in instance"))
+    }
+
+    /// Typed mutable view of a field's storage.
+    pub fn field_mut<T: FieldValue>(&mut self, field: FieldId) -> &mut [T] {
+        T::slice_mut(self.fields.get_mut(&field).expect("field not in instance"))
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get<T: FieldValue>(&self, field: FieldId, p: DomainPoint) -> T {
+        let idx = self.index_of(p);
+        self.field::<T>(field)[idx]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set<T: FieldValue>(&mut self, field: FieldId, p: DomainPoint, v: T) {
+        let idx = self.index_of(p);
+        self.field_mut::<T>(field)[idx] = v;
+    }
+
+    /// Raw store access (for copies and folds).
+    pub fn store(&self, field: FieldId) -> &FieldStore {
+        self.fields.get(&field).expect("field not in instance")
+    }
+
+    /// Copy all points of `domain` (which must lie inside both instances)
+    /// for the listed fields (all shared fields when empty) from `src`.
+    pub fn copy_from(&mut self, src: &PhysicalInstance, domain: &Domain, fields: &[FieldId]) {
+        let ids: Vec<FieldId> = if fields.is_empty() {
+            self.fields.keys().copied().filter(|f| src.has_field(*f)).collect()
+        } else {
+            fields.to_vec()
+        };
+        for p in domain.iter() {
+            let di = self.index_of(p);
+            let si = src.index_of(p);
+            for &f in &ids {
+                let src_store = src.fields.get(&f).expect("src missing field");
+                let dst_store = self.fields.get_mut(&f).expect("dst missing field");
+                dst_store.copy_element(di, src_store, si);
+            }
+        }
+    }
+
+    /// Fold all points of `domain` from `src` into `self` with `kind`.
+    pub fn fold_from(
+        &mut self,
+        src: &PhysicalInstance,
+        domain: &Domain,
+        fields: &[FieldId],
+        kind: ReductionKind,
+    ) {
+        let ids: Vec<FieldId> = if fields.is_empty() {
+            self.fields.keys().copied().filter(|f| src.has_field(*f)).collect()
+        } else {
+            fields.to_vec()
+        };
+        for p in domain.iter() {
+            let di = self.index_of(p);
+            let si = src.index_of(p);
+            for &f in &ids {
+                let src_store = src.fields.get(&f).expect("src missing field");
+                let dst_store = self.fields.get_mut(&f).expect("dst missing field");
+                dst_store.fold_element(di, src_store, si, kind);
+            }
+        }
+    }
+
+    /// Fill a field with a reduction identity (used to stage reduction
+    /// buffers).
+    pub fn fill_identity(&mut self, field: FieldId, kind: ReductionKind) {
+        match self.fields.get_mut(&field).expect("field not in instance") {
+            FieldStore::F64(v) => v.fill(kind.identity_f64()),
+            FieldStore::F32(v) => v.fill(kind.identity_f32()),
+            FieldStore::I64(v) => v.fill(kind.identity_i64()),
+            FieldStore::I32(v) => v.fill(kind.identity_i64() as i32),
+            FieldStore::U64(v) => v.fill(kind.identity_i64() as u64),
+            FieldStore::U32(v) => v.fill(kind.identity_i64() as u32),
+        }
+    }
+
+    /// Total bytes of the instance across its fields.
+    pub fn bytes(&self) -> u64 {
+        self.fields
+            .values()
+            .map(|s| s.len() as u64 * s.kind().size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use il_geometry::Rect;
+
+    fn two_field_desc() -> (FieldSpaceDesc, FieldId, FieldId) {
+        let mut desc = FieldSpaceDesc::new();
+        let v = desc.add("v", FieldKind::F64);
+        let n = desc.add("n", FieldKind::I64);
+        (desc, v, n)
+    }
+
+    #[test]
+    fn alloc_and_rw() {
+        let (desc, v, n) = two_field_desc();
+        let dom: Domain = Rect::new2((0, 0), (3, 3)).into();
+        let mut inst = PhysicalInstance::new(dom, &desc, &[]);
+        inst.set(v, DomainPoint::new2(1, 2), 3.5f64);
+        inst.set(n, DomainPoint::new2(3, 3), -9i64);
+        assert_eq!(inst.get::<f64>(v, DomainPoint::new2(1, 2)), 3.5);
+        assert_eq!(inst.get::<i64>(n, DomainPoint::new2(3, 3)), -9);
+        assert_eq!(inst.get::<f64>(v, DomainPoint::new2(0, 0)), 0.0);
+        assert_eq!(inst.bytes(), 16 * 8 + 16 * 8);
+    }
+
+    #[test]
+    fn subset_of_fields() {
+        let (desc, v, n) = two_field_desc();
+        let inst = PhysicalInstance::new(Domain::range(4), &desc, &[v]);
+        assert!(inst.has_field(v));
+        assert!(!inst.has_field(n));
+    }
+
+    #[test]
+    fn copy_between_instances() {
+        let (desc, v, _) = two_field_desc();
+        let whole: Domain = Rect::new1(0, 9).into();
+        let mut a = PhysicalInstance::new(whole.clone(), &desc, &[v]);
+        let mut b = PhysicalInstance::new(whole.clone(), &desc, &[v]);
+        for i in 0..10 {
+            a.set(v, DomainPoint::new1(i), i as f64);
+        }
+        let part: Domain = Rect::new1(3, 5).into();
+        b.copy_from(&a, &part, &[v]);
+        assert_eq!(b.get::<f64>(v, DomainPoint::new1(4)), 4.0);
+        assert_eq!(b.get::<f64>(v, DomainPoint::new1(6)), 0.0);
+    }
+
+    #[test]
+    fn fold_between_instances() {
+        let (desc, v, _) = two_field_desc();
+        let whole: Domain = Rect::new1(0, 3).into();
+        let mut acc = PhysicalInstance::new(whole.clone(), &desc, &[v]);
+        let mut contrib = PhysicalInstance::new(whole.clone(), &desc, &[v]);
+        for i in 0..4 {
+            acc.set(v, DomainPoint::new1(i), 10.0);
+            contrib.set(v, DomainPoint::new1(i), i as f64);
+        }
+        acc.fold_from(&contrib, &whole, &[v], ReductionKind::Sum);
+        assert_eq!(acc.get::<f64>(v, DomainPoint::new1(3)), 13.0);
+    }
+
+    #[test]
+    fn fill_identity_values() {
+        let (desc, v, n) = two_field_desc();
+        let mut inst = PhysicalInstance::new(Domain::range(2), &desc, &[]);
+        inst.fill_identity(v, ReductionKind::Min);
+        inst.fill_identity(n, ReductionKind::Max);
+        assert_eq!(inst.get::<f64>(v, DomainPoint::new1(0)), f64::INFINITY);
+        assert_eq!(inst.get::<i64>(n, DomainPoint::new1(1)), i64::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside instance domain")]
+    fn out_of_bounds_access_panics() {
+        let (desc, v, _) = two_field_desc();
+        let inst = PhysicalInstance::new(Domain::range(2), &desc, &[]);
+        inst.get::<f64>(v, DomainPoint::new1(5));
+    }
+
+    #[test]
+    fn instance_over_sparse_domain_uses_bbox() {
+        let (desc, v, _) = two_field_desc();
+        let dom = Domain::sparse(vec![DomainPoint::new1(2), DomainPoint::new1(7)]);
+        let mut inst = PhysicalInstance::new(dom, &desc, &[v]);
+        inst.set(v, DomainPoint::new1(7), 1.25f64);
+        assert_eq!(inst.get::<f64>(v, DomainPoint::new1(7)), 1.25);
+        // bbox is [2,7] -> 6 slots
+        assert_eq!(inst.field::<f64>(v).len(), 6);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use il_geometry::Rect;
+
+    #[test]
+    #[should_panic(expected = "field kind mismatch in copy")]
+    fn copy_between_mismatched_kinds_panics() {
+        let mut a = FieldStore::new(FieldKind::F64, 2);
+        let b = FieldStore::new(FieldKind::I64, 2);
+        a.copy_element(0, &b, 0);
+    }
+
+    #[test]
+    fn fold_integer_kinds() {
+        let mut a = FieldStore::new(FieldKind::I32, 2);
+        let mut b = FieldStore::new(FieldKind::I32, 2);
+        if let FieldStore::I32(v) = &mut a {
+            v[0] = 5;
+        }
+        if let FieldStore::I32(v) = &mut b {
+            v[0] = 7;
+        }
+        a.fold_element(0, &b, 0, ReductionKind::Sum);
+        assert_eq!(a, {
+            let mut e = FieldStore::new(FieldKind::I32, 2);
+            if let FieldStore::I32(v) = &mut e {
+                v[0] = 12;
+            }
+            e
+        });
+    }
+
+    #[test]
+    fn copy_from_all_shared_fields_by_default() {
+        let mut fsd = FieldSpaceDesc::new();
+        let x = fsd.add("x", FieldKind::F64);
+        let y = fsd.add("y", FieldKind::F64);
+        let dom: Domain = Rect::new1(0, 3).into();
+        let mut a = PhysicalInstance::new(dom.clone(), &fsd, &[]);
+        let mut b = PhysicalInstance::new(dom.clone(), &fsd, &[x]); // only x
+        a.set(x, DomainPoint::new1(1), 2.0f64);
+        a.set(y, DomainPoint::new1(1), 3.0f64);
+        // Empty field list = all fields present in BOTH instances.
+        b.copy_from(&a, &dom, &[]);
+        assert_eq!(b.get::<f64>(x, DomainPoint::new1(1)), 2.0);
+        assert!(!b.has_field(y));
+    }
+
+    #[test]
+    fn bytes_accounts_field_sizes() {
+        let mut fsd = FieldSpaceDesc::new();
+        fsd.add("a", FieldKind::F32);
+        fsd.add("b", FieldKind::I64);
+        let inst = PhysicalInstance::new(Domain::range(10), &fsd, &[]);
+        assert_eq!(inst.bytes(), 10 * 4 + 10 * 8);
+    }
+}

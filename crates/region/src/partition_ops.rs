@@ -1,0 +1,301 @@
+//! Partitioning operators.
+//!
+//! The paper leaves the method of determining partitions unspecified (§2),
+//! pointing at language-based dependent partitioning and graph
+//! partitioners. These operators cover what the three evaluation
+//! applications need: equal block partitions (disjoint), halo/ghost
+//! partitions (aliased), and explicit colorings (e.g. from a graph
+//! partitioner, as in Circuit).
+
+use crate::forest::{Disjointness, RegionForest};
+use crate::ids::{IndexPartitionId, IndexSpaceId};
+use il_geometry::{Domain, DomainPoint, Rect};
+
+/// Partition a 1-D space into `parts` nearly-equal disjoint blocks, colored
+/// `0..parts`.
+pub fn equal_partition_1d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    parts: usize,
+) -> IndexPartitionId {
+    let Domain::Rect1(rect) = forest.domain(space).clone() else {
+        panic!("equal_partition_1d requires a dense 1-D space");
+    };
+    let pieces = rect.split(parts);
+    let coloring = pieces
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (DomainPoint::new1(i as i64), Domain::Rect1(r)))
+        .collect();
+    forest.create_partition(space, Domain::range(parts as i64), coloring, Disjointness::Disjoint)
+}
+
+/// Partition a 2-D space into a `tiles.0 × tiles.1` grid of disjoint
+/// blocks, colored by 2-D tile coordinates.
+pub fn block_partition_2d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize),
+) -> IndexPartitionId {
+    let Domain::Rect2(rect) = forest.domain(space).clone() else {
+        panic!("block_partition_2d requires a dense 2-D space");
+    };
+    let rows = split_dim(&rect, 0, tiles.0);
+    let mut coloring = Vec::with_capacity(tiles.0 * tiles.1);
+    for (i, row) in rows.iter().enumerate() {
+        // Split the other dimension: transpose trick — split() picks the
+        // longest dim, so split columns explicitly.
+        let cols = split_dim(row, 1, tiles.1);
+        for (j, tile) in cols.into_iter().enumerate() {
+            coloring.push((DomainPoint::new2(i as i64, j as i64), Domain::Rect2(tile)));
+        }
+    }
+    let color_space = Domain::Rect2(Rect::new2(
+        (0, 0),
+        (tiles.0 as i64 - 1, tiles.1 as i64 - 1),
+    ));
+    forest.create_partition(space, color_space, coloring, Disjointness::Disjoint)
+}
+
+/// Partition a 3-D space into a grid of disjoint blocks colored by 3-D
+/// tile coordinates.
+pub fn block_partition_3d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize, usize),
+) -> IndexPartitionId {
+    let Domain::Rect3(rect) = forest.domain(space).clone() else {
+        panic!("block_partition_3d requires a dense 3-D space");
+    };
+    let xs = split_dim(&rect, 0, tiles.0);
+    let mut coloring = Vec::with_capacity(tiles.0 * tiles.1 * tiles.2);
+    for (i, x) in xs.iter().enumerate() {
+        let ys = split_dim(x, 1, tiles.1);
+        for (j, y) in ys.iter().enumerate() {
+            let zs = split_dim(y, 2, tiles.2);
+            for (k, tile) in zs.into_iter().enumerate() {
+                coloring.push((
+                    DomainPoint::new3(i as i64, j as i64, k as i64),
+                    Domain::Rect3(tile),
+                ));
+            }
+        }
+    }
+    let color_space = Domain::Rect3(Rect::new3(
+        (0, 0, 0),
+        (tiles.0 as i64 - 1, tiles.1 as i64 - 1, tiles.2 as i64 - 1),
+    ));
+    forest.create_partition(space, color_space, coloring, Disjointness::Disjoint)
+}
+
+/// Aliased halo partition of a 2-D space: the tile of `base` at each color
+/// grown by `radius` in every direction (clamped to the space bounds).
+/// Used for the ghost/exchange regions of the stencil (§6.1).
+pub fn halo_partition_2d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize),
+    radius: i64,
+) -> IndexPartitionId {
+    let Domain::Rect2(bounds) = forest.domain(space).clone() else {
+        panic!("halo_partition_2d requires a dense 2-D space");
+    };
+    let rows = split_dim(&bounds, 0, tiles.0);
+    let mut coloring = Vec::with_capacity(tiles.0 * tiles.1);
+    for (i, row) in rows.iter().enumerate() {
+        for (j, tile) in split_dim(row, 1, tiles.1).into_iter().enumerate() {
+            let grown = Rect::new2(
+                (
+                    (tile.lo[0] - radius).max(bounds.lo[0]),
+                    (tile.lo[1] - radius).max(bounds.lo[1]),
+                ),
+                (
+                    (tile.hi[0] + radius).min(bounds.hi[0]),
+                    (tile.hi[1] + radius).min(bounds.hi[1]),
+                ),
+            );
+            coloring.push((DomainPoint::new2(i as i64, j as i64), Domain::Rect2(grown)));
+        }
+    }
+    let color_space = Domain::Rect2(Rect::new2(
+        (0, 0),
+        (tiles.0 as i64 - 1, tiles.1 as i64 - 1),
+    ));
+    forest.create_partition(space, color_space, coloring, Disjointness::Aliased)
+}
+
+/// Aliased halo partition of a 3-D space: each tile of the block grid
+/// grown by `radius` in every direction (clamped to the space bounds).
+/// Used for the fluid exchange regions of Soleil-mini.
+pub fn halo_partition_3d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize, usize),
+    radius: i64,
+) -> IndexPartitionId {
+    let Domain::Rect3(bounds) = forest.domain(space).clone() else {
+        panic!("halo_partition_3d requires a dense 3-D space");
+    };
+    let xs = split_dim(&bounds, 0, tiles.0);
+    let mut coloring = Vec::with_capacity(tiles.0 * tiles.1 * tiles.2);
+    for (i, x) in xs.iter().enumerate() {
+        for (j, y) in split_dim(x, 1, tiles.1).iter().enumerate() {
+            for (k, tile) in split_dim(y, 2, tiles.2).into_iter().enumerate() {
+                let grown = Rect::new3(
+                    (
+                        (tile.lo[0] - radius).max(bounds.lo[0]),
+                        (tile.lo[1] - radius).max(bounds.lo[1]),
+                        (tile.lo[2] - radius).max(bounds.lo[2]),
+                    ),
+                    (
+                        (tile.hi[0] + radius).min(bounds.hi[0]),
+                        (tile.hi[1] + radius).min(bounds.hi[1]),
+                        (tile.hi[2] + radius).min(bounds.hi[2]),
+                    ),
+                );
+                coloring.push((
+                    DomainPoint::new3(i as i64, j as i64, k as i64),
+                    Domain::Rect3(grown),
+                ));
+            }
+        }
+    }
+    let color_space = Domain::Rect3(Rect::new3(
+        (0, 0, 0),
+        (tiles.0 as i64 - 1, tiles.1 as i64 - 1, tiles.2 as i64 - 1),
+    ));
+    forest.create_partition(space, color_space, coloring, Disjointness::Aliased)
+}
+
+/// Partition by an explicit coloring (e.g. the output of a graph
+/// partitioner); disjointness is verified.
+pub fn coloring_partition(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    color_space: Domain,
+    coloring: Vec<(DomainPoint, Domain)>,
+) -> IndexPartitionId {
+    forest.create_partition(space, color_space, coloring, Disjointness::Compute)
+}
+
+/// Split `rect` into `parts` pieces along dimension `dim` specifically.
+fn split_dim<const N: usize>(rect: &Rect<N>, dim: usize, parts: usize) -> Vec<Rect<N>> {
+    let extent = rect.extent(dim);
+    if extent == 0 {
+        return vec![];
+    }
+    let parts = parts.clamp(1, extent as usize);
+    let base = extent / parts as u64;
+    let rem = extent % parts as u64;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = rect.lo[dim];
+    for i in 0..parts {
+        let len = base + u64::from((i as u64) < rem);
+        let hi = lo + len as i64 - 1;
+        let mut piece = *rect;
+        piece.lo[dim] = lo;
+        piece.hi[dim] = hi;
+        out.push(piece);
+        lo = hi + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldSpaceDesc;
+
+    fn forest() -> RegionForest {
+        let mut f = RegionForest::new();
+        f.create_field_space(FieldSpaceDesc::new());
+        f
+    }
+
+    #[test]
+    fn equal_1d() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::range(10));
+        let p = equal_partition_1d(&mut f, s, 3);
+        assert!(f.is_disjoint(p));
+        let sizes: Vec<u64> = (0..3)
+            .map(|c| f.domain(f.subspace(p, DomainPoint::new1(c))).volume())
+            .collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn blocks_2d_cover() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::Rect2(Rect::new2((0, 0), (7, 11))));
+        let p = block_partition_2d(&mut f, s, (2, 3));
+        assert!(f.is_disjoint(p));
+        let total: u64 = f
+            .partition(p)
+            .children
+            .values()
+            .map(|&sid| f.domain(sid).volume())
+            .sum();
+        assert_eq!(total, 96);
+        let tile = f.subspace(p, DomainPoint::new2(1, 2));
+        assert_eq!(f.domain(tile), &Domain::Rect2(Rect::new2((4, 8), (7, 11))));
+    }
+
+    #[test]
+    fn blocks_3d_cover() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::Rect3(Rect::new3((0, 0, 0), (3, 3, 3))));
+        let p = block_partition_3d(&mut f, s, (2, 2, 2));
+        assert!(f.is_disjoint(p));
+        assert_eq!(f.partition(p).children.len(), 8);
+        let total: u64 = f
+            .partition(p)
+            .children
+            .values()
+            .map(|&sid| f.domain(sid).volume())
+            .sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn halo_is_aliased_and_grown() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::Rect2(Rect::new2((0, 0), (9, 9))));
+        let interior = block_partition_2d(&mut f, s, (2, 2));
+        let halo = halo_partition_2d(&mut f, s, (2, 2), 1);
+        assert!(!f.is_disjoint(halo));
+        let tile = f.subspace(interior, DomainPoint::new2(0, 0));
+        assert_eq!(f.domain(tile), &Domain::Rect2(Rect::new2((0, 0), (4, 4))));
+        let ghost = f.subspace(halo, DomainPoint::new2(0, 0));
+        // Clamped at the low edges, grown at the high edges.
+        assert_eq!(f.domain(ghost), &Domain::Rect2(Rect::new2((0, 0), (5, 5))));
+        let ghost11 = f.subspace(halo, DomainPoint::new2(1, 1));
+        assert_eq!(f.domain(ghost11), &Domain::Rect2(Rect::new2((4, 4), (9, 9))));
+    }
+
+    #[test]
+    fn explicit_coloring_disjointness_computed() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::range(10));
+        let p = coloring_partition(
+            &mut f,
+            s,
+            Domain::range(2),
+            vec![
+                (DomainPoint::new1(0), Domain::Rect1(Rect::new1(0, 4))),
+                (DomainPoint::new1(1), Domain::Rect1(Rect::new1(5, 9))),
+            ],
+        );
+        assert!(f.is_disjoint(p));
+        let q = coloring_partition(
+            &mut f,
+            s,
+            Domain::range(2),
+            vec![
+                (DomainPoint::new1(0), Domain::Rect1(Rect::new1(0, 5))),
+                (DomainPoint::new1(1), Domain::Rect1(Rect::new1(5, 9))),
+            ],
+        );
+        assert!(!f.is_disjoint(q));
+    }
+}

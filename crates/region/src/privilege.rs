@@ -1,0 +1,114 @@
+//! Task privileges on region arguments.
+
+use crate::reduction::ReductionOpId;
+use std::fmt;
+
+/// The privilege a task declares on a region argument (§2).
+///
+/// Privileges drive both the index-launch safety checks (§3) and the
+/// dependence analysis: a dependency exists when a task reads data written
+/// (or reduced) by an earlier task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Privilege {
+    /// Read-only access.
+    Read,
+    /// Write-only access (the task may not observe prior contents).
+    Write,
+    /// Read-write access.
+    ReadWrite,
+    /// Reduction with a specific commutative operator.
+    Reduce(ReductionOpId),
+}
+
+impl Privilege {
+    /// True iff the privilege permits observing prior contents.
+    pub fn reads(&self) -> bool {
+        matches!(self, Privilege::Read | Privilege::ReadWrite)
+    }
+
+    /// True iff the privilege mutates the region (write or reduce).
+    pub fn writes(&self) -> bool {
+        !matches!(self, Privilege::Read)
+    }
+
+    /// True iff this is a reduction privilege.
+    pub fn is_reduction(&self) -> bool {
+        matches!(self, Privilege::Reduce(_))
+    }
+
+    /// Whether two *same-data* accesses with these privileges may run in
+    /// parallel: both read-only, or both reductions with the same operator
+    /// (§3 cross-checks, first bullet).
+    pub fn parallel_with(&self, other: &Privilege) -> bool {
+        match (self, other) {
+            (Privilege::Read, Privilege::Read) => true,
+            (Privilege::Reduce(a), Privilege::Reduce(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Whether an access with privilege `self` followed by an access with
+    /// privilege `later` to overlapping data constitutes a dependence.
+    ///
+    /// Read→read never conflicts; same-operator reduce→reduce folds
+    /// commutatively and never conflicts; everything else does.
+    pub fn conflicts_before(&self, later: &Privilege) -> bool {
+        !self.parallel_with(later)
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Privilege::Read => write!(f, "reads"),
+            Privilege::Write => write!(f, "writes"),
+            Privilege::ReadWrite => write!(f, "reads writes"),
+            Privilege::Reduce(op) => write!(f, "reduces({op:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_flags() {
+        assert!(Privilege::Read.reads());
+        assert!(!Privilege::Read.writes());
+        assert!(Privilege::Write.writes());
+        assert!(!Privilege::Write.reads());
+        assert!(Privilege::ReadWrite.reads() && Privilege::ReadWrite.writes());
+        assert!(Privilege::Reduce(ReductionOpId(0)).writes());
+        assert!(Privilege::Reduce(ReductionOpId(0)).is_reduction());
+    }
+
+    #[test]
+    fn parallelism_rules() {
+        let r = Privilege::Read;
+        let w = Privilege::Write;
+        let red_a = Privilege::Reduce(ReductionOpId(0));
+        let red_b = Privilege::Reduce(ReductionOpId(1));
+        assert!(r.parallel_with(&r));
+        assert!(!r.parallel_with(&w));
+        assert!(!w.parallel_with(&w));
+        assert!(red_a.parallel_with(&red_a));
+        assert!(!red_a.parallel_with(&red_b));
+        assert!(!red_a.parallel_with(&r));
+    }
+
+    #[test]
+    fn conflict_is_negation_of_parallel() {
+        let cases = [
+            Privilege::Read,
+            Privilege::Write,
+            Privilege::ReadWrite,
+            Privilege::Reduce(ReductionOpId(2)),
+        ];
+        for a in cases {
+            for b in cases {
+                assert_eq!(a.conflicts_before(&b), !a.parallel_with(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Commutative reduction operators.
+//!
+//! Reduction privileges (§2) let multiple tasks in one index launch fold
+//! into the same data concurrently, because folds with the same commutative
+//! operator reorder freely. The runtime applies reductions element-wise
+//! through these operators.
+
+use std::fmt;
+
+/// Identifier of a registered reduction operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct ReductionOpId(pub u32);
+
+impl fmt::Debug for ReductionOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            Some(k) => write!(f, "{k:?}"),
+            None => write!(f, "redop{}", self.0),
+        }
+    }
+}
+
+/// The built-in commutative reduction operators.
+///
+/// Operators are monoids: each has an identity and an associative,
+/// commutative fold. Floating-point addition is treated as commutative
+/// here, as it is in Legion; the deterministic event ordering of the
+/// simulator keeps results reproducible run-to-run regardless.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ReductionKind {
+    /// Addition.
+    Sum,
+    /// Multiplication.
+    Prod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReductionKind {
+    /// The stable id for this built-in operator.
+    pub const fn id(self) -> ReductionOpId {
+        ReductionOpId(match self {
+            ReductionKind::Sum => 0,
+            ReductionKind::Prod => 1,
+            ReductionKind::Min => 2,
+            ReductionKind::Max => 3,
+        })
+    }
+
+    /// Identity element for `f64` folds.
+    pub fn identity_f64(self) -> f64 {
+        match self {
+            ReductionKind::Sum => 0.0,
+            ReductionKind::Prod => 1.0,
+            ReductionKind::Min => f64::INFINITY,
+            ReductionKind::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold for `f64`.
+    pub fn fold_f64(self, acc: f64, v: f64) -> f64 {
+        match self {
+            ReductionKind::Sum => acc + v,
+            ReductionKind::Prod => acc * v,
+            ReductionKind::Min => acc.min(v),
+            ReductionKind::Max => acc.max(v),
+        }
+    }
+
+    /// Identity element for `i64` folds.
+    pub fn identity_i64(self) -> i64 {
+        match self {
+            ReductionKind::Sum => 0,
+            ReductionKind::Prod => 1,
+            ReductionKind::Min => i64::MAX,
+            ReductionKind::Max => i64::MIN,
+        }
+    }
+
+    /// Fold for `i64`.
+    pub fn fold_i64(self, acc: i64, v: i64) -> i64 {
+        match self {
+            ReductionKind::Sum => acc.wrapping_add(v),
+            ReductionKind::Prod => acc.wrapping_mul(v),
+            ReductionKind::Min => acc.min(v),
+            ReductionKind::Max => acc.max(v),
+        }
+    }
+
+    /// Identity element for `f32` folds.
+    pub fn identity_f32(self) -> f32 {
+        self.identity_f64() as f32
+    }
+
+    /// Fold for `f32`.
+    pub fn fold_f32(self, acc: f32, v: f32) -> f32 {
+        match self {
+            ReductionKind::Sum => acc + v,
+            ReductionKind::Prod => acc * v,
+            ReductionKind::Min => acc.min(v),
+            ReductionKind::Max => acc.max(v),
+        }
+    }
+}
+
+impl ReductionOpId {
+    /// Recover the built-in kind for this id, if it is one.
+    pub fn kind(self) -> Option<ReductionKind> {
+        Some(match self.0 {
+            0 => ReductionKind::Sum,
+            1 => ReductionKind::Prod,
+            2 => ReductionKind::Min,
+            3 => ReductionKind::Max,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for k in [
+            ReductionKind::Sum,
+            ReductionKind::Prod,
+            ReductionKind::Min,
+            ReductionKind::Max,
+        ] {
+            assert_eq!(k.id().kind(), Some(k));
+        }
+        assert_eq!(ReductionOpId(99).kind(), None);
+    }
+
+    #[test]
+    fn identities() {
+        for k in [
+            ReductionKind::Sum,
+            ReductionKind::Prod,
+            ReductionKind::Min,
+            ReductionKind::Max,
+        ] {
+            assert_eq!(k.fold_f64(k.identity_f64(), 5.0), 5.0);
+            assert_eq!(k.fold_i64(k.identity_i64(), -7), -7);
+            assert_eq!(k.fold_f32(k.identity_f32(), 2.5), 2.5);
+        }
+    }
+
+    #[test]
+    fn folds() {
+        assert_eq!(ReductionKind::Sum.fold_f64(2.0, 3.0), 5.0);
+        assert_eq!(ReductionKind::Prod.fold_i64(4, 5), 20);
+        assert_eq!(ReductionKind::Min.fold_f64(2.0, -3.0), -3.0);
+        assert_eq!(ReductionKind::Max.fold_i64(2, 9), 9);
+    }
+
+    #[test]
+    fn commutativity_sample() {
+        let k = ReductionKind::Sum;
+        let a = k.fold_i64(k.fold_i64(k.identity_i64(), 3), 9);
+        let b = k.fold_i64(k.fold_i64(k.identity_i64(), 9), 3);
+        assert_eq!(a, b);
+    }
+}

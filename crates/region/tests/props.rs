@@ -1,0 +1,166 @@
+//! Property tests for the region data model: disjointness queries,
+//! overlap volumes, intersections, and instance copy/fold semantics.
+
+use il_geometry::{Domain, DomainPoint, Rect};
+use il_region::{
+    domain_intersection, domains_overlap, overlap_volume, Disjointness, FieldKind,
+    FieldSpaceDesc, PhysicalInstance, RegionForest, ReductionKind,
+};
+use proptest::prelude::*;
+
+fn domain1() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        (0i64..30, 0i64..12).prop_map(|(lo, len)| Domain::Rect1(Rect::new1(lo, lo + len))),
+        proptest::collection::btree_set(0i64..40, 1..10)
+            .prop_map(|s| Domain::sparse(s.into_iter().map(DomainPoint::new1).collect())),
+    ]
+}
+
+proptest! {
+    /// Overlap predicates and volumes agree with point enumeration.
+    #[test]
+    fn overlap_matches_enumeration(a in domain1(), b in domain1()) {
+        let shared: Vec<DomainPoint> = a.iter().filter(|p| b.contains(*p)).collect();
+        prop_assert_eq!(domains_overlap(&a, &b), !shared.is_empty());
+        prop_assert_eq!(overlap_volume(&a, &b), shared.len() as u64);
+        prop_assert_eq!(overlap_volume(&a, &b), overlap_volume(&b, &a));
+        match domain_intersection(&a, &b) {
+            None => prop_assert!(shared.is_empty()),
+            Some(i) => {
+                let mut got: Vec<DomainPoint> = i.iter().collect();
+                let mut want = shared;
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// `spaces_disjoint` is exact for arbitrary colorings: it answers
+    /// true iff the domains share no point.
+    #[test]
+    fn spaces_disjoint_is_exact(
+        doms in proptest::collection::vec(domain1(), 2..6),
+    ) {
+        let mut forest = RegionForest::new();
+        let fs = forest.create_field_space(FieldSpaceDesc::new());
+        let region = forest.create_region(Domain::range(64), fs);
+        let coloring: Vec<(DomainPoint, Domain)> = doms
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DomainPoint::new1(i as i64), d.clone()))
+            .collect();
+        let p = forest.create_partition(
+            region.space,
+            Domain::range(doms.len() as i64),
+            coloring,
+            Disjointness::Compute,
+        );
+        // Partition disjointness flag agrees with pairwise overlap.
+        let any_overlap = (0..doms.len()).any(|i| {
+            (i + 1..doms.len()).any(|j| domains_overlap(&doms[i], &doms[j]))
+        });
+        prop_assert_eq!(forest.is_disjoint(p), !any_overlap);
+        // Space-level queries are exact.
+        for i in 0..doms.len() {
+            for j in 0..doms.len() {
+                let si = forest.subspace(p, DomainPoint::new1(i as i64));
+                let sj = forest.subspace(p, DomainPoint::new1(j as i64));
+                let disjoint = forest.spaces_disjoint(si, sj);
+                if i == j {
+                    prop_assert_eq!(disjoint, doms[i].is_empty());
+                } else {
+                    prop_assert_eq!(disjoint, !domains_overlap(&doms[i], &doms[j]));
+                }
+            }
+        }
+    }
+
+    /// copy_from moves exactly the overlap; fold_from is additive and
+    /// commutative across producers.
+    #[test]
+    fn instance_copy_and_fold(
+        vals in proptest::collection::vec(-100.0f64..100.0, 10),
+        lo in 0i64..5,
+        len in 0i64..6,
+    ) {
+        let mut fsd = FieldSpaceDesc::new();
+        let f = fsd.add("x", FieldKind::F64);
+        let whole: Domain = Rect::new1(0, 9).into();
+        let mut src = PhysicalInstance::new(whole.clone(), &fsd, &[]);
+        let mut dst = PhysicalInstance::new(whole.clone(), &fsd, &[]);
+        for (i, v) in vals.iter().enumerate() {
+            src.set(f, DomainPoint::new1(i as i64), *v);
+        }
+        let window: Domain = Rect::new1(lo, (lo + len).min(9)).into();
+        dst.copy_from(&src, &window, &[f]);
+        for i in 0..10i64 {
+            let got: f64 = dst.get(f, DomainPoint::new1(i));
+            if window.contains(DomainPoint::new1(i)) {
+                prop_assert_eq!(got, vals[i as usize]);
+            } else {
+                prop_assert_eq!(got, 0.0);
+            }
+        }
+        // Fold twice = add twice.
+        let mut acc = PhysicalInstance::new(whole.clone(), &fsd, &[]);
+        acc.fold_from(&src, &window, &[f], ReductionKind::Sum);
+        acc.fold_from(&src, &window, &[f], ReductionKind::Sum);
+        for p in window.iter() {
+            let got: f64 = acc.get(f, p);
+            prop_assert!((got - 2.0 * vals[p.x() as usize]).abs() < 1e-12);
+        }
+    }
+
+    /// Min/Max folds are idempotent and order-insensitive.
+    #[test]
+    fn min_max_fold_laws(a in -50i64..50, b in -50i64..50) {
+        for kind in [ReductionKind::Min, ReductionKind::Max] {
+            let ab = kind.fold_i64(kind.fold_i64(kind.identity_i64(), a), b);
+            let ba = kind.fold_i64(kind.fold_i64(kind.identity_i64(), b), a);
+            prop_assert_eq!(ab, ba);
+            prop_assert_eq!(kind.fold_i64(ab, ab), ab);
+        }
+    }
+}
+
+mod bvh_props {
+    use il_geometry::DomainPoint;
+    use il_region::{BBox, BvhSet};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// BVH queries return exactly the brute-force overlap set, across
+        /// rebuild boundaries.
+        #[test]
+        fn bvh_query_equals_bruteforce(
+            boxes in proptest::collection::vec((-100i64..100, 0i64..30, -100i64..100, 0i64..30), 1..150),
+            q in (-120i64..120, 0i64..50, -120i64..120, 0i64..50),
+        ) {
+            let mut set = BvhSet::new();
+            let items: Vec<BBox> = boxes
+                .iter()
+                .map(|&(x, w, y, h)| {
+                    BBox::new(DomainPoint::new2(x, y), DomainPoint::new2(x + w, y + h))
+                })
+                .collect();
+            for (i, b) in items.iter().enumerate() {
+                set.insert(*b, i);
+            }
+            let query = BBox::new(
+                DomainPoint::new2(q.0, q.2),
+                DomainPoint::new2(q.0 + q.1, q.2 + q.3),
+            );
+            let mut got = Vec::new();
+            set.query(&query, &mut got);
+            got.sort_unstable();
+            let want: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.overlaps(&query))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Runtime configuration and the calibrated cost model.
+
+use il_machine::SimTime;
+
+/// Whether task bodies really execute or are only cost-modeled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecutionMode {
+    /// Execute real kernels over real physical instances, including real
+    /// inter-node copies. Used by tests and examples on small machines;
+    /// results are bit-identical across all runtime configurations.
+    Validate,
+    /// Skip kernel bodies and data allocation; charge modeled durations
+    /// only. Used by the scaling experiments (Figures 4–10) at up to 1024
+    /// nodes.
+    Scale,
+}
+
+/// Configuration of one runtime execution — the axes of the paper's
+/// evaluation (§6.2).
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of nodes of the simulated machine.
+    pub nodes: usize,
+    /// Dynamic control replication (the "DCR" axis).
+    pub dcr: bool,
+    /// Index launches enabled (the "IDX" axis). When false every index
+    /// launch is expanded into individual task launches at issuance.
+    pub idx: bool,
+    /// Legion-style tracing of repeated task-graph fragments. Note the §6
+    /// interaction: without DCR, tracing works at individual-task
+    /// granularity and forces expansion of index launches *before*
+    /// distribution.
+    pub tracing: bool,
+    /// Run the dynamic projection-functor checks for launches the static
+    /// analyzer could not prove (§4). Disabling them (after a verified
+    /// run) removes their O(|D|) issuance cost, as in Figure 10.
+    pub dynamic_checks: bool,
+    /// Execute or model task bodies.
+    pub mode: ExecutionMode,
+    /// Cost model constants.
+    pub cost: CostModel,
+}
+
+impl RuntimeConfig {
+    /// The paper's best configuration: DCR + index launches, tracing and
+    /// dynamic checks on, in scale (modeled) execution.
+    pub fn scale(nodes: usize) -> Self {
+        RuntimeConfig {
+            nodes,
+            dcr: true,
+            idx: true,
+            tracing: true,
+            dynamic_checks: true,
+            mode: ExecutionMode::Scale,
+            cost: CostModel::calibrated(),
+        }
+    }
+
+    /// Validation-mode configuration for small machines.
+    pub fn validate(nodes: usize) -> Self {
+        RuntimeConfig {
+            mode: ExecutionMode::Validate,
+            ..RuntimeConfig::scale(nodes)
+        }
+    }
+
+    /// Set the DCR/IDX axes (the four corners of Figures 4–8).
+    pub fn with_axes(mut self, dcr: bool, idx: bool) -> Self {
+        self.dcr = dcr;
+        self.idx = idx;
+        self
+    }
+
+    /// Enable/disable tracing.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Enable/disable the dynamic safety checks.
+    pub fn with_dynamic_checks(mut self, on: bool) -> Self {
+        self.dynamic_checks = on;
+        self
+    }
+}
+
+/// Calibrated per-operation runtime overheads.
+///
+/// Values are chosen to sit in the regime the paper reports for
+/// Regent/Legion on Piz Daint: task launch overheads of a few tens of
+/// microseconds, dynamic-check costs of ~1.3 ns per functor evaluation
+/// (Table 2: 10⁶ identity evaluations ≈ 1.3 ms), and an Aries-like
+/// network. Absolute throughputs are not expected to match the paper's
+/// hardware; the scaling *shapes* are.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Issuing one index-launch descriptor from the application to the
+    /// runtime (one API call, §5 "a set of tasks can be issued with a
+    /// single runtime call").
+    pub issue_launch: SimTime,
+    /// Issuing one individual task launch (paid |D| times when index
+    /// launches are disabled).
+    pub issue_task: SimTime,
+    /// Logical (whole-partition) dependence analysis of one index-launch
+    /// descriptor.
+    pub logical_launch: SimTime,
+    /// Logical dependence analysis of one individual task.
+    pub logical_task: SimTime,
+    /// Evaluating the sharding functor / expanding one local point during
+    /// distribution.
+    pub distribute_point: SimTime,
+    /// Per-task physical analysis base cost; multiplied by log2(|P|)
+    /// (§5: O(|D|_local · log |P|) via the distributed bounding volume
+    /// hierarchy).
+    pub physical_per_task: SimTime,
+    /// Mapper invocation + instance selection per task.
+    pub map_task: SimTime,
+    /// Fixed processor-side overhead to start one task.
+    pub start_task: SimTime,
+    /// One projection-functor evaluation inside the dynamic check
+    /// (Table 2/3 regime).
+    pub dyn_check_per_eval: SimTime,
+    /// Tracing: replaying one task's analysis from a captured trace,
+    /// replacing `logical_task` + most of the physical analysis.
+    pub trace_replay_per_task: SimTime,
+    /// Centralized (non-DCR) runtime: per-unit completion/coordination
+    /// processing on node 0. Without DCR every task's mapping
+    /// coordination and completion flows through the owner node's
+    /// runtime instance; with index launches (and no tracing) the unit
+    /// is a whole slice, restoring scalability — this constant is what
+    /// makes the centralized mode an honest bottleneck.
+    pub central_complete: SimTime,
+    /// Serialized size of a single-task launch message (non-DCR
+    /// distribution of individual tasks).
+    pub task_message_bytes: u64,
+    /// Serialized size of an index-launch slice descriptor (fixed,
+    /// independent of how many tasks the slice represents — the O(1)
+    /// representation).
+    pub slice_message_bytes: u64,
+    /// Size of a completion/dependence notification message.
+    pub notify_message_bytes: u64,
+}
+
+impl CostModel {
+    /// The default calibration used by all experiments.
+    pub fn calibrated() -> Self {
+        CostModel {
+            issue_launch: SimTime::us(10),
+            issue_task: SimTime::us(45),
+            logical_launch: SimTime::us(12),
+            logical_task: SimTime::us(18),
+            distribute_point: SimTime::us(3),
+            physical_per_task: SimTime::us(3),
+            map_task: SimTime::us(12),
+            start_task: SimTime::us(8),
+            dyn_check_per_eval: SimTime::ns(2),
+            trace_replay_per_task: SimTime::us(5),
+            central_complete: SimTime::us(80),
+            task_message_bytes: 512,
+            slice_message_bytes: 256,
+            notify_message_bytes: 64,
+        }
+    }
+
+    /// A zero-overhead cost model (unit tests that only care about
+    /// semantics).
+    pub fn free() -> Self {
+        CostModel {
+            issue_launch: SimTime::ZERO,
+            issue_task: SimTime::ZERO,
+            logical_launch: SimTime::ZERO,
+            logical_task: SimTime::ZERO,
+            distribute_point: SimTime::ZERO,
+            physical_per_task: SimTime::ZERO,
+            map_task: SimTime::ZERO,
+            start_task: SimTime::ZERO,
+            dyn_check_per_eval: SimTime::ZERO,
+            trace_replay_per_task: SimTime::ZERO,
+            central_complete: SimTime::ZERO,
+            task_message_bytes: 0,
+            slice_message_bytes: 0,
+            notify_message_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = RuntimeConfig::scale(64);
+        assert!(c.dcr && c.idx && c.tracing && c.dynamic_checks);
+        assert_eq!(c.mode, ExecutionMode::Scale);
+        let v = RuntimeConfig::validate(4);
+        assert_eq!(v.mode, ExecutionMode::Validate);
+        let c2 = c.with_axes(false, true).with_tracing(false).with_dynamic_checks(false);
+        assert!(!c2.dcr && c2.idx && !c2.tracing && !c2.dynamic_checks);
+    }
+
+    #[test]
+    fn dyn_check_calibration_matches_table2_regime() {
+        // 10^6 evaluations should land near the paper's ~1.3 ms.
+        let c = CostModel::calibrated();
+        let total = c.dyn_check_per_eval * 1_000_000;
+        assert!(total >= SimTime::us(500) && total <= SimTime::ms(5), "{total}");
+    }
+}

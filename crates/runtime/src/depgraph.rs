@@ -1,0 +1,579 @@
+//! Expansion of index launches and the exact dependence oracle.
+//!
+//! Before execution, the runtime expands the program's launches into point
+//! tasks and computes the *exact* task-graph edges Legion's physical
+//! analysis would discover: a dependency exists when a task accesses data
+//! written (or reduced) by an earlier task with a conflicting privilege
+//! (§2). The expansion also runs the hybrid safety analysis per launch
+//! (§3–4) — caching verdicts per launch signature, as a compiler would per
+//! source loop — and cross-validates it: a launch declared safe must
+//! produce **zero** intra-launch dependencies, which is asserted.
+//!
+//! The *cost* of discovering these edges is charged by the executor
+//! according to the §5 complexities; this module is only the semantic
+//! oracle.
+
+use crate::config::RuntimeConfig;
+use crate::program::{FunctorId, Program};
+use crate::shard::{block_shard, point_at};
+use il_analysis::{analyze_launch, HybridVerdict, LaunchArg};
+use il_geometry::{Domain, DomainPoint};
+use il_machine::NodeId;
+use il_region::{
+    overlap_volume, IndexSpaceId, Privilege, RegionForest, RegionTreeId, ReductionOpId,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Reference to a task instance (index into [`ExpandedProgram::tasks`]).
+pub type TaskRef = u32;
+
+/// One expanded point task.
+#[derive(Clone, Debug)]
+pub struct TaskInstance {
+    /// Index of the originating operation.
+    pub op: u32,
+    /// Iteration-order position within the launch domain.
+    pub point_idx: u32,
+    /// The launch-domain point.
+    pub point: DomainPoint,
+    /// Node the sharding/slicing assigned this task to.
+    pub owner: NodeId,
+    /// Concrete subspace selected by each region requirement's functor.
+    pub subspaces: Vec<IndexSpaceId>,
+    /// Per requirement: true when a reduce-privilege requirement *opens*
+    /// a reduction epoch on its buffer (the executor identity-fills the
+    /// buffer exactly then; later reducers of the same epoch accumulate).
+    pub fresh_reduce: Vec<bool>,
+}
+
+/// An incoming data movement for a task: copy (or reduction-fold) of the
+/// overlap between a producer's subregion and one of this task's
+/// requirements.
+#[derive(Clone, Debug)]
+pub struct CopyIn {
+    /// The producing task.
+    pub from: TaskRef,
+    /// The producer's subregion (source instance key space).
+    pub src_space: IndexSpaceId,
+    /// Which of the consumer's requirements receives the data.
+    pub dst_req: usize,
+    /// The region tree the data lives in.
+    pub tree: RegionTreeId,
+    /// The fields moved: the producer's written fields intersected with
+    /// the consumer's read fields.
+    pub fields: Vec<il_region::FieldId>,
+    /// Bytes moved (overlap volume × bytes per moved field).
+    pub bytes: u64,
+    /// `Some(op)` when the producer held a reduce privilege: apply as a
+    /// fold instead of an overwrite.
+    pub fold: Option<ReductionOpId>,
+}
+
+/// Per-launch safety verdict, after the hybrid analysis (and the dynamic
+/// check, if one was needed and enabled).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpSafety {
+    /// Statically proven safe (no runtime cost).
+    Static,
+    /// Proven safe by a dynamic check of this many functor evaluations
+    /// (the O(|D|) cost of §4; charged only when checks are enabled).
+    Dynamic {
+        /// Functor evaluations the check performs.
+        evals: u64,
+    },
+    /// Not index-launchable: executed as a loop of individual task
+    /// launches regardless of the IDX setting.
+    Sequential,
+}
+
+/// The fully expanded program plus its exact task graph.
+pub struct ExpandedProgram {
+    /// All point tasks, in issuance order (op-major, then point order).
+    pub tasks: Vec<TaskInstance>,
+    /// Task range `[lo, hi)` of each operation.
+    pub op_tasks: Vec<(u32, u32)>,
+    /// Safety verdict of each operation.
+    pub safety: Vec<OpSafety>,
+    /// Predecessors of each task.
+    pub deps: Vec<Vec<TaskRef>>,
+    /// Successors of each task.
+    pub succs: Vec<Vec<TaskRef>>,
+    /// Incoming copies of each task.
+    pub copies: Vec<Vec<CopyIn>>,
+}
+
+impl ExpandedProgram {
+    /// Number of point tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True iff the program has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Tasks of operation `op`.
+    pub fn tasks_of(&self, op: usize) -> std::ops::Range<usize> {
+        let (lo, hi) = self.op_tasks[op];
+        lo as usize..hi as usize
+    }
+}
+
+/// Per-(subspace, field) access bookkeeping for the oracle.
+///
+/// Legion privileges are per-field: accesses to disjoint field sets never
+/// conflict even on the same points. We track fields as bitmasks (field
+/// spaces here are small); a write retires exactly the bits it covers
+/// from earlier records.
+#[derive(Default, Clone)]
+struct SpaceState {
+    /// Live writers: `(task, producer req, field mask, reduce op if the
+    /// write was a reduction)`.
+    writes: Vec<(TaskRef, usize, u64, Option<ReductionOpId>)>,
+    /// Readers since the covering writes.
+    readers: Vec<(TaskRef, u64)>,
+    /// Pending reducers (folded into the next reader/writer).
+    reducers: Vec<(ReductionOpId, TaskRef, usize, u64)>,
+    /// Field bits of reducer records consumed by writes to overlapping
+    /// data, tagged with the consuming op (e.g. circuit's
+    /// `update_voltages` consuming the ghost charge buffers). Consumption
+    /// takes effect only for *later* ops: every point task of the
+    /// consuming launch itself still folds the contributions. Consumed
+    /// contributions are not folded again, and the next reduce on those
+    /// bits opens a fresh epoch (re-initializing the buffer).
+    consumed: Vec<(u32, u64)>,
+}
+
+impl SpaceState {
+    /// Bits consumed by ops strictly before `op`.
+    fn consumed_before(&self, op: u32) -> u64 {
+        self.consumed
+            .iter()
+            .filter(|(o, _)| *o < op)
+            .fold(0u64, |acc, (_, m)| acc | m)
+    }
+}
+
+/// Resolve a requirement's field list to an explicit bitmask.
+fn field_mask(program: &Program, field_space: il_region::FieldSpaceId, fields: &[il_region::FieldId]) -> u64 {
+    let len = program.forest.field_space(field_space).len();
+    assert!(len <= 64, "field spaces are limited to 64 fields");
+    if fields.is_empty() {
+        if len == 64 { u64::MAX } else { (1u64 << len) - 1 }
+    } else {
+        fields.iter().fold(0u64, |m, f| {
+            assert!((f.0 as usize) < len, "field {f:?} outside field space");
+            m | (1u64 << f.0)
+        })
+    }
+}
+
+/// The field ids named by a mask.
+fn mask_fields(mask: u64) -> Vec<il_region::FieldId> {
+    (0..64)
+        .filter(|b| mask & (1u64 << b) != 0)
+        .map(|b| il_region::FieldId(b as u32))
+        .collect()
+}
+
+/// Expand `program` for `config.nodes` nodes: point tasks, ownership,
+/// safety verdicts, dependence edges, and copy plans.
+pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProgram {
+    let forest = &program.forest;
+    let nodes = config.nodes;
+    let default_shard = block_shard();
+
+    let mut tasks: Vec<TaskInstance> = Vec::new();
+    let mut op_tasks: Vec<(u32, u32)> = Vec::with_capacity(program.ops.len());
+    let mut safety: Vec<OpSafety> = Vec::with_capacity(program.ops.len());
+
+    // Verdicts cached per launch signature (same task + requirement shapes
+    // + domain ⇒ same verdict), as the compiler caches per source loop.
+    let mut verdict_cache: HashMap<u64, OpSafety> = HashMap::new();
+
+    for op in &program.ops {
+        let launch = op.launch();
+        let sig = launch_signature(launch, program);
+        let verdict = verdict_cache
+            .entry(sig)
+            .or_insert_with(|| {
+                let args: Vec<LaunchArg> = launch
+                    .reqs
+                    .iter()
+                    .map(|r| LaunchArg {
+                        partition: r.partition,
+                        functor: resolve(program, r.functor).clone(),
+                        privilege: r.privilege,
+                        fields: r.fields.clone(),
+                    })
+                    .collect();
+                match analyze_launch(forest, &launch.domain, &args) {
+                    HybridVerdict::SafeStatic => OpSafety::Static,
+                    HybridVerdict::NeedsDynamic(plan) => match plan.run() {
+                        Ok(evals) => OpSafety::Dynamic { evals },
+                        Err(_) => OpSafety::Sequential,
+                    },
+                    HybridVerdict::Unsafe(_) => OpSafety::Sequential,
+                }
+            })
+            .clone();
+        safety.push(verdict);
+
+        let shard = launch.shard.clone().unwrap_or_else(|| default_shard.clone());
+        let lo = tasks.len() as u32;
+        let volume = launch.domain.volume();
+        for idx in 0..volume {
+            let point = point_at(&launch.domain, idx);
+            let owner = shard(point, &launch.domain, nodes);
+            assert!(owner < nodes, "sharding functor returned node {owner} of {nodes}");
+            let subspaces = launch
+                .reqs
+                .iter()
+                .map(|r| {
+                    let color = resolve(program, r.functor).eval(point);
+                    forest.try_subspace(r.partition, color).unwrap_or_else(|| {
+                        panic!(
+                            "projection functor {:?} selected color {color:?} with no subspace in {:?}",
+                            resolve(program, r.functor),
+                            r.partition
+                        )
+                    })
+                })
+                .collect();
+            let nreqs = launch.reqs.len();
+            tasks.push(TaskInstance {
+                op: op_tasks.len() as u32,
+                point_idx: idx as u32,
+                point,
+                owner,
+                subspaces,
+                fresh_reduce: vec![false; nreqs],
+            });
+        }
+        op_tasks.push((lo, tasks.len() as u32));
+    }
+
+    // ---- Dependence oracle ----
+    let mut deps: Vec<Vec<TaskRef>> = vec![Vec::new(); tasks.len()];
+    let mut copies: Vec<Vec<CopyIn>> = vec![Vec::new(); tasks.len()];
+    let mut states: HashMap<(RegionTreeId, IndexSpaceId), SpaceState> = HashMap::new();
+    // Candidate overlaps among touched spaces, per tree, found through a
+    // bounding-volume hierarchy — the §5 structure Legion uses for its
+    // logarithmic-time physical analysis.
+    let mut touched: HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>> = HashMap::new();
+    let mut overlaps: HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>> = HashMap::new();
+
+    for t in 0..tasks.len() {
+        let tref = t as TaskRef;
+        let op_idx = tasks[t].op as usize;
+        let launch = program.ops[op_idx].launch();
+        for (req_idx, req) in launch.reqs.iter().enumerate() {
+            let space = tasks[t].subspaces[req_idx];
+            let tree = req.tree;
+            let mask = field_mask(program, req.field_space, &req.fields);
+            ensure_overlaps(forest, tree, space, &mut touched, &mut overlaps);
+            let fsd = forest.field_space(req.field_space);
+
+            let over = overlaps.get(&(tree, space)).expect("registered").clone();
+            for o_space in over {
+                let Some(state) = states.get(&(tree, o_space)) else {
+                    continue;
+                };
+                let consumed = state.consumed_before(tasks[t].op);
+                // Bytes of an incoming copy for a producer mask.
+                let copy_bytes = |pmask: u64| -> (Vec<il_region::FieldId>, u64) {
+                    let shared = mask_fields(pmask & mask);
+                    let per_point: u64 = shared.iter().map(|f| fsd.kind(*f).size()).sum();
+                    let vol = overlap_volume(forest.domain(space), forest.domain(o_space));
+                    (shared, vol * per_point)
+                };
+                let mut new_deps: Vec<TaskRef> = Vec::new();
+                match req.privilege {
+                    Privilege::Read => {
+                        for &(w, _wreq, wmask, reduce) in &state.writes {
+                            if w != tref && wmask & mask != 0 {
+                                new_deps.push(w);
+                                let (fields, bytes) = copy_bytes(wmask);
+                                if bytes > 0 {
+                                    copies[t].push(CopyIn {
+                                        from: w,
+                                        src_space: o_space,
+                                        dst_req: req_idx,
+                                        tree,
+                                        fields,
+                                        bytes,
+                                        fold: reduce,
+                                    });
+                                }
+                            }
+                        }
+                        // One fold per source buffer: the buffer already
+                        // accumulates every contribution of the epoch, so
+                        // depend on all reducers but copy once.
+                        let mut folded = false;
+                        for &(red_op, r, _rreq, rmask) in &state.reducers {
+                            if r != tref && rmask & mask & !consumed != 0 {
+                                new_deps.push(r);
+                                let (fields, bytes) = copy_bytes(rmask & !consumed);
+                                if bytes > 0 && !folded {
+                                    folded = true;
+                                    copies[t].push(CopyIn {
+                                        from: r,
+                                        src_space: o_space,
+                                        dst_req: req_idx,
+                                        tree,
+                                        fields,
+                                        bytes,
+                                        fold: Some(red_op),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Privilege::Write | Privilege::ReadWrite => {
+                        let wants_data = req.privilege == Privilege::ReadWrite;
+                        for &(w, _wreq, wmask, reduce) in &state.writes {
+                            if w != tref && wmask & mask != 0 {
+                                new_deps.push(w);
+                                if wants_data {
+                                    let (fields, bytes) = copy_bytes(wmask);
+                                    if bytes > 0 {
+                                        copies[t].push(CopyIn {
+                                            from: w,
+                                            src_space: o_space,
+                                            dst_req: req_idx,
+                                            tree,
+                                            fields,
+                                            bytes,
+                                            fold: reduce,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        for &(r, rmask) in &state.readers {
+                            if r != tref && rmask & mask != 0 {
+                                new_deps.push(r);
+                            }
+                        }
+                        let mut folded = false;
+                        for &(red_op, r, _rreq, rmask) in &state.reducers {
+                            if r != tref && rmask & mask & !consumed != 0 {
+                                new_deps.push(r);
+                                if wants_data {
+                                    let (fields, bytes) = copy_bytes(rmask & !consumed);
+                                    if bytes > 0 && !folded {
+                                        folded = true;
+                                        copies[t].push(CopyIn {
+                                            from: r,
+                                            src_space: o_space,
+                                            dst_req: req_idx,
+                                            tree,
+                                            fields,
+                                            bytes,
+                                            fold: Some(red_op),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Privilege::Reduce(op) => {
+                        for &(w, _wreq, wmask, _) in &state.writes {
+                            if w != tref && wmask & mask != 0 {
+                                new_deps.push(w);
+                            }
+                        }
+                        for &(r, rmask) in &state.readers {
+                            if r != tref && rmask & mask != 0 {
+                                new_deps.push(r);
+                            }
+                        }
+                        for &(other_op, r, _rreq, rmask) in &state.reducers {
+                            if other_op != op && r != tref && rmask & mask & !consumed != 0 {
+                                new_deps.push(r);
+                            }
+                        }
+                        // Order after the epoch-opening reducer on the
+                        // *same* buffer: its identity fill must precede
+                        // our fold. Cross-buffer same-op reducers stay
+                        // unordered, as commutativity allows.
+                        if o_space == space {
+                            if let Some(opener) = state
+                                .reducers
+                                .iter()
+                                .find(|&&(oo, r, _, rm)| {
+                                    oo == op && rm & mask & !consumed != 0 && r != tref
+                                })
+                                .map(|rec| rec.1)
+                            {
+                                new_deps.push(opener);
+                            }
+                        }
+                    }
+                }
+                deps[t].extend(new_deps);
+            }
+
+            // A write consumes pending reduction contributions on every
+            // overlapping buffer: they have been folded into (or
+            // invalidated by) the new data.
+            if matches!(req.privilege, Privilege::Write | Privilege::ReadWrite) {
+                let op_idx = tasks[t].op;
+                let over = overlaps.get(&(tree, space)).expect("registered").clone();
+                for o_space in over {
+                    if let Some(st) = states.get_mut(&(tree, o_space)) {
+                        match st.consumed.iter_mut().find(|(o, _)| *o == op_idx) {
+                            Some((_, m)) => *m |= mask,
+                            None => st.consumed.push((op_idx, mask)),
+                        }
+                    }
+                }
+            }
+
+            // Update this space's own state.
+            let state = states.entry((tree, space)).or_default();
+            match req.privilege {
+                Privilege::Read => state.readers.push((tref, mask)),
+                Privilege::Write | Privilege::ReadWrite => {
+                    // Retire the covered field bits from earlier records.
+                    for w in &mut state.writes {
+                        w.2 &= !mask;
+                    }
+                    state.writes.retain(|w| w.2 != 0);
+                    for r in &mut state.readers {
+                        r.1 &= !mask;
+                    }
+                    state.readers.retain(|r| r.1 != 0);
+                    for r in &mut state.reducers {
+                        r.3 &= !mask;
+                    }
+                    state.reducers.retain(|r| r.3 != 0);
+                    state.writes.push((tref, req_idx, mask, None));
+                }
+                Privilege::Reduce(op) => {
+                    // Reducers join the current epoch on this buffer; the
+                    // epoch ends when a write consumes the contributions.
+                    // The first same-op reducer of a fresh epoch opens it
+                    // — the executor identity-fills the buffer exactly
+                    // once, there.
+                    let consumed = state.consumed_before(tasks[t].op);
+                    let fresh = !state
+                        .reducers
+                        .iter()
+                        .any(|&(oo, _, _, rm)| oo == op && rm & mask & !consumed != 0);
+                    if fresh {
+                        // Retire consumed records on these bits and start
+                        // a new epoch.
+                        let dead = mask & consumed;
+                        for r in &mut state.reducers {
+                            r.3 &= !dead;
+                        }
+                        state.reducers.retain(|r| r.3 != 0);
+                        for (_, m) in &mut state.consumed {
+                            *m &= !mask;
+                        }
+                        state.consumed.retain(|(_, m)| *m != 0);
+                    }
+                    tasks[t].fresh_reduce[req_idx] = fresh;
+                    state.reducers.push((op, tref, req_idx, mask));
+                }
+            }
+        }
+        deps[t].sort_unstable();
+        deps[t].dedup();
+    }
+
+    // Cross-validation: a launch the hybrid analysis declared safe must
+    // have produced no intra-launch edges.
+    for (op_idx, (lo, hi)) in op_tasks.iter().enumerate() {
+        if matches!(safety[op_idx], OpSafety::Sequential) {
+            continue;
+        }
+        for t in *lo..*hi {
+            for &d in &deps[t as usize] {
+                assert!(
+                    !(d >= *lo && d < *hi),
+                    "safety analysis declared op {op_idx} safe but tasks {d} and {t} interfere"
+                );
+            }
+        }
+    }
+
+    let mut succs: Vec<Vec<TaskRef>> = vec![Vec::new(); tasks.len()];
+    for (t, preds) in deps.iter().enumerate() {
+        for &p in preds {
+            succs[p as usize].push(t as TaskRef);
+        }
+    }
+
+    ExpandedProgram { tasks, op_tasks, safety, deps, succs, copies }
+}
+
+fn resolve(program: &Program, f: FunctorId) -> &il_analysis::ProjExpr {
+    program.functor(f)
+}
+
+/// Register `space` in `tree`'s BVH and compute its overlap set: BVH
+/// query for bounding-box candidates (O(log n + k)), then the exact
+/// region-forest disjointness test on each candidate. This mirrors §5's
+/// "distributed bounding volume hierarchy" used by Legion's physical
+/// analysis.
+fn ensure_overlaps(
+    forest: &RegionForest,
+    tree: RegionTreeId,
+    space: IndexSpaceId,
+    touched: &mut HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>>,
+    overlaps: &mut HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>>,
+) {
+    if overlaps.contains_key(&(tree, space)) {
+        return;
+    }
+    let bvh = touched.entry(tree).or_default();
+    let mut mine = vec![space];
+    let domain = forest.domain(space);
+    if !domain.is_empty() {
+        let (lo, hi) = domain.bounds();
+        let query = il_region::BBox::new(lo, hi);
+        let mut candidates = Vec::new();
+        bvh.query(&query, &mut candidates);
+        for other in candidates {
+            if !forest.spaces_disjoint(space, other) {
+                mine.push(other);
+                overlaps.get_mut(&(tree, other)).expect("present").push(space);
+            }
+        }
+        bvh.insert(query, space);
+    }
+    overlaps.insert((tree, space), mine);
+}
+
+/// Hash of a launch's analysis-relevant shape.
+fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    launch.task.0.hash(&mut h);
+    launch.domain.volume().hash(&mut h);
+    launch.domain.dim().hash(&mut h);
+    let (lo, hi) = launch.domain.bounds();
+    lo.hash(&mut h);
+    hi.hash(&mut h);
+    // Sparse domains with equal bounds/volume but different points must
+    // hash differently (their dynamic verdicts can differ).
+    if let Domain::Sparse { points, .. } = &launch.domain {
+        points.hash(&mut h);
+    }
+    for r in &launch.reqs {
+        r.partition.hash(&mut h);
+        r.functor.0.hash(&mut h);
+        std::mem::discriminant(&r.privilege).hash(&mut h);
+        if let Privilege::Reduce(op) = r.privilege {
+            op.hash(&mut h);
+        }
+        r.fields.hash(&mut h);
+    }
+    let _ = program;
+    h.finish()
+}

@@ -1,0 +1,623 @@
+//! The distributed executor: the §5 pipeline on the simulated machine.
+//!
+//! Responsibilities per stage:
+//!
+//! * **Issuance + logical analysis** — a per-run timeline (the
+//!   application / top-level-task thread). Under DCR it is replicated
+//!   identically on every node with no communication, so one computation
+//!   serves all nodes; without DCR it belongs to node 0. Index launches
+//!   cost O(1) per launch here; with IDX disabled each launch pays O(|D|).
+//!   Tracing replaces per-task analysis with cheap replay after the first
+//!   occurrence of a launch signature — and, without DCR, forces index
+//!   launches to expand *before* distribution (§6.2.1).
+//! * **Distribution** — DCR: sharding functor selects the O(|D|_local)
+//!   local points on each node, no communication. Non-DCR: fixed-size
+//!   slice descriptors scatter down a binomial tree (IDX), or one message
+//!   per task streams out of node 0 (No IDX / tracing-forced expansion),
+//!   serializing on node 0's NIC.
+//! * **Physical analysis** — charged O(log |P|) per local task on the
+//!   owning node's runtime thread; the dependence *edges* come from the
+//!   exact oracle in [`crate::depgraph`].
+//! * **Execution + data movement** — tasks run on the owner's GPU;
+//!   completions send credit messages to consumer nodes; cross-node
+//!   copies pay α–β network costs, and in validation mode move real
+//!   bytes between physical instances.
+
+use crate::config::{ExecutionMode, RuntimeConfig};
+use crate::context::{InstanceStore, TaskContext};
+use crate::depgraph::{expand_program, ExpandedProgram, OpSafety, TaskRef};
+use crate::program::Program;
+use il_machine::{MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator};
+use il_region::{domain_intersection, Privilege};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Result of one runtime execution.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Latest simulated time any resource is busy.
+    pub makespan: SimTime,
+    /// Completion time of the last setup (untimed) task.
+    pub setup_done: SimTime,
+    /// `makespan − setup_done`: the duration of the timed portion, used
+    /// for throughput.
+    pub elapsed: SimTime,
+    /// Point tasks executed.
+    pub tasks: u64,
+    /// Cross-node messages sent.
+    pub messages: u64,
+    /// Bytes injected into the network.
+    pub bytes: u64,
+    /// Total issuance-thread time spent in dynamic safety checks.
+    pub dynamic_check_time: SimTime,
+    /// Final value of the issuance/logical-analysis frontier.
+    pub issuance_span: SimTime,
+    /// Final instances (validation mode only).
+    pub store: Option<InstanceStore>,
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// DCR: operation `op` clears logical analysis on this node.
+    InjectOp { op: u32 },
+    /// Non-DCR: node 0 starts distributing operation `op`.
+    DistributeOp { op: u32 },
+    /// Non-DCR, IDX: a batch of slice descriptors `slices[lo..hi]` of
+    /// operation `op` (scattering down the broadcast tree).
+    SliceBatch { op: u32, lo: u32, hi: u32 },
+    /// Non-DCR, expanded: a single task launch arriving at its owner.
+    TaskArrive { task: TaskRef },
+    /// Dependence credits (completions/copies) for consumer tasks.
+    Credits { items: Vec<(TaskRef, u32)> },
+    /// A task finished executing on this node's processor.
+    TaskDone { task: TaskRef },
+    /// Non-DCR: completion/coordination records arriving at the
+    /// centralized runtime on node 0 (`count` units to process).
+    CentralNotify { count: u32 },
+}
+
+#[derive(Default, Clone, Copy)]
+struct TState {
+    injected: bool,
+    analysis_done: SimTime,
+    waits: u32,
+    started: bool,
+}
+
+struct Timing {
+    setup_done: SimTime,
+    last_done: SimTime,
+    tasks_done: u64,
+}
+
+struct Shared<'p> {
+    program: &'p Program,
+    expanded: ExpandedProgram,
+    config: RuntimeConfig,
+    machine: MachineDesc,
+    /// Issuance/logical frontier per op.
+    frontier: Vec<SimTime>,
+    /// Tasks grouped by owner, per op (sorted by owner).
+    op_owner_tasks: Vec<Vec<(NodeId, Vec<TaskRef>)>>,
+    /// Non-DCR slice lists per op: contiguous task ranges per owner.
+    slices: Vec<Vec<(u32, u32, NodeId)>>,
+    /// Initial wait counts (deps + copies).
+    waits_init: Vec<u32>,
+    /// Sum over reqs of ceil(log2 |P_req|), per op (physical-analysis
+    /// multiplier).
+    phys_weight: Vec<u32>,
+    store: RefCell<InstanceStore>,
+    timing: RefCell<Timing>,
+    dynamic_check_time: SimTime,
+}
+
+struct RtNode<'p> {
+    shared: Rc<Shared<'p>>,
+    states: HashMap<TaskRef, TState>,
+    /// Non-DCR, compact ops: local tasks of each op still running (the
+    /// slice's completion is reported centrally once, when the last
+    /// local task finishes).
+    slice_remaining: HashMap<u32, u32>,
+}
+
+impl<'p> RtNode<'p> {
+    fn state(&mut self, task: TaskRef) -> &mut TState {
+        let init = self.shared.waits_init[task as usize];
+        self.states.entry(task).or_insert(TState {
+            injected: false,
+            analysis_done: SimTime::ZERO,
+            waits: init,
+            started: false,
+        })
+    }
+
+    /// Charge mapping + physical analysis for a local task and mark it
+    /// ready for dependence resolution.
+    fn inject_task(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
+        let cost = &self.shared.config.cost;
+        let op = self.shared.expanded.tasks[task as usize].op as usize;
+        let phys = self.shared.phys_weight[op];
+        ctx.charge(cost.distribute_point + cost.map_task + cost.physical_per_task * phys as u64);
+        let now = ctx.now();
+        let st = self.state(task);
+        st.injected = true;
+        st.analysis_done = now;
+        self.try_start(ctx, task);
+    }
+
+    /// Start execution if analysis is done and all credits arrived.
+    fn try_start(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
+        let st = *self.state(task);
+        if !st.injected || st.waits > 0 || st.started {
+            return;
+        }
+        self.state(task).started = true;
+        let shared = self.shared.clone();
+        let inst = &shared.expanded.tasks[task as usize];
+        let op = inst.op as usize;
+        let launch = shared.program.ops[op].launch();
+        let gpus = shared.machine.gpus_per_node.max(1);
+        let local_proc = shared.machine.cpus_per_node + (inst.point_idx as usize % gpus);
+        let duration = shared.config.cost.start_task + launch.cost.at(inst.point);
+        let done = ctx.exec_on_proc(local_proc, duration);
+        ctx.send_self_at(done, Msg::TaskDone { task });
+    }
+
+    /// Run the body (validation mode) and fan out completion credits.
+    fn complete_task(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
+        let shared = self.shared.clone();
+        if shared.config.mode == ExecutionMode::Validate {
+            self.run_body(task);
+        }
+        // Record timing.
+        {
+            let inst = &shared.expanded.tasks[task as usize];
+            let mut timing = shared.timing.borrow_mut();
+            let t = ctx.arrival();
+            if (inst.op as usize) < shared.program.timed_from {
+                timing.setup_done = timing.setup_done.max(t);
+            }
+            timing.last_done = timing.last_done.max(t);
+            timing.tasks_done += 1;
+        }
+        // Group credits by consumer owner: 1 credit per dependence edge,
+        // plus 1 per incoming copy from this producer.
+        let mut per_node: HashMap<NodeId, (Vec<(TaskRef, u32)>, u64)> = HashMap::new();
+        for &succ in &shared.expanded.succs[task as usize] {
+            let owner = shared.expanded.tasks[succ as usize].owner;
+            let copies: Vec<_> = shared.expanded.copies[succ as usize]
+                .iter()
+                .filter(|c| c.from == task)
+                .collect();
+            let credits = 1 + copies.len() as u32;
+            let bytes: u64 = shared.config.cost.notify_message_bytes
+                + copies.iter().map(|c| c.bytes).sum::<u64>();
+            let entry = per_node.entry(owner).or_default();
+            entry.0.push((succ, credits));
+            entry.1 += bytes;
+        }
+        let mut targets: Vec<_> = per_node.into_iter().collect();
+        targets.sort_unstable_by_key(|(n, _)| *n);
+        for (node, (items, bytes)) in targets {
+            if node == ctx.node() {
+                for (succ, credits) in items {
+                    self.apply_credits(ctx, succ, credits);
+                }
+            } else {
+                ctx.send(node, Msg::Credits { items }, bytes);
+            }
+        }
+        // Centralized mode: completion processing flows through node 0's
+        // runtime instance — per task when the op was expanded, per
+        // slice when it traveled as a compact index launch.
+        if !shared.config.dcr {
+            let op = shared.expanded.tasks[task as usize].op;
+            let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
+            let notify = if compact {
+                let remaining = self.slice_remaining.entry(op).or_insert_with(|| {
+                    shared.op_owner_tasks[op as usize]
+                        .binary_search_by_key(&ctx.node(), |(n, _)| *n)
+                        .map(|i| shared.op_owner_tasks[op as usize][i].1.len() as u32)
+                        .unwrap_or(0)
+                });
+                *remaining -= 1;
+                *remaining == 0
+            } else {
+                true
+            };
+            if notify {
+                ctx.send(0, Msg::CentralNotify { count: 1 }, shared.config.cost.notify_message_bytes);
+            }
+        }
+    }
+
+    fn apply_credits(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, credits: u32) {
+        let st = self.state(task);
+        debug_assert!(st.waits >= credits, "credit overflow for task {task}");
+        st.waits -= credits;
+        self.try_start(ctx, task);
+    }
+
+    /// Validation mode: apply incoming copies, fill reduction buffers,
+    /// run the kernel.
+    fn run_body(&mut self, task: TaskRef) {
+        let shared = &self.shared;
+        let forest = &shared.program.forest;
+        let inst = &shared.expanded.tasks[task as usize];
+        let op = inst.op as usize;
+        let launch = shared.program.ops[op].launch();
+        let mut store = shared.store.borrow_mut();
+
+        // Ensure destination instances exist.
+        for (req, &space) in launch.reqs.iter().zip(&inst.subspaces) {
+            store.ensure(forest, req.tree, space, req.field_space);
+        }
+
+        // Apply incoming copies: plain copies first, then reduction folds,
+        // in deterministic producer order.
+        let mut copies = shared.expanded.copies[task as usize].clone();
+        copies.sort_by_key(|c| (c.fold.is_some(), c.from, c.src_space, c.dst_req));
+        for c in &copies {
+            let dst_space = inst.subspaces[c.dst_req];
+            if dst_space == c.src_space {
+                continue; // same instance: data already in place
+            }
+            let dst_domain = forest.domain(dst_space).clone();
+            let src_domain = forest.domain(c.src_space).clone();
+            let Some(overlap) = domain_intersection(&dst_domain, &src_domain) else {
+                continue;
+            };
+            let src = store
+                .take((c.tree, c.src_space))
+                .unwrap_or_else(|| panic!("copy source instance missing: {:?}", c.src_space));
+            {
+                let dst = store
+                    .get_mut((c.tree, dst_space))
+                    .expect("destination ensured above");
+                match c.fold {
+                    None => dst.copy_from(&src, &overlap, &c.fields),
+                    Some(op_id) => {
+                        let kind = op_id.kind().expect("built-in reduction");
+                        dst.fold_from(&src, &overlap, &c.fields, kind);
+                    }
+                }
+            }
+            store.put((c.tree, c.src_space), src);
+        }
+
+        // Reduction privileges write contributions into identity-filled
+        // buffers (folded into consumers later).
+        for (req_idx, req) in launch.reqs.iter().enumerate() {
+            if let Privilege::Reduce(op_id) = req.privilege {
+                // Only the epoch-opening reducer fills the identity;
+                // later reducers of the same epoch accumulate.
+                if !inst.fresh_reduce[req_idx] {
+                    continue;
+                }
+                let kind = op_id.kind().expect("built-in reduction");
+                let space = inst.subspaces[req_idx];
+                let instance = store.get_mut((req.tree, space)).expect("ensured");
+                let fields: Vec<_> = if req.fields.is_empty() {
+                    instance.field_ids().collect()
+                } else {
+                    req.fields.clone()
+                };
+                for f in fields {
+                    instance.fill_identity(f, kind);
+                }
+            }
+        }
+
+        if let Some(body) = &shared.program.task(launch.task).body {
+            let keys: Vec<_> = launch
+                .reqs
+                .iter()
+                .zip(&inst.subspaces)
+                .map(|(req, &space)| ((req.tree, space), forest.domain(space).clone()))
+                .collect();
+            let mut ctx = TaskContext::assemble(inst.point, launch.scalars.clone(), keys, &mut store);
+            body(&mut ctx);
+            ctx.disassemble(&mut store);
+        }
+    }
+}
+
+impl<'p> NodeBehavior<Msg> for RtNode<'p> {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::InjectOp { op } => {
+                let shared = self.shared.clone();
+                let groups = &shared.op_owner_tasks[op as usize];
+                if let Ok(i) = groups.binary_search_by_key(&ctx.node(), |(n, _)| *n) {
+                    let tasks = groups[i].1.clone();
+                    for t in tasks {
+                        self.inject_task(ctx, t);
+                    }
+                }
+            }
+            Msg::DistributeOp { op } => {
+                let shared = self.shared.clone();
+                let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
+                if compact {
+                    let n = shared.slices[op as usize].len() as u32;
+                    self.handle_slice_batch(ctx, op, 0, n);
+                } else {
+                    // Stream one message per task out of node 0.
+                    let (lo, hi) = shared.expanded.op_tasks[op as usize];
+                    for t in lo..hi {
+                        let owner = shared.expanded.tasks[t as usize].owner;
+                        if owner == ctx.node() {
+                            self.inject_task(ctx, t);
+                        } else {
+                            ctx.send(
+                                owner,
+                                Msg::TaskArrive { task: t },
+                                shared.config.cost.task_message_bytes,
+                            );
+                        }
+                    }
+                }
+            }
+            Msg::SliceBatch { op, lo, hi } => {
+                self.handle_slice_batch(ctx, op, lo, hi);
+            }
+            Msg::TaskArrive { task } => {
+                self.inject_task(ctx, task);
+            }
+            Msg::Credits { items } => {
+                for (task, credits) in items {
+                    self.apply_credits(ctx, task, credits);
+                }
+            }
+            Msg::TaskDone { task } => {
+                self.complete_task(ctx, task);
+            }
+            Msg::CentralNotify { count } => {
+                let per_unit = self.shared.config.cost.central_complete;
+                ctx.charge(per_unit * count as u64);
+            }
+        }
+    }
+}
+
+impl<'p> RtNode<'p> {
+    /// Recursive-halving scatter of slice descriptors (§5, Figure 3): the
+    /// sender keeps the first half and forwards the second half to the
+    /// owner of its first slice, until single slices expand locally.
+    fn handle_slice_batch(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, lo: u32, mut hi: u32) {
+        let shared = self.shared.clone();
+        let slices = &shared.slices[op as usize];
+        loop {
+            if lo >= hi {
+                return;
+            }
+            if hi - lo == 1 {
+                let (tlo, thi, owner) = slices[lo as usize];
+                if owner == ctx.node() {
+                    for t in tlo..thi {
+                        self.inject_task(ctx, t);
+                    }
+                } else {
+                    ctx.send(
+                        owner,
+                        Msg::SliceBatch { op, lo, hi },
+                        shared.config.cost.slice_message_bytes,
+                    );
+                }
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let right_owner = slices[mid as usize].2;
+            let bytes = (hi - mid) as u64 * shared.config.cost.slice_message_bytes;
+            if right_owner == ctx.node() {
+                // Keep both halves local: handle right recursively.
+                self.handle_slice_batch(ctx, op, mid, hi);
+            } else {
+                ctx.send(right_owner, Msg::SliceBatch { op, lo: mid, hi }, bytes);
+            }
+            hi = mid;
+        }
+    }
+}
+
+/// Whether this op travels as a compact slice descriptor without DCR.
+fn distribution_is_compact(config: &RuntimeConfig, safety: &OpSafety) -> bool {
+    config.idx && !matches!(safety, OpSafety::Sequential) && !config.tracing
+}
+
+/// Whether this op is carried as a compact index launch through issuance
+/// and logical analysis.
+fn issuance_is_compact(config: &RuntimeConfig, safety: &OpSafety) -> bool {
+    config.idx && !matches!(safety, OpSafety::Sequential)
+}
+
+/// Compute the issuance + logical-analysis frontier (identical on every
+/// node under DCR; node 0's otherwise) and total dynamic-check time.
+fn compute_frontier(
+    program: &Program,
+    expanded: &ExpandedProgram,
+    config: &RuntimeConfig,
+) -> (Vec<SimTime>, SimTime) {
+    let cost = &config.cost;
+    let mut t = SimTime::ZERO;
+    let mut dyn_total = SimTime::ZERO;
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut frontier = Vec::with_capacity(program.ops.len());
+    for (i, op) in program.ops.iter().enumerate() {
+        let launch = op.launch();
+        let d = launch.domain.volume();
+        let safety = &expanded.safety[i];
+        if config.dynamic_checks {
+            if let OpSafety::Dynamic { evals } = safety {
+                let check = cost.dyn_check_per_eval * *evals;
+                t += check;
+                dyn_total += check;
+            }
+        }
+        let sig = op_signature(op);
+        let traced = config.tracing && !seen.insert(sig);
+        if issuance_is_compact(config, safety) {
+            if config.dcr || !config.tracing {
+                // Compact through issuance, logical analysis, and (under
+                // DCR) distribution: O(1) per launch.
+                t += cost.issue_launch + cost.logical_launch;
+            } else {
+                // Tracing without DCR: the trace captures/replays
+                // individual tasks, forcing expansion before distribution
+                // (§6.2.1) — O(|D|) on node 0 despite the index launch.
+                let per_task = if traced {
+                    cost.trace_replay_per_task
+                } else {
+                    cost.logical_task
+                };
+                t += cost.issue_launch + (cost.issue_task + cost.distribute_point + per_task) * d;
+            }
+        } else {
+            let per_task = if traced {
+                cost.trace_replay_per_task
+            } else {
+                cost.logical_task
+            };
+            t += (cost.issue_task + per_task) * d;
+        }
+        frontier.push(t);
+    }
+    (frontier, dyn_total)
+}
+
+fn op_signature(op: &crate::program::Operation) -> u64 {
+    let launch = op.launch();
+    let mut h = DefaultHasher::new();
+    launch.task.0.hash(&mut h);
+    launch.domain.volume().hash(&mut h);
+    for r in &launch.reqs {
+        r.partition.hash(&mut h);
+        r.functor.0.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Execute `program` under `config`, returning the run report.
+pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
+    let expanded = expand_program(program, config);
+    let (frontier, dyn_total) = compute_frontier(program, &expanded, config);
+
+    // Group tasks by owner per op; build slice lists (contiguous owner
+    // runs in iteration order).
+    let mut op_owner_tasks: Vec<Vec<(NodeId, Vec<TaskRef>)>> = Vec::with_capacity(program.ops.len());
+    let mut slices: Vec<Vec<(u32, u32, NodeId)>> = Vec::with_capacity(program.ops.len());
+    for op_idx in 0..program.ops.len() {
+        let (lo, hi) = expanded.op_tasks[op_idx];
+        let mut groups: HashMap<NodeId, Vec<TaskRef>> = HashMap::new();
+        let mut runs: Vec<(u32, u32, NodeId)> = Vec::new();
+        for t in lo..hi {
+            let owner = expanded.tasks[t as usize].owner;
+            groups.entry(owner).or_default().push(t);
+            match runs.last_mut() {
+                Some((_, rhi, rowner)) if *rowner == owner && *rhi == t => *rhi = t + 1,
+                _ => runs.push((t, t + 1, owner)),
+            }
+        }
+        let mut groups: Vec<_> = groups.into_iter().collect();
+        groups.sort_unstable_by_key(|(n, _)| *n);
+        op_owner_tasks.push(groups);
+        slices.push(runs);
+    }
+
+    let waits_init: Vec<u32> = (0..expanded.len())
+        .map(|t| (expanded.deps[t].len() + expanded.copies[t].len()) as u32)
+        .collect();
+
+    let phys_weight: Vec<u32> = program
+        .ops
+        .iter()
+        .map(|op| {
+            op.launch()
+                .reqs
+                .iter()
+                .map(|r| {
+                    let children = program.forest.partition(r.partition).children.len() as u32;
+                    32 - children.max(2).leading_zeros()
+                })
+                .sum()
+        })
+        .collect();
+
+    let machine = MachineDesc::piz_daint(config.nodes);
+    let total_tasks = expanded.len() as u64;
+    let shared = Rc::new(Shared {
+        program,
+        expanded,
+        config: config.clone(),
+        machine: machine.clone(),
+        frontier,
+        op_owner_tasks,
+        slices,
+        waits_init,
+        phys_weight,
+        store: RefCell::new(InstanceStore::new()),
+        timing: RefCell::new(Timing {
+            setup_done: SimTime::ZERO,
+            last_done: SimTime::ZERO,
+            tasks_done: 0,
+        }),
+        dynamic_check_time: dyn_total,
+    });
+
+    let behaviors: Vec<RtNode<'_>> = (0..config.nodes)
+        .map(|_| RtNode {
+            shared: shared.clone(),
+            states: HashMap::new(),
+            slice_remaining: HashMap::new(),
+        })
+        .collect();
+    let mut sim = Simulator::new(machine, Network::aries(), behaviors);
+
+    for op_idx in 0..program.ops.len() {
+        let at = shared.frontier[op_idx];
+        if config.dcr {
+            for (node, _) in &shared.op_owner_tasks[op_idx] {
+                sim.inject(at, *node, Msg::InjectOp { op: op_idx as u32 });
+            }
+        } else {
+            sim.inject(at, 0, Msg::DistributeOp { op: op_idx as u32 });
+        }
+    }
+
+    let max_events = 64 * total_tasks.max(1_000) + 64 * (program.ops.len() as u64) * (config.nodes as u64);
+    sim.run(max_events);
+
+    let makespan = sim.makespan();
+    let stats = sim.stats().clone();
+    drop(sim);
+    let shared = Rc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("simulator retained shared state"));
+    let timing = shared.timing.into_inner();
+    let setup_done = timing.setup_done;
+    let store = if config.mode == ExecutionMode::Validate {
+        Some(shared.store.into_inner())
+    } else {
+        None
+    };
+
+    assert_eq!(
+        timing.tasks_done, total_tasks,
+        "deadlock or lost tasks: {} of {} completed",
+        timing.tasks_done, total_tasks
+    );
+
+    RunReport {
+        makespan,
+        setup_done,
+        elapsed: makespan.saturating_sub(setup_done),
+        tasks: total_tasks,
+        messages: stats.messages,
+        bytes: stats.bytes,
+        dynamic_check_time: shared.dynamic_check_time,
+        issuance_span: shared.frontier.last().copied().unwrap_or(SimTime::ZERO),
+        store,
+    }
+}

@@ -1,0 +1,239 @@
+//! A small work-stealing thread pool.
+//!
+//! Built on `crossbeam-deque` in the classic injector/worker/stealer
+//! arrangement. The benchmark harness uses it to run independent
+//! simulations (one per node-count × configuration point) across cores;
+//! it is also usable for data-parallel kernel work. The pool guarantees
+//! that [`map`](ThreadPool::map) returns results in input order, so
+//! parallelism never perturbs experiment output.
+
+use crossbeam_channel::{unbounded, Sender};
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("il-pool-{me}"))
+                    .spawn(move || worker_loop(me, local, shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// A pool sized to the machine (logical CPUs, minimum 1).
+    pub fn with_default_parallelism() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a fire-and-forget job.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.injector.push(Box::new(job));
+        self.shared.idle_cv.notify_one();
+    }
+
+    /// Run `jobs` in parallel and collect their results **in input
+    /// order**. Blocks until all jobs finish.
+    pub fn map<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = unbounded::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx: Sender<(usize, T)> = tx.clone();
+            self.execute(move || {
+                let out = job();
+                // Receiver lives until all results are in.
+                let _ = tx.send((i, out));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, v) = rx.recv().expect("pool worker panicked");
+            slots[i] = Some(v);
+        }
+        slots.into_iter().map(|s| s.expect("result present")).collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.idle_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
+    loop {
+        // Local queue first, then the injector, then steal from peers.
+        let job = local.pop().or_else(|| {
+            std::iter::repeat_with(|| {
+                shared.injector.steal_batch_and_pop(&local).or_else(|| {
+                    shared
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != me)
+                        .map(|(_, s)| s.steal())
+                        .collect()
+                })
+            })
+            .find(|s| !s.is_retry())
+            .and_then(|s| s.success())
+        });
+        match job {
+            Some(job) => job(),
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Park until new work or shutdown.
+                let mut guard = shared.idle_lock.lock();
+                if shared.injector.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                    shared
+                        .idle_cv
+                        .wait_for(&mut guard, std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..64)
+            .map(|i| move || i * i)
+            .collect();
+        let out = pool.map(jobs);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let c = counter.clone();
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.map(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // A few heavy jobs mixed with light ones.
+                    let iters = if i % 8 == 0 { 200_000 } else { 100 };
+                    let mut acc = 0u64;
+                    for k in 0..iters {
+                        acc = acc.wrapping_mul(31).wrapping_add(k);
+                    }
+                    acc
+                }
+            })
+            .collect();
+        assert_eq!(pool.map(jobs).len(), 32);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map(vec![|| 1, || 2]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| {});
+        drop(pool); // must not hang
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn nested_map_from_worker_results() {
+        // Two sequential waves through the same pool.
+        let pool = ThreadPool::new(2);
+        let first = pool.map((0..8).map(|i| move || i + 1).collect::<Vec<_>>());
+        let jobs: Vec<_> = first.into_iter().map(|v| move || v * 10).collect();
+        let second = pool.map(jobs);
+        assert_eq!(second, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn empty_map() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<i32> = pool.map(Vec::<fn() -> i32>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Sharding and slicing functors.
+//!
+//! Distribution (§5) is under user control: with DCR a **sharding
+//! functor** maps each launch-domain point to the node that owns it —
+//! a pure function, evaluated locally on every node with no
+//! communication; without DCR a **slicing functor** recursively splits
+//! the domain so fixed-size slice descriptors can travel a broadcast
+//! tree.
+
+use il_geometry::{Domain, DomainPoint};
+use il_machine::NodeId;
+use std::sync::Arc;
+
+/// A sharding functor: `(point, domain, nodes) → owner node`.
+///
+/// Must be pure (Legion memoizes them, §5) and total over the domain.
+pub type ShardingFn = Arc<dyn Fn(DomainPoint, &Domain, usize) -> NodeId + Send + Sync>;
+
+/// Block sharding: contiguous runs of the domain's iteration order map to
+/// the same node. With |D| = k·N, each node owns k consecutive points —
+/// the common case in the paper's applications where the partition size
+/// equals (a small multiple of) the node count.
+pub fn block_shard() -> ShardingFn {
+    Arc::new(|p: DomainPoint, domain: &Domain, nodes: usize| {
+        let volume = domain.volume().max(1);
+        let idx = position_in_domain(p, domain);
+        ((idx as u128 * nodes as u128) / volume as u128) as NodeId
+    })
+}
+
+/// Round-robin sharding: point `i` goes to node `i mod N`.
+pub fn round_robin_shard() -> ShardingFn {
+    Arc::new(|p: DomainPoint, domain: &Domain, nodes: usize| {
+        (position_in_domain(p, domain) % nodes as u64) as NodeId
+    })
+}
+
+/// Position of `p` in the iteration order of `domain`.
+///
+/// Dense domains use row-major linearization (O(1)); sparse domains use
+/// the point's rank in the list.
+pub fn position_in_domain(p: DomainPoint, domain: &Domain) -> u64 {
+    match domain {
+        Domain::Sparse { points, .. } => points
+            .iter()
+            .position(|q| *q == p)
+            .unwrap_or_else(|| panic!("point {p:?} not in sparse domain")) as u64,
+        dense => dense
+            .linearize(p)
+            .unwrap_or_else(|| panic!("point {p:?} not in domain {dense:?}")),
+    }
+}
+
+/// The point at iteration-order position `idx` of `domain`.
+pub fn point_at(domain: &Domain, idx: u64) -> DomainPoint {
+    match domain {
+        Domain::Sparse { points, .. } => points[idx as usize],
+        Domain::Rect1(r) => r.delinearize(idx).expect("index in range").into(),
+        Domain::Rect2(r) => r.delinearize(idx).expect("index in range").into(),
+        Domain::Rect3(r) => r.delinearize(idx).expect("index in range").into(),
+    }
+}
+
+/// Slice `domain` over `nodes` nodes into iteration-order index ranges
+/// `(lo, hi, owner)` (inclusive), exactly consistent with
+/// [`block_shard`]: range `i` holds every point whose block-shard owner
+/// is `i`. A slice descriptor is fixed-size regardless of how many tasks
+/// it represents — the O(1) representation the non-DCR distribution
+/// ships around the broadcast tree (§5).
+pub fn block_slices(domain: &Domain, nodes: usize) -> Vec<(u64, u64, NodeId)> {
+    let volume = domain.volume();
+    if volume == 0 {
+        return vec![];
+    }
+    let n = nodes as u128;
+    let v = volume as u128;
+    let mut out = Vec::new();
+    for i in 0..nodes as u128 {
+        // owner(idx) = floor(idx·N/V) = i  ⇔  idx ∈ [⌈iV/N⌉, ⌈(i+1)V/N⌉-1]
+        let lo = (i * v).div_ceil(n);
+        let hi = ((i + 1) * v).div_ceil(n);
+        if hi > lo {
+            out.push((lo as u64, hi as u64 - 1, i as NodeId));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use il_geometry::Rect;
+
+    #[test]
+    fn block_shard_balanced_1d() {
+        let shard = block_shard();
+        let d = Domain::range(8);
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 4)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn block_shard_overdecomposed() {
+        let shard = block_shard();
+        let d = Domain::range(8);
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 2)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn block_shard_fewer_points_than_nodes() {
+        let shard = block_shard();
+        let d = Domain::range(3);
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 8)).collect();
+        // Spread across the machine, each point on its own node.
+        assert_eq!(owners.len(), 3);
+        let mut sorted = owners.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "points must go to distinct nodes: {owners:?}");
+    }
+
+    #[test]
+    fn round_robin() {
+        let shard = round_robin_shard();
+        let d = Domain::range(6);
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 4)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn sharding_2d_covers_all_nodes() {
+        let shard = block_shard();
+        let d: Domain = Rect::new2((0, 0), (3, 3)).into();
+        let mut owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 4)).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_position() {
+        let d = Domain::sparse(vec![
+            DomainPoint::new3(0, 0, 1),
+            DomainPoint::new3(0, 1, 0),
+            DomainPoint::new3(1, 0, 0),
+        ]);
+        assert_eq!(position_in_domain(DomainPoint::new3(1, 0, 0), &d), 2);
+    }
+
+    #[test]
+    fn slices_agree_with_block_shard() {
+        let shard = block_shard();
+        for volume in [3i64, 10, 16, 17] {
+            let d = Domain::range(volume);
+            for nodes in [1usize, 2, 3, 4, 8, 16, 20] {
+                let slices = block_slices(&d, nodes);
+                let mut covered = 0u64;
+                for &(lo, hi, owner) in &slices {
+                    for idx in lo..=hi {
+                        let p = point_at(&d, idx);
+                        assert_eq!(shard(p, &d, nodes), owner, "v={volume} n={nodes} idx={idx}");
+                        covered += 1;
+                    }
+                }
+                assert_eq!(covered, volume as u64, "v={volume} n={nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_at_matches_iteration() {
+        let d: Domain = Rect::new2((0, 0), (2, 3)).into();
+        for (i, p) in d.iter().enumerate() {
+            assert_eq!(point_at(&d, i as u64), p);
+        }
+        let s = Domain::sparse(vec![DomainPoint::new1(5), DomainPoint::new1(2)]);
+        assert_eq!(point_at(&s, 1), DomainPoint::new1(2));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn block_slices_single_node() {
+        let d = Domain::range(10);
+        let slices = block_slices(&d, 1);
+        assert_eq!(slices, vec![(0, 9, 0)]);
+    }
+
+    #[test]
+    fn block_slices_empty_domain_yields_nothing() {
+        let d = Domain::Rect1(il_geometry::Rect::new1(0, -1));
+        assert!(block_slices(&d, 4).is_empty());
+    }
+
+    #[test]
+    fn block_shard_is_monotone() {
+        // Owners never decrease along the iteration order.
+        let shard = block_shard();
+        let d = Domain::range(37);
+        let owners: Vec<_> = d.iter().map(|p| shard(p, &d, 5)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*owners.last().unwrap(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! PRK 2-D stencil: validate against the sequential reference, then
+//! compare all four (DCR × IDX) runtime configurations at one weak-scaling
+//! point (a column of Figure 8).
+//!
+//! ```text
+//! cargo run --release --example stencil_scaling
+//! ```
+
+use index_launch::apps::stencil;
+use index_launch::prelude::*;
+
+fn main() {
+    // ---- Correctness ----
+    let tiny = stencil::StencilConfig::tiny((2, 3));
+    let app = stencil::build(&tiny);
+    let report = execute(&app.program, &RuntimeConfig::validate(6));
+    let got = stencil::extract_fout(&app, &report);
+    let want = stencil::reference(&tiny);
+    let max_err = got
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "validation: {}x{} grid on 2x3 tiles, {} halo-exchange bytes, max error {max_err:.2e}",
+        tiny.grid.0, tiny.grid.1, report.bytes
+    );
+    assert!(max_err < 1e-9);
+
+    // ---- One weak-scaling column across the four configurations ----
+    let nodes = 256;
+    println!("\n9e8 cells/node on {nodes} nodes, per-node throughput (Gcells/s):");
+    for (label, dcr, idx) in [
+        ("DCR, IDX", true, true),
+        ("DCR, No IDX", true, false),
+        ("No DCR, IDX", false, true),
+        ("No DCR, No IDX", false, false),
+    ] {
+        let config = stencil::StencilConfig::weak(nodes);
+        let app = stencil::build(&config);
+        let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx);
+        let report = execute(&app.program, &rt);
+        let per_node = stencil::throughput(&config, &report) / nodes as f64;
+        println!("  {label:<16} {:>8.2}", per_node / 1e9);
+    }
+}

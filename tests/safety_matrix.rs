@@ -1,0 +1,269 @@
+//! A systematic matrix of launch-safety scenarios, cross-validated two
+//! ways: the hybrid analysis verdict (§3–4) against a brute-force
+//! interference oracle that enumerates every pair of point tasks and
+//! checks for overlapping accesses with conflicting privileges.
+//!
+//! This is the strongest soundness check in the suite: whenever the
+//! hybrid analysis says "index launch" (statically or after a dynamic
+//! check), the oracle must find zero interference; whenever the oracle
+//! finds interference, the analysis must have rejected the launch.
+
+use index_launch::analysis::{analyze_launch, HybridVerdict, LaunchArg, ProjExpr};
+use index_launch::prelude::*;
+use index_launch::region::{domains_overlap, IndexPartitionId, RegionForest, ReductionKind};
+
+struct World {
+    forest: RegionForest,
+    /// 40 elements split into 8 disjoint blocks.
+    disjoint: IndexPartitionId,
+    /// Aliased halo-ish partition of the same region.
+    aliased: IndexPartitionId,
+    /// Disjoint partition of an unrelated region.
+    other: IndexPartitionId,
+}
+
+fn world() -> World {
+    let mut forest = RegionForest::new();
+    let mut fsd = FieldSpaceDesc::new();
+    fsd.add("a", FieldKind::F64);
+    fsd.add("b", FieldKind::F64);
+    let fs = forest.create_field_space(fsd);
+    let r1 = forest.create_region(Domain::range(40), fs);
+    let r2 = forest.create_region(Domain::range(40), fs);
+    let disjoint = equal_partition_1d(&mut forest, r1.space, 8);
+    let aliased = {
+        let coloring: Vec<_> = (0..8i64)
+            .map(|c| {
+                let lo = (c * 5 - 1).max(0);
+                let hi = ((c + 1) * 5).min(39);
+                (
+                    index_launch::geometry::DomainPoint::new1(c),
+                    Domain::Rect1(index_launch::geometry::Rect::new1(lo, hi)),
+                )
+            })
+            .collect();
+        forest.create_partition(
+            r1.space,
+            Domain::range(8),
+            coloring,
+            index_launch::region::Disjointness::Aliased,
+        )
+    };
+    let other = equal_partition_1d(&mut forest, r2.space, 8);
+    World { forest, disjoint, aliased, other }
+}
+
+/// Brute-force interference oracle: materialize every task's accesses and
+/// test all pairs.
+fn interferes(w: &World, domain: &Domain, args: &[LaunchArg]) -> bool {
+    let tasks: Vec<Vec<(Domain, Privilege)>> = domain
+        .iter()
+        .map(|point| {
+            args.iter()
+                .map(|arg| {
+                    let color = arg.functor.eval(point);
+                    let space = w
+                        .forest
+                        .try_subspace(arg.partition, color)
+                        .expect("in-bounds color");
+                    (w.forest.domain(space).clone(), arg.privilege)
+                })
+                .collect()
+        })
+        .collect();
+    for i in 0..tasks.len() {
+        for j in (i + 1)..tasks.len() {
+            for (da, pa) in &tasks[i] {
+                for (db, pb) in &tasks[j] {
+                    if !pa.parallel_with(pb) && domains_overlap(da, db) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+fn check_agreement(w: &World, name: &str, domain: &Domain, args: Vec<LaunchArg>) {
+    let verdict = analyze_launch(&w.forest, domain, &args);
+    let launchable = match &verdict {
+        HybridVerdict::SafeStatic => true,
+        HybridVerdict::NeedsDynamic(plan) => plan.run().is_ok(),
+        HybridVerdict::Unsafe(_) => false,
+    };
+    let oracle_interferes = interferes(w, domain, &args);
+    if launchable {
+        assert!(
+            !oracle_interferes,
+            "{name}: analysis accepted an interfering launch ({verdict:?})"
+        );
+    }
+    // The converse (analysis rejecting a non-interfering launch) is
+    // allowed — the analysis is conservative — but for the *statically
+    // decidable* cases in this matrix we also assert completeness where
+    // the paper's rules guarantee it.
+}
+
+fn arg(p: IndexPartitionId, f: ProjExpr, privilege: Privilege) -> LaunchArg {
+    LaunchArg { partition: p, functor: f, privilege, fields: vec![] }
+}
+
+#[test]
+fn safety_matrix_agrees_with_oracle() {
+    let w = world();
+    let d8 = Domain::range(8);
+    let d5 = Domain::range(5);
+    let sum = Privilege::Reduce(ReductionKind::Sum.id());
+    let min = Privilege::Reduce(ReductionKind::Min.id());
+
+    let scenarios: Vec<(&str, Domain, Vec<LaunchArg>)> = vec![
+        ("identity write", d8.clone(), vec![arg(w.disjoint, ProjExpr::Identity, Privilege::Write)]),
+        ("identity rw", d8.clone(), vec![arg(w.disjoint, ProjExpr::Identity, Privilege::ReadWrite)]),
+        ("aliased read", d8.clone(), vec![arg(w.aliased, ProjExpr::Identity, Privilege::Read)]),
+        ("aliased write", d8.clone(), vec![arg(w.aliased, ProjExpr::Identity, Privilege::Write)]),
+        ("aliased reduce", d8.clone(), vec![arg(w.aliased, ProjExpr::Identity, sum)]),
+        (
+            "modular write safe",
+            d5.clone(),
+            vec![arg(w.disjoint, ProjExpr::Modular { a: 1, b: 0, m: 8 }, Privilege::Write)],
+        ),
+        (
+            "modular write unsafe",
+            d8.clone(),
+            vec![arg(w.disjoint, ProjExpr::Modular { a: 1, b: 0, m: 5 }, Privilege::Write)],
+        ),
+        (
+            "opaque reverse write",
+            d8.clone(),
+            vec![arg(
+                w.disjoint,
+                ProjExpr::opaque(|p| index_launch::geometry::DomainPoint::new1(7 - p.x())),
+                Privilege::Write,
+            )],
+        ),
+        (
+            "opaque colliding write",
+            d8.clone(),
+            vec![arg(
+                w.disjoint,
+                ProjExpr::opaque(|p| index_launch::geometry::DomainPoint::new1(p.x() / 2)),
+                Privilege::Write,
+            )],
+        ),
+        (
+            "read + shifted write, images disjoint",
+            Domain::range(4),
+            vec![
+                arg(w.disjoint, ProjExpr::Identity, Privilege::Write),
+                arg(w.disjoint, ProjExpr::linear(1, 4), Privilege::Read),
+            ],
+        ),
+        (
+            "read + same-functor write",
+            d8.clone(),
+            vec![
+                arg(w.disjoint, ProjExpr::Identity, Privilege::Write),
+                arg(w.disjoint, ProjExpr::Identity, Privilege::Read),
+            ],
+        ),
+        (
+            "reduce + reduce same op",
+            d8.clone(),
+            vec![
+                arg(w.disjoint, ProjExpr::Identity, sum),
+                arg(w.disjoint, ProjExpr::Modular { a: 1, b: 3, m: 8 }, sum),
+            ],
+        ),
+        (
+            "reduce + reduce different op",
+            d8.clone(),
+            vec![
+                arg(w.disjoint, ProjExpr::Identity, sum),
+                arg(w.disjoint, ProjExpr::Identity, min),
+            ],
+        ),
+        (
+            "write + read of different regions",
+            d8.clone(),
+            vec![
+                arg(w.disjoint, ProjExpr::Identity, Privilege::Write),
+                arg(w.other, ProjExpr::Identity, Privilege::Read),
+            ],
+        ),
+        (
+            "write blocks + read aliased of same region",
+            d8.clone(),
+            vec![
+                arg(w.disjoint, ProjExpr::Identity, Privilege::Write),
+                arg(w.aliased, ProjExpr::Identity, Privilege::Read),
+            ],
+        ),
+        (
+            "interleaved writer/reader (dynamic)",
+            Domain::range(4),
+            vec![
+                arg(w.disjoint, ProjExpr::linear(2, 0), Privilege::Write),
+                arg(w.disjoint, ProjExpr::linear(2, 1), Privilege::Read),
+            ],
+        ),
+    ];
+
+    for (name, domain, args) in scenarios {
+        check_agreement(&w, name, &domain, args);
+    }
+}
+
+/// Statically decidable acceptances the paper's rules guarantee.
+#[test]
+fn expected_static_verdicts() {
+    let w = world();
+    let d8 = Domain::range(8);
+    let cases: Vec<(Vec<LaunchArg>, bool)> = vec![
+        (vec![arg(w.disjoint, ProjExpr::Identity, Privilege::Write)], true),
+        (vec![arg(w.aliased, ProjExpr::Identity, Privilege::Read)], true),
+        (
+            vec![arg(w.aliased, ProjExpr::Identity, Privilege::Write)],
+            false,
+        ),
+        (
+            vec![arg(w.disjoint, ProjExpr::Constant(DomainPoint::new1(3)), Privilege::Write)],
+            false,
+        ),
+    ];
+    for (args, expect_safe) in cases {
+        let v = analyze_launch(&w.forest, &d8, &args);
+        match (expect_safe, &v) {
+            (true, HybridVerdict::SafeStatic) => {}
+            (false, HybridVerdict::Unsafe(_)) => {}
+            _ => panic!("unexpected verdict {v:?} for {args:?}"),
+        }
+    }
+}
+
+/// Field-disjoint arguments never interfere — the stencil pattern.
+#[test]
+fn field_disjointness_passes_cross_check() {
+    let w = world();
+    let fa = index_launch::region::FieldId(0);
+    let fb = index_launch::region::FieldId(1);
+    let v = analyze_launch(
+        &w.forest,
+        &Domain::range(8),
+        &[
+            LaunchArg {
+                partition: w.aliased,
+                functor: ProjExpr::Identity,
+                privilege: Privilege::Read,
+                fields: vec![fa],
+            },
+            LaunchArg {
+                partition: w.disjoint,
+                functor: ProjExpr::Identity,
+                privilege: Privilege::ReadWrite,
+                fields: vec![fb],
+            },
+        ],
+    );
+    assert!(matches!(v, HybridVerdict::SafeStatic), "{v:?}");
+}

@@ -1,0 +1,152 @@
+//! The paper's headline performance claims, asserted as properties of the
+//! simulation at test-friendly node counts:
+//!
+//! * index launches beat task-by-task issuance, with and without DCR,
+//!   when tracing isn't forcing early expansion (§6.2.1, Figure 6);
+//! * DCR + IDX is the best configuration everywhere (Figures 4–8);
+//! * DOM sweeps scale worse than forall-style fluid (Figures 9–10);
+//! * the dynamic safety checks cost a negligible fraction of a run
+//!   (§6.3, Figure 10).
+
+use index_launch::apps::{circuit, soleil, stencil};
+use index_launch::prelude::*;
+
+fn circuit_tput(nodes: usize, over: usize, dcr: bool, idx: bool, tracing: bool) -> f64 {
+    let config = circuit::CircuitConfig {
+        iterations: 5,
+        ..circuit::CircuitConfig::weak(nodes, over)
+    };
+    let app = circuit::build(&config);
+    let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx).with_tracing(tracing);
+    let report = execute(&app.program, &rt);
+    circuit::throughput(&config, &report)
+}
+
+#[test]
+fn index_launches_win_overdecomposed_without_tracing() {
+    // Figure 6's claim at 64 nodes: IDX provides a benefit whether or not
+    // DCR is used.
+    let dcr_idx = circuit_tput(64, 10, true, true, false);
+    let dcr_no = circuit_tput(64, 10, true, false, false);
+    let cen_idx = circuit_tput(64, 10, false, true, false);
+    let cen_no = circuit_tput(64, 10, false, false, false);
+    assert!(dcr_idx > 2.0 * dcr_no, "DCR: {dcr_idx:.3e} !> 2x {dcr_no:.3e}");
+    assert!(cen_idx > 2.0 * cen_no, "No DCR: {cen_idx:.3e} !> 2x {cen_no:.3e}");
+    assert!(dcr_idx >= cen_idx, "DCR+IDX must be the best configuration");
+}
+
+#[test]
+fn tracing_undoes_idx_benefit_without_dcr() {
+    // §6.2.1: with tracing, the non-DCR IDX configuration degenerates to
+    // (slightly below) the non-DCR No-IDX one.
+    let with_idx = circuit_tput(64, 1, false, true, true);
+    let without = circuit_tput(64, 1, false, false, true);
+    let ratio = with_idx / without;
+    assert!(
+        (0.85..=1.05).contains(&ratio),
+        "expected IDX ≈ (slightly below) No IDX under tracing, got ratio {ratio:.3}"
+    );
+    // ... but with tracing disabled and tasks overdecomposed (Figure 6's
+    // condition: slices carry many tasks each) IDX clearly wins again.
+    // Without overdecomposition |D| = nodes means one task per slice, so
+    // IDX ≈ No IDX even without tracing — visible in Figure 5's two
+    // overlapping No-DCR lines.
+    let no_trace_idx = circuit_tput(64, 10, false, true, false);
+    let no_trace_no = circuit_tput(64, 10, false, false, false);
+    assert!(no_trace_idx > 1.2 * no_trace_no);
+}
+
+#[test]
+fn dcr_idx_is_best_for_stencil_strong_scaling() {
+    let nodes = 64;
+    let mut results = Vec::new();
+    for (dcr, idx) in [(true, true), (true, false), (false, true), (false, false)] {
+        let config = stencil::StencilConfig {
+            iterations: 5,
+            ..stencil::StencilConfig::strong(nodes)
+        };
+        let app = stencil::build(&config);
+        let report = execute(&app.program, &RuntimeConfig::scale(nodes).with_axes(dcr, idx));
+        results.push(stencil::throughput(&config, &report));
+    }
+    let best = results[0];
+    for (i, r) in results.iter().enumerate().skip(1) {
+        assert!(best >= *r, "DCR+IDX ({best:.3e}) must beat config {i} ({r:.3e})");
+    }
+}
+
+#[test]
+fn dom_sweeps_scale_worse_than_fluid() {
+    // Figure 9 vs Figure 10: forall-parallel fluid weak-scales ~flat;
+    // the full simulation with wavefront sweeps loses efficiency.
+    let nodes = 16;
+    let fluid_eff = {
+        let mk = |n: usize| {
+            let config = soleil::SoleilConfig {
+                iterations: 3,
+                ..soleil::SoleilConfig::fluid_weak(n)
+            };
+            let app = soleil::build(&config);
+            let rep = execute(&app.program, &RuntimeConfig::scale(n));
+            soleil::throughput(&config, &rep)
+        };
+        mk(nodes) / mk(1)
+    };
+    let full_eff = {
+        let mk = |n: usize| {
+            let config = soleil::SoleilConfig {
+                iterations: 3,
+                ..soleil::SoleilConfig::full_weak(n)
+            };
+            let app = soleil::build(&config);
+            let rep = execute(&app.program, &RuntimeConfig::scale(n));
+            soleil::throughput(&config, &rep)
+        };
+        mk(nodes) / mk(1)
+    };
+    assert!(fluid_eff > 0.97, "fluid-only should weak-scale ~flat: {fluid_eff:.3}");
+    assert!(full_eff < fluid_eff, "DOM must cost efficiency: {full_eff:.3} vs {fluid_eff:.3}");
+    assert!(full_eff > 0.4, "but the sweeps still pipeline: {full_eff:.3}");
+}
+
+#[test]
+fn dynamic_checks_are_negligible() {
+    // §6.3: check cost is less than the application's task granularity,
+    // so enabling them changes the makespan by well under 1%.
+    let nodes = 8;
+    let config = soleil::SoleilConfig {
+        iterations: 3,
+        ..soleil::SoleilConfig::full_weak(nodes)
+    };
+    let on = {
+        let app = soleil::build(&config);
+        execute(&app.program, &RuntimeConfig::scale(nodes))
+    };
+    let off = {
+        let app = soleil::build(&config);
+        execute(&app.program, &RuntimeConfig::scale(nodes).with_dynamic_checks(false))
+    };
+    assert!(on.dynamic_check_time > SimTime::ZERO);
+    let slowdown = on.makespan.as_secs_f64() / off.makespan.as_secs_f64();
+    assert!(slowdown < 1.01, "checks must be negligible, got {slowdown:.4}");
+}
+
+#[test]
+fn strong_scaling_crossover_is_where_overheads_meet_granularity() {
+    // Circuit strong scaling: DCR+NoIDX tracks DCR+IDX at small node
+    // counts and falls behind once per-task issuance outweighs the
+    // shrinking per-node work (Figure 4's divergence).
+    let tput = |nodes: usize, idx: bool| {
+        let config = circuit::CircuitConfig {
+            iterations: 5,
+            ..circuit::CircuitConfig::strong(nodes)
+        };
+        let app = circuit::build(&config);
+        let rep = execute(&app.program, &RuntimeConfig::scale(nodes).with_axes(true, idx));
+        circuit::throughput(&config, &rep)
+    };
+    let small_ratio = tput(8, true) / tput(8, false);
+    let large_ratio = tput(256, true) / tput(256, false);
+    assert!(small_ratio < 1.05, "no divergence at 8 nodes: {small_ratio:.3}");
+    assert!(large_ratio > 1.5, "clear divergence at 256 nodes: {large_ratio:.3}");
+}
