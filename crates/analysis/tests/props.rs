@@ -2,7 +2,8 @@
 //! injectivity and image-disjointness (§4 claims this outright — "the
 //! analysis is sound and complete with respect to determining injectivity
 //! of the projection functor"), and the static analyzer never contradicts
-//! ground truth.
+//! ground truth. Runs on the hermetic `il-testkit` harness; failures
+//! print a rerunnable `IL_TESTKIT_SEED`.
 
 use il_analysis::{
     analyze_injectivity, analyze_launch, cross_check, self_check, ArgCheck, HybridVerdict,
@@ -10,19 +11,23 @@ use il_analysis::{
 };
 use il_geometry::{Domain, DomainPoint};
 use il_region::{equal_partition_1d, FieldSpaceDesc, Privilege, RegionForest};
-use proptest::prelude::*;
+use il_testkit::prop::{bools, check, i64s, map, one_of, usizes, vec_of, Just, OneOf};
+use il_testkit::{prop_assert, prop_assert_eq};
 use std::collections::HashSet;
 
-/// Strategy: a functor from the statically-analyzable + dynamic families.
-fn functor() -> impl Strategy<Value = ProjExpr> {
-    prop_oneof![
-        Just(ProjExpr::Identity),
-        (-3i64..4, -5i64..6).prop_map(|(a, b)| ProjExpr::linear(a, b)),
-        (0i64..20).prop_map(|c| ProjExpr::Constant(DomainPoint::new1(c))),
-        (-3i64..4, 0i64..8, 1i64..20).prop_map(|(a, b, m)| ProjExpr::Modular { a, b, m }),
-        (-2i64..3, -3i64..4, 0i64..5)
-            .prop_map(|(a, b, c)| ProjExpr::Quadratic { a, b, c }),
-    ]
+/// A functor from the statically-analyzable + dynamic families.
+fn functor() -> OneOf<ProjExpr> {
+    one_of(vec![
+        Box::new(Just(ProjExpr::Identity)),
+        Box::new(map((i64s(-3..4), i64s(-5..6)), |(a, b)| ProjExpr::linear(a, b))),
+        Box::new(map(i64s(0..20), |c| ProjExpr::Constant(DomainPoint::new1(c)))),
+        Box::new(map((i64s(-3..4), i64s(0..8), i64s(1..20)), |(a, b, m)| {
+            ProjExpr::Modular { a, b, m }
+        })),
+        Box::new(map((i64s(-2..3), i64s(-3..4), i64s(0..5)), |(a, b, c)| {
+            ProjExpr::Quadratic { a, b, c }
+        })),
+    ])
 }
 
 /// Ground truth: is `f` injective over `domain`, counting only in-bounds
@@ -38,42 +43,50 @@ fn injective_in_bounds(f: &ProjExpr, domain: &Domain, colors: &Domain) -> bool {
     true
 }
 
-proptest! {
-    /// The dynamic self-check equals brute-force injectivity.
-    #[test]
-    fn self_check_is_sound_and_complete(f in functor(), n in 1i64..40, colors in 1i64..60) {
-        let domain = Domain::range(n);
-        let color_bounds = Domain::range(colors);
-        let got = self_check(&domain, &f, &color_bounds).is_safe();
-        let want = injective_in_bounds(&f, &domain, &color_bounds);
-        prop_assert_eq!(got, want, "functor {:?} over [0,{})", f, n);
-    }
+/// The dynamic self-check equals brute-force injectivity.
+#[test]
+fn self_check_is_sound_and_complete() {
+    check(
+        "self_check_is_sound_and_complete",
+        &(functor(), i64s(1..40), i64s(1..60)),
+        |(f, n, colors)| {
+            let domain = Domain::range(*n);
+            let color_bounds = Domain::range(*colors);
+            let got = self_check(&domain, f, &color_bounds).is_safe();
+            let want = injective_in_bounds(f, &domain, &color_bounds);
+            prop_assert_eq!(got, want, "functor {:?} over [0,{})", f, n);
+            Ok(())
+        },
+    );
+}
 
-    /// The static analyzer never contradicts ground truth (in-bounds
-    /// behavior is irrelevant here: static analysis reasons about the
-    /// functor itself, so restrict to a color space large enough that
-    /// everything is in bounds).
-    #[test]
-    fn static_verdicts_are_proofs(f in functor(), n in 1i64..40) {
+/// The static analyzer never contradicts ground truth (in-bounds
+/// behavior is irrelevant here: static analysis reasons about the
+/// functor itself, so restrict to a color space large enough that
+/// everything is in bounds).
+#[test]
+fn static_verdicts_are_proofs() {
+    check("static_verdicts_are_proofs", &(functor(), i64s(1..40)), |(f, n)| {
+        let n = *n;
         let domain = Domain::range(n);
         let mut seen = HashSet::new();
         let truly = domain.iter().all(|p| seen.insert(f.eval(p)));
-        match analyze_injectivity(&f, &domain) {
+        match analyze_injectivity(f, &domain) {
             StaticVerdict::Injective => prop_assert!(truly, "{f:?} over [0,{n})"),
             StaticVerdict::NotInjective => prop_assert!(!truly, "{f:?} over [0,{n})"),
             StaticVerdict::Unknown => {}
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The linear-time cross-check equals the quadratic pairwise oracle.
-    #[test]
-    fn cross_check_matches_pairwise_oracle(
-        fs in proptest::collection::vec((functor(), any::<bool>()), 1..5),
-        n in 1i64..25,
-        colors in 5i64..50,
-    ) {
-        let domain = Domain::range(n);
-        let color_bounds = Domain::range(colors);
+/// The linear-time cross-check equals the quadratic pairwise oracle.
+#[test]
+fn cross_check_matches_pairwise_oracle() {
+    let gen = (vec_of((functor(), bools()), 1..5), i64s(1..25), i64s(5..50));
+    check("cross_check_matches_pairwise_oracle", &gen, |(fs, n, colors)| {
+        let domain = Domain::range(*n);
+        let color_bounds = Domain::range(*colors);
         let args: Vec<ArgCheck<'_>> = fs
             .iter()
             .enumerate()
@@ -113,15 +126,17 @@ proptest! {
             }
         }
         prop_assert_eq!(got, want, "args {:?} over [0,{})", fs, n);
-    }
+        Ok(())
+    });
+}
 
-    /// Whole-launch soundness: whenever the hybrid driver clears a launch
-    /// (statically or dynamically), brute force finds no interference.
-    #[test]
-    fn hybrid_never_accepts_interference(
-        specs in proptest::collection::vec((functor(), 0usize..3), 1..4),
-        pieces in 2usize..8,
-    ) {
+/// Whole-launch soundness: whenever the hybrid driver clears a launch
+/// (statically or dynamically), brute force finds no interference.
+#[test]
+fn hybrid_never_accepts_interference() {
+    let gen = (vec_of((functor(), usizes(0..3)), 1..4), usizes(2..8));
+    check("hybrid_never_accepts_interference", &gen, |(specs, pieces)| {
+        let pieces = *pieces;
         let mut forest = RegionForest::new();
         let fs = forest.create_field_space(FieldSpaceDesc::new());
         let region = forest.create_region(Domain::range(64), fs);
@@ -178,5 +193,6 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -26,8 +26,7 @@ use il_region::{
 use il_runtime::{
     CostSpec, ExecutionMode, IndexLaunchDesc, Program, ProgramBuilder, RegionReq, RunReport,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use il_testkit::TestRng;
 use std::sync::Arc;
 
 /// Circuit problem configuration.
@@ -144,23 +143,23 @@ pub struct CircuitApp {
 /// endpoints. In scale mode we only generate the *shape*: a bounded
 /// synthetic ghost set per piece (ring-neighbor pattern), which preserves
 /// the communication structure without materializing 5×10⁶ wires.
-fn generate_wires(config: &CircuitConfig, rng: &mut SmallRng) -> Vec<(i64, i64, f64)> {
+fn generate_wires(config: &CircuitConfig, rng: &mut TestRng) -> Vec<(i64, i64, f64)> {
     let npp = config.nodes_per_piece as i64;
     let mut wires = Vec::with_capacity(config.pieces * config.wires_per_piece);
     for piece in 0..config.pieces as i64 {
         let base = piece * npp;
         for _ in 0..config.wires_per_piece {
-            let a = base + rng.gen_range(0..npp);
+            let a = base + rng.gen_range_i64(0, npp);
             let b = if rng.gen_bool(config.pct_shared) && config.pieces > 1 {
                 // A neighbor piece (ring), matching the locality a graph
                 // partitioner produces.
                 let delta = if rng.gen_bool(0.5) { 1 } else { config.pieces as i64 - 1 };
                 let other = (piece + delta) % config.pieces as i64;
-                other * npp + rng.gen_range(0..npp)
+                other * npp + rng.gen_range_i64(0, npp)
             } else {
-                base + rng.gen_range(0..npp)
+                base + rng.gen_range_i64(0, npp)
             };
-            let r = 1.0 + rng.gen_range(0.0..9.0);
+            let r = 1.0 + rng.gen_range_f64(0.0, 9.0);
             wires.push((a, b, r));
         }
     }
@@ -213,7 +212,7 @@ fn synthetic_ghost_sets(config: &CircuitConfig) -> Vec<Vec<i64>> {
 
 /// Build the circuit program.
 pub fn build(config: &CircuitConfig) -> CircuitApp {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = TestRng::seed_from_u64(config.seed);
     let mut b = ProgramBuilder::new();
 
     // Field spaces.
@@ -538,7 +537,7 @@ mod tests {
     #[test]
     fn ghost_sets_are_remote_only() {
         let config = CircuitConfig::tiny(4);
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = TestRng::seed_from_u64(config.seed);
         let wires = generate_wires(&config, &mut rng);
         let ghosts = ghost_sets(&config, &wires);
         let npp = config.nodes_per_piece as i64;

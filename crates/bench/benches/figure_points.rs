@@ -1,116 +1,86 @@
-//! Representative points of every scaling figure as Criterion
-//! benchmarks.
+//! Representative points of every scaling figure as wall-clock
+//! benchmarks on the il-testkit runner.
 //!
 //! Each benchmark runs the *full* pipeline — program construction, hybrid
 //! safety analysis, expansion, dependence oracle, and discrete-event
 //! execution — for one (figure, node count, configuration) point. These
 //! measure the real cost of regenerating the figures (the simulated
 //! throughputs themselves come from `--bin figures`).
+//!
+//! Under `cargo test` this runs in smoke mode (one iteration per point);
+//! `cargo bench` (or `--full` / `IL_BENCH_FULL=1`) takes measured
+//! median-of-N timings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use il_apps::{circuit, soleil, stencil};
 use il_runtime::{execute, RuntimeConfig};
+use il_testkit::BenchRunner;
 
-fn bench_circuit_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_fig5_circuit");
-    group.sample_size(10);
-    for (label, dcr, idx) in [("dcr_idx", true, true), ("dcr_noidx", true, false), ("nodcr_idx", false, true)] {
+fn bench_circuit_points(runner: &mut BenchRunner) {
+    for (label, dcr, idx) in
+        [("dcr_idx", true, true), ("dcr_noidx", true, false), ("nodcr_idx", false, true)]
+    {
         for nodes in [16usize, 64] {
-            group.bench_with_input(
-                BenchmarkId::new(label, nodes),
-                &nodes,
-                |b, &nodes| {
-                    let config = circuit::CircuitConfig {
-                        iterations: 3,
-                        ..circuit::CircuitConfig::weak(nodes, 1)
-                    };
-                    b.iter(|| {
-                        let app = circuit::build(&config);
-                        let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx);
-                        execute(&app.program, &rt).makespan
-                    });
-                },
-            );
-        }
-    }
-    group.finish();
-}
-
-fn bench_fig6_overdecomposed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_overdecomposed");
-    group.sample_size(10);
-    for idx in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::new("dcr64x10", idx),
-            &idx,
-            |b, &idx| {
-                let config = circuit::CircuitConfig {
-                    iterations: 3,
-                    ..circuit::CircuitConfig::weak(64, 10)
-                };
-                b.iter(|| {
-                    let app = circuit::build(&config);
-                    let rt = RuntimeConfig::scale(64).with_axes(true, idx).with_tracing(false);
-                    execute(&app.program, &rt).makespan
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_stencil_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_fig8_stencil");
-    group.sample_size(10);
-    for nodes in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::new("dcr_idx_weak", nodes), &nodes, |b, &nodes| {
-            let config = stencil::StencilConfig {
+            let config = circuit::CircuitConfig {
                 iterations: 3,
-                ..stencil::StencilConfig::weak(nodes)
+                ..circuit::CircuitConfig::weak(nodes, 1)
             };
-            b.iter(|| {
-                let app = stencil::build(&config);
-                execute(&app.program, &RuntimeConfig::scale(nodes)).makespan
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_soleil_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_fig10_soleil");
-    group.sample_size(10);
-    group.bench_function("fluid_weak_16", |b| {
-        let config = soleil::SoleilConfig {
-            iterations: 3,
-            ..soleil::SoleilConfig::fluid_weak(16)
-        };
-        b.iter(|| {
-            let app = soleil::build(&config);
-            execute(&app.program, &RuntimeConfig::scale(16)).makespan
-        });
-    });
-    for checks in [true, false] {
-        group.bench_with_input(BenchmarkId::new("full_weak_8_checks", checks), &checks, |b, &checks| {
-            let config = soleil::SoleilConfig {
-                iterations: 3,
-                ..soleil::SoleilConfig::full_weak(8)
-            };
-            b.iter(|| {
-                let app = soleil::build(&config);
-                let rt = RuntimeConfig::scale(8).with_dynamic_checks(checks);
+            runner.bench(&format!("fig4_fig5_circuit/{label}/{nodes}"), || {
+                let app = circuit::build(&config);
+                let rt = RuntimeConfig::scale(nodes).with_axes(dcr, idx);
                 execute(&app.program, &rt).makespan
             });
-        });
+        }
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_circuit_points,
-    bench_fig6_overdecomposed,
-    bench_stencil_points,
-    bench_soleil_points
-);
-criterion_main!(benches);
+fn bench_fig6_overdecomposed(runner: &mut BenchRunner) {
+    for idx in [true, false] {
+        let config = circuit::CircuitConfig {
+            iterations: 3,
+            ..circuit::CircuitConfig::weak(64, 10)
+        };
+        runner.bench(&format!("fig6_overdecomposed/dcr64x10/{idx}"), || {
+            let app = circuit::build(&config);
+            let rt = RuntimeConfig::scale(64).with_axes(true, idx).with_tracing(false);
+            execute(&app.program, &rt).makespan
+        });
+    }
+}
+
+fn bench_stencil_points(runner: &mut BenchRunner) {
+    for nodes in [16usize, 64] {
+        let config = stencil::StencilConfig {
+            iterations: 3,
+            ..stencil::StencilConfig::weak(nodes)
+        };
+        runner.bench(&format!("fig7_fig8_stencil/dcr_idx_weak/{nodes}"), || {
+            let app = stencil::build(&config);
+            execute(&app.program, &RuntimeConfig::scale(nodes)).makespan
+        });
+    }
+}
+
+fn bench_soleil_points(runner: &mut BenchRunner) {
+    let fluid = soleil::SoleilConfig { iterations: 3, ..soleil::SoleilConfig::fluid_weak(16) };
+    runner.bench("fig9_fig10_soleil/fluid_weak_16", || {
+        let app = soleil::build(&fluid);
+        execute(&app.program, &RuntimeConfig::scale(16)).makespan
+    });
+    for checks in [true, false] {
+        let config = soleil::SoleilConfig { iterations: 3, ..soleil::SoleilConfig::full_weak(8) };
+        runner.bench(&format!("fig9_fig10_soleil/full_weak_8_checks/{checks}"), || {
+            let app = soleil::build(&config);
+            let rt = RuntimeConfig::scale(8).with_dynamic_checks(checks);
+            execute(&app.program, &rt).makespan
+        });
+    }
+}
+
+fn main() {
+    let mut runner = BenchRunner::from_args("figure_points");
+    bench_circuit_points(&mut runner);
+    bench_fig6_overdecomposed(&mut runner);
+    bench_stencil_points(&mut runner);
+    bench_soleil_points(&mut runner);
+    runner.finish();
+}

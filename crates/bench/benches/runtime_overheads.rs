@@ -1,83 +1,80 @@
 //! Ablation microbenchmarks of the runtime's own costs (real wall-clock,
 //! not simulated): hybrid analysis per launch, program expansion +
 //! dependence oracle, and the broadcast-tree schedule — the pieces whose
-//! asymptotics DESIGN.md calls out.
+//! asymptotics DESIGN.md calls out. Runs on the il-testkit runner:
+//! smoke mode under `cargo test`, measured under `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use il_analysis::{analyze_launch, LaunchArg, ProjExpr};
 use il_apps::stencil;
 use il_geometry::Domain;
 use il_machine::binomial_children;
 use il_region::{equal_partition_1d, FieldSpaceDesc, Privilege, RegionForest};
 use il_runtime::{expand_program, RuntimeConfig};
+use il_testkit::BenchRunner;
 
-fn bench_hybrid_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hybrid_analysis");
+fn bench_hybrid_analysis(runner: &mut BenchRunner) {
     let mut forest = RegionForest::new();
     let fs = forest.create_field_space(FieldSpaceDesc::new());
     let region = forest.create_region(Domain::range(100_000), fs);
     let partition = equal_partition_1d(&mut forest, region.space, 1024);
     // Static path: O(1) regardless of |D|.
-    group.bench_function("static_identity_1024", |b| {
+    let args = [LaunchArg {
+        partition,
+        functor: ProjExpr::Identity,
+        privilege: Privilege::ReadWrite,
+        fields: vec![],
+    }];
+    runner.bench("hybrid_analysis/static_identity_1024", || {
+        analyze_launch(&forest, &Domain::range(1024), &args)
+    });
+    // Dynamic path: O(|D|).
+    for n in [256i64, 1024] {
         let args = [LaunchArg {
             partition,
-            functor: ProjExpr::Identity,
+            functor: ProjExpr::opaque(|p| p),
             privilege: Privilege::ReadWrite,
             fields: vec![],
         }];
-        b.iter(|| analyze_launch(&forest, &Domain::range(1024), &args));
-    });
-    // Dynamic path: O(|D|).
-    for &n in &[256i64, 1024] {
-        group.bench_with_input(BenchmarkId::new("dynamic_opaque", n), &n, |b, &n| {
-            let args = [LaunchArg {
-                partition,
-                functor: ProjExpr::opaque(|p| p),
-                privilege: Privilege::ReadWrite,
-                fields: vec![],
-            }];
-            b.iter(|| {
-                let v = analyze_launch(&forest, &Domain::range(n), &args);
-                if let il_analysis::HybridVerdict::NeedsDynamic(plan) = v {
-                    plan.run().unwrap()
-                } else {
-                    panic!("expected dynamic plan")
-                }
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_expansion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("expansion_and_oracle");
-    group.sample_size(10);
-    for nodes in [16usize, 64] {
-        group.bench_with_input(BenchmarkId::new("stencil_weak", nodes), &nodes, |b, &nodes| {
-            let config = stencil::StencilConfig {
-                iterations: 5,
-                ..stencil::StencilConfig::weak(nodes)
-            };
-            let app = stencil::build(&config);
-            let rt = RuntimeConfig::scale(nodes);
-            b.iter(|| expand_program(&app.program, &rt).len());
-        });
-    }
-    group.finish();
-}
-
-fn bench_broadcast_tree(c: &mut Criterion) {
-    c.bench_function("binomial_children_1024", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for me in 0..1024 {
-                total += binomial_children(0, me, 1024).len();
+        runner.bench(&format!("hybrid_analysis/dynamic_opaque/{n}"), || {
+            let v = analyze_launch(&forest, &Domain::range(n), &args);
+            if let il_analysis::HybridVerdict::NeedsDynamic(plan) = v {
+                plan.run().unwrap()
+            } else {
+                panic!("expected dynamic plan")
             }
-            assert_eq!(total, 1023);
-            total
         });
+    }
+}
+
+fn bench_expansion(runner: &mut BenchRunner) {
+    for nodes in [16usize, 64] {
+        let config = stencil::StencilConfig {
+            iterations: 5,
+            ..stencil::StencilConfig::weak(nodes)
+        };
+        let app = stencil::build(&config);
+        let rt = RuntimeConfig::scale(nodes);
+        runner.bench(&format!("expansion_and_oracle/stencil_weak/{nodes}"), || {
+            expand_program(&app.program, &rt).len()
+        });
+    }
+}
+
+fn bench_broadcast_tree(runner: &mut BenchRunner) {
+    runner.bench("binomial_children_1024", || {
+        let mut total = 0usize;
+        for me in 0..1024 {
+            total += binomial_children(0, me, 1024).len();
+        }
+        assert_eq!(total, 1023);
+        total
     });
 }
 
-criterion_group!(benches, bench_hybrid_analysis, bench_expansion, bench_broadcast_tree);
-criterion_main!(benches);
+fn main() {
+    let mut runner = BenchRunner::from_args("runtime_overheads");
+    bench_hybrid_analysis(&mut runner);
+    bench_expansion(&mut runner);
+    bench_broadcast_tree(&mut runner);
+    runner.finish();
+}

@@ -1,17 +1,18 @@
-//! Table 2 as a Criterion benchmark: dynamic self-check wall-clock time
-//! for the paper's four projection-functor classes at launch-domain
-//! sizes 10³–10⁶.
+//! Table 2 as a wall-clock benchmark: dynamic self-check time for the
+//! paper's four projection-functor classes at launch-domain sizes
+//! 10³–10⁶, on the il-testkit runner (smoke under `cargo test`,
+//! measured under `cargo bench`).
 //!
 //! Expected regime (paper, Piz Daint Xeon): identity at 10⁶ ≈ 1.3 ms,
 //! quadratic at 10⁶ ≈ 2.4 ms, all rows linear in |D|.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use il_analysis::{self_check, ProjExpr};
 use il_geometry::Domain;
+use il_testkit::{BenchRunner, Throughput};
 
-fn bench_self_checks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_self_checks");
-    for &n in &[1_000i64, 10_000, 100_000, 1_000_000] {
+fn main() {
+    let mut runner = BenchRunner::from_args("table2_self_checks");
+    for n in [1_000i64, 10_000, 100_000, 1_000_000] {
         let domain = Domain::range(n);
         let colors = Domain::range(n + 16);
         let cases: Vec<(&str, ProjExpr)> = vec![
@@ -21,18 +22,12 @@ fn bench_self_checks(c: &mut Criterion) {
             ("quadratic", ProjExpr::Quadratic { a: 0, b: 1, c: 2 }),
         ];
         for (name, functor) in cases {
-            group.throughput(Throughput::Elements(n as u64));
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| {
-                    let report = self_check(&domain, &functor, &colors);
-                    assert!(report.is_safe());
-                    report.evals
-                });
+            runner.bench_throughput(&format!("{name}/{n}"), Throughput(n as u64), || {
+                let report = self_check(&domain, &functor, &colors);
+                assert!(report.is_safe());
+                report.evals
             });
         }
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_self_checks);
-criterion_main!(benches);

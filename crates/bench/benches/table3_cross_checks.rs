@@ -1,47 +1,40 @@
-//! Table 3 as a Criterion benchmark: the linear-time multi-argument
-//! cross-check for 2–5 arguments sharing one partition.
+//! Table 3 as a wall-clock benchmark: the linear-time multi-argument
+//! cross-check for 2–5 arguments sharing one partition, on the
+//! il-testkit runner (smoke under `cargo test`, measured under
+//! `cargo bench`).
 //!
 //! The paper's cells scale linearly both left-to-right (|D|) and
-//! top-to-bottom (#arguments); Criterion's throughput report makes both
-//! trends visible.
+//! top-to-bottom (#arguments); the throughput column makes both trends
+//! visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use il_analysis::{cross_check, ArgCheck, ProjExpr};
 use il_geometry::Domain;
+use il_testkit::{BenchRunner, Throughput};
 
-fn bench_cross_checks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_cross_checks");
+fn main() {
+    let mut runner = BenchRunner::from_args("table3_cross_checks");
     let writer = ProjExpr::linear(2, 0);
     let reader = ProjExpr::linear(2, 1);
-    for &n in &[1_000i64, 10_000, 100_000, 1_000_000] {
+    for n in [1_000i64, 10_000, 100_000, 1_000_000] {
         let domain = Domain::range(n);
         // Launch domain is half the number of sub-collections, as in the
         // paper's setup.
         let colors = Domain::range(2 * n);
         for nargs in 2usize..=5 {
-            group.throughput(Throughput::Elements(n as u64 * nargs as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{nargs}args"), n),
-                &nargs,
-                |b, &nargs| {
-                    b.iter(|| {
-                        let args: Vec<ArgCheck<'_>> = (0..nargs)
-                            .map(|k| ArgCheck {
-                                index: k,
-                                functor: if k == 0 { &writer } else { &reader },
-                                writes: k == 0,
-                            })
-                            .collect();
-                        let report = cross_check(&domain, &args, &colors);
-                        assert!(report.is_safe());
-                        report.evals
-                    });
-                },
-            );
+            let tput = Throughput(n as u64 * nargs as u64);
+            runner.bench_throughput(&format!("{nargs}args/{n}"), tput, || {
+                let args: Vec<ArgCheck<'_>> = (0..nargs)
+                    .map(|k| ArgCheck {
+                        index: k,
+                        functor: if k == 0 { &writer } else { &reader },
+                        writes: k == 0,
+                    })
+                    .collect();
+                let report = cross_check(&domain, &args, &colors);
+                assert!(report.is_safe());
+                report.evals
+            });
         }
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_cross_checks);
-criterion_main!(benches);

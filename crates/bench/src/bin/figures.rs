@@ -6,12 +6,17 @@
 //! cargo run -p il-bench --release --bin figures -- fig4 --max-nodes 64
 //! ```
 //!
-//! ASCII tables print to stdout; CSVs land in `results/`.
+//! ASCII tables print to stdout; CSVs land in `results/`. Every run also
+//! re-measures the core analysis kernels and writes the wall-clock
+//! trajectory to `BENCH_PR1.json` (testkit bench runner + JSON emitter).
 
+use il_analysis::{cross_check, self_check, ArgCheck, ProjExpr};
 use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure};
 use il_bench::render::{render_figure, render_table, write_figure_csv, write_table_csv};
 use il_bench::tables::{extrapolate_checks, table2, table3};
+use il_geometry::Domain;
 use il_runtime::ThreadPool;
+use il_testkit::{BenchRunner, Json, Throughput};
 use std::path::PathBuf;
 
 fn main() {
@@ -79,6 +84,52 @@ fn main() {
             other => eprintln!("unknown target {other:?} (expected fig4..fig10, table2, table3, all)"),
         }
     }
+
+    write_bench_trajectory("BENCH_PR1.json");
+}
+
+/// Re-measure the dynamic-check kernels (the paper's Tables 2–3 hot
+/// paths) and dump the reports to `path` so benchmark trajectories can
+/// be diffed across PRs.
+fn write_bench_trajectory(path: &str) {
+    let mut runner = BenchRunner::new("pr1").full().samples(5);
+    let n = 100_000i64;
+    let domain = Domain::range(n);
+    let colors = Domain::range(n + 16);
+    for (name, functor) in [
+        ("self_check/identity", ProjExpr::Identity),
+        ("self_check/modular", ProjExpr::Modular { a: 1, b: 7, m: n }),
+        ("self_check/quadratic", ProjExpr::Quadratic { a: 0, b: 1, c: 2 }),
+    ] {
+        runner.bench_throughput(name, Throughput(n as u64), || {
+            let report = self_check(&domain, &functor, &colors);
+            assert!(report.is_safe());
+            report.evals
+        });
+    }
+    let writer = ProjExpr::linear(2, 0);
+    let reader = ProjExpr::linear(2, 1);
+    let wide_colors = Domain::range(2 * n);
+    runner.bench_throughput("cross_check/3args", Throughput(3 * n as u64), || {
+        let args: Vec<ArgCheck<'_>> = (0..3)
+            .map(|k| ArgCheck {
+                index: k,
+                functor: if k == 0 { &writer } else { &reader },
+                writes: k == 0,
+            })
+            .collect();
+        let report = cross_check(&domain, &args, &wide_colors);
+        assert!(report.is_safe());
+        report.evals
+    });
+    let reports = runner.finish();
+    let json = Json::obj()
+        .set("schema", "il-bench-trajectory-v1")
+        .set("pr", "PR1")
+        .set("domain_size", n)
+        .set("benches", Json::Arr(reports.iter().map(|r| r.to_json()).collect()));
+    std::fs::write(path, json.to_string_pretty()).expect("write bench trajectory");
+    println!("wrote {path}");
 }
 
 fn emit(fig: Figure, per_node: bool, out_dir: &std::path::Path) {

@@ -2,10 +2,9 @@
 
 use il_apps::{circuit, soleil, stencil};
 use il_runtime::{execute, RuntimeConfig, ThreadPool};
-use serde::{Deserialize, Serialize};
 
 /// One data point of a figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigPoint {
     /// Figure id (e.g. "fig5").
     pub figure: String,
@@ -27,7 +26,7 @@ pub struct FigPoint {
 }
 
 /// A rendered figure: its points grouped by configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Figure id.
     pub id: String,

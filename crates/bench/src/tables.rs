@@ -10,14 +10,13 @@
 
 use il_analysis::{cross_check, self_check, ArgCheck, ProjExpr};
 use il_geometry::Domain;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// A functor family: builds the row's functor for a given domain size.
 type FunctorFamily = Box<dyn Fn(u64) -> ProjExpr>;
 
 /// One row of a timing table: elapsed microseconds per domain size.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TableRow {
     /// Row label (functor name or argument count).
     pub label: String,

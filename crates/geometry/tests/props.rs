@@ -1,21 +1,30 @@
-//! Property-based tests for the geometry primitives.
+//! Property-based tests for the geometry primitives, on the hermetic
+//! `il-testkit` harness. Each failing property prints its seed and a
+//! greedily-shrunk minimal input; rerun with `IL_TESTKIT_SEED=<seed>`.
 
 use il_geometry::{Domain, DomainPoint, Point, Rect};
-use proptest::prelude::*;
+use il_testkit::prop::{check, i64s, usizes, vec_of};
+use il_testkit::{prop_assert, prop_assert_eq};
 
-fn small_rect2() -> impl Strategy<Value = Rect<2>> {
-    (-20i64..20, -20i64..20, 0i64..12, 0i64..12)
-        .prop_map(|(x, y, w, h)| Rect::new2((x, y), (x + w, y + h)))
+/// `(x, y, w, h)` → a small 2-D rect anchored at `(x, y)`.
+fn rect2(v: &(i64, i64, i64, i64)) -> Rect<2> {
+    let (x, y, w, h) = *v;
+    Rect::new2((x, y), (x + w, y + h))
 }
 
-fn small_rect3() -> impl Strategy<Value = Rect<3>> {
-    (-8i64..8, -8i64..8, -8i64..8, 0i64..5, 0i64..5, 0i64..5)
-        .prop_map(|(x, y, z, w, h, d)| Rect::new3((x, y, z), (x + w, y + h, z + d)))
+fn rect2_gen() -> (
+    il_testkit::prop::I64Range,
+    il_testkit::prop::I64Range,
+    il_testkit::prop::I64Range,
+    il_testkit::prop::I64Range,
+) {
+    (i64s(-20..20), i64s(-20..20), i64s(0..12), i64s(0..12))
 }
 
-proptest! {
-    #[test]
-    fn linearize_is_bijective_2d(r in small_rect2()) {
+#[test]
+fn linearize_is_bijective_2d() {
+    check("linearize_is_bijective_2d", &rect2_gen(), |v| {
+        let r = rect2(v);
         let mut seen = vec![false; r.volume() as usize];
         for p in r.iter() {
             let idx = r.linearize(p).unwrap() as usize;
@@ -24,10 +33,22 @@ proptest! {
             prop_assert_eq!(r.delinearize(idx as u64), Some(p));
         }
         prop_assert!(seen.iter().all(|&b| b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn linearize_is_bijective_3d(r in small_rect3()) {
+#[test]
+fn linearize_is_bijective_3d() {
+    let gen = (
+        i64s(-8..8),
+        i64s(-8..8),
+        i64s(-8..8),
+        i64s(0..5),
+        i64s(0..5),
+        i64s(0..5),
+    );
+    check("linearize_is_bijective_3d", &gen, |&(x, y, z, w, h, d)| {
+        let r = Rect::new3((x, y, z), (x + w, y + h, z + d));
         let mut seen = vec![false; r.volume() as usize];
         for p in r.iter() {
             let idx = r.linearize(p).unwrap() as usize;
@@ -35,40 +56,60 @@ proptest! {
             seen[idx] = true;
             prop_assert_eq!(r.delinearize(idx as u64), Some(p));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn iteration_order_matches_linearization(r in small_rect2()) {
+#[test]
+fn iteration_order_matches_linearization() {
+    check("iteration_order_matches_linearization", &rect2_gen(), |v| {
+        let r = rect2(v);
         for (i, p) in r.iter().enumerate() {
             prop_assert_eq!(r.linearize(p), Some(i as u64));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn intersection_symmetric_and_contained(a in small_rect2(), b in small_rect2()) {
-        let i1 = a.intersection(&b);
-        let i2 = b.intersection(&a);
-        prop_assert_eq!(i1, i2);
-        if !i1.is_empty() {
-            prop_assert!(a.contains_rect(&i1));
-            prop_assert!(b.contains_rect(&i1));
-        }
-        // Every point in both rects is in the intersection, and vice versa.
-        for p in a.iter() {
-            prop_assert_eq!(b.contains(p), i1.contains(p));
-        }
-    }
+#[test]
+fn intersection_symmetric_and_contained() {
+    check(
+        "intersection_symmetric_and_contained",
+        &(rect2_gen(), rect2_gen()),
+        |(va, vb)| {
+            let (a, b) = (rect2(va), rect2(vb));
+            let i1 = a.intersection(&b);
+            let i2 = b.intersection(&a);
+            prop_assert_eq!(i1, i2);
+            if !i1.is_empty() {
+                prop_assert!(a.contains_rect(&i1));
+                prop_assert!(b.contains_rect(&i1));
+            }
+            // Every point in both rects is in the intersection, and vice versa.
+            for p in a.iter() {
+                prop_assert_eq!(b.contains(p), i1.contains(p));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn union_bbox_contains_both(a in small_rect2(), b in small_rect2()) {
+#[test]
+fn union_bbox_contains_both() {
+    check("union_bbox_contains_both", &(rect2_gen(), rect2_gen()), |(va, vb)| {
+        let (a, b) = (rect2(va), rect2(vb));
         let u = a.union_bbox(&b);
         prop_assert!(u.contains_rect(&a));
         prop_assert!(u.contains_rect(&b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn split_partitions_rect(r in small_rect2(), parts in 1usize..10) {
-        let pieces = r.split(parts);
+#[test]
+fn split_partitions_rect() {
+    check("split_partitions_rect", &(rect2_gen(), usizes(1..10)), |(v, parts)| {
+        let r = rect2(v);
+        let pieces = r.split(*parts);
         let total: u64 = pieces.iter().map(|p| p.volume()).sum();
         prop_assert_eq!(total, r.volume());
         for (i, a) in pieces.iter().enumerate() {
@@ -78,22 +119,31 @@ proptest! {
                 prop_assert!(!a.overlaps(b));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn domain_split_preserves_points(n in 1i64..200, parts in 1usize..10) {
+#[test]
+fn domain_split_preserves_points() {
+    check("domain_split_preserves_points", &(i64s(1..200), usizes(1..10)), |&(n, parts)| {
         let d = Domain::range(n);
         let pieces = d.split(parts);
         let mut collected: Vec<DomainPoint> = pieces.iter().flat_map(|p| p.iter()).collect();
         collected.sort_unstable();
         let expected: Vec<DomainPoint> = d.iter().collect();
         prop_assert_eq!(collected, expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn domain_linearize_in_bbox(pts in proptest::collection::btree_set((0i64..10, 0i64..10, 0i64..10), 1..40)) {
+#[test]
+fn domain_linearize_in_bbox() {
+    let gen = vec_of((i64s(0..10), i64s(0..10), i64s(0..10)), 1..40);
+    check("domain_linearize_in_bbox", &gen, |pts| {
+        // Deduplicate (the proptest original drew from a BTreeSet).
+        let set: std::collections::BTreeSet<(i64, i64, i64)> = pts.iter().copied().collect();
         let points: Vec<DomainPoint> =
-            pts.iter().map(|&(x, y, z)| DomainPoint::new3(x, y, z)).collect();
+            set.iter().map(|&(x, y, z)| DomainPoint::new3(x, y, z)).collect();
         let d = Domain::sparse(points.clone());
         let vol = d.bbox_volume();
         for p in &points {
@@ -105,60 +155,80 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), points.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn point_arithmetic_laws(ax in -100i64..100, ay in -100i64..100, bx in -100i64..100, by in -100i64..100) {
-        let a = Point::new2(ax, ay);
-        let b = Point::new2(bx, by);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a + b - b, a);
-        prop_assert_eq!(a.dot(b), b.dot(a));
-        prop_assert_eq!(a.min(b).min(a), a.min(b));
-        prop_assert_eq!(a.max(b), b.max(a));
-    }
+#[test]
+fn point_arithmetic_laws() {
+    let coord = || i64s(-100..100);
+    check(
+        "point_arithmetic_laws",
+        &(coord(), coord(), coord(), coord()),
+        |&(ax, ay, bx, by)| {
+            let a = Point::new2(ax, ay);
+            let b = Point::new2(bx, by);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a + b - b, a);
+            prop_assert_eq!(a.dot(b), b.dot(a));
+            prop_assert_eq!(a.min(b).min(a), a.min(b));
+            prop_assert_eq!(a.max(b), b.max(a));
+            Ok(())
+        },
+    );
 }
 
 mod transform_props {
     use il_geometry::{DomainPoint, DynTransform};
-    use proptest::prelude::*;
+    use il_testkit::prop::{check, i64s};
+    use il_testkit::prop_assert_eq;
     use std::collections::HashSet;
 
-    proptest! {
-        /// `DynTransform::is_injective` agrees with brute-force evaluation
-        /// over a grid large enough to expose rank deficiency.
-        #[test]
-        fn dyn_transform_injectivity_matches_bruteforce(
-            m00 in -2i64..3, m01 in -2i64..3,
-            m10 in -2i64..3, m11 in -2i64..3,
-            b0 in -5i64..5, b1 in -5i64..5,
-        ) {
-            let t = DynTransform::from_rows(2, &[&[m00, m01], &[m10, m11]], &[b0, b1]);
-            let claimed = t.is_injective();
-            let mut seen = HashSet::new();
-            let mut actually = true;
-            for x in -4..=4i64 {
-                for y in -4..=4i64 {
-                    if !seen.insert(t.apply(DomainPoint::new2(x, y))) {
-                        actually = false;
+    /// `DynTransform::is_injective` agrees with brute-force evaluation
+    /// over a grid large enough to expose rank deficiency.
+    #[test]
+    fn dyn_transform_injectivity_matches_bruteforce() {
+        let gen = (
+            i64s(-2..3),
+            i64s(-2..3),
+            i64s(-2..3),
+            i64s(-2..3),
+            i64s(-5..5),
+            i64s(-5..5),
+        );
+        check(
+            "dyn_transform_injectivity_matches_bruteforce",
+            &gen,
+            |&(m00, m01, m10, m11, b0, b1)| {
+                let t = DynTransform::from_rows(2, &[&[m00, m01], &[m10, m11]], &[b0, b1]);
+                let claimed = t.is_injective();
+                let mut seen = HashSet::new();
+                let mut actually = true;
+                for x in -4..=4i64 {
+                    for y in -4..=4i64 {
+                        if !seen.insert(t.apply(DomainPoint::new2(x, y))) {
+                            actually = false;
+                        }
                     }
                 }
-            }
-            // Injectivity over Z^2 implies injectivity over the grid; a
-            // rank-deficient integer matrix always collides within the
-            // [-4,4]^2 window for coefficients in [-2,2].
-            prop_assert_eq!(claimed, actually, "matrix [[{},{}],[{},{}]]", m00, m01, m10, m11);
-        }
+                // Injectivity over Z^2 implies injectivity over the grid; a
+                // rank-deficient integer matrix always collides within the
+                // [-4,4]^2 window for coefficients in [-2,2].
+                prop_assert_eq!(claimed, actually, "matrix [[{},{}],[{},{}]]", m00, m01, m10, m11);
+                Ok(())
+            },
+        );
+    }
 
-        /// Applying a transform is linear: f(p) - f(0) is additive.
-        #[test]
-        fn dyn_transform_is_affine(
-            a in -3i64..4, b in -3i64..4,
-            x in -50i64..50, y in -50i64..50,
-        ) {
+    /// Applying a transform is linear: f(p) - f(0) is additive.
+    #[test]
+    fn dyn_transform_is_affine() {
+        let gen = (i64s(-3..4), i64s(-3..4), i64s(-50..50), i64s(-50..50));
+        check("dyn_transform_is_affine", &gen, |&(a, b, x, y)| {
             let t = DynTransform::affine1(a, b);
             let f = |v: i64| t.apply(DomainPoint::new1(v)).x();
             prop_assert_eq!(f(x + y) - f(0), (f(x) - f(0)) + (f(y) - f(0)));
-        }
+            Ok(())
+        });
     }
 }

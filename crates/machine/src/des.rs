@@ -62,7 +62,7 @@ pub struct NodeClock {
 }
 
 /// Aggregate statistics of a simulation run.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimStats {
     /// Events dispatched.
     pub events: u64,

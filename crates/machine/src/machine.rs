@@ -3,7 +3,7 @@
 use crate::NodeId;
 
 /// The kind of a processor within a node.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ProcKind {
     /// A latency-optimized CPU core.
     Cpu,
@@ -13,7 +13,7 @@ pub enum ProcKind {
 
 /// Identifier of a processor: a node plus a processor index local to the
 /// node. CPU cores come first (indices `0..cpus`), then GPUs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct ProcId {
     /// Owning node.
     pub node: NodeId,
@@ -23,7 +23,7 @@ pub struct ProcId {
 
 /// Static description of the simulated machine, patterned on a Piz Daint
 /// XC50 node: one 12-core Xeon E5-2690 v3 and one P100 per node.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineDesc {
     /// Number of nodes.
     pub nodes: usize,

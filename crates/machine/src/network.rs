@@ -10,7 +10,7 @@ use crate::time::SimTime;
 /// back-to-back pays the injection cost (`α_inject + b·β`) sequentially,
 /// which is what makes a centralized (non-DCR) control node a bottleneck at
 /// scale — exactly the effect the paper's non-DCR configurations exhibit.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Network {
     /// One-way wire latency per message (charged to the receiver's arrival
     /// time, not the sender's occupancy).

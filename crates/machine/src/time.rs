@@ -10,7 +10,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// and as a duration; the arithmetic provided covers both uses. Nanosecond
 /// resolution with `u64` gives ~584 simulated years of range, far beyond any
 /// experiment here.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -1,11 +1,13 @@
 //! Property tests for the machine simulator: determinism, causality, and
-//! broadcast-tree coverage under randomized inputs.
+//! broadcast-tree coverage under randomized inputs. Runs on the hermetic
+//! `il-testkit` harness; failures print a rerunnable `IL_TESTKIT_SEED`.
 
 use il_machine::{
     binomial_children, binomial_parent, broadcast_depth, MachineDesc, Network, NodeBehavior,
     NodeCtx, SimTime, Simulator,
 };
-use proptest::prelude::*;
+use il_testkit::prop::{check, i64s, usizes, vec_of};
+use il_testkit::{prop_assert, prop_assert_eq};
 use std::collections::BTreeSet;
 
 /// A behavior that relays each message a random-but-deterministic number
@@ -32,11 +34,29 @@ impl NodeBehavior<Hop> for Relay {
     }
 }
 
-fn run(nodes: usize, seeds: &[(usize, u32, usize, u64)]) -> (u64, u64, u64, Vec<Vec<(u64, u32)>>) {
+/// One injected message, generated as plain integers: (dst, ttl, stride,
+/// bytes) — kept as i64 so tuple shrinking applies, narrowed in `run`.
+type Seed = (i64, i64, i64, i64);
+
+fn seeds_gen() -> il_testkit::prop::VecGen<(
+    il_testkit::prop::I64Range,
+    il_testkit::prop::I64Range,
+    il_testkit::prop::I64Range,
+    il_testkit::prop::I64Range,
+)> {
+    vec_of((i64s(0..10), i64s(0..20), i64s(0..10), i64s(0..10_000)), 1..6)
+}
+
+fn run(nodes: usize, seeds: &[Seed]) -> (u64, u64, u64, Vec<Vec<(u64, u32)>>) {
     let behaviors = (0..nodes).map(|_| Relay { hops_seen: Vec::new() }).collect();
     let mut sim = Simulator::new(MachineDesc::piz_daint(nodes), Network::aries(), behaviors);
     for &(dst, ttl, stride, bytes) in seeds {
-        sim.inject(SimTime::ZERO, dst % nodes, Hop { ttl, stride: stride % nodes.max(1) + 1, bytes: bytes % 10_000 });
+        let (dst, ttl, stride, bytes) = (dst as usize, ttl as u32, stride as usize, bytes as u64);
+        sim.inject(
+            SimTime::ZERO,
+            dst % nodes,
+            Hop { ttl, stride: stride % nodes.max(1) + 1, bytes: bytes % 10_000 },
+        );
     }
     sim.run(1_000_000);
     let makespan = sim.makespan().as_ns();
@@ -45,24 +65,25 @@ fn run(nodes: usize, seeds: &[(usize, u32, usize, u64)]) -> (u64, u64, u64, Vec<
     (makespan, stats.messages, stats.bytes, logs)
 }
 
-proptest! {
-    /// Two runs of the same schedule are bit-identical.
-    #[test]
-    fn simulation_is_deterministic(
-        nodes in 1usize..10,
-        seeds in proptest::collection::vec((0usize..10, 0u32..20, 0usize..10, 0u64..10_000), 1..6),
-    ) {
-        prop_assert_eq!(run(nodes, &seeds), run(nodes, &seeds));
-    }
+/// Two runs of the same schedule are bit-identical.
+#[test]
+fn simulation_is_deterministic() {
+    check("simulation_is_deterministic", &(usizes(1..10), seeds_gen()), |(nodes, seeds)| {
+        prop_assert_eq!(run(*nodes, seeds), run(*nodes, seeds));
+        Ok(())
+    });
+}
 
-    /// Causality: every node observes non-decreasing arrival times in its
-    /// own processing order, and total hops match the injected TTLs.
-    #[test]
-    fn causality_and_conservation(
-        nodes in 1usize..8,
-        seeds in proptest::collection::vec((0usize..8, 0u32..15, 0usize..8, 0u64..5_000), 1..5),
-    ) {
-        let (makespan, _msgs, _bytes, logs) = run(nodes, &seeds);
+/// Causality: every node observes non-decreasing arrival times in its
+/// own processing order, and total hops match the injected TTLs.
+#[test]
+fn causality_and_conservation() {
+    let gen = (
+        usizes(1..8),
+        vec_of((i64s(0..8), i64s(0..15), i64s(0..8), i64s(0..5_000)), 1..5),
+    );
+    check("causality_and_conservation", &gen, |(nodes, seeds)| {
+        let (makespan, _msgs, _bytes, logs) = run(*nodes, seeds);
         let mut total_hops = 0usize;
         for log in &logs {
             total_hops += log.len();
@@ -72,12 +93,15 @@ proptest! {
         }
         let expected: usize = seeds.iter().map(|(_, ttl, _, _)| *ttl as usize + 1).sum();
         prop_assert_eq!(total_hops, expected);
-    }
+        Ok(())
+    });
+}
 
-    /// Binomial trees cover all nodes exactly once from any root, within
-    /// the theoretical depth bound.
-    #[test]
-    fn broadcast_tree_coverage(n in 1usize..200, root_raw in 0usize..200) {
+/// Binomial trees cover all nodes exactly once from any root, within
+/// the theoretical depth bound.
+#[test]
+fn broadcast_tree_coverage() {
+    check("broadcast_tree_coverage", &(usizes(1..200), usizes(0..200)), |&(n, root_raw)| {
         let root = root_raw % n;
         let mut reached = BTreeSet::new();
         reached.insert(root);
@@ -97,25 +121,29 @@ proptest! {
         }
         prop_assert_eq!(reached.len(), n);
         prop_assert!(rounds <= broadcast_depth(n) + 1);
-    }
+        Ok(())
+    });
+}
 
-    /// NIC serialization: sending k messages back-to-back occupies the
-    /// NIC for at least k × occupancy(bytes).
-    #[test]
-    fn nic_occupancy_accumulates(k in 1u64..20, bytes in 0u64..50_000) {
-        struct Burst {
-            k: u64,
-            bytes: u64,
-        }
-        impl NodeBehavior<u8> for Burst {
-            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, msg: u8) {
-                if msg == 0 && ctx.node() == 0 {
-                    for _ in 0..self.k {
-                        ctx.send(1, 1, self.bytes);
-                    }
+/// NIC serialization: sending k messages back-to-back occupies the
+/// NIC for at least k × occupancy(bytes).
+#[test]
+fn nic_occupancy_accumulates() {
+    struct Burst {
+        k: u64,
+        bytes: u64,
+    }
+    impl NodeBehavior<u8> for Burst {
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, msg: u8) {
+            if msg == 0 && ctx.node() == 0 {
+                for _ in 0..self.k {
+                    ctx.send(1, 1, self.bytes);
                 }
             }
         }
+    }
+    check("nic_occupancy_accumulates", &(i64s(1..20), i64s(0..50_000)), |&(k, bytes)| {
+        let (k, bytes) = (k as u64, bytes as u64);
         let net = Network::aries();
         let per_msg = net.occupancy(bytes);
         let mut sim = Simulator::new(
@@ -126,5 +154,6 @@ proptest! {
         sim.inject(SimTime::ZERO, 0, 0);
         sim.run(10_000);
         prop_assert_eq!(sim.clock(0).nic_free, per_msg * k);
-    }
+        Ok(())
+    });
 }

@@ -5,7 +5,7 @@ use crate::instance::FieldStore;
 use std::fmt;
 
 /// The element type of a field.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FieldKind {
     /// 64-bit float.
     F64,
@@ -33,7 +33,7 @@ impl FieldKind {
 }
 
 /// Description of a field space: an ordered set of named, typed fields.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FieldSpaceDesc {
     fields: Vec<(FieldId, FieldKind, String)>,
 }

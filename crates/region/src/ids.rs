@@ -5,7 +5,7 @@ use std::fmt;
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
         $(#[$meta])*
-        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         pub struct $name(pub u32);
 
         impl fmt::Debug for $name {
@@ -51,7 +51,7 @@ id_type!(
 /// A logical region: an index space crossed with a field space, within a
 /// region tree. Subregions of a partitioned region share the tree and field
 /// space and name a child index space.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LogicalRegion {
     /// The region tree this region belongs to.
     pub tree: RegionTreeId,

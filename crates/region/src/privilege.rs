@@ -8,7 +8,7 @@ use std::fmt;
 /// Privileges drive both the index-launch safety checks (§3) and the
 /// dependence analysis: a dependency exists when a task reads data written
 /// (or reduced) by an earlier task.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Privilege {
     /// Read-only access.
     Read,

@@ -8,7 +8,7 @@
 use std::fmt;
 
 /// Identifier of a registered reduction operator.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReductionOpId(pub u32);
 
 impl fmt::Debug for ReductionOpId {
@@ -26,7 +26,7 @@ impl fmt::Debug for ReductionOpId {
 /// commutative fold. Floating-point addition is treated as commutative
 /// here, as it is in Legion; the deterministic event ordering of the
 /// simulator keeps results reproducible run-to-run regardless.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ReductionKind {
     /// Addition.
     Sum,

@@ -1,30 +1,39 @@
 //! Property tests for the region data model: disjointness queries,
 //! overlap volumes, intersections, and instance copy/fold semantics.
+//! Runs on the hermetic `il-testkit` harness; note `one_of`/`map`
+//! generators do not shrink, so failures report the original input.
 
 use il_geometry::{Domain, DomainPoint, Rect};
 use il_region::{
-    domain_intersection, domains_overlap, overlap_volume, Disjointness, FieldKind,
-    FieldSpaceDesc, PhysicalInstance, RegionForest, ReductionKind,
+    domain_intersection, domains_overlap, overlap_volume, Disjointness, FieldKind, FieldSpaceDesc,
+    PhysicalInstance, RegionForest, ReductionKind,
 };
-use proptest::prelude::*;
+use il_testkit::prop::{check, f64s, i64s, map, one_of, vec_of, OneOf};
+use il_testkit::{prop_assert, prop_assert_eq};
+use std::collections::BTreeSet;
 
-fn domain1() -> impl Strategy<Value = Domain> {
-    prop_oneof![
-        (0i64..30, 0i64..12).prop_map(|(lo, len)| Domain::Rect1(Rect::new1(lo, lo + len))),
-        proptest::collection::btree_set(0i64..40, 1..10)
-            .prop_map(|s| Domain::sparse(s.into_iter().map(DomainPoint::new1).collect())),
-    ]
+/// A small 1-D domain: either a dense interval or a sparse point set.
+fn domain1() -> OneOf<Domain> {
+    one_of(vec![
+        Box::new(map((i64s(0..30), i64s(0..12)), |(lo, len)| {
+            Domain::Rect1(Rect::new1(lo, lo + len))
+        })),
+        Box::new(map(vec_of(i64s(0..40), 1..10), |vals| {
+            let set: BTreeSet<i64> = vals.into_iter().collect();
+            Domain::sparse(set.into_iter().map(DomainPoint::new1).collect())
+        })),
+    ])
 }
 
-proptest! {
-    /// Overlap predicates and volumes agree with point enumeration.
-    #[test]
-    fn overlap_matches_enumeration(a in domain1(), b in domain1()) {
+/// Overlap predicates and volumes agree with point enumeration.
+#[test]
+fn overlap_matches_enumeration() {
+    check("overlap_matches_enumeration", &(domain1(), domain1()), |(a, b)| {
         let shared: Vec<DomainPoint> = a.iter().filter(|p| b.contains(*p)).collect();
-        prop_assert_eq!(domains_overlap(&a, &b), !shared.is_empty());
-        prop_assert_eq!(overlap_volume(&a, &b), shared.len() as u64);
-        prop_assert_eq!(overlap_volume(&a, &b), overlap_volume(&b, &a));
-        match domain_intersection(&a, &b) {
+        prop_assert_eq!(domains_overlap(a, b), !shared.is_empty());
+        prop_assert_eq!(overlap_volume(a, b), shared.len() as u64);
+        prop_assert_eq!(overlap_volume(a, b), overlap_volume(b, a));
+        match domain_intersection(a, b) {
             None => prop_assert!(shared.is_empty()),
             Some(i) => {
                 let mut got: Vec<DomainPoint> = i.iter().collect();
@@ -34,14 +43,15 @@ proptest! {
                 prop_assert_eq!(got, want);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// `spaces_disjoint` is exact for arbitrary colorings: it answers
-    /// true iff the domains share no point.
-    #[test]
-    fn spaces_disjoint_is_exact(
-        doms in proptest::collection::vec(domain1(), 2..6),
-    ) {
+/// `spaces_disjoint` is exact for arbitrary colorings: it answers
+/// true iff the domains share no point.
+#[test]
+fn spaces_disjoint_is_exact() {
+    check("spaces_disjoint_is_exact", &vec_of(domain1(), 2..6), |doms| {
         let mut forest = RegionForest::new();
         let fs = forest.create_field_space(FieldSpaceDesc::new());
         let region = forest.create_region(Domain::range(64), fs);
@@ -57,9 +67,8 @@ proptest! {
             Disjointness::Compute,
         );
         // Partition disjointness flag agrees with pairwise overlap.
-        let any_overlap = (0..doms.len()).any(|i| {
-            (i + 1..doms.len()).any(|j| domains_overlap(&doms[i], &doms[j]))
-        });
+        let any_overlap = (0..doms.len())
+            .any(|i| (i + 1..doms.len()).any(|j| domains_overlap(&doms[i], &doms[j])));
         prop_assert_eq!(forest.is_disjoint(p), !any_overlap);
         // Space-level queries are exact.
         for i in 0..doms.len() {
@@ -74,16 +83,17 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// copy_from moves exactly the overlap; fold_from is additive and
-    /// commutative across producers.
-    #[test]
-    fn instance_copy_and_fold(
-        vals in proptest::collection::vec(-100.0f64..100.0, 10),
-        lo in 0i64..5,
-        len in 0i64..6,
-    ) {
+/// copy_from moves exactly the overlap; fold_from is additive and
+/// commutative across producers.
+#[test]
+fn instance_copy_and_fold() {
+    let gen = (vec_of(f64s(-100.0..100.0), 10..11), i64s(0..5), i64s(0..6));
+    check("instance_copy_and_fold", &gen, |(vals, lo, len)| {
+        let (lo, len) = (*lo, *len);
         let mut fsd = FieldSpaceDesc::new();
         let f = fsd.add("x", FieldKind::F64);
         let whole: Domain = Rect::new1(0, 9).into();
@@ -110,33 +120,39 @@ proptest! {
             let got: f64 = acc.get(f, p);
             prop_assert!((got - 2.0 * vals[p.x() as usize]).abs() < 1e-12);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Min/Max folds are idempotent and order-insensitive.
-    #[test]
-    fn min_max_fold_laws(a in -50i64..50, b in -50i64..50) {
+/// Min/Max folds are idempotent and order-insensitive.
+#[test]
+fn min_max_fold_laws() {
+    check("min_max_fold_laws", &(i64s(-50..50), i64s(-50..50)), |&(a, b)| {
         for kind in [ReductionKind::Min, ReductionKind::Max] {
             let ab = kind.fold_i64(kind.fold_i64(kind.identity_i64(), a), b);
             let ba = kind.fold_i64(kind.fold_i64(kind.identity_i64(), b), a);
             prop_assert_eq!(ab, ba);
             prop_assert_eq!(kind.fold_i64(ab, ab), ab);
         }
-    }
+        Ok(())
+    });
 }
 
 mod bvh_props {
     use il_geometry::DomainPoint;
     use il_region::{BBox, BvhSet};
-    use proptest::prelude::*;
+    use il_testkit::prop::{check, i64s, vec_of};
+    use il_testkit::prop_assert_eq;
 
-    proptest! {
-        /// BVH queries return exactly the brute-force overlap set, across
-        /// rebuild boundaries.
-        #[test]
-        fn bvh_query_equals_bruteforce(
-            boxes in proptest::collection::vec((-100i64..100, 0i64..30, -100i64..100, 0i64..30), 1..150),
-            q in (-120i64..120, 0i64..50, -120i64..120, 0i64..50),
-        ) {
+    /// BVH queries return exactly the brute-force overlap set, across
+    /// rebuild boundaries.
+    #[test]
+    fn bvh_query_equals_bruteforce() {
+        let gen = (
+            vec_of((i64s(-100..100), i64s(0..30), i64s(-100..100), i64s(0..30)), 1..150),
+            (i64s(-120..120), i64s(0..50), i64s(-120..120), i64s(0..50)),
+        );
+        check("bvh_query_equals_bruteforce", &gen, |(boxes, q)| {
             let mut set = BvhSet::new();
             let items: Vec<BBox> = boxes
                 .iter()
@@ -161,6 +177,7 @@ mod bvh_props {
                 .map(|(i, _)| i)
                 .collect();
             prop_assert_eq!(got, want);
-        }
+            Ok(())
+        });
     }
 }

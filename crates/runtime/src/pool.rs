@@ -1,30 +1,34 @@
-//! A small work-stealing thread pool.
+//! A small thread pool on `std::sync` primitives.
 //!
-//! Built on `crossbeam-deque` in the classic injector/worker/stealer
-//! arrangement. The benchmark harness uses it to run independent
-//! simulations (one per node-count × configuration point) across cores;
-//! it is also usable for data-parallel kernel work. The pool guarantees
-//! that [`map`](ThreadPool::map) returns results in input order, so
-//! parallelism never perturbs experiment output.
+//! Built on a shared `Mutex<VecDeque>` work queue with a `Condvar` for
+//! parking idle workers and `std::sync::mpsc` for result collection —
+//! no external concurrency crates. The benchmark harness uses it to run
+//! independent simulations (one per node-count × configuration point)
+//! across cores; it is also usable for data-parallel kernel work. Jobs
+//! here are coarse (whole simulated runs), so a single shared queue is
+//! contention-free in practice and keeps the hot path trivially
+//! auditable. The pool guarantees that [`map`](ThreadPool::map) returns
+//! results in input order, so parallelism never perturbs experiment
+//! output.
 
-use crossbeam_channel::{unbounded, Sender};
-use crossbeam_deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct PoolShared {
-    injector: Injector<Job>,
-    stealers: Vec<Stealer<Job>>,
-    shutdown: AtomicBool,
-    idle_lock: Mutex<()>,
-    idle_cv: Condvar,
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
 }
 
-/// A fixed-size work-stealing thread pool.
+struct PoolShared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+/// A fixed-size thread pool over one shared FIFO work queue.
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
@@ -34,23 +38,16 @@ impl ThreadPool {
     /// Spawn a pool of `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
-        let stealers = workers.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(PoolShared {
-            injector: Injector::new(),
-            stealers,
-            shutdown: AtomicBool::new(false),
-            idle_lock: Mutex::new(()),
-            idle_cv: Condvar::new(),
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
         });
-        let handles = workers
-            .into_iter()
-            .enumerate()
-            .map(|(me, local)| {
+        let handles = (0..threads)
+            .map(|me| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("il-pool-{me}"))
-                    .spawn(move || worker_loop(me, local, shared))
+                    .spawn(move || worker_loop(shared))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -73,8 +70,10 @@ impl ThreadPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        self.shared.injector.push(Box::new(job));
-        self.shared.idle_cv.notify_one();
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.ready.notify_one();
     }
 
     /// Run `jobs` in parallel and collect their results **in input
@@ -85,9 +84,9 @@ impl ThreadPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let n = jobs.len();
-        let (tx, rx) = unbounded::<(usize, T)>();
+        let (tx, rx) = channel::<(usize, T)>();
         for (i, job) in jobs.into_iter().enumerate() {
-            let tx: Sender<(usize, T)> = tx.clone();
+            let tx = tx.clone();
             self.execute(move || {
                 let out = job();
                 // Receiver lives until all results are in.
@@ -106,54 +105,39 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.idle_cv.notify_all();
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.ready.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
+fn worker_loop(shared: Arc<PoolShared>) {
     loop {
-        // Local queue first, then the injector, then steal from peers.
-        let job = local.pop().or_else(|| {
-            std::iter::repeat_with(|| {
-                shared.injector.steal_batch_and_pop(&local).or_else(|| {
-                    shared
-                        .stealers
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| *i != me)
-                        .map(|(_, s)| s.steal())
-                        .collect()
-                })
-            })
-            .find(|s| !s.is_retry())
-            .and_then(|s| s.success())
-        });
-        match job {
-            Some(job) => job(),
-            None => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
                     return;
                 }
-                // Park until new work or shutdown.
-                let mut guard = shared.idle_lock.lock();
-                if shared.injector.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                    shared
-                        .idle_cv
-                        .wait_for(&mut guard, std::time::Duration::from_millis(10));
-                }
+                queue = shared.ready.wait(queue).expect("pool queue poisoned");
             }
-        }
+        };
+        job();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_preserves_order() {
@@ -213,6 +197,23 @@ mod tests {
         let pool = ThreadPool::new(2);
         pool.execute(|| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        // Jobs already queued at shutdown still run: drop flips the
+        // shutdown flag but workers only exit on an empty queue.
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(1);
+            for _ in 0..50 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
     }
 }
 

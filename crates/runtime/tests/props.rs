@@ -1,6 +1,8 @@
 //! Property tests for the runtime: randomly generated programs produce
 //! identical data under every runtime configuration, and the dependence
-//! oracle's structural invariants hold.
+//! oracle's structural invariants hold. Runs on the hermetic `il-testkit`
+//! harness with 24 cases per property (these build whole programs per
+//! case); failures print a rerunnable `IL_TESTKIT_SEED`.
 
 use il_analysis::ProjExpr;
 use il_geometry::{Domain, DomainPoint};
@@ -13,10 +15,12 @@ use il_runtime::{
     execute, expand_program, CostSpec, IndexLaunchDesc, Program, ProgramBuilder, RegionReq,
     RuntimeConfig,
 };
-use proptest::prelude::*;
+use il_testkit::prop::{check_with, i64s, map, one_of, usizes, vec_of, Config, OneOf};
+use il_testkit::{prop_assert, prop_assert_eq};
 
 const PIECES: i64 = 4;
 const N: i64 = 16;
+const CASES: u64 = 24;
 
 /// One randomly chosen launch: a task kind plus a shift for its functor.
 #[derive(Clone, Debug)]
@@ -30,12 +34,14 @@ enum OpSpec {
     ReduceShifted(u8, i8),
 }
 
-fn op_spec() -> impl Strategy<Value = OpSpec> {
-    prop_oneof![
-        (-20i8..20).prop_map(OpSpec::WriteConst),
-        (0u8..4).prop_map(OpSpec::AddShifted),
-        ((0u8..4), (-10i8..10)).prop_map(|(s, v)| OpSpec::ReduceShifted(s, v)),
-    ]
+fn op_spec() -> OneOf<OpSpec> {
+    one_of(vec![
+        Box::new(map(i64s(-20..20), |v| OpSpec::WriteConst(v as i8))),
+        Box::new(map(i64s(0..4), |s| OpSpec::AddShifted(s as u8))),
+        Box::new(map((i64s(0..4), i64s(-10..10)), |(s, v)| {
+            OpSpec::ReduceShifted(s as u8, v as i8)
+        })),
+    ])
 }
 
 struct Built {
@@ -195,64 +201,78 @@ fn extract(built: &Built, report: &il_runtime::RunReport) -> Vec<(f64, f64)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The fundamental guarantee: random programs compute identical data
+/// under every (nodes × DCR × IDX × tracing) configuration.
+#[test]
+fn configs_agree_on_random_programs() {
+    check_with(
+        Config::from_env("configs_agree_on_random_programs").with_cases(CASES),
+        &vec_of(op_spec(), 1..7),
+        |specs| {
+            let baseline = {
+                let built = build(specs);
+                let report = execute(&built.program, &RuntimeConfig::validate(1));
+                extract(&built, &report)
+            };
+            for (nodes, dcr, idx, tracing) in [
+                (2usize, true, true, true),
+                (4, true, false, true),
+                (3, false, true, false),
+                (4, false, false, true),
+            ] {
+                let built = build(specs);
+                let rt =
+                    RuntimeConfig::validate(nodes).with_axes(dcr, idx).with_tracing(tracing);
+                let report = execute(&built.program, &rt);
+                let got = extract(&built, &report);
+                prop_assert_eq!(
+                    &got,
+                    &baseline,
+                    "mismatch: nodes={} dcr={} idx={} tracing={} specs={:?}",
+                    nodes,
+                    dcr,
+                    idx,
+                    tracing,
+                    specs
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The fundamental guarantee: random programs compute identical data
-    /// under every (nodes × DCR × IDX × tracing) configuration.
-    #[test]
-    fn configs_agree_on_random_programs(
-        specs in proptest::collection::vec(op_spec(), 1..7),
-    ) {
-        let baseline = {
-            let built = build(&specs);
-            let report = execute(&built.program, &RuntimeConfig::validate(1));
-            extract(&built, &report)
-        };
-        for (nodes, dcr, idx, tracing) in
-            [(2usize, true, true, true), (4, true, false, true), (3, false, true, false), (4, false, false, true)]
-        {
-            let built = build(&specs);
-            let rt = RuntimeConfig::validate(nodes).with_axes(dcr, idx).with_tracing(tracing);
-            let report = execute(&built.program, &rt);
-            let got = extract(&built, &report);
-            prop_assert_eq!(
-                &got, &baseline,
-                "mismatch: nodes={} dcr={} idx={} tracing={} specs={:?}",
-                nodes, dcr, idx, tracing, specs
-            );
-        }
-    }
-
-    /// Oracle invariants on random programs: edges point backwards (the
-    /// graph is a DAG by construction), every dependence is between tasks
-    /// of different ops unless the op was sequentialized, and successor
-    /// lists mirror predecessor lists.
-    #[test]
-    fn oracle_structural_invariants(
-        specs in proptest::collection::vec(op_spec(), 1..7),
-        nodes in 1usize..5,
-    ) {
-        let built = build(&specs);
-        let config = RuntimeConfig::scale(nodes);
-        let ex = expand_program(&built.program, &config);
-        for (t, preds) in ex.deps.iter().enumerate() {
-            for &p in preds {
-                prop_assert!((p as usize) < t, "edge must point backwards");
-                prop_assert!(ex.succs[p as usize].contains(&(t as u32)));
+/// Oracle invariants on random programs: edges point backwards (the
+/// graph is a DAG by construction), every dependence is between tasks
+/// of different ops unless the op was sequentialized, and successor
+/// lists mirror predecessor lists.
+#[test]
+fn oracle_structural_invariants() {
+    check_with(
+        Config::from_env("oracle_structural_invariants").with_cases(CASES),
+        &(vec_of(op_spec(), 1..7), usizes(1..5)),
+        |(specs, nodes)| {
+            let built = build(specs);
+            let config = RuntimeConfig::scale(*nodes);
+            let ex = expand_program(&built.program, &config);
+            for (t, preds) in ex.deps.iter().enumerate() {
+                for &p in preds {
+                    prop_assert!((p as usize) < t, "edge must point backwards");
+                    prop_assert!(ex.succs[p as usize].contains(&(t as u32)));
+                }
             }
-        }
-        for (t, succs) in ex.succs.iter().enumerate() {
-            for &s in succs {
-                prop_assert!(ex.deps[s as usize].contains(&(t as u32)));
+            for (t, succs) in ex.succs.iter().enumerate() {
+                for &s in succs {
+                    prop_assert!(ex.deps[s as usize].contains(&(t as u32)));
+                }
             }
-        }
-        // Copies reference real dependence edges.
-        for (t, copies) in ex.copies.iter().enumerate() {
-            for c in copies {
-                prop_assert!(ex.deps[t].contains(&c.from));
-                prop_assert!(c.bytes > 0);
+            // Copies reference real dependence edges.
+            for (t, copies) in ex.copies.iter().enumerate() {
+                for c in copies {
+                    prop_assert!(ex.deps[t].contains(&c.from));
+                    prop_assert!(c.bytes > 0);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build, test green, and stay
+# hermetic (zero non-path dependencies, so it works with no network and
+# no registry). Run from the repo root:
+#
+#   scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: crates/*/Cargo.toml must declare only path dependencies =="
+# Any dependency line with a version requirement or registry source is a
+# violation; `workspace = true` entries resolve to the path-only
+# [workspace.dependencies] table in the root manifest.
+bad=0
+for manifest in crates/*/Cargo.toml; do
+    # Strip comments, then look for dependency-table lines that name a
+    # version/git/registry source.
+    if sed 's/#.*//' "$manifest" | grep -nE '^[a-zA-Z0-9_-]+[[:space:]]*=[[:space:]]*("[^"]+"|\{[^}]*(version|git|registry)[[:space:]]*=)' \
+        | grep -vE '^[0-9]+:(name|version|edition|license|rust-version|description|path|workspace|harness|test|bench)[[:space:]]*='; then
+        echo "non-path dependency in $manifest (lines above)"
+        bad=1
+    fi
+done
+if ! grep -q 'path = "crates/' Cargo.toml; then
+    echo "root Cargo.toml lost its path-only [workspace.dependencies]"
+    bad=1
+fi
+# Within [workspace.dependencies], every entry must be a path dependency.
+if awk '/^\[workspace.dependencies\]/{t=1; next} /^\[/{t=0} t' Cargo.toml \
+    | sed 's/#.*//' \
+    | grep -nE '=[[:space:]]*("|\{[^}]*(version|git|registry)[[:space:]]*=)' \
+    | grep -v 'path[[:space:]]*='; then
+    echo "root [workspace.dependencies] declares a non-path dependency (lines above)"
+    bad=1
+fi
+[ "$bad" -eq 0 ] || { echo "hermetic-build guard FAILED"; exit 1; }
+echo "hermetic-build guard OK"
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline
+
+echo "verify.sh: all green"

@@ -241,6 +241,126 @@ fn expected_static_verdicts() {
     }
 }
 
+/// End-to-end golden safety matrix over the three applications: every
+/// launch the apps issue must clear the hybrid analysis — statically or
+/// via the Listing-3 dynamic self-/cross-checks reporting
+/// non-interference — and the per-app static/dynamic split is pinned so
+/// an analysis regression (e.g. the static rules silently weakening and
+/// dumping everything onto the dynamic path) shows up as a diff here.
+#[test]
+fn apps_clear_safety_matrix_end_to_end() {
+    use index_launch::runtime::{execute, Program, RuntimeConfig};
+
+    /// Classify every launch in `program`; returns (static, dynamic)
+    /// acceptance counts. Panics on any Unsafe verdict or failed check.
+    fn classify(name: &str, program: &Program) -> (usize, usize) {
+        let (mut safe_static, mut needs_dynamic) = (0, 0);
+        for (i, op) in program.ops.iter().enumerate() {
+            let launch = op.launch();
+            let args: Vec<LaunchArg> = launch
+                .reqs
+                .iter()
+                .map(|req| LaunchArg {
+                    partition: req.partition,
+                    functor: program.functor(req.functor).clone(),
+                    privilege: req.privilege,
+                    fields: req.fields.clone(),
+                })
+                .collect();
+            match analyze_launch(&program.forest, &launch.domain, &args) {
+                HybridVerdict::SafeStatic => safe_static += 1,
+                HybridVerdict::NeedsDynamic(plan) => {
+                    needs_dynamic += 1;
+                    plan.run().unwrap_or_else(|c| {
+                        panic!("{name}: op {i} failed its dynamic check: {c:?}")
+                    });
+                }
+                HybridVerdict::Unsafe(reason) => {
+                    panic!("{name}: op {i} rejected as unsafe: {reason:?}")
+                }
+            }
+        }
+        (safe_static, needs_dynamic)
+    }
+
+    let stencil = index_launch::apps::stencil::build(&index_launch::apps::stencil::StencilConfig {
+        iterations: 2,
+        ..index_launch::apps::stencil::StencilConfig::tiny((2, 2))
+    });
+    let circuit = index_launch::apps::circuit::build(&index_launch::apps::circuit::CircuitConfig {
+        iterations: 2,
+        ..index_launch::apps::circuit::CircuitConfig::tiny(4)
+    });
+    let soleil = index_launch::apps::soleil::build(&index_launch::apps::soleil::SoleilConfig {
+        iterations: 2,
+        ..index_launch::apps::soleil::SoleilConfig::tiny((2, 1, 1))
+    });
+
+    // A fourth program whose second launch uses an opaque functor, so the
+    // hybrid analysis must fall back to the Listing-3 dynamic self-check
+    // and this test exercises the dynamic column end-to-end.
+    let opaque = {
+        use index_launch::machine::SimTime;
+        use index_launch::runtime::{CostSpec, IndexLaunchDesc, ProgramBuilder, RegionReq};
+        let mut b = ProgramBuilder::new();
+        let mut fsd = FieldSpaceDesc::new();
+        let f = fsd.add("x", FieldKind::F64);
+        let fs = b.forest.create_field_space(fsd);
+        let region = b.forest.create_region(Domain::range(32), fs);
+        let blocks = equal_partition_1d(&mut b.forest, region.space, 8);
+        let domain = Domain::range(8);
+        let task = b.task("reverse_write", move |ctx| {
+            let pts: Vec<_> = ctx.domain(0).iter().collect();
+            for p in pts {
+                ctx.write(0, f, p, p.x() as f64);
+            }
+        });
+        for functor in [
+            b.identity_functor(),
+            b.functor(ProjExpr::opaque(|p| DomainPoint::new1(7 - p.x()))),
+        ] {
+            b.index_launch(IndexLaunchDesc {
+                task,
+                domain: domain.clone(),
+                reqs: vec![RegionReq {
+                    partition: blocks,
+                    functor,
+                    privilege: Privilege::Write,
+                    fields: vec![f],
+                    tree: region.tree,
+                    field_space: fs,
+                }],
+                scalars: vec![],
+                cost: CostSpec::Uniform(SimTime::us(10)),
+                shard: None,
+            });
+        }
+        b.build()
+    };
+
+    // Golden matrix: (app, statically safe, dynamically checked).
+    // Every op must land in one of the two accepting columns.
+    let golden: Vec<(&str, &Program, usize, usize)> = vec![
+        ("stencil", &stencil.program, 5, 0),
+        ("circuit", &circuit.program, 8, 0),
+        ("soleil", &soleil.program, 94, 0),
+        ("opaque", &opaque, 1, 1),
+    ];
+    for (name, program, want_static, want_dynamic) in golden {
+        let (got_static, got_dynamic) = classify(name, program);
+        assert_eq!(
+            (got_static, got_dynamic),
+            (want_static, want_dynamic),
+            "{name}: safety-matrix drift (static, dynamic)"
+        );
+        assert_eq!(got_static + got_dynamic, program.ops.len(), "{name}: every op classified");
+        // And the programs actually run end-to-end under a validating
+        // runtime (which re-executes the same checks internally).
+        let report = execute(program, &RuntimeConfig::validate(2));
+        assert!(report.makespan.as_ns() > 0, "{name}: empty execution");
+    }
+}
+
 /// Field-disjoint arguments never interfere — the stencil pattern.
 #[test]
 fn field_disjointness_passes_cross_check() {
