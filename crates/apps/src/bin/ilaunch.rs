@@ -10,6 +10,11 @@
 //! Scale mode (default) runs the cost-modeled simulation and reports
 //! throughput; `--validate` runs real kernels on a small problem and
 //! checks the result against the sequential reference.
+//!
+//! `--trace FILE` collects the structured per-stage event log and writes
+//! it as Chrome `about:tracing` JSON to FILE (open in `chrome://tracing`
+//! or Perfetto), along with a per-stage busy/traffic summary on stdout.
+//! `--audit` forces the pipeline audits on (they default to debug-only).
 
 use il_apps::{circuit, soleil, stencil};
 use il_runtime::{execute, RunReport, RuntimeConfig};
@@ -25,6 +30,8 @@ struct Args {
     fluid_only: bool,
     overdecompose: usize,
     strong: bool,
+    trace_out: Option<String>,
+    audit: bool,
 }
 
 fn parse() -> Result<Args, String> {
@@ -40,6 +47,8 @@ fn parse() -> Result<Args, String> {
         fluid_only: false,
         overdecompose: 1,
         strong: false,
+        trace_out: None,
+        audit: false,
     };
     let mut it = argv.into_iter();
     args.app = it.next().ok_or("usage: ilaunch <circuit|stencil|soleil> [flags]")?;
@@ -59,6 +68,10 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--overdecompose: {e}"))?;
             }
+            "--trace" => {
+                args.trace_out = Some(it.next().ok_or("--trace takes an output path")?);
+            }
+            "--audit" => args.audit = true,
             "--validate" => args.validate = true,
             "--strong" => args.strong = true,
             "--no-dcr" => args.dcr = false,
@@ -78,12 +91,18 @@ fn runtime_config(a: &Args) -> RuntimeConfig {
     } else {
         RuntimeConfig::scale(a.nodes)
     };
-    base.with_axes(a.dcr, a.idx)
+    let mut config = base
+        .with_axes(a.dcr, a.idx)
         .with_tracing(a.tracing)
         .with_dynamic_checks(a.checks)
+        .with_trace(a.trace_out.is_some());
+    if a.audit {
+        config = config.with_audit(true);
+    }
+    config
 }
 
-fn report_line(report: &RunReport) {
+fn report_line(args: &Args, report: &RunReport) {
     println!(
         "tasks: {}   makespan: {}   elapsed(timed): {}   messages: {}   bytes: {}   dyn-checks: {}",
         report.tasks,
@@ -93,6 +112,32 @@ fn report_line(report: &RunReport) {
         report.bytes,
         report.dynamic_check_time
     );
+    if let Some(audit) = &report.audit {
+        println!(
+            "audits: OK ({} credits conserved, {} slices covered)",
+            audit.credits_paid, audit.slices_covered
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        println!("per-stage breakdown (busy time | messages | bytes):");
+        for (stage, busy) in report.stage_busy.iter() {
+            let i = stage.index();
+            if busy.as_ns() == 0 && report.stage_messages[i] == 0 {
+                continue;
+            }
+            println!(
+                "  {:<14} {:>14}   {:>8} msgs   {:>12} B",
+                stage.name(),
+                busy.to_string(),
+                report.stage_messages[i],
+                report.stage_bytes[i]
+            );
+        }
+        let trace = report.trace.as_ref().expect("--trace requested");
+        std::fs::write(path, trace.to_chrome_trace())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path} ({} events)", trace.len());
+    }
 }
 
 fn main() {
@@ -126,7 +171,7 @@ fn main() {
             };
             let app = circuit::build(&config);
             let report = execute(&app.program, &rt);
-            report_line(&report);
+            report_line(&args, &report);
             println!(
                 "throughput: {:.3e} wires/s ({:.3e} per node)",
                 circuit::throughput(&config, &report),
@@ -154,7 +199,7 @@ fn main() {
             };
             let app = stencil::build(&config);
             let report = execute(&app.program, &rt);
-            report_line(&report);
+            report_line(&args, &report);
             println!(
                 "throughput: {:.3e} cells/s ({:.3e} per node)",
                 stencil::throughput(&config, &report),
@@ -187,7 +232,7 @@ fn main() {
             };
             let app = soleil::build(&config);
             let report = execute(&app.program, &rt);
-            report_line(&report);
+            report_line(&args, &report);
             println!(
                 "throughput: {:.3} iter/s per node",
                 soleil::throughput(&config, &report)

@@ -8,7 +8,10 @@
 //!
 //! ASCII tables print to stdout; CSVs land in `results/`. Every run also
 //! re-measures the core analysis kernels and writes the wall-clock
-//! trajectory to `BENCH_PR1.json` (testkit bench runner + JSON emitter).
+//! trajectory to `BENCH_PR2.json` (testkit bench runner + JSON emitter),
+//! now including a per-stage pipeline breakdown of a reference stencil
+//! run under each (DCR × IDX) corner, plus a Chrome `about:tracing`
+//! export of the DCR+IDX run in `results/stencil_trace.json`.
 
 use il_analysis::{cross_check, self_check, ArgCheck, ProjExpr};
 use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure};
@@ -85,14 +88,14 @@ fn main() {
         }
     }
 
-    write_bench_trajectory("BENCH_PR1.json");
+    write_bench_trajectory("BENCH_PR2.json", &out_dir);
 }
 
 /// Re-measure the dynamic-check kernels (the paper's Tables 2–3 hot
 /// paths) and dump the reports to `path` so benchmark trajectories can
 /// be diffed across PRs.
-fn write_bench_trajectory(path: &str) {
-    let mut runner = BenchRunner::new("pr1").full().samples(5);
+fn write_bench_trajectory(path: &str, out_dir: &std::path::Path) {
+    let mut runner = BenchRunner::new("pr2").full().samples(5);
     let n = 100_000i64;
     let domain = Domain::range(n);
     let colors = Domain::range(n + 16);
@@ -125,11 +128,50 @@ fn write_bench_trajectory(path: &str) {
     let reports = runner.finish();
     let json = Json::obj()
         .set("schema", "il-bench-trajectory-v1")
-        .set("pr", "PR1")
+        .set("pr", "PR2")
         .set("domain_size", n)
-        .set("benches", Json::Arr(reports.iter().map(|r| r.to_json()).collect()));
+        .set("benches", Json::Arr(reports.iter().map(|r| r.to_json()).collect()))
+        .set("stage_breakdown", stage_breakdown(out_dir));
     std::fs::write(path, json.to_string_pretty()).expect("write bench trajectory");
     println!("wrote {path}");
+}
+
+/// Per-stage pipeline breakdown of a reference stencil run (16 nodes,
+/// weak scaling) under each (DCR × IDX) corner, with the pipeline audits
+/// enabled. The DCR+IDX corner is also run with trace collection and its
+/// Chrome `about:tracing` export written to `results/stencil_trace.json`.
+fn stage_breakdown(out_dir: &std::path::Path) -> Json {
+    use il_apps::stencil::{build, StencilConfig};
+    use il_runtime::{execute, RuntimeConfig};
+    let nodes = 16;
+    let app = build(&StencilConfig::weak(nodes));
+    let mut obj = Json::obj();
+    for (name, dcr, idx) in [
+        ("dcr_idx", true, true),
+        ("dcr_noidx", true, false),
+        ("nodcr_idx", false, true),
+        ("nodcr_noidx", false, false),
+    ] {
+        let config = RuntimeConfig::scale(nodes)
+            .with_axes(dcr, idx)
+            .with_audit(true)
+            .with_trace(dcr && idx);
+        let report = execute(&app.program, &config);
+        if let Some(trace) = &report.trace {
+            let path = out_dir.join("stencil_trace.json");
+            std::fs::create_dir_all(out_dir).expect("create results dir");
+            std::fs::write(&path, trace.to_chrome_trace()).expect("write chrome trace");
+            println!("wrote {}", path.display());
+        }
+        obj = obj.set(
+            name,
+            Json::obj()
+                .set("makespan_ns", report.makespan.as_ns())
+                .set("tasks", report.tasks)
+                .set("stages", report.stage_json()),
+        );
+    }
+    obj
 }
 
 fn emit(fig: Figure, per_node: bool, out_dir: &std::path::Path) {

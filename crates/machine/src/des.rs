@@ -10,6 +10,7 @@
 
 use crate::machine::MachineDesc;
 use crate::network::Network;
+use crate::stage::{Stage, StageTotals, StageTraffic};
 use crate::time::SimTime;
 use crate::NodeId;
 use std::cmp::Reverse;
@@ -59,6 +60,10 @@ pub struct NodeClock {
     pub proc_free: Vec<SimTime>,
     /// Total busy time accumulated by the runtime thread.
     pub runtime_busy: SimTime,
+    /// Busy time by pipeline stage: runtime-thread charges land in the
+    /// stage the handler declared ([`NodeCtx::set_stage`]); processor
+    /// work accrues under [`Stage::Exec`].
+    pub stage_busy: StageTotals,
 }
 
 /// Aggregate statistics of a simulation run.
@@ -70,6 +75,8 @@ pub struct SimStats {
     pub messages: u64,
     /// Total bytes injected into the network.
     pub bytes: u64,
+    /// Messages/bytes broken down by the sending handler's stage.
+    pub traffic: StageTraffic,
 }
 
 /// Handle given to a node's message handler.
@@ -81,6 +88,7 @@ pub struct NodeCtx<'a, M> {
     node: NodeId,
     arrival: SimTime,
     cursor: SimTime,
+    stage: Stage,
     clock: &'a mut NodeClock,
     network: &'a Network,
     nodes: usize,
@@ -110,10 +118,22 @@ impl<'a, M> NodeCtx<'a, M> {
         self.cursor
     }
 
+    /// The stage subsequent charges/sends are attributed to.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Declare the pipeline stage for subsequent charges and sends.
+    /// Handlers start each dispatch in [`Stage::Other`].
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
     /// Charge `duration` of sequential runtime work (advances the cursor).
     pub fn charge(&mut self, duration: SimTime) {
         self.cursor += duration;
         self.clock.runtime_busy += duration;
+        self.clock.stage_busy.add(self.stage, duration);
     }
 
     /// Send `msg` to another node through the network; `bytes` sets the
@@ -131,6 +151,7 @@ impl<'a, M> NodeCtx<'a, M> {
         let arrival = start + occupancy + self.network.latency;
         self.stats.messages += 1;
         self.stats.bytes += bytes;
+        self.stats.traffic.record(self.stage, bytes);
         self.outbox.push((arrival, dst, msg));
     }
 
@@ -151,6 +172,7 @@ impl<'a, M> NodeCtx<'a, M> {
         let start = self.cursor.max(self.clock.proc_free[local]);
         let done = start + duration;
         self.clock.proc_free[local] = done;
+        self.clock.stage_busy.add(Stage::Exec, duration);
         done
     }
 
@@ -224,6 +246,7 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             node: ev.dst,
             arrival: ev.time,
             cursor: start,
+            stage: Stage::Other,
             clock,
             network: &self.network,
             nodes: self.nodes.len(),
@@ -275,6 +298,16 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
     /// Aggregate statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Per-stage busy time summed across every node (runtime threads plus
+    /// [`Stage::Exec`] processor work).
+    pub fn stage_totals(&self) -> StageTotals {
+        let mut totals = StageTotals::new();
+        for c in &self.clocks {
+            totals.merge(&c.stage_busy);
+        }
+        totals
     }
 
     /// The machine description.
@@ -441,6 +474,51 @@ mod tests {
         assert_eq!(sim.node(0).done_at, Some(SimTime::ms(1)));
         // Runtime thread only accumulated its 5us of charged work.
         assert_eq!(sim.clock(0).runtime_busy, SimTime::us(5));
+    }
+
+    #[test]
+    fn charges_and_sends_attribute_to_declared_stage() {
+        struct Staged;
+        impl NodeBehavior<u8> for Staged {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, msg: u8) {
+                if msg != 0 {
+                    return;
+                }
+                assert_eq!(ctx.stage(), Stage::Other);
+                ctx.charge(SimTime::us(1)); // untagged
+                ctx.set_stage(Stage::Distribution);
+                ctx.charge(SimTime::us(2));
+                ctx.send(1, 1, 100);
+                ctx.set_stage(Stage::Physical);
+                ctx.charge(SimTime::us(3));
+                let done = ctx.exec_on_proc(0, SimTime::us(10));
+                ctx.set_stage(Stage::Network);
+                ctx.send_self_at(done, 2);
+                ctx.send(1, 1, 50);
+            }
+        }
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::aries(),
+            vec![Staged, Staged],
+        );
+        sim.inject(SimTime::ZERO, 0, 0);
+        sim.run(10);
+        let c = sim.clock(0);
+        assert_eq!(c.stage_busy.get(Stage::Other), SimTime::us(1));
+        assert_eq!(c.stage_busy.get(Stage::Distribution), SimTime::us(2));
+        assert_eq!(c.stage_busy.get(Stage::Physical), SimTime::us(3));
+        assert_eq!(c.stage_busy.get(Stage::Exec), SimTime::us(10));
+        assert_eq!(c.runtime_busy, SimTime::us(6));
+        let traffic = &sim.stats().traffic;
+        assert_eq!(traffic.messages[Stage::Distribution.index()], 1);
+        assert_eq!(traffic.bytes[Stage::Distribution.index()], 100);
+        assert_eq!(traffic.messages[Stage::Network.index()], 1);
+        assert_eq!(traffic.bytes[Stage::Network.index()], 50);
+        // Aggregates and the per-stage split agree.
+        assert_eq!(sim.stats().messages, 2);
+        assert_eq!(sim.stats().bytes, 150);
+        assert_eq!(sim.stage_totals().get(Stage::Exec), SimTime::us(10));
     }
 
     #[test]

@@ -21,12 +21,14 @@
 pub mod des;
 pub mod machine;
 pub mod network;
+pub mod stage;
 pub mod time;
 pub mod topology;
 
 pub use des::{NodeBehavior, NodeCtx, SimStats, Simulator};
 pub use machine::{MachineDesc, ProcId, ProcKind};
 pub use network::Network;
+pub use stage::{Stage, StageTotals, StageTraffic};
 pub use time::SimTime;
 pub use topology::{binomial_children, binomial_parent, broadcast_depth};
 

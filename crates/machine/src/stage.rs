@@ -1,0 +1,180 @@
+//! Pipeline stages for per-stage time and traffic attribution.
+//!
+//! The paper's evaluation (§6) attributes runtime cost to the stages of
+//! the §5 pipeline — issuance, logical analysis, distribution, physical
+//! analysis, execution — plus the network and the §4 dynamic safety
+//! checks. [`Stage`] names those buckets; [`StageTotals`] accumulates
+//! simulated durations per bucket. The simulator tags every charged
+//! duration, sent message, and processor execution with the stage the
+//! node's handler declared via [`NodeCtx::set_stage`](crate::NodeCtx::set_stage),
+//! so a run can report an honest per-stage breakdown instead of a single
+//! aggregate makespan.
+
+use crate::time::SimTime;
+
+/// The pipeline stage a unit of simulated work or communication is
+/// attributed to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Stage {
+    /// Task issuance: the application thread handing launches to the
+    /// runtime.
+    Issuance,
+    /// Logical (whole-partition or per-task) dependence analysis.
+    Logical,
+    /// Distribution: sharding, slice scatter, task-launch messages.
+    Distribution,
+    /// Physical analysis and mapping of local tasks.
+    Physical,
+    /// Task execution on processors.
+    Exec,
+    /// Network-side completion/credit/coordination processing.
+    Network,
+    /// Dynamic projection-functor safety checks (§4).
+    DynamicChecks,
+    /// Untagged work (handlers that never declared a stage).
+    Other,
+}
+
+impl Stage {
+    /// Number of stages (length of [`Stage::ALL`]).
+    pub const COUNT: usize = 8;
+
+    /// Every stage, in display order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Issuance,
+        Stage::Logical,
+        Stage::Distribution,
+        Stage::Physical,
+        Stage::Exec,
+        Stage::Network,
+        Stage::DynamicChecks,
+        Stage::Other,
+    ];
+
+    /// Dense index of this stage (for array-backed counters).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (used as JSON keys and trace thread names).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Issuance => "issuance",
+            Stage::Logical => "logical",
+            Stage::Distribution => "distribution",
+            Stage::Physical => "physical",
+            Stage::Exec => "exec",
+            Stage::Network => "network",
+            Stage::DynamicChecks => "dynamic_checks",
+            Stage::Other => "other",
+        }
+    }
+}
+
+/// Accumulated simulated busy time per stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTotals([SimTime; Stage::COUNT]);
+
+impl StageTotals {
+    /// All-zero totals.
+    pub const fn new() -> Self {
+        StageTotals([SimTime::ZERO; Stage::COUNT])
+    }
+
+    /// The accumulated time of `stage`.
+    #[inline]
+    pub fn get(&self, stage: Stage) -> SimTime {
+        self.0[stage.index()]
+    }
+
+    /// Add `duration` to `stage`.
+    #[inline]
+    pub fn add(&mut self, stage: Stage, duration: SimTime) {
+        self.0[stage.index()] += duration;
+    }
+
+    /// Add every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &StageTotals) {
+        for s in Stage::ALL {
+            self.0[s.index()] += other.0[s.index()];
+        }
+    }
+
+    /// Sum across all stages.
+    pub fn sum(&self) -> SimTime {
+        self.0.iter().copied().sum()
+    }
+
+    /// Iterate `(stage, accumulated time)` in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, SimTime)> + '_ {
+        Stage::ALL.into_iter().map(move |s| (s, self.get(s)))
+    }
+}
+
+/// Per-stage counters of cross-node messages and bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTraffic {
+    /// Messages sent while each stage was active.
+    pub messages: [u64; Stage::COUNT],
+    /// Bytes injected while each stage was active.
+    pub bytes: [u64; Stage::COUNT],
+}
+
+impl StageTraffic {
+    /// Record one message of `bytes` under `stage`.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, bytes: u64) {
+        self.messages[stage.index()] += 1;
+        self.bytes[stage.index()] += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn totals_accumulate_and_merge() {
+        let mut a = StageTotals::new();
+        a.add(Stage::Exec, SimTime::us(3));
+        a.add(Stage::Exec, SimTime::us(2));
+        a.add(Stage::Network, SimTime::us(1));
+        assert_eq!(a.get(Stage::Exec), SimTime::us(5));
+        let mut b = StageTotals::new();
+        b.add(Stage::Exec, SimTime::us(10));
+        b.merge(&a);
+        assert_eq!(b.get(Stage::Exec), SimTime::us(15));
+        assert_eq!(b.get(Stage::Network), SimTime::us(1));
+        assert_eq!(b.sum(), SimTime::us(16));
+    }
+
+    #[test]
+    fn traffic_records_per_stage() {
+        let mut t = StageTraffic::default();
+        t.record(Stage::Distribution, 256);
+        t.record(Stage::Distribution, 256);
+        t.record(Stage::Network, 64);
+        assert_eq!(t.messages[Stage::Distribution.index()], 2);
+        assert_eq!(t.bytes[Stage::Distribution.index()], 512);
+        assert_eq!(t.messages[Stage::Network.index()], 1);
+        assert_eq!(t.bytes[Stage::Other.index()], 0);
+    }
+}

@@ -35,6 +35,18 @@ pub struct RuntimeConfig {
     /// analyzer could not prove (§4). Disabling them (after a verified
     /// run) removes their O(|D|) issuance cost, as in Figure 10.
     pub dynamic_checks: bool,
+    /// Collect a structured per-stage event log of the run (op, task,
+    /// node, stage, start, duration), returned in
+    /// [`RunReport::trace`](crate::RunReport::trace) and exportable as
+    /// Chrome `about:tracing` JSON. Off by default: the log is
+    /// observability, never cost — it does not change simulated time.
+    pub trace: bool,
+    /// Run the pipeline audits at the end of the run: credit
+    /// conservation (every task's initial wait count is paid by
+    /// exactly-once credits) and slice-tree coverage (the non-DCR
+    /// recursive-halving scatter delivers every slice exactly once).
+    /// Defaults to on in debug builds, off in release.
+    pub audit: bool,
     /// Execute or model task bodies.
     pub mode: ExecutionMode,
     /// Cost model constants.
@@ -51,6 +63,8 @@ impl RuntimeConfig {
             idx: true,
             tracing: true,
             dynamic_checks: true,
+            trace: false,
+            audit: cfg!(debug_assertions),
             mode: ExecutionMode::Scale,
             cost: CostModel::calibrated(),
         }
@@ -80,6 +94,18 @@ impl RuntimeConfig {
     /// Enable/disable the dynamic safety checks.
     pub fn with_dynamic_checks(mut self, on: bool) -> Self {
         self.dynamic_checks = on;
+        self
+    }
+
+    /// Enable/disable structured per-stage trace collection.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Enable/disable the end-of-run pipeline audits.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 }
@@ -197,6 +223,11 @@ mod tests {
         assert_eq!(v.mode, ExecutionMode::Validate);
         let c2 = c.with_axes(false, true).with_tracing(false).with_dynamic_checks(false);
         assert!(!c2.dcr && c2.idx && !c2.tracing && !c2.dynamic_checks);
+        // Trace collection is opt-in; audits follow the build profile.
+        assert!(!c2.trace);
+        assert_eq!(c2.audit, cfg!(debug_assertions));
+        let c3 = c2.with_trace(true).with_audit(true);
+        assert!(c3.trace && c3.audit);
     }
 
     #[test]

@@ -551,8 +551,12 @@ fn ensure_overlaps(
     overlaps.insert((tree, space), mine);
 }
 
-/// Hash of a launch's analysis-relevant shape.
-fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Program) -> u64 {
+/// Hash of a launch's analysis-relevant shape. Covers the full domain
+/// (bounds, dimensionality, sparse points — not just volume), and every
+/// requirement's partition, functor, privilege (with reduction op), and
+/// field list, so distinct launch shapes do not collide. Also used by
+/// the executor to key tracing replays ([`crate::exec`]).
+pub(crate) fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Program) -> u64 {
     let mut h = DefaultHasher::new();
     launch.task.0.hash(&mut h);
     launch.domain.volume().hash(&mut h);

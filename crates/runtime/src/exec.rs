@@ -25,14 +25,16 @@
 
 use crate::config::{ExecutionMode, RuntimeConfig};
 use crate::context::{InstanceStore, TaskContext};
-use crate::depgraph::{expand_program, ExpandedProgram, OpSafety, TaskRef};
+use crate::depgraph::{expand_program, launch_signature, ExpandedProgram, OpSafety, TaskRef};
 use crate::program::Program;
-use il_machine::{MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator};
+use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
+use il_machine::{
+    MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator, Stage, StageTotals,
+};
 use il_region::{domain_intersection, Privilege};
+use il_testkit::Json;
 use std::cell::RefCell;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 /// Result of one runtime execution.
@@ -55,8 +57,44 @@ pub struct RunReport {
     pub dynamic_check_time: SimTime,
     /// Final value of the issuance/logical-analysis frontier.
     pub issuance_span: SimTime,
+    /// Aggregate busy time per pipeline stage: per-node runtime threads
+    /// and processors, plus the issuance/logical/dynamic-check timeline
+    /// counted once (under DCR that timeline is replicated identically
+    /// on every node; it is not multiplied here).
+    pub stage_busy: StageTotals,
+    /// Per-node, simulator-side per-stage busy time (distribution,
+    /// physical, exec, network). The analytically computed issuance
+    /// timeline is *not* folded in — each node's runtime-thread stages
+    /// here sum to at most the makespan.
+    pub node_stage_busy: Vec<StageTotals>,
+    /// Cross-node messages by sending stage.
+    pub stage_messages: [u64; Stage::COUNT],
+    /// Bytes injected into the network by sending stage.
+    pub stage_bytes: [u64; Stage::COUNT],
+    /// The structured per-stage event log (when [`RuntimeConfig::trace`]).
+    pub trace: Option<TraceLog>,
+    /// Pipeline-audit outcome (when [`RuntimeConfig::audit`]).
+    pub audit: Option<AuditReport>,
     /// Final instances (validation mode only).
     pub store: Option<InstanceStore>,
+}
+
+impl RunReport {
+    /// Per-stage summary as a JSON object: for every stage, busy
+    /// nanoseconds plus message/byte counts attributed to it.
+    pub fn stage_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (stage, busy) in self.stage_busy.iter() {
+            obj = obj.set(
+                stage.name(),
+                Json::obj()
+                    .set("busy_ns", busy.as_ns())
+                    .set("messages", self.stage_messages[stage.index()])
+                    .set("bytes", self.stage_bytes[stage.index()]),
+            );
+        }
+        obj
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -109,9 +147,27 @@ struct Shared<'p> {
     /// Sum over reqs of ceil(log2 |P_req|), per op (physical-analysis
     /// multiplier).
     phys_weight: Vec<u32>,
+    /// Whether each op travels as compact slices without DCR.
+    compact_ops: Vec<bool>,
     store: RefCell<InstanceStore>,
     timing: RefCell<Timing>,
     dynamic_check_time: SimTime,
+    /// Structured event log (when `config.trace`). Pure observability:
+    /// recording never changes simulated time.
+    trace: Option<RefCell<TraceLog>>,
+    /// Pipeline-audit counters (when `config.audit`).
+    audit: Option<RefCell<AuditData>>,
+}
+
+impl<'p> Shared<'p> {
+    fn record(&self, event: TraceEvent) {
+        if event.duration == SimTime::ZERO {
+            return;
+        }
+        if let Some(trace) = &self.trace {
+            trace.borrow_mut().record(event);
+        }
+    }
 }
 
 struct RtNode<'p> {
@@ -138,10 +194,35 @@ impl<'p> RtNode<'p> {
     /// ready for dependence resolution.
     fn inject_task(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
         let cost = &self.shared.config.cost;
-        let op = self.shared.expanded.tasks[task as usize].op as usize;
-        let phys = self.shared.phys_weight[op];
-        ctx.charge(cost.distribute_point + cost.map_task + cost.physical_per_task * phys as u64);
+        let op = self.shared.expanded.tasks[task as usize].op;
+        let phys = self.shared.phys_weight[op as usize];
+        let prev_stage = ctx.stage();
+        ctx.set_stage(Stage::Distribution);
+        let dist_start = ctx.now();
+        ctx.charge(cost.distribute_point);
+        ctx.set_stage(Stage::Physical);
+        let phys_start = ctx.now();
+        ctx.charge(cost.map_task + cost.physical_per_task * phys as u64);
         let now = ctx.now();
+        self.shared.record(TraceEvent {
+            op,
+            task: Some(task),
+            node: ctx.node(),
+            stage: Stage::Distribution,
+            start: dist_start,
+            duration: phys_start - dist_start,
+        });
+        self.shared.record(TraceEvent {
+            op,
+            task: Some(task),
+            node: ctx.node(),
+            stage: Stage::Physical,
+            start: phys_start,
+            duration: now - phys_start,
+        });
+        // Callers (slice scatter, task streaming) keep sending
+        // distribution messages after this returns.
+        ctx.set_stage(prev_stage);
         let st = self.state(task);
         st.injected = true;
         st.analysis_done = now;
@@ -162,7 +243,16 @@ impl<'p> RtNode<'p> {
         let gpus = shared.machine.gpus_per_node.max(1);
         let local_proc = shared.machine.cpus_per_node + (inst.point_idx as usize % gpus);
         let duration = shared.config.cost.start_task + launch.cost.at(inst.point);
+        let exec_start = ctx.now().max(ctx.proc_free(local_proc));
         let done = ctx.exec_on_proc(local_proc, duration);
+        shared.record(TraceEvent {
+            op: inst.op,
+            task: Some(task),
+            node: ctx.node(),
+            stage: Stage::Exec,
+            start: exec_start,
+            duration,
+        });
         ctx.send_self_at(done, Msg::TaskDone { task });
     }
 
@@ -217,13 +307,25 @@ impl<'p> RtNode<'p> {
             let op = shared.expanded.tasks[task as usize].op;
             let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
             let notify = if compact {
+                // A task of a compact op only ever completes on a node
+                // that owns a non-empty group of its tasks; a missed
+                // lookup or a decrement past zero is executor-state
+                // corruption, so both fail loudly (release included)
+                // instead of wrapping — covered by the
+                // credit-conservation audit.
+                let node = ctx.node();
                 let remaining = self.slice_remaining.entry(op).or_insert_with(|| {
-                    shared.op_owner_tasks[op as usize]
-                        .binary_search_by_key(&ctx.node(), |(n, _)| *n)
-                        .map(|i| shared.op_owner_tasks[op as usize][i].1.len() as u32)
-                        .unwrap_or(0)
+                    let groups = &shared.op_owner_tasks[op as usize];
+                    let i = groups
+                        .binary_search_by_key(&node, |(n, _)| *n)
+                        .unwrap_or_else(|_| {
+                            panic!("op {op} task completed on node {node}, which owns none of its tasks")
+                        });
+                    groups[i].1.len() as u32
                 });
-                *remaining -= 1;
+                *remaining = remaining.checked_sub(1).unwrap_or_else(|| {
+                    panic!("slice accounting underflow: op {op} over-completed on node {node}")
+                });
                 *remaining == 0
             } else {
                 true
@@ -235,9 +337,14 @@ impl<'p> RtNode<'p> {
     }
 
     fn apply_credits(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, credits: u32) {
+        if let Some(audit) = &self.shared.audit {
+            audit.borrow_mut().credits_paid[task as usize] += credits as u64;
+        }
         let st = self.state(task);
-        debug_assert!(st.waits >= credits, "credit overflow for task {task}");
-        st.waits -= credits;
+        let waits = st.waits;
+        st.waits = waits.checked_sub(credits).unwrap_or_else(|| {
+            panic!("credit underflow for task {task}: {credits} credits paid against {waits} waits")
+        });
         self.try_start(ctx, task);
     }
 
@@ -329,6 +436,7 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
     fn on_message(&mut self, ctx: &mut NodeCtx<'_, Msg>, msg: Msg) {
         match msg {
             Msg::InjectOp { op } => {
+                ctx.set_stage(Stage::Distribution);
                 let shared = self.shared.clone();
                 let groups = &shared.op_owner_tasks[op as usize];
                 if let Ok(i) = groups.binary_search_by_key(&ctx.node(), |(n, _)| *n) {
@@ -339,6 +447,7 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                 }
             }
             Msg::DistributeOp { op } => {
+                ctx.set_stage(Stage::Distribution);
                 let shared = self.shared.clone();
                 let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
                 if compact {
@@ -362,20 +471,25 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                 }
             }
             Msg::SliceBatch { op, lo, hi } => {
+                ctx.set_stage(Stage::Distribution);
                 self.handle_slice_batch(ctx, op, lo, hi);
             }
             Msg::TaskArrive { task } => {
+                ctx.set_stage(Stage::Distribution);
                 self.inject_task(ctx, task);
             }
             Msg::Credits { items } => {
+                ctx.set_stage(Stage::Network);
                 for (task, credits) in items {
                     self.apply_credits(ctx, task, credits);
                 }
             }
             Msg::TaskDone { task } => {
+                ctx.set_stage(Stage::Network);
                 self.complete_task(ctx, task);
             }
             Msg::CentralNotify { count } => {
+                ctx.set_stage(Stage::Network);
                 let per_unit = self.shared.config.cost.central_complete;
                 ctx.charge(per_unit * count as u64);
             }
@@ -397,6 +511,12 @@ impl<'p> RtNode<'p> {
             if hi - lo == 1 {
                 let (tlo, thi, owner) = slices[lo as usize];
                 if owner == ctx.node() {
+                    // The slice has reached its owner and expands into
+                    // point tasks: this is the delivery the coverage
+                    // audit counts (exactly once per slice).
+                    if let Some(audit) = &shared.audit {
+                        audit.borrow_mut().slice_delivered[op as usize][lo as usize] += 1;
+                    }
                     for t in tlo..thi {
                         self.inject_task(ctx, t);
                     }
@@ -434,76 +554,128 @@ fn issuance_is_compact(config: &RuntimeConfig, safety: &OpSafety) -> bool {
     config.idx && !matches!(safety, OpSafety::Sequential)
 }
 
+/// The analytically computed issuance/logical-analysis timeline:
+/// per-op frontier plus its per-stage decomposition and (when tracing)
+/// the corresponding structured events.
+struct IssuanceTimeline {
+    /// Time each op clears logical analysis.
+    frontier: Vec<SimTime>,
+    /// Total time spent in dynamic safety checks.
+    dyn_total: SimTime,
+    /// Per-stage decomposition of the timeline (issuance, logical,
+    /// dynamic checks, and the distribution work the tracing-without-DCR
+    /// expansion forces onto the issuing node).
+    stage: StageTotals,
+    /// One event per contiguous stage segment (only when `config.trace`).
+    events: Vec<TraceEvent>,
+}
+
+impl IssuanceTimeline {
+    /// Advance the timeline cursor `t` by `dur` attributed to `stage`,
+    /// recording a trace event for the segment when requested.
+    fn segment(&mut self, t: &mut SimTime, trace: bool, op: u32, stage: Stage, dur: SimTime) {
+        if dur == SimTime::ZERO {
+            return;
+        }
+        self.stage.add(stage, dur);
+        if trace {
+            self.events.push(TraceEvent {
+                op,
+                task: None,
+                node: 0,
+                stage,
+                start: *t,
+                duration: dur,
+            });
+        }
+        *t += dur;
+    }
+}
+
 /// Compute the issuance + logical-analysis frontier (identical on every
-/// node under DCR; node 0's otherwise) and total dynamic-check time.
+/// node under DCR; node 0's otherwise), decomposed by stage.
 fn compute_frontier(
     program: &Program,
     expanded: &ExpandedProgram,
     config: &RuntimeConfig,
-) -> (Vec<SimTime>, SimTime) {
+) -> IssuanceTimeline {
     let cost = &config.cost;
     let mut t = SimTime::ZERO;
-    let mut dyn_total = SimTime::ZERO;
     let mut seen: HashSet<u64> = HashSet::new();
-    let mut frontier = Vec::with_capacity(program.ops.len());
+    let mut tl = IssuanceTimeline {
+        frontier: Vec::with_capacity(program.ops.len()),
+        dyn_total: SimTime::ZERO,
+        stage: StageTotals::new(),
+        events: Vec::new(),
+    };
     for (i, op) in program.ops.iter().enumerate() {
         let launch = op.launch();
         let d = launch.domain.volume();
         let safety = &expanded.safety[i];
+        let opi = i as u32;
         if config.dynamic_checks {
             if let OpSafety::Dynamic { evals } = safety {
                 let check = cost.dyn_check_per_eval * *evals;
-                t += check;
-                dyn_total += check;
+                tl.dyn_total += check;
+                tl.segment(&mut t, config.trace, opi, Stage::DynamicChecks, check);
             }
         }
-        let sig = op_signature(op);
+        let sig = op_signature(program, op);
         let traced = config.tracing && !seen.insert(sig);
+        let per_task = if traced {
+            cost.trace_replay_per_task
+        } else {
+            cost.logical_task
+        };
         if issuance_is_compact(config, safety) {
             if config.dcr || !config.tracing {
                 // Compact through issuance, logical analysis, and (under
                 // DCR) distribution: O(1) per launch.
-                t += cost.issue_launch + cost.logical_launch;
+                tl.segment(&mut t, config.trace, opi, Stage::Issuance, cost.issue_launch);
+                tl.segment(&mut t, config.trace, opi, Stage::Logical, cost.logical_launch);
             } else {
                 // Tracing without DCR: the trace captures/replays
                 // individual tasks, forcing expansion before distribution
                 // (§6.2.1) — O(|D|) on node 0 despite the index launch.
-                let per_task = if traced {
-                    cost.trace_replay_per_task
-                } else {
-                    cost.logical_task
-                };
-                t += cost.issue_launch + (cost.issue_task + cost.distribute_point + per_task) * d;
+                tl.segment(
+                    &mut t,
+                    config.trace,
+                    opi,
+                    Stage::Issuance,
+                    cost.issue_launch + cost.issue_task * d,
+                );
+                tl.segment(
+                    &mut t,
+                    config.trace,
+                    opi,
+                    Stage::Distribution,
+                    cost.distribute_point * d,
+                );
+                tl.segment(&mut t, config.trace, opi, Stage::Logical, per_task * d);
             }
         } else {
-            let per_task = if traced {
-                cost.trace_replay_per_task
-            } else {
-                cost.logical_task
-            };
-            t += (cost.issue_task + per_task) * d;
+            tl.segment(&mut t, config.trace, opi, Stage::Issuance, cost.issue_task * d);
+            tl.segment(&mut t, config.trace, opi, Stage::Logical, per_task * d);
         }
-        frontier.push(t);
+        tl.frontier.push(t);
     }
-    (frontier, dyn_total)
+    tl
 }
 
-fn op_signature(op: &crate::program::Operation) -> u64 {
-    let launch = op.launch();
-    let mut h = DefaultHasher::new();
-    launch.task.0.hash(&mut h);
-    launch.domain.volume().hash(&mut h);
-    for r in &launch.reqs {
-        r.partition.hash(&mut h);
-        r.functor.0.hash(&mut h);
-    }
-    h.finish()
+/// Signature keying Legion-style trace capture/replay: two launches may
+/// replay the same trace only if their full analysis-relevant shape
+/// matches. Delegates to [`launch_signature`], which hashes the complete
+/// domain (bounds, dimensionality, sparse points — not just volume) and
+/// every requirement's privilege, reduction op, and field list, so
+/// same-volume launches with different shapes never collide.
+fn op_signature(program: &Program, op: &crate::program::Operation) -> u64 {
+    launch_signature(op.launch(), program)
 }
 
 /// Execute `program` under `config`, returning the run report.
 pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
     let expanded = expand_program(program, config);
-    let (frontier, dyn_total) = compute_frontier(program, &expanded, config);
+    let issuance = compute_frontier(program, &expanded, config);
 
     // Group tasks by owner per op; build slice lists (contiguous owner
     // runs in iteration order).
@@ -539,32 +711,65 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
                 .reqs
                 .iter()
                 .map(|r| {
+                    // ceil(log2 |P|): a 4-way partition costs 2 BVH
+                    // levels, not 3 (floor(log2)+1 overcharged every
+                    // power-of-two partition by one level).
                     let children = program.forest.partition(r.partition).children.len() as u32;
-                    32 - children.max(2).leading_zeros()
+                    children.max(2).next_power_of_two().trailing_zeros()
                 })
                 .sum()
         })
         .collect();
 
+    // Which ops travel as compact slice descriptors (the scatter tree
+    // the coverage audit watches): only meaningful without DCR.
+    let compact_ops: Vec<bool> = expanded
+        .safety
+        .iter()
+        .map(|s| !config.dcr && distribution_is_compact(config, s))
+        .collect();
+
     let machine = MachineDesc::piz_daint(config.nodes);
     let total_tasks = expanded.len() as u64;
+    let trace = if config.trace {
+        let mut log = TraceLog::new();
+        for &e in &issuance.events {
+            log.record(e);
+        }
+        Some(RefCell::new(log))
+    } else {
+        None
+    };
+    let audit = if config.audit {
+        let slices_per_op: Vec<usize> = slices
+            .iter()
+            .zip(&compact_ops)
+            .map(|(s, &c)| if c { s.len() } else { 0 })
+            .collect();
+        Some(RefCell::new(AuditData::sized(expanded.len(), &slices_per_op)))
+    } else {
+        None
+    };
     let shared = Rc::new(Shared {
         program,
         expanded,
         config: config.clone(),
         machine: machine.clone(),
-        frontier,
+        frontier: issuance.frontier,
         op_owner_tasks,
         slices,
         waits_init,
         phys_weight,
+        compact_ops,
         store: RefCell::new(InstanceStore::new()),
         timing: RefCell::new(Timing {
             setup_done: SimTime::ZERO,
             last_done: SimTime::ZERO,
             tasks_done: 0,
         }),
-        dynamic_check_time: dyn_total,
+        dynamic_check_time: issuance.dyn_total,
+        trace,
+        audit,
     });
 
     let behaviors: Vec<RtNode<'_>> = (0..config.nodes)
@@ -592,6 +797,16 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
 
     let makespan = sim.makespan();
     let stats = sim.stats().clone();
+    // Simulator-side per-node stage busy time (distribution, physical,
+    // exec, network); the analytic issuance timeline is not per-node.
+    let node_stage_busy: Vec<StageTotals> =
+        (0..config.nodes).map(|n| sim.clock(n).stage_busy).collect();
+    let mut stage_busy = sim.stage_totals();
+    // Fold the issuance/logical/dynamic-check timeline in once: under
+    // DCR it is replicated identically on every node, so multiplying it
+    // by the node count would misstate the work the paper attributes to
+    // the pipeline front end.
+    stage_busy.merge(&issuance.stage);
     drop(sim);
     let shared = Rc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("simulator retained shared state"));
@@ -609,6 +824,10 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         timing.tasks_done, total_tasks
     );
 
+    let audit = shared.audit.map(|cell| {
+        run_audits(&cell.into_inner(), &shared.waits_init, &shared.compact_ops)
+    });
+
     RunReport {
         makespan,
         setup_done,
@@ -618,6 +837,82 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         bytes: stats.bytes,
         dynamic_check_time: shared.dynamic_check_time,
         issuance_span: shared.frontier.last().copied().unwrap_or(SimTime::ZERO),
+        stage_busy,
+        node_stage_busy,
+        stage_messages: stats.traffic.messages,
+        stage_bytes: stats.traffic.bytes,
+        trace: shared.trace.map(RefCell::into_inner),
+        audit,
         store,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CostSpec, IndexLaunchDesc, ProgramBuilder, RegionReq};
+    use il_geometry::Domain;
+    use il_region::{equal_partition_1d, FieldId, FieldKind, FieldSpaceDesc};
+
+    /// Regression: the tracing signature once hashed only the domain's
+    /// *volume* and each requirement's partition + functor, so launches
+    /// with equal volume but different privileges or field lists
+    /// collided — and tracing replayed the wrong trace for them. The
+    /// full launch shape must distinguish all of these.
+    #[test]
+    fn same_volume_launches_hash_differently() {
+        let mut b = ProgramBuilder::new();
+        let mut fs = FieldSpaceDesc::new();
+        let f = fs.add("v", FieldKind::F64);
+        let fs = b.forest.create_field_space(fs);
+        let r = b.forest.create_region(Domain::range(8), fs);
+        let p = equal_partition_1d(&mut b.forest, r.space, 4);
+        let ident = b.identity_functor();
+        let t = b.task_modeled("t");
+        let mk = |privilege, fields: Vec<FieldId>| IndexLaunchDesc {
+            task: t,
+            domain: Domain::range(4),
+            reqs: vec![RegionReq {
+                partition: p,
+                functor: ident,
+                privilege,
+                fields,
+                tree: r.tree,
+                field_space: fs,
+            }],
+            scalars: vec![],
+            cost: CostSpec::Uniform(SimTime::ZERO),
+            shard: None,
+        };
+        b.index_launch(mk(Privilege::Read, vec![]));
+        b.index_launch(mk(Privilege::ReadWrite, vec![]));
+        b.index_launch(mk(Privilege::Read, vec![f]));
+        b.index_launch(mk(Privilege::Read, vec![]));
+        let program = b.build();
+        let sigs: Vec<u64> = program
+            .ops
+            .iter()
+            .map(|op| op_signature(&program, op))
+            .collect();
+        // All four ops share task, domain volume, partition, and functor
+        // — the old hash collided on every pair.
+        assert_ne!(sigs[0], sigs[1], "privilege must affect the signature");
+        assert_ne!(sigs[0], sigs[2], "field list must affect the signature");
+        assert_ne!(sigs[1], sigs[2]);
+        // Genuinely identical launches still share one (that is what
+        // makes tracing replay work at all).
+        assert_eq!(sigs[0], sigs[3]);
+    }
+
+    /// The physical-analysis weight is ceil(log2 |P|) per requirement: a
+    /// 4-way partition costs exactly 2 BVH levels (the old floor+1
+    /// formula charged 3).
+    #[test]
+    fn phys_weight_is_ceil_log2() {
+        let cases = [(2u32, 1u32), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)];
+        for (children, want) in cases {
+            let got = children.max(2).next_power_of_two().trailing_zeros();
+            assert_eq!(got, want, "|P| = {children}");
+        }
     }
 }

@@ -52,6 +52,7 @@ pub mod exec;
 pub mod pool;
 pub mod program;
 pub mod shard;
+pub mod trace;
 
 pub use config::{CostModel, ExecutionMode, RuntimeConfig};
 pub use context::{InstanceStore, TaskContext};
@@ -63,3 +64,4 @@ pub use program::{
     TaskId,
 };
 pub use shard::{block_shard, round_robin_shard, ShardingFn};
+pub use trace::{AuditReport, TraceEvent, TraceLog};

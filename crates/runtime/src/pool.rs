@@ -12,6 +12,7 @@
 //! output.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -78,26 +79,49 @@ impl ThreadPool {
 
     /// Run `jobs` in parallel and collect their results **in input
     /// order**. Blocks until all jobs finish.
+    ///
+    /// # Panics
+    /// If a job panics, the panic is caught on the worker (keeping the
+    /// worker alive for other callers) and re-raised here, attributed to
+    /// the lowest-index panicking job. All jobs still run to completion
+    /// first, so the pool is left in a clean state.
     pub fn map<T, F>(&self, jobs: Vec<F>) -> Vec<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let n = jobs.len();
-        let (tx, rx) = channel::<(usize, T)>();
+        let (tx, rx) = channel::<(usize, std::thread::Result<T>)>();
         for (i, job) in jobs.into_iter().enumerate() {
             let tx = tx.clone();
             self.execute(move || {
-                let out = job();
+                let out = catch_unwind(AssertUnwindSafe(job));
                 // Receiver lives until all results are in.
                 let _ = tx.send((i, out));
             });
         }
         drop(tx);
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panicked: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
         for _ in 0..n {
-            let (i, v) = rx.recv().expect("pool worker panicked");
-            slots[i] = Some(v);
+            let (i, v) = rx
+                .recv()
+                .expect("pool worker exited before returning a result");
+            match v {
+                Ok(v) => slots[i] = Some(v),
+                Err(payload) => match &panicked {
+                    Some((first, _)) if *first < i => {}
+                    _ => panicked = Some((i, payload)),
+                },
+            }
+        }
+        if let Some((i, payload)) = panicked {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("pool map job {i} panicked: {msg}");
         }
         slots.into_iter().map(|s| s.expect("result present")).collect()
     }
@@ -130,7 +154,10 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 queue = shared.ready.wait(queue).expect("pool queue poisoned");
             }
         };
-        job();
+        // A panicking job must not take the worker down with it: swallow
+        // the payload here; `map` re-raises it on the caller's thread
+        // (`execute` is fire-and-forget, so there the swallow is final).
+        let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }
 
@@ -236,5 +263,50 @@ mod more_tests {
         let pool = ThreadPool::new(2);
         let out: Vec<i32> = pool.map(Vec::<fn() -> i32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_resurfaces_job_panic_with_index() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom in job")),
+            Box::new(|| 3),
+        ];
+        let err = catch_unwind(AssertUnwindSafe(|| pool.map(jobs))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("pool map job 1 panicked"), "{msg}");
+        assert!(msg.contains("boom in job"), "{msg}");
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        // A panicking job must not kill its worker: a 1-thread pool has
+        // no spare workers, so a later map only succeeds if the single
+        // worker survived the panic.
+        let pool = ThreadPool::new(1);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| panic!("first wave panics"))];
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.map(jobs))).is_err());
+        let out = pool.map(vec![|| 7, || 8]);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = (0..8)
+            .map(|i| {
+                Box::new(move || {
+                    if i >= 2 {
+                        panic!("job {i} failed");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> i32 + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| pool.map(jobs))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("pool map job 2 panicked"), "{msg}");
     }
 }

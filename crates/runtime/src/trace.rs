@@ -1,0 +1,329 @@
+//! Per-stage runtime tracing and the pipeline audits.
+//!
+//! When [`RuntimeConfig::trace`](crate::RuntimeConfig::trace) is set, the
+//! executor records a deterministic structured event log: one
+//! [`TraceEvent`] per unit of attributable pipeline work (an op's
+//! issuance/logical-analysis segment, a task's distribution + physical
+//! analysis, a task's kernel execution), tagged with the §5 [`Stage`] it
+//! belongs to. The log can be exported as Chrome `about:tracing` JSON
+//! ([`TraceLog::to_chrome_json`]) so any run opens in a trace viewer
+//! (`chrome://tracing`, Perfetto): nodes map to processes, stages to
+//! threads.
+//!
+//! Tracing is pure observability: collecting the log never changes
+//! simulated time, message counts, or results — asserted by the
+//! determinism tests.
+//!
+//! The same module hosts the *pipeline audits* — cheap cross-checks of
+//! executor bookkeeping that run at the end of a run when
+//! [`RuntimeConfig::audit`](crate::RuntimeConfig::audit) is set (the
+//! default in debug builds):
+//!
+//! * **credit conservation** — every task's initial wait count
+//!   (dependence edges + incoming copies) is paid by exactly-once
+//!   completion credits: no missing credits (deadlock masked by the
+//!   event-cap) and no double payment (underflow panics immediately);
+//! * **slice-tree coverage** — the non-DCR recursive-halving scatter
+//!   (§5, Figure 3) delivers every slice descriptor exactly once.
+
+use il_machine::{NodeId, SimTime, Stage, StageTotals};
+use il_testkit::Json;
+
+/// One attributable unit of pipeline work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The originating operation (index into the issuance stream).
+    pub op: u32,
+    /// The point task, when the work is per-task (`None` for per-launch
+    /// work such as issuance of a compact descriptor).
+    pub task: Option<u32>,
+    /// The node the work ran on. Issuance-timeline events belong to the
+    /// issuing node (node 0; under DCR the identical timeline is
+    /// replicated everywhere and recorded once).
+    pub node: NodeId,
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated duration.
+    pub duration: SimTime,
+}
+
+/// A deterministic structured event log of one run.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Append an event (recorded in simulator dispatch order, which is
+    /// deterministic).
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total recorded duration per stage.
+    pub fn stage_totals(&self) -> StageTotals {
+        let mut totals = StageTotals::new();
+        for e in &self.events {
+            totals.add(e.stage, e.duration);
+        }
+        totals
+    }
+
+    /// Export as a Chrome `about:tracing` JSON value: complete (`"X"`)
+    /// duration events with microsecond timestamps, `pid` = node and
+    /// `tid` = stage, plus process/thread name metadata. Events are
+    /// sorted by `(start, node, stage, op, task)` so the output is a
+    /// stable function of the event set.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| {
+            let e = &self.events[i];
+            (e.start, e.node, e.stage.index(), e.op, e.task)
+        });
+        let mut rows = Vec::with_capacity(self.events.len());
+        let mut named: Vec<(NodeId, usize)> = Vec::new();
+        for &i in &order {
+            let e = &self.events[i];
+            if !named.contains(&(e.node, e.stage.index())) {
+                named.push((e.node, e.stage.index()));
+            }
+            let name = match e.task {
+                Some(t) => format!("op{} task{} {}", e.op, t, e.stage.name()),
+                None => format!("op{} {}", e.op, e.stage.name()),
+            };
+            let mut args = Json::obj().set("op", e.op as u64);
+            if let Some(t) = e.task {
+                args = args.set("task", t as u64);
+            }
+            rows.push(
+                Json::obj()
+                    .set("name", name)
+                    .set("cat", e.stage.name())
+                    .set("ph", "X")
+                    .set("ts", e.start.as_us_f64())
+                    .set("dur", e.duration.as_us_f64())
+                    .set("pid", e.node)
+                    .set("tid", e.stage.index())
+                    .set("args", args),
+            );
+        }
+        // Metadata rows give the viewer human-readable lane names.
+        named.sort_unstable();
+        let mut meta = Vec::new();
+        let mut seen_nodes: Vec<NodeId> = Vec::new();
+        for (node, tid) in named {
+            if !seen_nodes.contains(&node) {
+                seen_nodes.push(node);
+                meta.push(metadata_row("process_name", node, 0, format!("node {node}")));
+            }
+            meta.push(metadata_row(
+                "thread_name",
+                node,
+                tid,
+                Stage::ALL[tid].name().to_string(),
+            ));
+        }
+        meta.extend(rows);
+        Json::obj()
+            .set("displayTimeUnit", "ns")
+            .set("traceEvents", Json::Arr(meta))
+    }
+
+    /// [`to_chrome_json`](TraceLog::to_chrome_json), pretty-printed.
+    pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_json().to_string_pretty()
+    }
+}
+
+fn metadata_row(kind: &str, pid: NodeId, tid: usize, name: String) -> Json {
+    Json::obj()
+        .set("name", kind)
+        .set("ph", "M")
+        .set("pid", pid)
+        .set("tid", tid)
+        .set("args", Json::obj().set("name", name))
+}
+
+/// Raw audit counters collected during a run (see [`AuditReport`]).
+#[derive(Clone, Debug, Default)]
+pub struct AuditData {
+    /// Credits paid to each task (by dependence-completion messages or
+    /// local application), indexed by task ref.
+    pub credits_paid: Vec<u64>,
+    /// Deliveries of each slice descriptor, indexed `[op][slice]`. Only
+    /// populated for ops distributed compactly (non-DCR + IDX).
+    pub slice_delivered: Vec<Vec<u32>>,
+}
+
+impl AuditData {
+    /// Counters sized for `tasks` point tasks and the per-op slice lists.
+    pub fn sized(tasks: usize, slices_per_op: &[usize]) -> Self {
+        AuditData {
+            credits_paid: vec![0; tasks],
+            slice_delivered: slices_per_op.iter().map(|&n| vec![0; n]).collect(),
+        }
+    }
+}
+
+/// Outcome of the end-of-run pipeline audits.
+///
+/// Construction panics on any violation (the audits exist to fail loudly
+/// in debug builds); a returned value means both audits passed and
+/// carries the verified totals.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditReport {
+    /// Total credits paid across all tasks (== sum of initial waits).
+    pub credits_paid: u64,
+    /// Slice descriptors verified as delivered exactly once.
+    pub slices_covered: u64,
+}
+
+/// Run the credit-conservation and slice-coverage audits.
+///
+/// `waits_init[t]` is the executor's initial wait count for task `t`;
+/// `compact_ops[op]` says whether the op traveled as compact slices
+/// (ops that did not — DCR or expanded distribution — have no slice
+/// deliveries to audit).
+///
+/// # Panics
+/// Panics with a diagnostic on the first task whose credits were not
+/// paid exactly once, or the first slice not delivered exactly once.
+pub fn run_audits(data: &AuditData, waits_init: &[u32], compact_ops: &[bool]) -> AuditReport {
+    assert_eq!(data.credits_paid.len(), waits_init.len(), "audit counter size mismatch");
+    let mut credits_total = 0u64;
+    for (t, (&paid, &init)) in data.credits_paid.iter().zip(waits_init).enumerate() {
+        assert!(
+            paid == init as u64,
+            "credit-conservation audit: task {t} expected {init} credits, got {paid} \
+             ({} payment)",
+            if paid < init as u64 { "missing" } else { "duplicate" }
+        );
+        credits_total += paid;
+    }
+    let mut slices_covered = 0u64;
+    for (op, counts) in data.slice_delivered.iter().enumerate() {
+        if !compact_ops.get(op).copied().unwrap_or(false) {
+            continue;
+        }
+        for (slice, &n) in counts.iter().enumerate() {
+            assert!(
+                n == 1,
+                "slice-coverage audit: op {op} slice {slice} delivered {n} times \
+                 (expected exactly once)"
+            );
+            slices_covered += 1;
+        }
+    }
+    AuditReport { credits_paid: credits_total, slices_covered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: u32, task: Option<u32>, node: NodeId, stage: Stage, start_us: u64, dur_us: u64) -> TraceEvent {
+        TraceEvent {
+            op,
+            task,
+            node,
+            stage,
+            start: SimTime::us(start_us),
+            duration: SimTime::us(dur_us),
+        }
+    }
+
+    #[test]
+    fn stage_totals_accumulate() {
+        let mut log = TraceLog::new();
+        log.record(ev(0, None, 0, Stage::Issuance, 0, 10));
+        log.record(ev(0, Some(1), 1, Stage::Exec, 5, 20));
+        log.record(ev(1, Some(2), 1, Stage::Exec, 30, 5));
+        let t = log.stage_totals();
+        assert_eq!(t.get(Stage::Issuance), SimTime::us(10));
+        assert_eq!(t.get(Stage::Exec), SimTime::us(25));
+        assert_eq!(t.get(Stage::Network), SimTime::ZERO);
+    }
+
+    #[test]
+    fn chrome_export_is_order_insensitive() {
+        // The same event set recorded in different orders must emit
+        // byte-identical JSON (the exporter sorts).
+        let a = {
+            let mut log = TraceLog::new();
+            log.record(ev(0, None, 0, Stage::Issuance, 0, 10));
+            log.record(ev(0, Some(3), 1, Stage::Physical, 12, 4));
+            log.to_chrome_trace()
+        };
+        let b = {
+            let mut log = TraceLog::new();
+            log.record(ev(0, Some(3), 1, Stage::Physical, 12, 4));
+            log.record(ev(0, None, 0, Stage::Issuance, 0, 10));
+            log.to_chrome_trace()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let mut log = TraceLog::new();
+        log.record(ev(2, Some(7), 1, Stage::Exec, 100, 50));
+        let json = log.to_chrome_json();
+        let s = json.to_string();
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"pid\":1"));
+        assert!(s.contains("\"name\":\"op2 task7 exec\""));
+        assert!(s.contains("\"thread_name\""));
+        // Timestamps are microseconds.
+        assert!(s.contains("\"ts\":100"), "{s}");
+        assert!(s.contains("\"dur\":50"), "{s}");
+    }
+
+    #[test]
+    fn audits_pass_on_consistent_counters() {
+        let mut data = AuditData::sized(3, &[2, 1]);
+        data.credits_paid = vec![2, 0, 1];
+        data.slice_delivered = vec![vec![1, 1], vec![0]];
+        let report = run_audits(&data, &[2, 0, 1], &[true, false]);
+        assert_eq!(report.credits_paid, 3);
+        assert_eq!(report.slices_covered, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit-conservation audit")]
+    fn credit_audit_catches_missing_payment() {
+        let mut data = AuditData::sized(1, &[]);
+        data.credits_paid = vec![1];
+        run_audits(&data, &[2], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice-coverage audit")]
+    fn slice_audit_catches_double_delivery() {
+        let mut data = AuditData::sized(0, &[1]);
+        data.slice_delivered = vec![vec![2]];
+        run_audits(&data, &[], &[true]);
+    }
+}
