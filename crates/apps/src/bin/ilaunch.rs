@@ -15,8 +15,16 @@
 //! it as Chrome `about:tracing` JSON to FILE (open in `chrome://tracing`
 //! or Perfetto), along with a per-stage busy/traffic summary on stdout.
 //! `--audit` forces the pipeline audits on (they default to debug-only).
+//!
+//! `ilaunch fuzz --cases N --seed S [--nodes K] [--inject]` runs the
+//! differential fuzzer instead of an application: N seeded random launch
+//! programs through both the fast path and the desugared-launch oracle,
+//! printing verdict-class coverage and, on any divergence, the single
+//! seed that reproduces it (exit code 1). `--inject` perturbs the oracle
+//! of every case and demands the divergence is caught (self test).
 
 use il_apps::{circuit, soleil, stencil};
+use il_oracle::{run_case, run_differential, DiffConfig};
 use il_runtime::{execute, RunReport, RuntimeConfig};
 
 struct Args {
@@ -140,7 +148,122 @@ fn report_line(args: &Args, report: &RunReport) {
     }
 }
 
+fn parse_seed(v: &str) -> Result<u64, String> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("seed: {e}"))
+    } else {
+        v.parse().map_err(|e| format!("seed: {e}"))
+    }
+}
+
+fn parse_fuzz(argv: &[String]) -> Result<(DiffConfig, Option<u64>), String> {
+    let mut cfg = DiffConfig::default();
+    let mut repro = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cases" => {
+                cfg.cases = it
+                    .next()
+                    .ok_or("--cases takes a value")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = parse_seed(it.next().ok_or("--seed takes a value")?)?;
+            }
+            "--repro" => {
+                repro = Some(parse_seed(it.next().ok_or("--repro takes a case seed")?)?);
+            }
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .ok_or("--nodes takes a value")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--inject" => cfg.inject = true,
+            other => return Err(format!("unknown fuzz flag {other:?}")),
+        }
+    }
+    Ok((cfg, repro))
+}
+
+fn fuzz_main(argv: &[String]) -> ! {
+    let (cfg, repro) = match parse_fuzz(argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: ilaunch fuzz [--cases N] [--seed S] [--nodes K] [--inject] [--repro CASE_SEED]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Some(seed) = repro {
+        println!(
+            "differential repro: case seed {seed:#018x}, {} nodes{}",
+            cfg.nodes,
+            if cfg.inject { ", divergence injection ON" } else { "" }
+        );
+        let result = run_case(seed, cfg.nodes, cfg.inject);
+        println!("{} point tasks", result.tasks);
+        println!("verdict-class coverage:\n{}", result.coverage);
+        match result.error {
+            Some(detail) => {
+                eprintln!("DIVERGENCE (seed {seed:#018x}): {detail}");
+                std::process::exit(1);
+            }
+            None => {
+                println!("no divergence");
+                std::process::exit(0);
+            }
+        }
+    }
+    println!(
+        "differential fuzz: {} cases, base seed {:#018x}, {} nodes{}",
+        cfg.cases,
+        cfg.seed,
+        cfg.nodes,
+        if cfg.inject { ", divergence injection ON" } else { "" }
+    );
+    let report = run_differential(&cfg);
+    println!("{} point tasks across {} programs", report.tasks, report.cases);
+    println!("verdict-class coverage:\n{}", report.coverage);
+    if cfg.inject {
+        if report.divergences.len() == report.cases as usize {
+            println!(
+                "self test OK: all {} injected divergences were caught",
+                report.cases
+            );
+            std::process::exit(0);
+        }
+        eprintln!(
+            "SELF TEST FAILED: only {} of {} injected divergences caught",
+            report.divergences.len(),
+            report.cases
+        );
+        std::process::exit(1);
+    }
+    if report.divergences.is_empty() {
+        if !report.coverage.complete() {
+            println!("note: classes not exercised: {:?}", report.coverage.missing());
+        }
+        println!("no divergences");
+        std::process::exit(0);
+    }
+    for d in &report.divergences {
+        eprintln!("DIVERGENCE {d}");
+        eprintln!("  reproduce: ilaunch fuzz --repro {:#x}", d.seed);
+    }
+    std::process::exit(1);
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(&argv[1..]);
+    }
     let args = match parse() {
         Ok(a) => a,
         Err(e) => {

@@ -181,6 +181,80 @@ impl DynTransform {
         DomainPoint::from_slice(&out[..self.out_dim as usize])
     }
 
+    /// Composition `self ∘ inner`: the transform applying `inner` first,
+    /// then `self`.
+    ///
+    /// # Panics
+    /// Panics if `self.in_dim != inner.out_dim`.
+    pub fn compose(&self, inner: &DynTransform) -> DynTransform {
+        assert_eq!(
+            self.in_dim, inner.out_dim,
+            "composition rank mismatch: {}x{} ∘ {}x{}",
+            self.out_dim, self.in_dim, inner.out_dim, inner.in_dim
+        );
+        let (m, k, n) = (
+            self.out_dim as usize,
+            self.in_dim as usize,
+            inner.in_dim as usize,
+        );
+        let mut matrix = [[0i64; 3]; 3];
+        let mut offset = [0i64; 3];
+        for r in 0..m {
+            for c in 0..n {
+                for i in 0..k {
+                    matrix[r][c] += self.matrix[r][i] * inner.matrix[i][c];
+                }
+            }
+            offset[r] = self.offset[r];
+            for i in 0..k {
+                offset[r] += self.matrix[r][i] * inner.offset[i];
+            }
+        }
+        DynTransform {
+            out_dim: self.out_dim,
+            in_dim: inner.in_dim,
+            matrix,
+            offset,
+        }
+    }
+
+    /// Exact inverse of a square transform, when one exists over the
+    /// integers: the matrix must be unimodular (determinant ±1), which is
+    /// exactly the invertible-over-`Z` case. Returns `None` for
+    /// non-square or non-unimodular transforms.
+    pub fn inverse(&self) -> Option<DynTransform> {
+        if self.out_dim != self.in_dim {
+            return None;
+        }
+        let n = self.in_dim as usize;
+        let det = det_n(&self.matrix, n);
+        if det != 1 && det != -1 {
+            return None;
+        }
+        // A⁻¹ = adj(A)/det; with det = ±1 this is adj(A)·det, exactly.
+        let mut inv = [[0i64; 3]; 3];
+        for r in 0..n {
+            for c in 0..n {
+                // adj[r][c] = cofactor(c, r).
+                let sign = if (r + c) % 2 == 0 { 1 } else { -1 };
+                inv[r][c] = sign * minor_det(&self.matrix, n, c, r) * det;
+            }
+        }
+        // q = A·p + b  ⇒  p = A⁻¹·q − A⁻¹·b.
+        let mut offset = [0i64; 3];
+        for (r, off) in offset.iter_mut().enumerate().take(n) {
+            for c in 0..n {
+                *off -= inv[r][c] * self.offset[c];
+            }
+        }
+        Some(DynTransform {
+            out_dim: self.out_dim,
+            in_dim: self.in_dim,
+            matrix: inv,
+            offset,
+        })
+    }
+
     /// Injectivity on all of `Z^in_dim` (full column rank, `out >= in`).
     pub fn is_injective(&self) -> bool {
         let (m, n) = (self.out_dim as usize, self.in_dim as usize);
@@ -217,6 +291,37 @@ impl DynTransform {
             }
         }
         rank == n
+    }
+}
+
+/// Determinant of the leading `n × n` block of a padded matrix.
+fn det_n(m: &[[i64; 3]; 3], n: usize) -> i64 {
+    match n {
+        1 => m[0][0],
+        2 => m[0][0] * m[1][1] - m[0][1] * m[1][0],
+        3 => {
+            m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+                - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+                + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+        }
+        _ => panic!("rank {n} out of range"),
+    }
+}
+
+/// Determinant of the `(n−1) × (n−1)` minor dropping row `dr`, column `dc`.
+fn minor_det(m: &[[i64; 3]; 3], n: usize, dr: usize, dc: usize) -> i64 {
+    let mut sub = [[0i64; 3]; 3];
+    let rows: Vec<usize> = (0..n).filter(|&r| r != dr).collect();
+    let cols: Vec<usize> = (0..n).filter(|&c| c != dc).collect();
+    for (i, &r) in rows.iter().enumerate() {
+        for (j, &c) in cols.iter().enumerate() {
+            sub[i][j] = m[r][c];
+        }
+    }
+    if n == 1 {
+        1 // 0×0 minor: the empty product
+    } else {
+        det_n(&sub, n - 1)
     }
 }
 
@@ -309,5 +414,42 @@ mod tests {
     #[should_panic(expected = "rank mismatch")]
     fn dyn_transform_rank_mismatch_panics() {
         DynTransform::identity(2).apply(DomainPoint::new3(0, 0, 0));
+    }
+
+    #[test]
+    fn compose_applies_inner_first() {
+        // g(i) = i + 1, f(i) = 2i: (g ∘ f)(5) = 11.
+        let g = DynTransform::affine1(1, 1);
+        let f = DynTransform::affine1(2, 0);
+        let c = g.compose(&f);
+        assert_eq!(c.apply(DomainPoint::new1(5)), DomainPoint::new1(11));
+        // Mixed ranks: project 3-D → 2-D, then shear 2-D → 2-D.
+        let proj = DynTransform::from_rows(3, &[&[1, 0, 0], &[0, 0, 1]], &[0, 0]);
+        let shear = DynTransform::from_rows(2, &[&[1, 1], &[0, 1]], &[4, -2]);
+        let sc = shear.compose(&proj);
+        let p = DomainPoint::new3(2, 9, 7);
+        assert_eq!(sc.apply(p), shear.apply(proj.apply(p)));
+    }
+
+    #[test]
+    fn inverse_of_unimodular_round_trips() {
+        // 2-D shear + swap with offsets: determinant −1.
+        let t = DynTransform::from_rows(2, &[&[2, 1], &[1, 1]], &[5, -3]);
+        let inv = t.inverse().expect("unimodular");
+        for (x, y) in [(0, 0), (3, -4), (17, 29)] {
+            let p = DomainPoint::new2(x, y);
+            assert_eq!(inv.apply(t.apply(p)), p);
+            assert_eq!(t.apply(inv.apply(p)), p);
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_non_unimodular_and_non_square() {
+        assert!(DynTransform::affine1(2, 0).inverse().is_none()); // det 2
+        assert!(DynTransform::affine1(0, 7).inverse().is_none()); // det 0
+        assert!(DynTransform::from_rows(3, &[&[1, 0, 0], &[0, 1, 0]], &[0, 0])
+            .inverse()
+            .is_none()); // 2×3
+        assert!(DynTransform::affine1(-1, 9).inverse().is_some()); // det −1
     }
 }

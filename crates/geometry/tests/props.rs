@@ -181,7 +181,7 @@ fn point_arithmetic_laws() {
 mod transform_props {
     use il_geometry::{DomainPoint, DynTransform};
     use il_testkit::prop::{check, i64s};
-    use il_testkit::prop_assert_eq;
+    use il_testkit::{prop_assert, prop_assert_eq};
     use std::collections::HashSet;
 
     /// `DynTransform::is_injective` agrees with brute-force evaluation
@@ -228,6 +228,154 @@ mod transform_props {
             let t = DynTransform::affine1(a, b);
             let f = |v: i64| t.apply(DomainPoint::new1(v)).x();
             prop_assert_eq!(f(x + y) - f(0), (f(x) - f(0)) + (f(y) - f(0)));
+            Ok(())
+        });
+    }
+
+    /// compose/inverse round-trip: a random unimodular 2-D transform
+    /// (built from elementary shears, an optional axis swap, an optional
+    /// sign flip, and an offset — all determinant ±1) has an inverse, and
+    /// `inverse ∘ t` and `t ∘ inverse` are both the identity pointwise.
+    #[test]
+    fn compose_invert_round_trip() {
+        let gen = (
+            (i64s(-3..4), i64s(-3..4)),   // upper/lower shears
+            (i64s(0..2), i64s(0..2)),     // swap axes? flip sign?
+            (i64s(-9..10), i64s(-9..10)), // offset
+            (i64s(-40..40), i64s(-40..40)),
+        );
+        check(
+            "compose_invert_round_trip",
+            &gen,
+            |&((a, b), (swap, flip), (ox, oy), (px, py))| {
+                let upper = DynTransform::from_rows(2, &[&[1, a], &[0, 1]], &[0, 0]);
+                let lower = DynTransform::from_rows(2, &[&[1, 0], &[b, 1]], &[ox, oy]);
+                let perm = if swap == 1 {
+                    DynTransform::from_rows(2, &[&[0, 1], &[1, 0]], &[0, 0])
+                } else {
+                    DynTransform::identity(2)
+                };
+                let sign = if flip == 1 {
+                    DynTransform::from_rows(2, &[&[-1, 0], &[0, 1]], &[0, 0])
+                } else {
+                    DynTransform::identity(2)
+                };
+                let t = upper.compose(&lower).compose(&perm).compose(&sign);
+                let p = DomainPoint::new2(px, py);
+                // compose really is function composition (inner first).
+                prop_assert_eq!(
+                    t.apply(p),
+                    upper.apply(lower.apply(perm.apply(sign.apply(p))))
+                );
+                let inv = t.inverse().expect("product of unimodular factors is unimodular");
+                prop_assert_eq!(inv.apply(t.apply(p)), p);
+                prop_assert_eq!(t.apply(inv.apply(p)), p);
+                // Round-trip through compose as well: inv ∘ t is the identity map.
+                let id = inv.compose(&t);
+                prop_assert_eq!(id.apply(p), p);
+                Ok(())
+            },
+        );
+    }
+
+    /// 1-D round-trip, including the degenerate `a = ±1` cases.
+    #[test]
+    fn compose_invert_round_trip_1d() {
+        let gen = (i64s(0..2), i64s(-20..20), i64s(-100..100));
+        check("compose_invert_round_trip_1d", &gen, |&(neg, b, x)| {
+            let a = if neg == 1 { -1 } else { 1 };
+            let t = DynTransform::affine1(a, b);
+            let inv = t.inverse().expect("|a| = 1 is unimodular");
+            let p = DomainPoint::new1(x);
+            prop_assert_eq!(inv.apply(t.apply(p)), p);
+            prop_assert_eq!(t.apply(inv.apply(p)), p);
+            Ok(())
+        });
+    }
+
+    /// The affine image of a rect, computed as the bbox of the transformed
+    /// corners, equals the bbox of the pointwise image — and every
+    /// pointwise image lands inside it. This is the interval-analysis
+    /// shortcut `il-analysis` relies on for projection-functor bounds.
+    #[test]
+    fn affine_rect_image_equals_pointwise_image() {
+        let gen = (
+            (i64s(-3..4), i64s(-3..4), i64s(-3..4), i64s(-3..4)),
+            (i64s(-10..10), i64s(-10..10)),
+            (i64s(-8..8), i64s(-8..8), i64s(0..6), i64s(0..6)),
+        );
+        check(
+            "affine_rect_image_equals_pointwise_image",
+            &gen,
+            |&((m00, m01, m10, m11), (b0, b1), (x, y, w, h))| {
+                let t = DynTransform::from_rows(2, &[&[m00, m01], &[m10, m11]], &[b0, b1]);
+                let r = il_geometry::Rect::new2((x, y), (x + w, y + h));
+                // Interval image: transform the 4 corners, take the bbox.
+                let corners = [
+                    DomainPoint::new2(x, y),
+                    DomainPoint::new2(x + w, y),
+                    DomainPoint::new2(x, y + h),
+                    DomainPoint::new2(x + w, y + h),
+                ];
+                let mut clo = [i64::MAX; 2];
+                let mut chi = [i64::MIN; 2];
+                for c in corners {
+                    let q = t.apply(c);
+                    for d in 0..2 {
+                        clo[d] = clo[d].min(q.coord(d));
+                        chi[d] = chi[d].max(q.coord(d));
+                    }
+                }
+                // Pointwise image bbox.
+                let mut plo = [i64::MAX; 2];
+                let mut phi = [i64::MIN; 2];
+                for p in r.iter() {
+                    let q = t.apply(DomainPoint::new2(p.0[0], p.0[1]));
+                    for d in 0..2 {
+                        prop_assert!(q.coord(d) >= clo[d] && q.coord(d) <= chi[d]);
+                        plo[d] = plo[d].min(q.coord(d));
+                        phi[d] = phi[d].max(q.coord(d));
+                    }
+                }
+                prop_assert_eq!(plo, clo);
+                prop_assert_eq!(phi, chi);
+                Ok(())
+            },
+        );
+    }
+}
+
+mod domain_props {
+    use il_geometry::{Domain, Rect};
+    use il_testkit::prop::{check, i64s};
+    use il_testkit::{prop_assert, prop_assert_eq};
+
+    /// For a dense domain, `linearize` is a bijection from the point set
+    /// onto `0..volume()`, in iteration order.
+    fn assert_bijective(d: &Domain) -> Result<(), String> {
+        let vol = d.volume() as usize;
+        let mut seen = vec![false; vol];
+        let mut n = 0usize;
+        for (i, p) in d.iter().enumerate() {
+            let idx = d.linearize(p).expect("point in its own domain") as usize;
+            prop_assert_eq!(idx, i); // iteration order IS linearization order
+            prop_assert!(idx < vol);
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+            n += 1;
+        }
+        prop_assert_eq!(n, vol);
+        prop_assert!(seen.iter().all(|&b| b));
+        Ok(())
+    }
+
+    #[test]
+    fn domain_linearize_bijective_on_volume() {
+        let gen = (i64s(-6..6), i64s(-6..6), i64s(0..5), i64s(0..5), i64s(0..4));
+        check("domain_linearize_bijective_on_volume", &gen, |&(x, y, w, h, d)| {
+            assert_bijective(&Domain::Rect1(Rect::new1(x, x + w)))?;
+            assert_bijective(&Domain::Rect2(Rect::new2((x, y), (x + w, y + h))))?;
+            assert_bijective(&Domain::Rect3(Rect::new3((x, y, 0), (x + w, y + h, d))))?;
             Ok(())
         });
     }

@@ -1,0 +1,416 @@
+//! Seeded random launch-program generator.
+//!
+//! Builds small but structurally diverse [`Program`]s: one region with a
+//! disjoint block partition, an aliased halo partition, and a second
+//! disjoint partition of different granularity; an unrelated region; an
+//! occasional 2-D region with a tile partition; 1–4 launches over dense,
+//! sparse, and 2-D domains; identity / constant / affine / modular /
+//! quadratic / composed / swizzled / opaque projection functors; mixed
+//! read / write / read-write / reduce privileges; per-requirement field
+//! subsets; uniform and per-point cost models; block and round-robin
+//! sharding.
+//!
+//! Everything is a pure function of the seed. The low bits of the seed
+//! select a *scenario bias* — one launch shaped to hit a specific
+//! verdict class (aliased write, non-injective write, conflicting
+//! images, mismatched reductions, cross-partition conflict, dynamic
+//! pass, dynamic conflict) — so a modest corpus provably covers every
+//! `HybridVerdict` / `UnsafeReason` class while the rest of each program
+//! stays fully random.
+//!
+//! Generated functors are kept *valid* (every color they select over the
+//! launch domain has a subspace): a candidate that escapes its
+//! partition's color space is replaced by `Modular { m: colors }`, which
+//! is always in bounds. Validity is what the runtime's expansion
+//! requires; safety is exactly what is being fuzzed, so both safe and
+//! unsafe programs are produced on purpose.
+
+use il_analysis::ProjExpr;
+use il_geometry::{Domain, DomainPoint, Rect};
+use il_machine::SimTime;
+use il_region::{
+    block_partition_2d, coloring_partition, equal_partition_1d, FieldId, FieldKind, FieldSpaceDesc,
+    FieldSpaceId, IndexPartitionId, Privilege, RegionTreeId, ReductionKind,
+};
+use il_runtime::{
+    round_robin_shard, CostSpec, IndexLaunchDesc, Program, ProgramBuilder, RegionReq,
+};
+use il_testkit::TestRng;
+use std::sync::Arc;
+
+/// A partition a generated requirement can target.
+#[derive(Clone, Copy)]
+struct Target {
+    partition: IndexPartitionId,
+    tree: RegionTreeId,
+    field_space: FieldSpaceId,
+    /// Number of colors (all our partitions color `0..colors` in 1-D).
+    colors: i64,
+}
+
+/// Generate a complete program from `seed`. Deterministic: the same seed
+/// always yields the same program, including opaque functor behavior and
+/// per-point cost curves. `seed % 8` picks the scenario bias (see module
+/// docs); the remaining launches are generic.
+pub fn generate_program(seed: u64) -> Program {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let scenario = (seed % 8) as usize;
+    let mut b = ProgramBuilder::new();
+
+    let nfields = rng.gen_range_usize(1, 4);
+    let mut fsd = FieldSpaceDesc::new();
+    for i in 0..nfields {
+        fsd.add(&format!("f{i}"), FieldKind::F64);
+    }
+    let fs = b.forest.create_field_space(fsd);
+
+    // Region 1: the main battleground — three partitions of one space.
+    let blocks = rng.gen_range_usize(2, 7);
+    let bsize = rng.gen_range_usize(1, 5);
+    let len = (blocks * bsize) as i64;
+    let r1 = b.forest.create_region(Domain::range(len), fs);
+    let d1 = equal_partition_1d(&mut b.forest, r1.space, blocks);
+    let a1 = {
+        let coloring: Vec<_> = (0..blocks as i64)
+            .map(|c| {
+                let lo = (c * bsize as i64 - 1).max(0);
+                let hi = ((c + 1) * bsize as i64).min(len - 1);
+                (DomainPoint::new1(c), Domain::Rect1(Rect::new1(lo, hi)))
+            })
+            .collect();
+        coloring_partition(&mut b.forest, r1.space, Domain::range(blocks as i64), coloring)
+    };
+    let d1b = equal_partition_1d(&mut b.forest, r1.space, rng.gen_range_usize(1, (len as usize).min(6) + 1));
+
+    // Region 2: unrelated data (launches touching only r2 never conflict
+    // with r1 traffic).
+    let len2 = rng.gen_range_i64(4, 25);
+    let r2 = b.forest.create_region(Domain::range(len2), fs);
+    let d2 = equal_partition_1d(&mut b.forest, r2.space, rng.gen_range_usize(2, (len2 as usize).min(6) + 1));
+
+    let colors = |b: &ProgramBuilder, p: IndexPartitionId| b.forest.partition(p).color_space.volume() as i64;
+    let t_d1 = Target { partition: d1, tree: r1.tree, field_space: fs, colors: colors(&b, d1) };
+    let t_a1 = Target { partition: a1, tree: r1.tree, field_space: fs, colors: colors(&b, a1) };
+    let t_d1b = Target { partition: d1b, tree: r1.tree, field_space: fs, colors: colors(&b, d1b) };
+    let t_d2 = Target { partition: d2, tree: r2.tree, field_space: fs, colors: colors(&b, d2) };
+    let targets = [t_d1, t_a1, t_d1b, t_d2];
+
+    let mut launches: Vec<IndexLaunchDesc> = Vec::new();
+    let n_generic = rng.gen_range_usize(1, 4);
+    for li in 0..n_generic {
+        launches.push(generic_launch(&mut b, &mut rng, &targets, nfields, li));
+    }
+
+    // Occasional 2-D launch: tile partition of a 2-D region, identity
+    // functor over the tile color space.
+    if rng.gen_bool(0.25) {
+        let (w, h) = (rng.gen_range_i64(2, 5), rng.gen_range_i64(2, 5));
+        let r2d = b.forest.create_region(Domain::Rect2(Rect::new2((0, 0), (w - 1, h - 1))), fs);
+        let tiles = (rng.gen_range_usize(1, 3), rng.gen_range_usize(1, 3));
+        let p2d = block_partition_2d(&mut b.forest, r2d.space, tiles);
+        let domain = b.forest.partition(p2d).color_space.clone();
+        let task = b.task_modeled("tiles2d");
+        let functor = b.functor(ProjExpr::Identity);
+        let privilege = pick_privilege(&mut rng);
+        launches.push(IndexLaunchDesc {
+            task,
+            domain,
+            reqs: vec![RegionReq {
+                partition: p2d,
+                functor,
+                privilege,
+                fields: pick_fields(&mut rng, nfields),
+                tree: r2d.tree,
+                field_space: fs,
+            }],
+            scalars: vec![],
+            cost: CostSpec::Uniform(SimTime::us(rng.gen_range_i64(1, 50) as u64)),
+            shard: None,
+        });
+    }
+
+    if let Some(biased) = scenario_launch(&mut b, &mut rng, scenario, &targets, fs) {
+        let at = rng.gen_range_usize(0, launches.len() + 1);
+        launches.insert(at, biased);
+    }
+
+    b.start_timing();
+    for launch in launches {
+        b.index_launch(launch);
+    }
+    b.build()
+}
+
+/// One launch biased toward a specific verdict class; `None` for the
+/// fully-generic scenario.
+fn scenario_launch(
+    b: &mut ProgramBuilder,
+    rng: &mut TestRng,
+    scenario: usize,
+    targets: &[Target; 4],
+    fs: FieldSpaceId,
+) -> Option<IndexLaunchDesc> {
+    let [d1, a1, d1b, _] = *targets;
+    let req = |b: &mut ProgramBuilder, t: Target, f: ProjExpr, p: Privilege| RegionReq {
+        partition: t.partition,
+        functor: b.functor(f),
+        privilege: p,
+        fields: vec![],
+        tree: t.tree,
+        field_space: t.field_space,
+    };
+    let (name, domain, reqs): (&str, Domain, Vec<RegionReq>) = match scenario {
+        // Write through the aliased halo partition: AliasedWritePartition.
+        1 => {
+            let n = rng.gen_range_i64(1, a1.colors + 1);
+            let w = if rng.gen_bool(0.5) { Privilege::Write } else { Privilege::ReadWrite };
+            ("aliased_write", Domain::range(n), vec![req(b, a1, ProjExpr::Identity, w)])
+        }
+        // Listing 2: q[i % m] written over a larger domain:
+        // NonInjectiveWrite (statically provable).
+        2 => {
+            let n = rng.gen_range_i64(2, 9);
+            let m = rng.gen_range_i64(1, d1.colors.min(n - 1).max(1) + 1);
+            ("modular_write", Domain::range(n), vec![req(b, d1, ProjExpr::Modular { a: 1, b: 0, m }, Privilege::Write)])
+        }
+        // Same functor on the same disjoint partition with conflicting
+        // privileges: ConflictingImages.
+        3 => {
+            let n = rng.gen_range_i64(1, d1.colors + 1);
+            let (pa, pb) = if rng.gen_bool(0.5) {
+                (Privilege::Write, Privilege::Read)
+            } else {
+                (Privilege::ReadWrite, Privilege::ReadWrite)
+            };
+            let f = ProjExpr::Identity;
+            ("same_image_conflict", Domain::range(n), vec![req(b, d1, f.clone(), pa), req(b, d1, f, pb)])
+        }
+        // Mismatched reduction operators on the same sub-collections:
+        // ConflictingImages (reductions only commute with themselves).
+        4 => {
+            let n = rng.gen_range_i64(1, d1.colors + 1);
+            let ops = [ReductionKind::Sum, ReductionKind::Prod, ReductionKind::Min, ReductionKind::Max];
+            let i = rng.gen_range_usize(0, ops.len());
+            let j = (i + 1 + rng.gen_range_usize(0, ops.len() - 1)) % ops.len();
+            (
+                "mixed_reductions",
+                Domain::range(n),
+                vec![
+                    req(b, d1, ProjExpr::Identity, Privilege::Reduce(ops[i].id())),
+                    req(b, d1, ProjExpr::Identity, Privilege::Reduce(ops[j].id())),
+                ],
+            )
+        }
+        // Conflicting privileges through two different partitions of the
+        // same region: CrossPartitionConflict.
+        5 => {
+            let n = rng.gen_range_i64(1, d1.colors.min(d1b.colors) + 1);
+            (
+                "cross_partition",
+                Domain::range(n),
+                vec![
+                    req(b, d1, ProjExpr::Identity, Privilege::Write),
+                    req(b, d1b, ProjExpr::Identity, Privilege::Read),
+                ],
+            )
+        }
+        // Statically unresolvable but actually injective writers: the
+        // dynamic bitmask check runs and passes (NeedsDynamic -> launch).
+        6 => {
+            if rng.gen_bool(0.5) {
+                // i² over [0,3) into a 10-color partition.
+                let extra = rng.gen_range_i64(10, 13);
+                let rq = b.forest.create_region(Domain::range(extra), fs);
+                let pq = equal_partition_1d(&mut b.forest, rq.space, 10);
+                let t = Target { partition: pq, tree: rq.tree, field_space: fs, colors: 10 };
+                ("quadratic_pass", Domain::range(3), vec![req(b, t, ProjExpr::Quadratic { a: 1, b: 0, c: 0 }, Privilege::Write)])
+            } else {
+                // Opaque reversal i -> k-1-i: injective, invisible to the
+                // static analyzer.
+                let k = d1.colors;
+                let f = ProjExpr::opaque(move |p| DomainPoint::new1(k - 1 - p.x()));
+                ("opaque_pass", Domain::range(k), vec![req(b, d1, f, Privilege::Write)])
+            }
+        }
+        // Opaque collision i -> i/2: the dynamic check fires
+        // (DynamicConflict) and the launch degrades to a sequential loop.
+        7 => {
+            let n = rng.gen_range_i64(2, (2 * d1.colors).min(8) + 1);
+            let f = ProjExpr::opaque(|p| DomainPoint::new1(p.x() / 2));
+            ("opaque_collision", Domain::range(n), vec![req(b, d1, f, Privilege::Write)])
+        }
+        _ => return None,
+    };
+    let task = b.task_modeled(name);
+    Some(IndexLaunchDesc {
+        task,
+        domain,
+        reqs,
+        scalars: vec![],
+        cost: CostSpec::Uniform(SimTime::us(rng.gen_range_i64(1, 100) as u64)),
+        shard: None,
+    })
+}
+
+/// A fully random launch over 1-D targets.
+fn generic_launch(
+    b: &mut ProgramBuilder,
+    rng: &mut TestRng,
+    targets: &[Target; 4],
+    nfields: usize,
+    li: usize,
+) -> IndexLaunchDesc {
+    let domain = if rng.gen_bool(0.2) {
+        // Sparse subset of [0, 8).
+        let mut pts: Vec<i64> = (0..8).filter(|_| rng.gen_bool(0.4)).collect();
+        if pts.is_empty() {
+            pts.push(rng.gen_range_i64(0, 8));
+        }
+        Domain::sparse(pts.into_iter().map(DomainPoint::new1).collect())
+    } else {
+        Domain::range(rng.gen_range_i64(1, 9))
+    };
+
+    let nreqs = rng.gen_range_usize(1, 4);
+    let reqs: Vec<RegionReq> = (0..nreqs)
+        .map(|_| {
+            let t = targets[rng.gen_range_usize(0, targets.len())];
+            let mut functor = pick_functor(rng, t.colors);
+            if !functor_in_bounds(b, t.partition, &functor, &domain) {
+                functor = ProjExpr::Modular { a: 1, b: 0, m: t.colors };
+            }
+            RegionReq {
+                partition: t.partition,
+                functor: b.functor(functor),
+                privilege: pick_privilege(rng),
+                fields: pick_fields(rng, nfields),
+                tree: t.tree,
+                field_space: t.field_space,
+            }
+        })
+        .collect();
+
+    let cost = if rng.gen_bool(0.3) {
+        let base = rng.gen_range_i64(1, 50) as u64;
+        CostSpec::PerPoint(Arc::new(move |p: DomainPoint| {
+            SimTime::us(base + p.coord_sum().unsigned_abs() % 13)
+        }))
+    } else {
+        CostSpec::Uniform(SimTime::us(rng.gen_range_i64(1, 100) as u64))
+    };
+    let task = b.task_modeled(&format!("gen{li}"));
+    IndexLaunchDesc {
+        task,
+        domain,
+        reqs,
+        scalars: vec![],
+        cost,
+        shard: if rng.gen_bool(0.3) { Some(round_robin_shard()) } else { None },
+    }
+}
+
+/// A candidate functor into a `k`-color 1-D color space. May be out of
+/// bounds for the eventual domain — the caller validates and falls back.
+fn pick_functor(rng: &mut TestRng, k: i64) -> ProjExpr {
+    match rng.gen_range_usize(0, 9) {
+        0 => ProjExpr::Identity,
+        1 => ProjExpr::Constant(DomainPoint::new1(rng.gen_range_i64(0, k))),
+        2 => ProjExpr::linear(1, rng.gen_range_i64(0, k)),
+        3 => ProjExpr::linear(-1, rng.gen_range_i64(0, k)),
+        4 => ProjExpr::Modular {
+            a: rng.gen_range_i64(1, 3),
+            b: rng.gen_range_i64(0, 3),
+            m: rng.gen_range_i64(1, k + 1),
+        },
+        5 => ProjExpr::Quadratic { a: 1, b: rng.gen_range_i64(0, 2), c: rng.gen_range_i64(0, 2) },
+        // Nested: shift after a modulus (inner functor applied first).
+        6 => ProjExpr::Compose(
+            Box::new(ProjExpr::linear(1, rng.gen_range_i64(0, 2))),
+            Box::new(ProjExpr::Modular { a: 1, b: 0, m: (k - 2).max(1) }),
+        ),
+        7 => ProjExpr::Swizzle(vec![0]),
+        _ => {
+            let m = k.max(1);
+            ProjExpr::opaque(move |p| DomainPoint::new1(p.x().rem_euclid(m)))
+        }
+    }
+}
+
+/// Every color the functor selects over the domain has a subspace.
+fn functor_in_bounds(
+    b: &ProgramBuilder,
+    partition: IndexPartitionId,
+    functor: &ProjExpr,
+    domain: &Domain,
+) -> bool {
+    domain
+        .iter()
+        .all(|p| b.forest.try_subspace(partition, functor.eval(p)).is_some())
+}
+
+fn pick_privilege(rng: &mut TestRng) -> Privilege {
+    match rng.gen_range_usize(0, 10) {
+        0..=3 => Privilege::Read,
+        4 | 5 => Privilege::Write,
+        6 => Privilege::ReadWrite,
+        _ => {
+            let kinds = [ReductionKind::Sum, ReductionKind::Prod, ReductionKind::Min, ReductionKind::Max];
+            Privilege::Reduce(kinds[rng.gen_range_usize(0, kinds.len())].id())
+        }
+    }
+}
+
+/// A random field subset; empty means "all fields".
+fn pick_fields(rng: &mut TestRng, nfields: usize) -> Vec<FieldId> {
+    if rng.gen_bool(0.4) {
+        return Vec::new();
+    }
+    (0..nfields)
+        .filter(|_| rng.gen_bool(0.5))
+        .map(|i| FieldId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let a = generate_program(seed);
+            let c = generate_program(seed);
+            assert_eq!(a.ops.len(), c.ops.len());
+            assert_eq!(a.total_tasks(), c.total_tasks());
+            for (x, y) in a.ops.iter().zip(&c.ops) {
+                let (lx, ly) = (x.launch(), y.launch());
+                assert_eq!(lx.domain, ly.domain);
+                assert_eq!(lx.reqs.len(), ly.reqs.len());
+                for (rx, ry) in lx.reqs.iter().zip(&ly.reqs) {
+                    assert_eq!(rx.partition, ry.partition);
+                    assert_eq!(rx.privilege, ry.privilege);
+                    assert_eq!(rx.fields, ry.fields);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_generated_functor_is_in_bounds() {
+        for seed in 0..64u64 {
+            let p = generate_program(seed);
+            for op in &p.ops {
+                let launch = op.launch();
+                for req in &launch.reqs {
+                    for point in launch.domain.iter() {
+                        let color = p.functor(req.functor).eval(point);
+                        assert!(
+                            p.forest.try_subspace(req.partition, color).is_some(),
+                            "seed {seed}: color {color:?} out of bounds"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

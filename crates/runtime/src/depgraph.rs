@@ -20,7 +20,7 @@ use il_analysis::{analyze_launch, HybridVerdict, LaunchArg};
 use il_geometry::{Domain, DomainPoint};
 use il_machine::NodeId;
 use il_region::{
-    overlap_volume, IndexSpaceId, Privilege, RegionForest, RegionTreeId, ReductionOpId,
+    overlap_volume, FieldId, IndexSpaceId, Privilege, RegionForest, RegionTreeId, ReductionOpId,
 };
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -42,10 +42,13 @@ pub struct TaskInstance {
     pub owner: NodeId,
     /// Concrete subspace selected by each region requirement's functor.
     pub subspaces: Vec<IndexSpaceId>,
-    /// Per requirement: true when a reduce-privilege requirement *opens*
-    /// a reduction epoch on its buffer (the executor identity-fills the
-    /// buffer exactly then; later reducers of the same epoch accumulate).
-    pub fresh_reduce: Vec<bool>,
+    /// Per reduce-privilege requirement: for every field it folds into,
+    /// the id of the reduction epoch it contributes to on its buffer.
+    /// The executor identity-fills each (buffer, field, epoch) exactly
+    /// once, at whichever epoch member happens to execute first — the
+    /// members themselves stay unordered, as commutativity allows (no
+    /// intra-epoch dependence edges exist).
+    pub reduce_fill: Vec<Vec<(FieldId, u32)>>,
 }
 
 /// An incoming data movement for a task: copy (or reduction-fold) of the
@@ -135,15 +138,33 @@ struct SpaceState {
     writes: Vec<(TaskRef, usize, u64, Option<ReductionOpId>)>,
     /// Readers since the covering writes.
     readers: Vec<(TaskRef, u64)>,
-    /// Pending reducers (folded into the next reader/writer).
+    /// Pending reducers (folded into the next reader/writer). A write
+    /// whose subspace *fully covers* this buffer retires these records
+    /// (e.g. circuit's `update_voltages` consuming the ghost charge
+    /// buffers): any later accessor overlapping this buffer necessarily
+    /// overlaps the covering writer too, so the ordering survives
+    /// transitively through it. A partially covering write must leave
+    /// the records in place — accessors of the uncovered part still need
+    /// direct edges — which at worst duplicates edges the covering path
+    /// already implies.
     reducers: Vec<(ReductionOpId, TaskRef, usize, u64)>,
-    /// Field bits of reducer records consumed by writes to overlapping
-    /// data, tagged with the consuming op (e.g. circuit's
-    /// `update_voltages` consuming the ghost charge buffers). Consumption
-    /// takes effect only for *later* ops: every point task of the
-    /// consuming launch itself still folds the contributions. Consumed
-    /// contributions are not folded again, and the next reduce on those
-    /// bits opens a fresh epoch (re-initializing the buffer).
+    /// Open reduction epochs on this buffer: `(op, field bits, epoch id)`.
+    /// Tracks which epoch each live field bit belongs to, so every
+    /// reducer can be told which epoch to (lazily) initialize. *Any*
+    /// overlapping write (full or partial cover) closes the epoch bits
+    /// it writes: the next reduce there opens a fresh epoch and the
+    /// executor re-initializes the buffer.
+    epochs: Vec<(ReductionOpId, u64, u32)>,
+    /// Field bits whose pending contributions were folded into (or
+    /// invalidated by) a write to overlapping data, tagged with the
+    /// consuming op. Gates *data folds only* — later ops do not fold the
+    /// consumed contributions again — and never hides a record from the
+    /// dependence scan (that was an unsoundness the differential oracle
+    /// caught: a reducer joining the epoch *after* the consuming write,
+    /// within the same op, was invisible to later ops). Cleared per bit
+    /// when a fresh epoch re-initializes the buffer. Tasks of the
+    /// consuming op itself still fold (several sibling writers may each
+    /// consume part of the buffer, as in circuit's `update_voltages`).
     consumed: Vec<(u32, u64)>,
 }
 
@@ -250,7 +271,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                 point,
                 owner,
                 subspaces,
-                fresh_reduce: vec![false; nreqs],
+                reduce_fill: vec![Vec::new(); nreqs],
             });
         }
         op_tasks.push((lo, tasks.len() as u32));
@@ -265,6 +286,10 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
     // logarithmic-time physical analysis.
     let mut touched: HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>> = HashMap::new();
     let mut overlaps: HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>> = HashMap::new();
+    // Monotone id source for reduction epochs (globally unique so the
+    // executor's once-per-epoch fill markers never collide across
+    // buffers or fields).
+    let mut next_epoch: u32 = 0;
 
     for t in 0..tasks.len() {
         let tref = t as TaskRef;
@@ -282,6 +307,8 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                 let Some(state) = states.get(&(tree, o_space)) else {
                     continue;
                 };
+                // Contributions already folded into an earlier op's
+                // write: keep the dependence edges, skip the data fold.
                 let consumed = state.consumed_before(tasks[t].op);
                 // Bytes of an incoming copy for a producer mask.
                 let copy_bytes = |pmask: u64| -> (Vec<il_region::FieldId>, u64) {
@@ -315,7 +342,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                         // depend on all reducers but copy once.
                         let mut folded = false;
                         for &(red_op, r, _rreq, rmask) in &state.reducers {
-                            if r != tref && rmask & mask & !consumed != 0 {
+                            if r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
                                 let (fields, bytes) = copy_bytes(rmask & !consumed);
                                 if bytes > 0 && !folded {
@@ -361,7 +388,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                         }
                         let mut folded = false;
                         for &(red_op, r, _rreq, rmask) in &state.reducers {
-                            if r != tref && rmask & mask & !consumed != 0 {
+                            if r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
                                 if wants_data {
                                     let (fields, bytes) = copy_bytes(rmask & !consumed);
@@ -393,26 +420,16 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                             }
                         }
                         for &(other_op, r, _rreq, rmask) in &state.reducers {
-                            if other_op != op && r != tref && rmask & mask & !consumed != 0 {
+                            if other_op != op && r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
                             }
                         }
-                        // Order after the epoch-opening reducer on the
-                        // *same* buffer: its identity fill must precede
-                        // our fold. Cross-buffer same-op reducers stay
-                        // unordered, as commutativity allows.
-                        if o_space == space {
-                            if let Some(opener) = state
-                                .reducers
-                                .iter()
-                                .find(|&&(oo, r, _, rm)| {
-                                    oo == op && rm & mask & !consumed != 0 && r != tref
-                                })
-                                .map(|rec| rec.1)
-                            {
-                                new_deps.push(opener);
-                            }
-                        }
+                        // Same-op reducers stay mutually unordered, as
+                        // commutativity allows — including on the same
+                        // buffer. The executor's lazy once-per-epoch
+                        // identity fill (keyed by the epoch ids recorded
+                        // below) makes the buffer initialization safe
+                        // without an ordering edge.
                     }
                 }
                 deps[t].extend(new_deps);
@@ -420,12 +437,39 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
 
             // A write consumes pending reduction contributions on every
             // overlapping buffer: they have been folded into (or
-            // invalidated by) the new data.
+            // invalidated by) the new data, so the epoch closes (the
+            // next reduce re-initializes the buffer) and later ops do
+            // not fold them again. The *records* are removed only when
+            // this write fully covers the buffer — then any later
+            // accessor necessarily overlaps the writer and the ordering
+            // survives transitively through it. A partial cover must
+            // keep them: accessors of the uncovered part still need
+            // direct edges (several sibling writers may jointly cover a
+            // buffer, as circuit's `update_voltages` tasks do on a ghost
+            // region spanning two neighbor pieces).
             if matches!(req.privilege, Privilege::Write | Privilege::ReadWrite) {
                 let op_idx = tasks[t].op;
                 let over = overlaps.get(&(tree, space)).expect("registered").clone();
                 for o_space in over {
-                    if let Some(st) = states.get_mut(&(tree, o_space)) {
+                    if o_space == space {
+                        continue; // own state retired below
+                    }
+                    let o_dom = forest.domain(o_space);
+                    let full = overlap_volume(forest.domain(space), o_dom) == o_dom.volume();
+                    let Some(st) = states.get_mut(&(tree, o_space)) else {
+                        continue;
+                    };
+                    for e in &mut st.epochs {
+                        e.1 &= !mask;
+                    }
+                    st.epochs.retain(|e| e.1 != 0);
+                    if full {
+                        for r in &mut st.reducers {
+                            r.3 &= !mask;
+                        }
+                        st.reducers.retain(|r| r.3 != 0);
+                    }
+                    if st.reducers.iter().any(|r| r.3 & mask != 0) {
                         match st.consumed.iter_mut().find(|(o, _)| *o == op_idx) {
                             Some((_, m)) => *m |= mask,
                             None => st.consumed.push((op_idx, mask)),
@@ -452,33 +496,56 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                         r.3 &= !mask;
                     }
                     state.reducers.retain(|r| r.3 != 0);
+                    for e in &mut state.epochs {
+                        e.1 &= !mask;
+                    }
+                    state.epochs.retain(|e| e.1 != 0);
+                    for (_, m) in &mut state.consumed {
+                        *m &= !mask;
+                    }
+                    state.consumed.retain(|(_, m)| *m != 0);
                     state.writes.push((tref, req_idx, mask, None));
                 }
                 Privilege::Reduce(op) => {
                     // Reducers join the current epoch on this buffer; the
                     // epoch ends when a write consumes the contributions.
-                    // The first same-op reducer of a fresh epoch opens it
-                    // — the executor identity-fills the buffer exactly
-                    // once, there.
-                    let consumed = state.consumed_before(tasks[t].op);
-                    let fresh = !state
-                        .reducers
+                    // Epochs are tracked per field bit: bits with no open
+                    // same-op epoch start a fresh one (the buffer is
+                    // re-initialized there, and any stale consumed marks
+                    // on those bits are moot), bits with one join it.
+                    let open: u64 = state
+                        .epochs
                         .iter()
-                        .any(|&(oo, _, _, rm)| oo == op && rm & mask & !consumed != 0);
-                    if fresh {
-                        // Retire consumed records on these bits and start
-                        // a new epoch.
-                        let dead = mask & consumed;
-                        for r in &mut state.reducers {
-                            r.3 &= !dead;
-                        }
-                        state.reducers.retain(|r| r.3 != 0);
+                        .filter(|&&(oo, _, _)| oo == op)
+                        .fold(0u64, |acc, &(_, bits, _)| acc | bits);
+                    let fresh_bits = mask & !open;
+                    if fresh_bits != 0 {
                         for (_, m) in &mut state.consumed {
-                            *m &= !mask;
+                            *m &= !fresh_bits;
                         }
                         state.consumed.retain(|(_, m)| *m != 0);
+                        state.epochs.push((op, fresh_bits, next_epoch));
+                        next_epoch += 1;
                     }
-                    tasks[t].fresh_reduce[req_idx] = fresh;
+                    // Record the epoch of every field this requirement
+                    // folds into; the executor identity-fills each
+                    // (buffer, field, epoch) at its first-executing
+                    // member.
+                    let mut fill = Vec::new();
+                    for b in 0..64u32 {
+                        let bit = 1u64 << b;
+                        if mask & bit == 0 {
+                            continue;
+                        }
+                        let eid = state
+                            .epochs
+                            .iter()
+                            .find(|e| e.0 == op && e.1 & bit != 0)
+                            .map(|e| e.2)
+                            .expect("every masked bit was assigned an epoch above");
+                        fill.push((FieldId(b), eid));
+                    }
+                    tasks[t].reduce_fill[req_idx] = fill;
                     state.reducers.push((op, tref, req_idx, mask));
                 }
             }

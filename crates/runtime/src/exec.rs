@@ -31,7 +31,7 @@ use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
     MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator, Stage, StageTotals,
 };
-use il_region::{domain_intersection, Privilege};
+use il_region::{domain_intersection, FieldId, IndexSpaceId, Privilege, RegionTreeId};
 use il_testkit::Json;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -150,6 +150,10 @@ struct Shared<'p> {
     /// Whether each op travels as compact slices without DCR.
     compact_ops: Vec<bool>,
     store: RefCell<InstanceStore>,
+    /// Reduction buffers already identity-filled, keyed by
+    /// `(tree, subspace, field, epoch id)`: the first epoch member to
+    /// execute fills; the rest accumulate (validation mode only).
+    reduce_filled: RefCell<HashSet<(RegionTreeId, IndexSpaceId, FieldId, u32)>>,
     timing: RefCell<Timing>,
     dynamic_check_time: SimTime,
     /// Structured event log (when `config.trace`). Pure observability:
@@ -396,24 +400,20 @@ impl<'p> RtNode<'p> {
         }
 
         // Reduction privileges write contributions into identity-filled
-        // buffers (folded into consumers later).
+        // buffers (folded into consumers later). Each (buffer, field,
+        // epoch) is filled exactly once, by whichever epoch member
+        // executes first — members carry the epoch ids the dependence
+        // oracle assigned and are otherwise unordered (commutativity).
         for (req_idx, req) in launch.reqs.iter().enumerate() {
             if let Privilege::Reduce(op_id) = req.privilege {
-                // Only the epoch-opening reducer fills the identity;
-                // later reducers of the same epoch accumulate.
-                if !inst.fresh_reduce[req_idx] {
-                    continue;
-                }
                 let kind = op_id.kind().expect("built-in reduction");
                 let space = inst.subspaces[req_idx];
                 let instance = store.get_mut((req.tree, space)).expect("ensured");
-                let fields: Vec<_> = if req.fields.is_empty() {
-                    instance.field_ids().collect()
-                } else {
-                    req.fields.clone()
-                };
-                for f in fields {
-                    instance.fill_identity(f, kind);
+                let mut filled = shared.reduce_filled.borrow_mut();
+                for &(f, epoch) in &inst.reduce_fill[req_idx] {
+                    if filled.insert((req.tree, space, f, epoch)) {
+                        instance.fill_identity(f, kind);
+                    }
                 }
             }
         }
@@ -762,6 +762,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         phys_weight,
         compact_ops,
         store: RefCell::new(InstanceStore::new()),
+        reduce_filled: RefCell::new(HashSet::new()),
         timing: RefCell::new(Timing {
             setup_done: SimTime::ZERO,
             last_done: SimTime::ZERO,

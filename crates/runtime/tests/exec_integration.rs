@@ -460,3 +460,71 @@ fn round_robin_sharding_with_slice_scatter() {
         }
     }
 }
+
+#[test]
+fn commuting_reductions_share_a_buffer_without_ordering() {
+    // Regression: a statically-safe launch whose point tasks reduce into
+    // the *same* subspace (here `i mod 2` with Reduce(Sum)) used to get an
+    // intra-launch "epoch opener" ordering edge for the identity fill —
+    // tripping expand_program's safe ⇒ zero-intra-launch-deps assertion.
+    // The fill is now lazy (once per buffer/field/epoch, at whichever
+    // epoch member executes first), so the launch expands edge-free and
+    // the folded results are still exact.
+    use il_region::ReductionKind;
+    let mut b = ProgramBuilder::new();
+    let mut fsd = FieldSpaceDesc::new();
+    let f = fsd.add("acc", FieldKind::F64);
+    let fs = b.forest.create_field_space(fsd);
+    let region = b.forest.create_region(Domain::range(4), fs);
+    let part = equal_partition_1d(&mut b.forest, region.space, 2);
+    let modular = b.functor(ProjExpr::Modular { a: 1, b: 0, m: 2 });
+    let t = b.task("contribute", move |ctx| {
+        let i = ctx.point.x();
+        let pts: Vec<_> = ctx.domain(0).iter().collect();
+        for p in pts {
+            ctx.fold_f64(0, f, p, ReductionKind::Sum, (i + 1) as f64);
+        }
+    });
+    b.index_launch(IndexLaunchDesc {
+        task: t,
+        domain: Domain::range(8),
+        reqs: vec![RegionReq {
+            partition: part,
+            functor: modular,
+            privilege: Privilege::Reduce(ReductionKind::Sum.id()),
+            fields: vec![],
+            tree: region.tree,
+            field_space: fs,
+        }],
+        scalars: vec![],
+        cost: CostSpec::Uniform(SimTime::us(10)),
+        shard: None,
+    });
+    let program = b.build();
+
+    let config = RuntimeConfig::validate(2);
+    let expanded = il_runtime::expand_program(&program, &config);
+    assert!(matches!(
+        expanded.safety[0],
+        il_runtime::depgraph::OpSafety::Static
+    ));
+    assert!(
+        expanded.deps.iter().all(|d| d.is_empty()),
+        "commuting reductions must stay unordered: {:?}",
+        expanded.deps
+    );
+
+    let report = execute(&program, &config);
+    assert_eq!(report.tasks, 8);
+    let store = report.store.unwrap();
+    // Block c accumulates (i+1) for all launch points with i % 2 == c:
+    // block 0 gets 1+3+5+7 = 16, block 1 gets 2+4+6+8 = 20.
+    let blocks = program.forest.space(program.forest.tree_root(region.tree)).partitions[0];
+    for (color, &space) in &program.forest.partition(blocks).children {
+        let want = if color.x() == 0 { 16.0 } else { 20.0 };
+        let inst = store.get((region.tree, space)).unwrap();
+        for p in program.forest.domain(space).iter() {
+            assert_eq!(inst.get::<f64>(f, p), want, "block {color:?}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Shrinker seed stability: with a pinned `IL_TESTKIT_SEED`, a failing
+//! property must produce a *byte-identical* failure report — same case,
+//! same shrink trajectory, same minimal counterexample — across repeated
+//! runs. This is what makes the "rerun: IL_TESTKIT_SEED=…" line in every
+//! failure actionable: replaying the seed replays the exact failure.
+
+use il_testkit::prop::{i64s, vec_of};
+use il_testkit::{check, prop_assert};
+
+/// Run the deliberately failing property once and capture its panic
+/// message (the full failure report, including the shrunk minimal
+/// input).
+fn failing_report() -> String {
+    std::panic::catch_unwind(|| {
+        check("seed_stability_demo", &vec_of(i64s(0..100), 1..12), |v| {
+            let sum: i64 = v.iter().sum();
+            prop_assert!(sum < 120, "sum {sum} exceeds budget");
+            Ok(())
+        });
+    })
+    .err()
+    .and_then(|e| e.downcast::<String>().ok())
+    .map(|b| *b)
+    .expect("property must fail under this seed")
+}
+
+#[test]
+fn same_env_seed_gives_byte_identical_minimal_counterexample() {
+    // Pin the environment the way a user replaying a failure would.
+    // (Single #[test] in this binary: no parallel test races on env.)
+    std::env::set_var("IL_TESTKIT_SEED", "0xFAB5EED");
+    std::env::set_var("IL_TESTKIT_CASES", "64");
+
+    let first = failing_report();
+    let second = failing_report();
+    assert_eq!(first, second, "failure report drifted between identical runs");
+
+    // The report names the pinned seed and a shrunk minimal input.
+    assert!(first.contains("0x000000000fab5eed"), "report lacks the seed:\n{first}");
+    let minimal = first
+        .lines()
+        .find(|l| l.starts_with("minimal input:"))
+        .unwrap_or_else(|| panic!("report lacks a minimal input line:\n{first}"));
+    assert_eq!(
+        minimal,
+        second
+            .lines()
+            .find(|l| l.starts_with("minimal input:"))
+            .expect("second report lacks a minimal input line"),
+        "minimal counterexamples differ"
+    );
+
+    // And the shrinker actually minimized: the reported counterexample
+    // must itself still fail and be locally minimal in length (a vec of
+    // sum >= 120 with elements < 100 needs at least two elements).
+    let inner = minimal.trim_start_matches("minimal input:").trim();
+    let parsed: Vec<i64> = inner
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .map(|s| s.trim().parse().expect("minimal input parses back"))
+        .collect();
+    assert!(parsed.iter().sum::<i64>() >= 120, "minimal input is not a counterexample");
+    assert!(parsed.len() >= 2, "impossible length for this property: {parsed:?}");
+}

@@ -42,4 +42,10 @@ cargo build --release --offline
 echo "== cargo test -q =="
 cargo test -q --offline
 
+echo "== differential fuzz smoke (release, 200 seeded programs) =="
+cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --seed 42
+
+echo "== differential fuzz self-test (--inject must catch every case) =="
+cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 8 --seed 42 --inject
+
 echo "verify.sh: all green"

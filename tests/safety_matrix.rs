@@ -387,3 +387,109 @@ fn field_disjointness_passes_cross_check() {
     );
     assert!(matches!(v, HybridVerdict::SafeStatic), "{v:?}");
 }
+
+/// Negative golden cases: genuinely interfering launches (the brute-force
+/// oracle confirms interference) must be rejected with the *specific*
+/// `UnsafeReason` the paper's rules prescribe — not merely "unsafe".
+#[test]
+fn interfering_launches_carry_the_expected_unsafe_reason() {
+    use index_launch::analysis::UnsafeReason;
+    let w = world();
+    let d8 = Domain::range(8);
+    let sum = Privilege::Reduce(ReductionKind::Sum.id());
+    let min = Privilege::Reduce(ReductionKind::Min.id());
+
+    // Aliased projection written in place: neighbouring halo blocks
+    // overlap, so concurrent read-writes collide.
+    let args = vec![arg(w.aliased, ProjExpr::Identity, Privilege::ReadWrite)];
+    assert!(interferes(&w, &d8, &args), "golden case must actually interfere");
+    match analyze_launch(&w.forest, &d8, &args) {
+        HybridVerdict::Unsafe(UnsafeReason::AliasedWritePartition { arg: 0 }) => {}
+        v => panic!("aliased RW: expected AliasedWritePartition, got {v:?}"),
+    }
+
+    // Listing 2: `q[i % 4]` written over 8 points — two points per block.
+    let args = vec![arg(
+        w.disjoint,
+        ProjExpr::Modular { a: 1, b: 0, m: 4 },
+        Privilege::Write,
+    )];
+    assert!(interferes(&w, &d8, &args));
+    match analyze_launch(&w.forest, &d8, &args) {
+        HybridVerdict::Unsafe(UnsafeReason::NonInjectiveWrite { arg: 0 }) => {}
+        v => panic!("modular write: expected NonInjectiveWrite, got {v:?}"),
+    }
+
+    // RW/RW through the same functor on one disjoint partition: the
+    // images are provably identical, so the rejection is static. (The
+    // overlap here is intra-task — both arguments of point `i` alias
+    // block `i` with write privileges — which the cross-task oracle
+    // cannot see; the set-level image rule rejects it statically.)
+    let args = vec![
+        arg(w.disjoint, ProjExpr::Identity, Privilege::ReadWrite),
+        arg(w.disjoint, ProjExpr::Identity, Privilege::ReadWrite),
+    ];
+    match analyze_launch(&w.forest, &d8, &args) {
+        HybridVerdict::Unsafe(UnsafeReason::ConflictingImages { a: 0, b: 1 }) => {}
+        v => panic!("RW/RW same image: expected ConflictingImages, got {v:?}"),
+    }
+
+    // RW/RW overlap with shifted affine images: point `i` read-writes
+    // blocks `i` and `i+1`, racing with its neighbours. The image
+    // intervals overlap but are not provably equal, so the dynamic
+    // bitmask check runs — and reports the collision.
+    let d7 = Domain::range(7);
+    let args = vec![
+        arg(w.disjoint, ProjExpr::linear(1, 0), Privilege::ReadWrite),
+        arg(w.disjoint, ProjExpr::linear(1, 1), Privilege::ReadWrite),
+    ];
+    assert!(interferes(&w, &d7, &args));
+    match analyze_launch(&w.forest, &d7, &args) {
+        HybridVerdict::NeedsDynamic(plan) => match plan.run() {
+            Err(UnsafeReason::DynamicConflict { .. }) => {}
+            r => panic!("shifted RW/RW: expected DynamicConflict, got {r:?}"),
+        },
+        v => panic!("shifted RW/RW: expected NeedsDynamic, got {v:?}"),
+    }
+
+    // Mismatched reduction operators through the aliased partition:
+    // reductions only commute with themselves, and halo blocks overlap.
+    let args = vec![
+        arg(w.aliased, ProjExpr::Identity, sum),
+        arg(w.aliased, ProjExpr::Identity, min),
+    ];
+    assert!(interferes(&w, &d8, &args));
+    match analyze_launch(&w.forest, &d8, &args) {
+        HybridVerdict::Unsafe(UnsafeReason::ConflictingImages { a: 0, b: 1 }) => {}
+        v => panic!("sum vs min: expected ConflictingImages, got {v:?}"),
+    }
+
+    // Write through the disjoint blocks while reading the aliased halos
+    // of the same region: colors cannot be related across partitions.
+    let args = vec![
+        arg(w.disjoint, ProjExpr::Identity, Privilege::Write),
+        arg(w.aliased, ProjExpr::Identity, Privilege::Read),
+    ];
+    assert!(interferes(&w, &d8, &args));
+    match analyze_launch(&w.forest, &d8, &args) {
+        HybridVerdict::Unsafe(UnsafeReason::CrossPartitionConflict { a: 0, b: 1 }) => {}
+        v => panic!("disjoint write vs aliased read: expected CrossPartitionConflict, got {v:?}"),
+    }
+
+    // Opaque `i -> i/2` writer: invisible to the static analysis, so the
+    // dynamic bitmask check runs — and reports the collision.
+    let args = vec![arg(
+        w.disjoint,
+        ProjExpr::opaque(|p| DomainPoint::new1(p.x() / 2)),
+        Privilege::Write,
+    )];
+    let d4 = Domain::range(4);
+    assert!(interferes(&w, &d4, &args));
+    match analyze_launch(&w.forest, &d4, &args) {
+        HybridVerdict::NeedsDynamic(plan) => match plan.run() {
+            Err(UnsafeReason::DynamicConflict { arg: 0, .. }) => {}
+            r => panic!("opaque collision: expected DynamicConflict, got {r:?}"),
+        },
+        v => panic!("opaque writer: expected NeedsDynamic, got {v:?}"),
+    }
+}
