@@ -64,6 +64,59 @@ impl BitMask {
         self.words.fill(0);
     }
 
+    /// Number of backing 64-bit words.
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Read backing word `w`.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Test `mask` against word `w` without writing: returns the overlap
+    /// (`word & mask`), nonzero iff any bit of `mask` is already set. This
+    /// is the read-side of the word-parallel check: one load and one AND
+    /// cover up to 64 colors.
+    #[inline]
+    pub fn test_word(&self, w: usize, mask: u64) -> u64 {
+        self.words[w] & mask
+    }
+
+    /// OR `mask` into word `w`, returning the *previous* overlap
+    /// (`old & mask`) — a fetch-style word-wide [`test_and_set`]
+    /// (BitMask::test_and_set): nonzero result means some bit of `mask`
+    /// was already set (a conflict for the write-side check).
+    #[inline]
+    pub fn fetch_or_word(&mut self, w: usize, mask: u64) -> u64 {
+        let word = &mut self.words[w];
+        let was = *word & mask;
+        *word |= mask;
+        was
+    }
+
+    /// Merge `other` into `self`, failing on the first word where the two
+    /// masks overlap (some bit set in both). Used by the chunked-parallel
+    /// check to combine per-chunk masks in deterministic chunk order.
+    ///
+    /// On `Err`, `self` holds every word before the offending one already
+    /// merged; callers treat any error as a conflict and fall back to the
+    /// sequential reference check, so partial state is never observed.
+    ///
+    /// # Panics
+    /// Panics when the masks have different lengths.
+    pub fn try_union(&mut self, other: &BitMask) -> Result<(), usize> {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        for (w, (dst, src)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            if *dst & *src != 0 {
+                return Err(w);
+            }
+            *dst |= *src;
+        }
+        Ok(())
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
         self.words.iter().map(|w| w.count_ones() as u64).sum()
@@ -120,5 +173,44 @@ mod tests {
         let m = BitMask::new(0);
         assert!(m.is_empty());
         assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn word_ops_match_bit_ops() {
+        let mut m = BitMask::new(130);
+        // fetch_or_word reports prior overlap only.
+        assert_eq!(m.fetch_or_word(0, 0b1010), 0);
+        assert_eq!(m.fetch_or_word(0, 0b0110), 0b0010);
+        assert!(m.get(1) && m.get(2) && m.get(3));
+        assert!(!m.get(0));
+        // test_word never writes.
+        assert_eq!(m.test_word(0, 0b1000), 0b1000);
+        assert_eq!(m.test_word(1, !0), 0);
+        assert_eq!(m.count_ones(), 3);
+        assert_eq!(m.word_len(), 3);
+        assert_eq!(m.word(0), 0b1110);
+    }
+
+    #[test]
+    fn try_union_merges_or_reports_overlap_word() {
+        let mut a = BitMask::new(200);
+        let mut b = BitMask::new(200);
+        a.set(5);
+        a.set(70);
+        b.set(6);
+        b.set(199);
+        assert_eq!(a.try_union(&b), Ok(()));
+        assert!(a.get(5) && a.get(6) && a.get(70) && a.get(199));
+        let mut c = BitMask::new(200);
+        c.set(70);
+        assert_eq!(a.try_union(&c), Err(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn try_union_length_mismatch_panics() {
+        let mut a = BitMask::new(64);
+        let b = BitMask::new(65);
+        let _ = a.try_union(&b);
     }
 }

@@ -24,7 +24,10 @@ pub mod proj;
 pub mod static_analysis;
 
 pub use bitmask::BitMask;
-pub use dynamic::{cross_check, self_check, ArgCheck, CheckOutcome};
+pub use dynamic::{
+    cross_check, cross_check_reference, cross_check_with, self_check, self_check_reference,
+    self_check_with, ArgCheck, CheckOutcome, CheckStrategy, PAR_CHUNK, PAR_MIN_VOLUME,
+};
 pub use hybrid::{analyze_launch, DynamicCheckPlan, HybridVerdict, LaunchArg, UnsafeReason};
-pub use proj::ProjExpr;
+pub use proj::{ColorRun, ProjExpr, MAX_COLOR_RUNS};
 pub use static_analysis::{analyze_injectivity, StaticVerdict};

@@ -121,6 +121,137 @@ impl ProjExpr {
     pub fn is_identity(&self) -> bool {
         matches!(self, ProjExpr::Identity)
     }
+
+    /// The functor as a 1-D affine map `i ↦ a·i + b`, if it is one
+    /// (including affine compositions and degenerate quadratics). Returns
+    /// `None` when the functor is not affine *or* when folding the
+    /// coefficients would overflow `i64` — callers must then fall back to
+    /// pointwise [`eval`](ProjExpr::eval).
+    pub fn as_affine_1d(&self) -> Option<(i64, i64)> {
+        match self {
+            ProjExpr::Identity => Some((1, 0)),
+            ProjExpr::Constant(c) if c.dim() == 1 => Some((0, c.x())),
+            ProjExpr::Affine(t) if t.in_dim == 1 && t.out_dim == 1 => {
+                Some((t.matrix[0][0], t.offset[0]))
+            }
+            ProjExpr::Quadratic { a: 0, b, c } => Some((*b, *c)),
+            ProjExpr::Compose(g, f) => {
+                let (ga, gb) = g.as_affine_1d()?;
+                let (fa, fb) = f.as_affine_1d()?;
+                Some((ga.checked_mul(fa)?, ga.checked_mul(fb)?.checked_add(gb)?))
+            }
+            _ => None,
+        }
+    }
+
+    /// [`eval`](ProjExpr::eval) restricted to 1-D functors, with every
+    /// intermediate computed by checked arithmetic. `None` means either
+    /// "not a 1-D scalar functor" or "this evaluation would overflow" —
+    /// both send the caller back to the reference pointwise path, so the
+    /// analytic fast paths never disagree with `eval` on reachable inputs.
+    fn checked_eval_1d(&self, i: i64) -> Option<i64> {
+        match self {
+            ProjExpr::Identity => Some(i),
+            ProjExpr::Constant(c) if c.dim() == 1 => Some(c.x()),
+            ProjExpr::Affine(t) if t.in_dim == 1 && t.out_dim == 1 => {
+                t.matrix[0][0].checked_mul(i)?.checked_add(t.offset[0])
+            }
+            ProjExpr::Modular { a, b, m } if *m > 0 => {
+                Some(a.checked_mul(i)?.checked_add(*b)?.rem_euclid(*m))
+            }
+            ProjExpr::Quadratic { a, b, c } => {
+                let sq = i.checked_mul(i)?;
+                a.checked_mul(sq)?.checked_add(b.checked_mul(i)?)?.checked_add(*c)
+            }
+            ProjExpr::Compose(g, f) => g.checked_eval_1d(f.checked_eval_1d(i)?),
+            _ => None,
+        }
+    }
+
+    /// Decompose the functor's color sequence over the dense 1-D index
+    /// range `lo..=hi` into arithmetic [`ColorRun`]s, or `None` when no
+    /// exact decomposition exists (opaque/quadratic/multi-dim functors,
+    /// arithmetic that could overflow, or a modular functor whose
+    /// wrap-around would produce more than [`MAX_COLOR_RUNS`] runs).
+    ///
+    /// The contract is exactness: when this returns `Some(runs)`, the
+    /// concatenated runs equal `(lo..=hi).map(|i| eval(i).x())` point for
+    /// point. Affine functors yield one run; `(a·i + b) mod m` yields one
+    /// run per wrap of the modulus. The word-parallel dynamic check
+    /// (`il-analysis::dynamic`) consumes these runs 64 colors at a time.
+    pub fn color_runs_1d(&self, lo: i64, hi: i64) -> Option<Vec<ColorRun>> {
+        if lo > hi {
+            return Some(Vec::new());
+        }
+        let count = (hi as i128 - lo as i128 + 1) as u64;
+        if let Some((a, b)) = self.as_affine_1d() {
+            // Verify the folded coefficients against the step-by-step
+            // checked evaluation at both endpoints. Affine maps are
+            // monotone in `i`, so endpoint success implies every interior
+            // evaluation is overflow-free and equal to the analytic value.
+            let start = self.checked_eval_1d(lo)?;
+            let end = self.checked_eval_1d(hi)?;
+            let fold_start = a as i128 * lo as i128 + b as i128;
+            let fold_end = a as i128 * hi as i128 + b as i128;
+            if fold_start != start as i128 || fold_end != end as i128 {
+                return None;
+            }
+            return Some(vec![ColorRun { start, stride: a, count }]);
+        }
+        if let ProjExpr::Modular { a, b, m } = self {
+            let (a, b, m) = (*a, *b, *m);
+            if m <= 0 {
+                return None;
+            }
+            // eval computes the raw a·i + b directly; require it to fit.
+            a.checked_mul(lo)?.checked_add(b)?;
+            a.checked_mul(hi)?.checked_add(b)?;
+            if a == 0 {
+                let start = b.rem_euclid(m);
+                return Some(vec![ColorRun { start, stride: 0, count }]);
+            }
+            let wraps = a.unsigned_abs() as u128 * count as u128 / m as u128;
+            if wraps + 1 > MAX_COLOR_RUNS as u128 {
+                return None;
+            }
+            let (ai, bi, mi) = (a as i128, b as i128, m as i128);
+            let hi = hi as i128;
+            let mut i = lo as i128;
+            let mut runs = Vec::new();
+            while i <= hi {
+                let r0 = (ai * i + bi).rem_euclid(mi);
+                // Longest k with r0 + k·a still inside [0, m).
+                let kmax = if ai > 0 { (mi - 1 - r0) / ai } else { r0 / -ai };
+                let kmax = kmax.min(hi - i);
+                runs.push(ColorRun {
+                    start: r0 as i64,
+                    stride: a,
+                    count: (kmax + 1) as u64,
+                });
+                i += kmax + 1;
+            }
+            return Some(runs);
+        }
+        None
+    }
+}
+
+/// Cap on the number of runs [`ProjExpr::color_runs_1d`] will produce; a
+/// modular functor wrapping more often than this is checked pointwise
+/// instead (each run has fixed word-op overhead, so past this point the
+/// decomposition stops paying for itself).
+pub const MAX_COLOR_RUNS: usize = 4096;
+
+/// A maximal arithmetic run of functor colors over consecutive 1-D launch
+/// indices: colors `start, start + stride, …, start + (count-1)·stride`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColorRun {
+    /// Color of the first index in the run.
+    pub start: i64,
+    /// Color increment between consecutive indices.
+    pub stride: i64,
+    /// Number of indices covered (≥ 1 except for empty domains).
+    pub count: u64,
 }
 
 impl fmt::Debug for ProjExpr {
@@ -222,5 +353,79 @@ mod tests {
     #[should_panic(expected = "modular functor is 1-D")]
     fn modular_rejects_2d() {
         ProjExpr::Modular { a: 1, b: 0, m: 3 }.eval(DomainPoint::new2(0, 0));
+    }
+
+    /// Expand runs back to a flat color sequence.
+    fn flatten(runs: &[ColorRun]) -> Vec<i64> {
+        let mut out = Vec::new();
+        for r in runs {
+            for k in 0..r.count {
+                out.push(r.start + k as i64 * r.stride);
+            }
+        }
+        out
+    }
+
+    fn eval_seq(f: &ProjExpr, lo: i64, hi: i64) -> Vec<i64> {
+        (lo..=hi).map(|i| f.eval(DomainPoint::new1(i)).x()).collect()
+    }
+
+    #[test]
+    fn color_runs_affine_shapes() {
+        for (f, lo, hi) in [
+            (ProjExpr::Identity, 0, 99),
+            (ProjExpr::linear(1, 3), -5, 40),
+            (ProjExpr::linear(-3, 7), 0, 17),
+            (ProjExpr::Constant(DomainPoint::new1(9)), 0, 10),
+            (ProjExpr::Quadratic { a: 0, b: 2, c: -1 }, -8, 8),
+            (
+                ProjExpr::Compose(
+                    Box::new(ProjExpr::linear(2, 1)),
+                    Box::new(ProjExpr::linear(3, -4)),
+                ),
+                0,
+                25,
+            ),
+        ] {
+            let runs = f.color_runs_1d(lo, hi).unwrap_or_else(|| panic!("{f:?} has runs"));
+            assert_eq!(runs.len(), 1, "{f:?}");
+            assert_eq!(flatten(&runs), eval_seq(&f, lo, hi), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn color_runs_modular_piecewise() {
+        for (a, b, m, lo, hi) in [
+            (1, 0, 3, 0, 10),
+            (1, 7, 5, -12, 30),
+            (-2, 3, 7, -9, 25),
+            (5, -1, 4, 0, 40),
+            (0, 11, 4, 2, 9),
+        ] {
+            let f = ProjExpr::Modular { a, b, m };
+            let runs = f.color_runs_1d(lo, hi).unwrap();
+            assert_eq!(flatten(&runs), eval_seq(&f, lo, hi), "{f:?}");
+            // Every run stays inside the canonical [0, m) range.
+            for r in &runs {
+                assert!(r.start >= 0 && r.start < m);
+                let last = r.start + (r.count as i64 - 1) * r.stride;
+                assert!(last >= 0 && last < m, "{f:?} run {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn color_runs_refused_where_inexact() {
+        // Opaque and true quadratics have no run decomposition.
+        assert!(ProjExpr::opaque(|p| p).color_runs_1d(0, 9).is_none());
+        assert!(ProjExpr::Quadratic { a: 1, b: 0, c: 0 }.color_runs_1d(0, 9).is_none());
+        // Overflowing affine folds are refused rather than wrapped.
+        assert!(ProjExpr::linear(i64::MAX, 0).color_runs_1d(0, 9).is_none());
+        // A modulus that wraps more than MAX_COLOR_RUNS times is refused.
+        assert!(ProjExpr::Modular { a: 1, b: 0, m: 2 }
+            .color_runs_1d(0, 3 * MAX_COLOR_RUNS as i64)
+            .is_none());
+        // Empty domains decompose to no runs.
+        assert_eq!(ProjExpr::Identity.color_runs_1d(5, 4), Some(Vec::new()));
     }
 }

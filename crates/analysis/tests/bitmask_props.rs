@@ -1,0 +1,114 @@
+//! Property tests: the word-parallel and chunked-parallel dynamic-check
+//! paths are *observationally identical* to the pointwise Listing-3
+//! reference — same outcome (including which argument/point/color trips
+//! first), same functor-evaluation count, same out-of-bounds count — on
+//! random domains, functor families, and strategies. Runs on the
+//! hermetic `il-testkit` harness; failures print a rerunnable
+//! `IL_TESTKIT_SEED`.
+
+use il_analysis::{
+    cross_check_reference, cross_check_with, self_check_reference, self_check_with, ArgCheck,
+    CheckStrategy, ProjExpr, PAR_CHUNK, PAR_MIN_VOLUME,
+};
+use il_geometry::{Domain, DomainPoint};
+use il_testkit::prop::{bools, check, i64s, map, one_of, usizes, vec_of, Just, OneOf};
+use il_testkit::prop_assert_eq;
+
+/// A functor from the statically-analyzable + dynamic families (the same
+/// pool the hybrid-analysis property tests draw from).
+fn functor() -> OneOf<ProjExpr> {
+    one_of(vec![
+        Box::new(Just(ProjExpr::Identity)),
+        Box::new(map((i64s(-3..4), i64s(-5..6)), |(a, b)| ProjExpr::linear(a, b))),
+        Box::new(map(i64s(0..20), |c| ProjExpr::Constant(DomainPoint::new1(c)))),
+        Box::new(map((i64s(-3..4), i64s(0..8), i64s(1..20)), |(a, b, m)| {
+            ProjExpr::Modular { a, b, m }
+        })),
+        Box::new(map((i64s(-2..3), i64s(-3..4), i64s(0..5)), |(a, b, c)| {
+            ProjExpr::Quadratic { a, b, c }
+        })),
+    ])
+}
+
+/// Every strategy the dispatcher can take on 1-D rectangles, including
+/// chunk sizes small enough that even tiny domains split into many
+/// chunks (exercising the in-order merge and cross-chunk conflicts).
+fn strategy() -> OneOf<CheckStrategy> {
+    one_of(vec![
+        Box::new(Just(CheckStrategy::Auto)),
+        Box::new(Just(CheckStrategy::Word)),
+        Box::new(map((i64s(1..80), usizes(1..5)), |(chunk, threads)| {
+            CheckStrategy::Chunked { chunk: chunk as u64, threads }
+        })),
+    ])
+}
+
+/// Self-checks: every strategy reproduces the reference report exactly —
+/// outcome (first conflict point and color included), eval count, and
+/// out-of-bounds count.
+#[test]
+fn self_check_strategies_match_reference_exactly() {
+    let gen = (functor(), i64s(1..300), i64s(1..400), strategy());
+    check("self_check_strategies_match_reference_exactly", &gen, |(f, n, colors, strat)| {
+        let domain = Domain::range(*n);
+        let bounds = Domain::range(*colors);
+        let want = self_check_reference(&domain, f, &bounds);
+        let got = self_check_with(&domain, f, &bounds, *strat)
+            .expect("all strategies apply to 1-D rectangles");
+        prop_assert_eq!(got, want, "functor {:?} over [0,{}), strategy {:?}", f, n, strat);
+        Ok(())
+    });
+}
+
+/// Cross-checks: same exactness guarantee with multiple writer/reader
+/// arguments sharing one mask.
+#[test]
+fn cross_check_strategies_match_reference_exactly() {
+    let gen = (vec_of((functor(), bools()), 1..5), i64s(1..120), i64s(1..300), strategy());
+    check("cross_check_strategies_match_reference_exactly", &gen, |(fs, n, colors, strat)| {
+        let domain = Domain::range(*n);
+        let bounds = Domain::range(*colors);
+        let args: Vec<ArgCheck<'_>> = fs
+            .iter()
+            .enumerate()
+            .map(|(i, (f, w))| ArgCheck { index: i, functor: f, writes: *w })
+            .collect();
+        let want = cross_check_reference(&domain, &args, &bounds);
+        let got = cross_check_with(&domain, &args, &bounds, *strat)
+            .expect("all strategies apply to 1-D rectangles");
+        prop_assert_eq!(got, want, "args {:?} over [0,{}), strategy {:?}", fs, n, strat);
+        Ok(())
+    });
+}
+
+/// Deterministic large-domain cases around the parallel threshold
+/// (|D| ≥ `PAR_MIN_VOLUME`), where the Auto path may go wide: a safe
+/// run-decomposable writer, a conflicting modular writer (early exit
+/// must report the reference's first conflict), and a run-less quadratic
+/// whose values mostly fall out of bounds (the chunked scan must count
+/// them identically).
+#[test]
+fn large_domains_agree_across_all_paths() {
+    let n = (PAR_MIN_VOLUME + PAR_MIN_VOLUME / 2) as i64;
+    let cases: Vec<(&str, ProjExpr, i64)> = vec![
+        ("safe linear", ProjExpr::linear(1, 3), n + 16),
+        ("conflicting modular", ProjExpr::Modular { a: 1, b: 0, m: n / 2 }, n),
+        ("out-of-bounds quadratic", ProjExpr::Quadratic { a: 1, b: 0, c: 0 }, 100_000),
+    ];
+    let strategies = [
+        CheckStrategy::Auto,
+        CheckStrategy::Word,
+        CheckStrategy::Chunked { chunk: PAR_CHUNK, threads: 4 },
+        CheckStrategy::Chunked { chunk: 4096, threads: 3 },
+    ];
+    for (name, f, colors) in &cases {
+        let domain = Domain::range(n);
+        let bounds = Domain::range(*colors);
+        let want = self_check_reference(&domain, f, &bounds);
+        for strat in &strategies {
+            let got = self_check_with(&domain, f, &bounds, *strat)
+                .expect("all strategies apply to 1-D rectangles");
+            assert_eq!(got, want, "{name}: strategy {strat:?} diverged from reference");
+        }
+    }
+}

@@ -16,12 +16,15 @@
 //! or Perfetto), along with a per-stage busy/traffic summary on stdout.
 //! `--audit` forces the pipeline audits on (they default to debug-only).
 //!
-//! `ilaunch fuzz --cases N --seed S [--nodes K] [--inject]` runs the
-//! differential fuzzer instead of an application: N seeded random launch
-//! programs through both the fast path and the desugared-launch oracle,
-//! printing verdict-class coverage and, on any divergence, the single
-//! seed that reproduces it (exit code 1). `--inject` perturbs the oracle
-//! of every case and demands the divergence is caught (self test).
+//! `ilaunch fuzz --cases N --seed S [--nodes K] [--threads T] [--inject]`
+//! runs the differential fuzzer instead of an application: N seeded random
+//! launch programs through both the fast path and the desugared-launch
+//! oracle, printing verdict-class coverage and, on any divergence, the
+//! single seed that reproduces it (exit code 1). Cases fan out across a
+//! thread pool (`--threads`, default one worker per hardware thread) with
+//! results folded in case order, so the report is identical at any width.
+//! `--inject` perturbs the oracle of every case and demands the
+//! divergence is caught (self test).
 
 use il_apps::{circuit, soleil, stencil};
 use il_oracle::{run_case, run_differential, DiffConfig};
@@ -182,6 +185,13 @@ fn parse_fuzz(argv: &[String]) -> Result<(DiffConfig, Option<u64>), String> {
                     .parse()
                     .map_err(|e| format!("--nodes: {e}"))?;
             }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .ok_or("--threads takes a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
             "--inject" => cfg.inject = true,
             other => return Err(format!("unknown fuzz flag {other:?}")),
         }
@@ -195,7 +205,7 @@ fn fuzz_main(argv: &[String]) -> ! {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: ilaunch fuzz [--cases N] [--seed S] [--nodes K] [--inject] [--repro CASE_SEED]"
+                "usage: ilaunch fuzz [--cases N] [--seed S] [--nodes K] [--threads T] [--inject] [--repro CASE_SEED]"
             );
             std::process::exit(2);
         }

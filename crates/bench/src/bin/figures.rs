@@ -4,28 +4,42 @@
 //! cargo run -p il-bench --release --bin figures -- all
 //! cargo run -p il-bench --release --bin figures -- fig5 fig10 table2
 //! cargo run -p il-bench --release --bin figures -- fig4 --max-nodes 64
+//! cargo run -p il-bench --release --bin figures -- all --repeats 5
+//! cargo run -p il-bench --release --bin figures -- fig4 --out-dir /tmp/r --no-bench
 //! ```
 //!
-//! ASCII tables print to stdout; CSVs land in `results/`. Every run also
-//! re-measures the core analysis kernels and writes the wall-clock
-//! trajectory to `BENCH_PR2.json` (testkit bench runner + JSON emitter),
-//! now including a per-stage pipeline breakdown of a reference stencil
-//! run under each (DCR × IDX) corner, plus a Chrome `about:tracing`
-//! export of the DCR+IDX run in `results/stencil_trace.json`.
+//! ASCII tables print to stdout; CSVs land in `--out-dir` (default
+//! `results/`). The DES is deterministic, so each figure point runs once
+//! by default; `--repeats 5` restores the paper's 5-run methodology with
+//! every rerun asserted identical. `--pool N` sizes the sweep thread
+//! pool (default: one worker per hardware thread — the CSVs are
+//! byte-identical at any width). Unless `--no-bench` is given, every run
+//! also re-measures the core analysis kernels, times the PR's
+//! before/after pairs (reference vs. word-parallel checks, analysis
+//! cache off vs. on, repeats 5 vs. 1), and writes the wall-clock
+//! trajectory to `BENCH_PR4.json`, including the per-stage pipeline
+//! breakdown of a reference stencil run under each (DCR × IDX) corner
+//! and a Chrome `about:tracing` export in `<out-dir>/stencil_trace.json`.
 
-use il_analysis::{cross_check, self_check, ArgCheck, ProjExpr};
-use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure};
+use il_analysis::{
+    cross_check, cross_check_reference, self_check, self_check_reference, ArgCheck, ProjExpr,
+};
+use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure, SweepOpts};
 use il_bench::render::{render_figure, render_table, write_figure_csv, write_table_csv};
 use il_bench::tables::{extrapolate_checks, table2, table3};
 use il_geometry::Domain;
 use il_runtime::ThreadPool;
-use il_testkit::{BenchRunner, Json, Throughput};
+use il_testkit::{BenchRunner, Comparison, Json, Throughput};
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: Vec<String> = Vec::new();
     let mut max_nodes = 1024usize;
+    let mut repeats = 1u32;
+    let mut pool_size = 0usize;
+    let mut out_dir = PathBuf::from("results");
+    let mut bench = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +47,19 @@ fn main() {
                 i += 1;
                 max_nodes = args[i].parse().expect("--max-nodes takes a number");
             }
+            "--repeats" => {
+                i += 1;
+                repeats = args[i].parse().expect("--repeats takes a number");
+            }
+            "--pool" => {
+                i += 1;
+                pool_size = args[i].parse().expect("--pool takes a number");
+            }
+            "--out-dir" => {
+                i += 1;
+                out_dir = PathBuf::from(&args[i]);
+            }
+            "--no-bench" => bench = false,
             other => targets.push(other.to_string()),
         }
         i += 1;
@@ -47,18 +74,22 @@ fn main() {
             .collect();
     }
 
-    let pool = ThreadPool::with_default_parallelism();
-    let out_dir = PathBuf::from("results");
+    let pool = if pool_size == 0 {
+        ThreadPool::with_default_parallelism()
+    } else {
+        ThreadPool::new(pool_size)
+    };
+    let opts = SweepOpts::new(max_nodes).repeats(repeats);
 
     for target in &targets {
         match target.as_str() {
-            "fig4" => emit(fig4(&pool, max_nodes), false, &out_dir),
-            "fig5" => emit(fig5(&pool, max_nodes), true, &out_dir),
-            "fig6" => emit(fig6(&pool, max_nodes), true, &out_dir),
-            "fig7" => emit(fig7(&pool, max_nodes), false, &out_dir),
-            "fig8" => emit(fig8(&pool, max_nodes), true, &out_dir),
-            "fig9" => emit(fig9(&pool, max_nodes), true, &out_dir),
-            "fig10" => emit(fig10(&pool, max_nodes), true, &out_dir),
+            "fig4" => emit(fig4(&pool, opts), false, &out_dir),
+            "fig5" => emit(fig5(&pool, opts), true, &out_dir),
+            "fig6" => emit(fig6(&pool, opts), true, &out_dir),
+            "fig7" => emit(fig7(&pool, opts), false, &out_dir),
+            "fig8" => emit(fig8(&pool, opts), true, &out_dir),
+            "fig9" => emit(fig9(&pool, opts), true, &out_dir),
+            "fig10" => emit(fig10(&pool, opts), true, &out_dir),
             "table2" => {
                 let rows = table2();
                 print!("{}", render_table("Table 2: dynamic self-checks", "Projection functor", &rows));
@@ -88,14 +119,16 @@ fn main() {
         }
     }
 
-    write_bench_trajectory("BENCH_PR2.json", &out_dir);
+    if bench {
+        write_bench_trajectory("BENCH_PR4.json", &out_dir, &pool);
+    }
 }
 
 /// Re-measure the dynamic-check kernels (the paper's Tables 2–3 hot
-/// paths) and dump the reports to `path` so benchmark trajectories can
-/// be diffed across PRs.
-fn write_bench_trajectory(path: &str, out_dir: &std::path::Path) {
-    let mut runner = BenchRunner::new("pr2").full().samples(5);
+/// paths), time this PR's before/after pairs, and dump everything to
+/// `path` so benchmark trajectories can be diffed across PRs.
+fn write_bench_trajectory(path: &str, out_dir: &std::path::Path, pool: &ThreadPool) {
+    let mut runner = BenchRunner::new("pr4").full().samples(5);
     let n = 100_000i64;
     let domain = Domain::range(n);
     let colors = Domain::range(n + 16);
@@ -126,20 +159,111 @@ fn write_bench_trajectory(path: &str, out_dir: &std::path::Path) {
         report.evals
     });
     let reports = runner.finish();
+    let comparisons = measure_comparisons(pool);
+    println!("before/after comparisons:");
+    for c in &comparisons {
+        println!("{}", c.render());
+    }
     let json = Json::obj()
         .set("schema", "il-bench-trajectory-v1")
-        .set("pr", "PR2")
+        .set("pr", "PR4")
         .set("domain_size", n)
         .set("benches", Json::Arr(reports.iter().map(|r| r.to_json()).collect()))
+        .set(
+            "comparisons",
+            Json::Arr(comparisons.iter().map(|c| c.to_json()).collect()),
+        )
         .set("stage_breakdown", stage_breakdown(out_dir));
     std::fs::write(path, json.to_string_pretty()).expect("write bench trajectory");
     println!("wrote {path}");
 }
 
+/// The PR's before/after wall-clock pairs:
+///
+/// * Tables 2–3 at |D| = 10⁶: exact pointwise reference check vs. the
+///   word-parallel fast path (same verdicts, asserted);
+/// * the figure smoke sweep under the paper's 5-run methodology vs. a
+///   single deterministic run;
+/// * a launch-heavy circuit run with the launch-signature analysis
+///   cache off vs. on.
+fn measure_comparisons(pool: &ThreadPool) -> Vec<Comparison> {
+    use il_apps::circuit;
+    use il_runtime::{execute, RuntimeConfig};
+
+    let mut out = Vec::new();
+
+    let n = 1_000_000i64;
+    let domain = Domain::range(n);
+    let colors = Domain::range(n + 16);
+    let functor = ProjExpr::linear(1, 3);
+    out.push(Comparison::measure(
+        "table2/self_check_1e6/reference_vs_word",
+        3,
+        || {
+            let r = self_check_reference(&domain, &functor, &colors);
+            assert!(r.is_safe());
+            r.evals
+        },
+        || {
+            let r = self_check(&domain, &functor, &colors);
+            assert!(r.is_safe());
+            r.evals
+        },
+    ));
+
+    let writer = ProjExpr::linear(2, 0);
+    let reader = ProjExpr::linear(2, 1);
+    let wide_colors = Domain::range(2 * n);
+    let args: Vec<ArgCheck<'_>> = (0..3)
+        .map(|k| ArgCheck {
+            index: k,
+            functor: if k == 0 { &writer } else { &reader },
+            writes: k == 0,
+        })
+        .collect();
+    out.push(Comparison::measure(
+        "table3/cross_check_1e6/reference_vs_word",
+        3,
+        || {
+            let r = cross_check_reference(&domain, &args, &wide_colors);
+            assert!(r.is_safe());
+            r.evals
+        },
+        || {
+            let r = cross_check(&domain, &args, &wide_colors);
+            assert!(r.is_safe());
+            r.evals
+        },
+    ));
+
+    out.push(Comparison::measure(
+        "figures/fig4_smoke/repeats5_vs_repeats1",
+        1,
+        || fig4(pool, SweepOpts::new(4).repeats(5)),
+        || fig4(pool, SweepOpts::new(4)),
+    ));
+
+    let app = circuit::build(&circuit::CircuitConfig::weak(4, 1));
+    let cache_off = RuntimeConfig::scale(4).with_analysis_cache(false);
+    let cache_on = RuntimeConfig::scale(4);
+    out.push(Comparison::measure(
+        "runtime/circuit_weak4/cache_off_vs_on",
+        3,
+        || execute(&app.program, &cache_off).makespan,
+        || {
+            let report = execute(&app.program, &cache_on);
+            assert!(report.analysis_cache.hits > 0, "cache never hit");
+            report.makespan
+        },
+    ));
+
+    out
+}
+
 /// Per-stage pipeline breakdown of a reference stencil run (16 nodes,
 /// weak scaling) under each (DCR × IDX) corner, with the pipeline audits
 /// enabled. The DCR+IDX corner is also run with trace collection and its
-/// Chrome `about:tracing` export written to `results/stencil_trace.json`.
+/// Chrome `about:tracing` export written to `<out-dir>/stencil_trace.json`.
 fn stage_breakdown(out_dir: &std::path::Path) -> Json {
     use il_apps::stencil::{build, StencilConfig};
     use il_runtime::{execute, RuntimeConfig};

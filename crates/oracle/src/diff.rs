@@ -31,7 +31,7 @@ use crate::genprog::generate_program;
 use crate::reference::{reference_expand, serial_makespan, transitive_closure};
 use il_analysis::{analyze_launch, HybridVerdict, LaunchArg, UnsafeReason};
 use il_runtime::depgraph::{expand_program, OpSafety};
-use il_runtime::{execute, Program, RuntimeConfig};
+use il_runtime::{execute, Program, RuntimeConfig, ThreadPool};
 use il_testkit::SplitMix64;
 use std::fmt;
 
@@ -47,11 +47,15 @@ pub struct DiffConfig {
     /// Inject a cost perturbation into the oracle of every case (self
     /// test: each case must then report a divergence).
     pub inject: bool,
+    /// Worker threads for the corpus sweep (0 = one per hardware thread).
+    /// Every case is a pure function of its seed and results are folded
+    /// in case order, so the report is identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { cases: 64, seed: 0xD1FF, nodes: 2, inject: false }
+        DiffConfig { cases: 64, seed: 0xD1FF, nodes: 2, inject: false, threads: 0 }
     }
 }
 
@@ -201,21 +205,49 @@ pub fn run_case(seed: u64, nodes: usize, inject: bool) -> CaseResult {
     CaseResult { coverage, tasks, error }
 }
 
-/// Run the whole corpus described by `cfg`.
+/// Run the whole corpus described by `cfg`, fanning the independent case
+/// seeds across a thread pool sized by `cfg.threads`.
 pub fn run_differential(cfg: &DiffConfig) -> DiffReport {
+    let pool = if cfg.threads == 0 {
+        ThreadPool::with_default_parallelism()
+    } else {
+        ThreadPool::new(cfg.threads)
+    };
+    run_differential_on(cfg, &pool)
+}
+
+/// [`run_differential`] on a caller-supplied pool (the `figures` driver
+/// and the sweep-determinism tests share one pool across sweeps).
+///
+/// Each case is generated and checked entirely inside its job — the jobs
+/// capture only the `Copy` seed parameters — and `ThreadPool::map`
+/// returns results in submission order, so the folded report (coverage,
+/// task totals, divergence order) is byte-identical no matter how many
+/// workers the pool has.
+pub fn run_differential_on(cfg: &DiffConfig, pool: &ThreadPool) -> DiffReport {
+    let (nodes, inject) = (cfg.nodes, cfg.inject);
+    let jobs: Vec<_> = (0..cfg.cases)
+        .map(|case| {
+            let seed = SplitMix64::mix(cfg.seed, case);
+            move || run_case(seed, nodes, inject)
+        })
+        .collect();
     let mut report = DiffReport {
         cases: cfg.cases,
         tasks: 0,
         coverage: Coverage::default(),
         divergences: Vec::new(),
     };
-    for case in 0..cfg.cases {
-        let seed = SplitMix64::mix(cfg.seed, case);
-        let result = run_case(seed, cfg.nodes, cfg.inject);
+    for (case, result) in pool.map(jobs).into_iter().enumerate() {
+        let case = case as u64;
         report.tasks += result.tasks;
         report.coverage.merge(&result.coverage);
         if let Some(detail) = result.error {
-            report.divergences.push(Divergence { case, seed, detail });
+            report.divergences.push(Divergence {
+                case,
+                seed: SplitMix64::mix(cfg.seed, case),
+                detail,
+            });
         }
     }
     report
@@ -386,6 +418,25 @@ mod tests {
         for d in &report.divergences {
             let again = run_case(d.seed, cfg.nodes, true);
             assert_eq!(again.error.as_deref(), Some(d.detail.as_str()));
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        // Same corpus on 1 and 4 workers: identical aggregate report,
+        // including divergence (case, seed) order under --inject.
+        for inject in [false, true] {
+            let base = DiffConfig { cases: 12, inject, ..DiffConfig::default() };
+            let serial = run_differential(&DiffConfig { threads: 1, ..base });
+            let parallel = run_differential(&DiffConfig { threads: 4, ..base });
+            assert_eq!(serial.cases, parallel.cases);
+            assert_eq!(serial.tasks, parallel.tasks);
+            assert_eq!(serial.coverage, parallel.coverage);
+            let key = |d: &Divergence| (d.case, d.seed, d.detail.clone());
+            assert_eq!(
+                serial.divergences.iter().map(key).collect::<Vec<_>>(),
+                parallel.divergences.iter().map(key).collect::<Vec<_>>(),
+            );
         }
     }
 }

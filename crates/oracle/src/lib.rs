@@ -35,6 +35,9 @@ pub mod diff;
 pub mod genprog;
 pub mod reference;
 
-pub use diff::{check_program, run_case, run_differential, CaseResult, Coverage, DiffConfig, DiffReport, Divergence};
+pub use diff::{
+    check_program, run_case, run_differential, run_differential_on, CaseResult, Coverage,
+    DiffConfig, DiffReport, Divergence,
+};
 pub use genprog::generate_program;
 pub use reference::{reference_expand, serial_makespan, transitive_closure, OracleGraph, OracleTask};

@@ -47,6 +47,15 @@ pub struct RuntimeConfig {
     /// recursive-halving scatter delivers every slice exactly once).
     /// Defaults to on in debug builds, off in release.
     pub audit: bool,
+    /// Memoize hybrid-analysis verdicts by launch signature during
+    /// expansion, so repeated iterations of the same launch shape (every
+    /// app's time loop) skip re-analysis — the Lee et al. tracing pattern
+    /// applied to the analysis itself. This is a *host-side* optimization:
+    /// it never changes simulated time (cache hits are the launches the
+    /// tracing cost model already charges at `trace_replay_per_task`
+    /// rates), only how fast the simulator itself runs. Defaults to on;
+    /// turning it off exists for the cache-equivalence tests.
+    pub analysis_cache: bool,
     /// Execute or model task bodies.
     pub mode: ExecutionMode,
     /// Cost model constants.
@@ -65,6 +74,7 @@ impl RuntimeConfig {
             dynamic_checks: true,
             trace: false,
             audit: cfg!(debug_assertions),
+            analysis_cache: true,
             mode: ExecutionMode::Scale,
             cost: CostModel::calibrated(),
         }
@@ -106,6 +116,12 @@ impl RuntimeConfig {
     /// Enable/disable the end-of-run pipeline audits.
     pub fn with_audit(mut self, on: bool) -> Self {
         self.audit = on;
+        self
+    }
+
+    /// Enable/disable the launch-signature analysis cache.
+    pub fn with_analysis_cache(mut self, on: bool) -> Self {
+        self.analysis_cache = on;
         self
     }
 }
@@ -228,6 +244,9 @@ mod tests {
         assert_eq!(c2.audit, cfg!(debug_assertions));
         let c3 = c2.with_trace(true).with_audit(true);
         assert!(c3.trace && c3.audit);
+        // The analysis cache defaults to on and toggles independently.
+        assert!(c3.analysis_cache);
+        assert!(!c3.clone().with_analysis_cache(false).analysis_cache);
     }
 
     #[test]

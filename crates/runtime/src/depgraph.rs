@@ -91,6 +91,23 @@ pub enum OpSafety {
     Sequential,
 }
 
+/// Host-side statistics of the launch-signature analysis cache for one
+/// expansion. Purely observability: the cache never changes verdicts or
+/// simulated time, only how much host work the expansion repeats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisCacheStats {
+    /// True when the cache was enabled for this expansion.
+    pub enabled: bool,
+    /// Launches whose verdict was served from the cache.
+    pub hits: u64,
+    /// Launches that ran the full hybrid analysis.
+    pub misses: u64,
+    /// Dynamic-check functor evaluations that cache hits avoided
+    /// re-running on the host (the `evals` of each hit's `Dynamic`
+    /// verdict; the simulator still charges them when checks are on).
+    pub evals_saved: u64,
+}
+
 /// The fully expanded program plus its exact task graph.
 pub struct ExpandedProgram {
     /// All point tasks, in issuance order (op-major, then point order).
@@ -105,6 +122,8 @@ pub struct ExpandedProgram {
     pub succs: Vec<Vec<TaskRef>>,
     /// Incoming copies of each task.
     pub copies: Vec<Vec<CopyIn>>,
+    /// Analysis-cache hit/miss accounting for this expansion.
+    pub analysis_cache: AnalysisCacheStats,
 }
 
 impl ExpandedProgram {
@@ -211,36 +230,57 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
     let mut op_tasks: Vec<(u32, u32)> = Vec::with_capacity(program.ops.len());
     let mut safety: Vec<OpSafety> = Vec::with_capacity(program.ops.len());
 
-    // Verdicts cached per launch signature (same task + requirement shapes
-    // + domain ⇒ same verdict), as the compiler caches per source loop.
+    // Verdicts memoized per launch signature (same task + requirement
+    // shapes + domain ⇒ same verdict), as the compiler caches per source
+    // loop. PR 2 made the signature collision-free precisely so it could
+    // carry this weight; `tests/analysis_cache.rs` pins that cached and
+    // uncached expansions are indistinguishable.
     let mut verdict_cache: HashMap<u64, OpSafety> = HashMap::new();
+    let mut cache_stats =
+        AnalysisCacheStats { enabled: config.analysis_cache, ..AnalysisCacheStats::default() };
 
     for op in &program.ops {
         let launch = op.launch();
-        let sig = launch_signature(launch, program);
-        let verdict = verdict_cache
-            .entry(sig)
-            .or_insert_with(|| {
-                let args: Vec<LaunchArg> = launch
-                    .reqs
-                    .iter()
-                    .map(|r| LaunchArg {
-                        partition: r.partition,
-                        functor: resolve(program, r.functor).clone(),
-                        privilege: r.privilege,
-                        fields: r.fields.clone(),
-                    })
-                    .collect();
-                match analyze_launch(forest, &launch.domain, &args) {
-                    HybridVerdict::SafeStatic => OpSafety::Static,
-                    HybridVerdict::NeedsDynamic(plan) => match plan.run() {
-                        Ok(evals) => OpSafety::Dynamic { evals },
-                        Err(_) => OpSafety::Sequential,
-                    },
-                    HybridVerdict::Unsafe(_) => OpSafety::Sequential,
+        let analyze = || {
+            let args: Vec<LaunchArg> = launch
+                .reqs
+                .iter()
+                .map(|r| LaunchArg {
+                    partition: r.partition,
+                    functor: resolve(program, r.functor).clone(),
+                    privilege: r.privilege,
+                    fields: r.fields.clone(),
+                })
+                .collect();
+            match analyze_launch(forest, &launch.domain, &args) {
+                HybridVerdict::SafeStatic => OpSafety::Static,
+                HybridVerdict::NeedsDynamic(plan) => match plan.run() {
+                    Ok(evals) => OpSafety::Dynamic { evals },
+                    Err(_) => OpSafety::Sequential,
+                },
+                HybridVerdict::Unsafe(_) => OpSafety::Sequential,
+            }
+        };
+        let verdict = if config.analysis_cache {
+            use std::collections::hash_map::Entry;
+            let sig = launch_signature(launch, program);
+            match verdict_cache.entry(sig) {
+                Entry::Occupied(hit) => {
+                    cache_stats.hits += 1;
+                    if let OpSafety::Dynamic { evals } = hit.get() {
+                        cache_stats.evals_saved += *evals;
+                    }
+                    hit.get().clone()
                 }
-            })
-            .clone();
+                Entry::Vacant(miss) => {
+                    cache_stats.misses += 1;
+                    miss.insert(analyze()).clone()
+                }
+            }
+        } else {
+            cache_stats.misses += 1;
+            analyze()
+        };
         safety.push(verdict);
 
         let shard = launch.shard.clone().unwrap_or_else(|| default_shard.clone());
@@ -577,7 +617,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
         }
     }
 
-    ExpandedProgram { tasks, op_tasks, safety, deps, succs, copies }
+    ExpandedProgram { tasks, op_tasks, safety, deps, succs, copies, analysis_cache: cache_stats }
 }
 
 fn resolve(program: &Program, f: FunctorId) -> &il_analysis::ProjExpr {
@@ -621,9 +661,10 @@ fn ensure_overlaps(
 /// Hash of a launch's analysis-relevant shape. Covers the full domain
 /// (bounds, dimensionality, sparse points — not just volume), and every
 /// requirement's partition, functor, privilege (with reduction op), and
-/// field list, so distinct launch shapes do not collide. Also used by
-/// the executor to key tracing replays ([`crate::exec`]).
-pub(crate) fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Program) -> u64 {
+/// field list, so distinct launch shapes do not collide. Keys both the
+/// executor's tracing replays ([`crate::exec`]) and the expansion-time
+/// analysis cache ([`AnalysisCacheStats`]).
+pub fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Program) -> u64 {
     let mut h = DefaultHasher::new();
     launch.task.0.hash(&mut h);
     launch.domain.volume().hash(&mut h);

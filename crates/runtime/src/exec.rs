@@ -25,7 +25,9 @@
 
 use crate::config::{ExecutionMode, RuntimeConfig};
 use crate::context::{InstanceStore, TaskContext};
-use crate::depgraph::{expand_program, launch_signature, ExpandedProgram, OpSafety, TaskRef};
+use crate::depgraph::{
+    expand_program, launch_signature, AnalysisCacheStats, ExpandedProgram, OpSafety, TaskRef,
+};
 use crate::program::Program;
 use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
@@ -77,6 +79,10 @@ pub struct RunReport {
     pub audit: Option<AuditReport>,
     /// Final instances (validation mode only).
     pub store: Option<InstanceStore>,
+    /// Expansion-time analysis-cache accounting. Host-side observability
+    /// only — deliberately *not* part of [`RunReport::stage_json`], so
+    /// cache-on and cache-off runs stay byte-identical there.
+    pub analysis_cache: AnalysisCacheStats,
 }
 
 impl RunReport {
@@ -845,6 +851,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         trace: shared.trace.map(RefCell::into_inner),
         audit,
         store,
+        analysis_cache: shared.expanded.analysis_cache,
     }
 }
 

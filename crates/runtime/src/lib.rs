@@ -56,7 +56,9 @@ pub mod trace;
 
 pub use config::{CostModel, ExecutionMode, RuntimeConfig};
 pub use context::{InstanceStore, TaskContext};
-pub use depgraph::{expand_program, ExpandedProgram, TaskInstance};
+pub use depgraph::{
+    expand_program, launch_signature, AnalysisCacheStats, ExpandedProgram, TaskInstance,
+};
 pub use exec::{execute, RunReport};
 pub use pool::ThreadPool;
 pub use program::{

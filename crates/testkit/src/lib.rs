@@ -27,7 +27,7 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 
-pub use bench::{BenchReport, BenchRunner, Throughput};
+pub use bench::{BenchReport, BenchRunner, Comparison, Throughput};
 pub use json::Json;
 pub use prop::{check, check_with, Config, Gen};
 pub use rng::{SplitMix64, TestRng};

@@ -48,4 +48,27 @@ cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --
 echo "== differential fuzz self-test (--inject must catch every case) =="
 cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 8 --seed 42 --inject
 
+echo "== figure CSV pin guard (regenerate, byte-compare against results/) =="
+# The figure sweeps are deterministic DES output: regenerating them must
+# reproduce the pinned CSVs byte-for-byte at any pool width. Tables 2–3
+# are wall-clock and excluded. --no-bench skips the trajectory here.
+csvtmp="$(mktemp -d)"
+trap 'rm -rf "$csvtmp"' EXIT
+cargo run --release --offline -q -p il-bench --bin figures -- \
+    fig4 fig5 fig6 fig7 fig8 fig9 fig10 --out-dir "$csvtmp" --no-bench > /dev/null
+for f in fig4 fig5 fig6 fig7 fig8 fig9 fig10; do
+    cmp "results/$f.csv" "$csvtmp/$f.csv" \
+        || { echo "pinned results/$f.csv drifted from regenerated output"; exit 1; }
+done
+echo "pinned figure CSVs reproduce byte-identically"
+
+echo "== bench smoke (BENCH_PR4.json wall-clock trajectory) =="
+# Re-measures the analysis kernels and the PR's before/after pairs
+# (reference vs word-parallel checks at 10^6, cache off/on, repeats 5
+# vs 1 on the fig4 smoke sweep) and rewrites BENCH_PR4.json.
+cargo run --release --offline -q -p il-bench --bin figures -- \
+    fig4 --max-nodes 4 --out-dir "$csvtmp" > /dev/null
+test -s BENCH_PR4.json || { echo "BENCH_PR4.json was not written"; exit 1; }
+echo "BENCH_PR4.json written"
+
 echo "verify.sh: all green"

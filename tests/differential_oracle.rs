@@ -17,7 +17,7 @@ const NODES: usize = 2;
 /// write, non-injective write, conflicting images, cross-partition).
 #[test]
 fn corpus_has_no_divergence_and_covers_every_verdict_class() {
-    let cfg = DiffConfig { cases: 500, seed: 0x5EED_CA5E, nodes: NODES, inject: false };
+    let cfg = DiffConfig { cases: 500, seed: 0x5EED_CA5E, nodes: NODES, inject: false, threads: 0 };
     let report = run_differential(&cfg);
     for d in &report.divergences {
         eprintln!("DIVERGENCE {d}");
@@ -45,7 +45,7 @@ fn corpus_has_no_divergence_and_covers_every_verdict_class() {
 /// what diverges.
 #[test]
 fn injected_divergence_reproduces_from_the_printed_seed_alone() {
-    let cfg = DiffConfig { cases: 16, seed: 0xBAD_CA5E, nodes: NODES, inject: true };
+    let cfg = DiffConfig { cases: 16, seed: 0xBAD_CA5E, nodes: NODES, inject: true, threads: 0 };
     let report = run_differential(&cfg);
     assert_eq!(
         report.divergences.len(),
