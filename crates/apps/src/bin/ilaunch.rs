@@ -16,6 +16,11 @@
 //! or Perfetto), along with a per-stage busy/traffic summary on stdout.
 //! `--audit` forces the pipeline audits on (they default to debug-only).
 //!
+//! `--faults SEED` runs the app under the seeded survivable fault
+//! schedule (message drops/duplication, one node crash, one slow node)
+//! and prints the recovery counters; `--validate --faults SEED` also
+//! checks that the faulted run still matches the sequential reference.
+//!
 //! `ilaunch fuzz --cases N --seed S [--nodes K] [--threads T] [--inject]`
 //! runs the differential fuzzer instead of an application: N seeded random
 //! launch programs through both the fast path and the desugared-launch
@@ -24,7 +29,10 @@
 //! thread pool (`--threads`, default one worker per hardware thread) with
 //! results folded in case order, so the report is identical at any width.
 //! `--inject` perturbs the oracle of every case and demands the
-//! divergence is caught (self test).
+//! divergence is caught (self test). `fuzz --faults SEED` adds a chaos
+//! leg to every case: the program re-executes under a survivable fault
+//! schedule derived from SEED and the case seed, and must run the same
+//! tasks, no faster than fault-free, with a byte-identical replay.
 
 use il_apps::{circuit, soleil, stencil};
 use il_oracle::{run_case, run_differential, DiffConfig};
@@ -43,6 +51,7 @@ struct Args {
     strong: bool,
     trace_out: Option<String>,
     audit: bool,
+    faults: Option<u64>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -60,6 +69,7 @@ fn parse() -> Result<Args, String> {
         strong: false,
         trace_out: None,
         audit: false,
+        faults: None,
     };
     let mut it = argv.into_iter();
     args.app = it.next().ok_or("usage: ilaunch <circuit|stencil|soleil> [flags]")?;
@@ -83,6 +93,9 @@ fn parse() -> Result<Args, String> {
                 args.trace_out = Some(it.next().ok_or("--trace takes an output path")?);
             }
             "--audit" => args.audit = true,
+            "--faults" => {
+                args.faults = Some(parse_seed(&it.next().ok_or("--faults takes a seed")?)?);
+            }
             "--validate" => args.validate = true,
             "--strong" => args.strong = true,
             "--no-dcr" => args.dcr = false,
@@ -110,6 +123,9 @@ fn runtime_config(a: &Args) -> RuntimeConfig {
     if a.audit {
         config = config.with_audit(true);
     }
+    if let Some(seed) = a.faults {
+        config = config.with_faults(seed);
+    }
     config
 }
 
@@ -123,6 +139,17 @@ fn report_line(args: &Args, report: &RunReport) {
         report.bytes,
         report.dynamic_check_time
     );
+    if let Some(rec) = &report.recovery {
+        println!(
+            "faults (seed {:#x}): {} crash(es), {} slow node(s), {} dropped, {} duplicated, \
+             {} crash-dropped",
+            rec.seed, rec.crashes, rec.slow_nodes, rec.dropped, rec.duplicated, rec.crash_dropped
+        );
+        println!(
+            "recovery: {} checks, {} retried tasks, {} re-sharded groups, {} re-analyses",
+            rec.recovery_checks, rec.retried_tasks, rec.resharded_groups, rec.reanalyses
+        );
+    }
     if let Some(audit) = &report.audit {
         println!(
             "audits: OK ({} credits conserved, {} slices covered)",
@@ -193,6 +220,9 @@ fn parse_fuzz(argv: &[String]) -> Result<(DiffConfig, Option<u64>), String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--inject" => cfg.inject = true,
+            "--faults" => {
+                cfg.faults = Some(parse_seed(&it.next().ok_or("--faults takes a seed")?)?);
+            }
             other => return Err(format!("unknown fuzz flag {other:?}")),
         }
     }
@@ -205,7 +235,8 @@ fn fuzz_main(argv: &[String]) -> ! {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: ilaunch fuzz [--cases N] [--seed S] [--nodes K] [--threads T] [--inject] [--repro CASE_SEED]"
+                "usage: ilaunch fuzz [--cases N] [--seed S] [--nodes K] [--threads T] \
+                 [--inject] [--faults SEED] [--repro CASE_SEED]"
             );
             std::process::exit(2);
         }
@@ -216,7 +247,7 @@ fn fuzz_main(argv: &[String]) -> ! {
             cfg.nodes,
             if cfg.inject { ", divergence injection ON" } else { "" }
         );
-        let result = run_case(seed, cfg.nodes, cfg.inject);
+        let result = run_case(seed, cfg.nodes, cfg.inject, cfg.faults);
         println!("{} point tasks", result.tasks);
         println!("verdict-class coverage:\n{}", result.coverage);
         match result.error {
@@ -231,11 +262,15 @@ fn fuzz_main(argv: &[String]) -> ! {
         }
     }
     println!(
-        "differential fuzz: {} cases, base seed {:#018x}, {} nodes{}",
+        "differential fuzz: {} cases, base seed {:#018x}, {} nodes{}{}",
         cfg.cases,
         cfg.seed,
         cfg.nodes,
-        if cfg.inject { ", divergence injection ON" } else { "" }
+        if cfg.inject { ", divergence injection ON" } else { "" },
+        match cfg.faults {
+            Some(s) => format!(", chaos leg ON (fault seed {s:#x})"),
+            None => String::new(),
+        }
     );
     let report = run_differential(&cfg);
     println!("{} point tasks across {} programs", report.tasks, report.cases);

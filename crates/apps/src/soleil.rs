@@ -195,7 +195,7 @@ pub struct SoleilApp {
 /// touch).
 fn tile_shard(tiles: (usize, usize, usize)) -> il_runtime::ShardingFn {
     let (tx, ty, tz) = (tiles.0 as i64, tiles.1 as i64, tiles.2 as i64);
-    Arc::new(move |p: DomainPoint, _d: &Domain, nodes: usize| -> NodeId {
+    Arc::new(move |p: DomainPoint, _d: &il_runtime::ShardDomain<'_>, nodes: usize| -> NodeId {
         let (x, y, z) = match p.dim() {
             3 => (p.x(), p.y(), p.z()),
             // 2-D boundary launches for planes: map onto the entry tile's

@@ -3,11 +3,22 @@
 //! A [`Simulator`] owns one behavior object per node plus a per-node clock
 //! tracking when the node's runtime thread, NIC, and processors become free.
 //! Events (messages) are processed in deterministic `(time, sequence)`
-//! order. A node handles a message no earlier than both its arrival time and
+//! order: ties in time break by the sequence number assigned at enqueue, so
+//! same-timestamp events (common under injected faults) always pop in the
+//! order they were sent, regardless of heap internals or host parallelism.
+//! A node handles a message no earlier than both its arrival time and
 //! the time the node's runtime thread frees up, which is what makes a
 //! centralized control node processing O(|D|) messages an honest bottleneck
 //! in the simulation.
+//!
+//! An optional [`FaultPlan`] (see [`crate::fault`]) makes the machine
+//! adversarial: crashed nodes silently discard every event addressed to
+//! them, the network drops or duplicates data-plane messages, and slow
+//! nodes pay a multiplier on all charged work. With no plan installed every
+//! fault hook is a no-op and the simulation is byte-identical to one built
+//! before faults existed.
 
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::machine::MachineDesc;
 use crate::network::Network;
 use crate::stage::{Stage, StageTotals, StageTraffic};
@@ -15,6 +26,7 @@ use crate::time::SimTime;
 use crate::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Behavior of one simulated node: a message handler invoked by the
 /// simulator whenever a message addressed to this node comes due.
@@ -77,7 +89,42 @@ pub struct SimStats {
     pub bytes: u64,
     /// Messages/bytes broken down by the sending handler's stage.
     pub traffic: StageTraffic,
+    /// Fault activity (all zero when no [`FaultPlan`] is installed).
+    pub faults: FaultCounters,
 }
+
+/// A structural invariant violation detected by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An event came due earlier than the current simulation time: the
+    /// `(time, seq)` queue invariant was violated. This can only happen if
+    /// an event was enqueued in the past (e.g. [`Simulator::inject`] called
+    /// mid-run with a stale timestamp) — handlers cannot produce one.
+    TimeRegression {
+        /// The offending event's timestamp.
+        event: SimTime,
+        /// The simulation clock when it popped.
+        now: SimTime,
+        /// The event's destination node.
+        dst: NodeId,
+        /// The event's enqueue sequence number.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimeRegression { event, now, dst, seq } => write!(
+                f,
+                "time went backwards: event seq {seq} for node {dst} due at {event} \
+                 popped at simulation time {now}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Handle given to a node's message handler.
 ///
@@ -94,6 +141,12 @@ pub struct NodeCtx<'a, M> {
     nodes: usize,
     outbox: Vec<(SimTime, NodeId, M)>,
     stats: &'a mut SimStats,
+    /// The fault plan, if one is installed (None → every hook is a no-op).
+    plan: Option<&'a FaultPlan>,
+    /// Counter indexing the plan's per-message drop/duplication draws.
+    fault_nonce: &'a mut u64,
+    /// Charge multiplier for this node (1 unless the plan marks it slow).
+    slow: u64,
 }
 
 impl<'a, M> NodeCtx<'a, M> {
@@ -130,7 +183,10 @@ impl<'a, M> NodeCtx<'a, M> {
     }
 
     /// Charge `duration` of sequential runtime work (advances the cursor).
+    /// On a fault-plan slow node the charge is inflated by the plan's
+    /// multiplier.
     pub fn charge(&mut self, duration: SimTime) {
+        let duration = duration * self.slow;
         self.cursor += duration;
         self.clock.runtime_busy += duration;
         self.clock.stage_busy.add(self.stage, duration);
@@ -139,20 +195,67 @@ impl<'a, M> NodeCtx<'a, M> {
     /// Send `msg` to another node through the network; `bytes` sets the
     /// transfer cost. Sending to self delivers after loopback latency
     /// without touching the NIC.
-    pub fn send(&mut self, dst: NodeId, msg: M, bytes: u64) {
+    ///
+    /// This is the *data-plane* path: when a fault plan is installed the
+    /// network may drop the message (NIC occupancy is still paid — the
+    /// message was injected, then lost) or deliver a duplicate copy one
+    /// extra wire latency later. Use
+    /// [`send_control`](NodeCtx::send_control) for messages that must not
+    /// be faulted.
+    pub fn send(&mut self, dst: NodeId, msg: M, bytes: u64)
+    where
+        M: Clone,
+    {
         assert!(dst < self.nodes, "destination {dst} out of range");
         if dst == self.node {
             self.outbox.push((self.cursor, dst, msg));
             return;
         }
+        let arrival = self.inject_to_nic(bytes);
+        if let Some(plan) = self.plan {
+            let nonce = *self.fault_nonce;
+            *self.fault_nonce += 1;
+            if plan.drop_message(nonce) {
+                self.stats.faults.dropped += 1;
+                return;
+            }
+            if plan.duplicate_message(nonce) {
+                self.stats.faults.duplicated += 1;
+                self.outbox
+                    .push((arrival + self.network.latency, dst, msg.clone()));
+            }
+        }
+        self.outbox.push((arrival, dst, msg));
+    }
+
+    /// Send `msg` to another node over the *control channel*: identical
+    /// charging and accounting to [`send`](NodeCtx::send), but exempt from
+    /// fault-plan drop/duplication. The runtime's recovery protocol
+    /// (completion reports, retry directives) rides on this channel — the
+    /// standard reliable-control-transport assumption (see
+    /// [`crate::fault`]). With no fault plan installed the two paths are
+    /// indistinguishable.
+    pub fn send_control(&mut self, dst: NodeId, msg: M, bytes: u64) {
+        assert!(dst < self.nodes, "destination {dst} out of range");
+        if dst == self.node {
+            self.outbox.push((self.cursor, dst, msg));
+            return;
+        }
+        let arrival = self.inject_to_nic(bytes);
+        self.outbox.push((arrival, dst, msg));
+    }
+
+    /// Serialize a `bytes`-byte message through the NIC: advances
+    /// `nic_free`, records stats, returns the arrival time at the remote
+    /// node.
+    fn inject_to_nic(&mut self, bytes: u64) -> SimTime {
         let start = self.cursor.max(self.clock.nic_free);
         let occupancy = self.network.occupancy(bytes);
         self.clock.nic_free = start + occupancy;
-        let arrival = start + occupancy + self.network.latency;
         self.stats.messages += 1;
         self.stats.bytes += bytes;
         self.stats.traffic.record(self.stage, bytes);
-        self.outbox.push((arrival, dst, msg));
+        start + occupancy + self.network.latency
     }
 
     /// Schedule a message to this node at an absolute future time (used for
@@ -169,6 +272,7 @@ impl<'a, M> NodeCtx<'a, M> {
     /// completion.
     pub fn exec_on_proc(&mut self, local: usize, duration: SimTime) -> SimTime {
         assert!(local < self.clock.proc_free.len(), "processor {local} out of range");
+        let duration = duration * self.slow;
         let start = self.cursor.max(self.clock.proc_free[local]);
         let done = start + duration;
         self.clock.proc_free[local] = done;
@@ -197,6 +301,8 @@ pub struct Simulator<M, B> {
     now: SimTime,
     seq: u64,
     stats: SimStats,
+    fault_plan: Option<FaultPlan>,
+    fault_nonce: u64,
 }
 
 impl<M, B: NodeBehavior<M>> Simulator<M, B> {
@@ -221,7 +327,20 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             now: SimTime::ZERO,
             seq: 0,
             stats: SimStats::default(),
+            fault_plan: None,
+            fault_nonce: 0,
         }
+    }
+
+    /// Install a fault plan. Every subsequent dispatch consults it; with no
+    /// plan installed (the default) the fault hooks are no-ops.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Inject an initial message for `dst` at absolute time `time`.
@@ -232,14 +351,33 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         self.queue.push(Reverse(Event { time, seq, dst, msg }));
     }
 
-    /// Dispatch the next event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
+    /// Dispatch the next event. `Ok(false)` when the queue is empty;
+    /// [`SimError::TimeRegression`] if the due event predates the clock.
+    pub fn try_step(&mut self) -> Result<bool, SimError> {
         let Some(Reverse(ev)) = self.queue.pop() else {
-            return false;
+            return Ok(false);
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
+        if ev.time < self.now {
+            return Err(SimError::TimeRegression {
+                event: ev.time,
+                now: self.now,
+                dst: ev.dst,
+                seq: ev.seq,
+            });
+        }
         self.now = ev.time;
         self.stats.events += 1;
+        if let Some(plan) = &self.fault_plan {
+            if plan.is_crashed(ev.dst, ev.time) {
+                // A dead node silently discards everything addressed to it.
+                self.stats.faults.crash_dropped += 1;
+                return Ok(true);
+            }
+        }
+        let slow = self
+            .fault_plan
+            .as_ref()
+            .map_or(1, |p| p.slow_factor(ev.dst));
         let clock = &mut self.clocks[ev.dst];
         let start = ev.time.max(clock.runtime_free);
         let mut ctx = NodeCtx {
@@ -252,6 +390,9 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             nodes: self.nodes.len(),
             outbox: Vec::new(),
             stats: &mut self.stats,
+            plan: self.fault_plan.as_ref(),
+            fault_nonce: &mut self.fault_nonce,
+            slow,
         };
         self.nodes[ev.dst].on_message(&mut ctx, ev.msg);
         let cursor = ctx.cursor;
@@ -262,13 +403,22 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             self.seq += 1;
             self.queue.push(Reverse(Event { time, seq, dst, msg }));
         }
-        true
+        Ok(true)
+    }
+
+    /// Dispatch the next event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    /// Panics with the [`SimError`] if the queue invariant is violated.
+    pub fn step(&mut self) -> bool {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run until the event queue drains.
     ///
     /// # Panics
-    /// Panics after `max_events` dispatches as a runaway guard.
+    /// Panics after `max_events` dispatches as a runaway guard, or with the
+    /// [`SimError`] if the queue invariant is violated.
     pub fn run(&mut self, max_events: u64) {
         let mut dispatched = 0u64;
         while self.step() {
@@ -283,13 +433,19 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
     }
 
     /// The makespan: the latest time any runtime thread, NIC, or processor
-    /// is busy until.
+    /// is busy until. A crashed node's contribution is clamped to its crash
+    /// time — work it had booked past that instant died with it.
     pub fn makespan(&self) -> SimTime {
         self.clocks
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(id, c)| {
                 let p = c.proc_free.iter().copied().max().unwrap_or(SimTime::ZERO);
-                c.runtime_free.max(c.nic_free).max(p)
+                let busy_until = c.runtime_free.max(c.nic_free).max(p);
+                match self.fault_plan.as_ref().and_then(|pl| pl.crash_time(id)) {
+                    Some(crash) => busy_until.min(crash),
+                    None => busy_until,
+                }
             })
             .max()
             .unwrap_or(SimTime::ZERO)
@@ -341,7 +497,7 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     enum Msg {
         Ping(u32),
         Pong(u32),
@@ -519,6 +675,214 @@ mod tests {
         assert_eq!(sim.stats().messages, 2);
         assert_eq!(sim.stats().bytes, 150);
         assert_eq!(sim.stage_totals().get(Stage::Exec), SimTime::us(10));
+    }
+
+    /// Recorder behavior: logs every received payload, charges nothing.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<u64>,
+    }
+    impl NodeBehavior<u64> for Recorder {
+        fn on_message(&mut self, _ctx: &mut NodeCtx<'_, u64>, msg: u64) {
+            self.seen.push(msg);
+        }
+    }
+
+    #[test]
+    fn same_timestamp_events_pop_in_enqueue_order() {
+        // The documented tie-break: equal-time events dispatch in the order
+        // they were enqueued (sequence number), independent of payload,
+        // destination, or heap internals.
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::ideal(),
+            vec![Recorder::default(), Recorder::default()],
+        );
+        let t = SimTime::us(5);
+        for k in [9u64, 3, 7, 1, 8, 2] {
+            sim.inject(t, 0, k);
+        }
+        sim.inject(t, 1, 100);
+        sim.inject(t, 1, 99);
+        sim.run(100);
+        assert_eq!(sim.node(0).seen, vec![9, 3, 7, 1, 8, 2]);
+        assert_eq!(sim.node(1).seen, vec![100, 99]);
+    }
+
+    #[test]
+    fn time_regression_is_a_structured_error() {
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(1),
+            Network::ideal(),
+            vec![Recorder::default()],
+        );
+        sim.inject(SimTime::us(10), 0, 1);
+        assert_eq!(sim.try_step(), Ok(true)); // clock now at 10us
+        sim.inject(SimTime::us(2), 0, 2); // stale injection
+        let err = sim.try_step().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::TimeRegression {
+                event: SimTime::us(2),
+                now: SimTime::us(10),
+                dst: 0,
+                seq: 1,
+            }
+        );
+        assert!(err.to_string().contains("time went backwards"));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn step_panics_on_time_regression() {
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(1),
+            Network::ideal(),
+            vec![Recorder::default()],
+        );
+        sim.inject(SimTime::us(10), 0, 1);
+        sim.step();
+        sim.inject(SimTime::us(2), 0, 2);
+        sim.step();
+    }
+
+    #[test]
+    fn crashed_node_discards_events_and_clamps_makespan() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        // Find a seed whose plan crashes node 1 inside the window.
+        let spec = FaultSpec {
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            crash_window: (SimTime::us(1), SimTime::us(1)),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(0, 2, &spec);
+        assert_eq!(plan.crashes(), &[(1, SimTime::us(1))]);
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::ideal(),
+            vec![Recorder::default(), Recorder::default()],
+        );
+        sim.set_fault_plan(plan);
+        sim.inject(SimTime::ZERO, 1, 7); // before the crash: delivered
+        sim.inject(SimTime::us(2), 1, 8); // after the crash: dropped
+        sim.inject(SimTime::us(3), 0, 9); // node 0 unaffected
+        sim.run(10);
+        assert_eq!(sim.node(1).seen, vec![7]);
+        assert_eq!(sim.node(0).seen, vec![9]);
+        assert_eq!(sim.stats().faults.crash_dropped, 1);
+        assert_eq!(sim.stats().events, 3);
+    }
+
+    #[test]
+    fn slow_nodes_pay_the_charge_multiplier() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        struct Worker;
+        impl NodeBehavior<u8> for Worker {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, _msg: u8) {
+                ctx.charge(SimTime::us(1));
+                ctx.exec_on_proc(0, SimTime::us(10));
+            }
+        }
+        let spec = FaultSpec {
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            max_crashes: 0,
+            slow_nodes: 1,
+            slow_factor: 4,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(0, 2, &spec);
+        assert_eq!(plan.slow_factor(1), 4);
+        let mut sim =
+            Simulator::new(MachineDesc::piz_daint(2), Network::ideal(), vec![Worker, Worker]);
+        sim.set_fault_plan(plan);
+        sim.inject(SimTime::ZERO, 0, 0);
+        sim.inject(SimTime::ZERO, 1, 0);
+        sim.run(10);
+        assert_eq!(sim.clock(0).runtime_busy, SimTime::us(1));
+        assert_eq!(sim.clock(1).runtime_busy, SimTime::us(4));
+        assert_eq!(sim.clock(0).proc_free[0], SimTime::us(11));
+        assert_eq!(sim.clock(1).proc_free[0], SimTime::us(44));
+    }
+
+    #[test]
+    fn control_channel_is_exempt_from_drops() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        #[derive(Default)]
+        struct Sender {
+            got_control: bool,
+        }
+        impl NodeBehavior<u64> for Sender {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u64>, msg: u64) {
+                if ctx.node() == 0 && msg == 0 {
+                    for k in 1..=64 {
+                        ctx.send(1, k, 64); // data plane: subject to drops
+                    }
+                    ctx.send_control(1, 999, 64); // control: always delivered
+                } else if ctx.node() == 1 && msg == 999 {
+                    self.got_control = true;
+                }
+            }
+        }
+        let spec = FaultSpec {
+            drop_per_mille: 1000, // clamped to 500 by generate()
+            dup_per_mille: 0,
+            max_crashes: 0,
+            slow_nodes: 0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(0, 2, &spec);
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::aries(),
+            vec![Sender::default(), Sender::default()],
+        );
+        sim.set_fault_plan(plan);
+        sim.inject(SimTime::ZERO, 0, 0);
+        sim.run(1_000);
+        let f = sim.stats().faults;
+        // At the 50% clamp a good chunk of the 64 data messages drop
+        // (deterministic for this seed); the control message never does.
+        assert!(f.dropped > 0);
+        assert!(f.dropped <= 64);
+        assert!(sim.node(1).got_control);
+        assert_eq!(sim.stats().messages, 65); // all 65 paid NIC injection
+    }
+
+    #[test]
+    fn duplicated_messages_deliver_twice() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        struct Dup;
+        impl NodeBehavior<u64> for Dup {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u64>, msg: u64) {
+                if ctx.node() == 0 && msg == 0 {
+                    for k in 1..=64 {
+                        ctx.send(1, k, 16);
+                    }
+                }
+            }
+        }
+        let spec = FaultSpec {
+            drop_per_mille: 0,
+            dup_per_mille: 500,
+            max_crashes: 0,
+            slow_nodes: 0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(11, 2, &spec);
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::aries(),
+            vec![Dup, Dup],
+        );
+        sim.set_fault_plan(plan);
+        sim.inject(SimTime::ZERO, 0, 0);
+        sim.run(1_000);
+        let dups = sim.stats().faults.duplicated;
+        assert!(dups > 0, "expected some duplicates at 50%");
+        // Dispatched events: the initial inject + 64 deliveries + one per dup.
+        assert_eq!(sim.stats().events, 1 + 64 + dups);
     }
 
     #[test]

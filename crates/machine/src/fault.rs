@@ -1,0 +1,257 @@
+//! Seeded, deterministic fault plans for the DES machine.
+//!
+//! A [`FaultPlan`] is derived *up front* from a seed and the node count: it
+//! fixes, before the simulation starts, which nodes crash (and when), which
+//! nodes run slow, and — via a counter-indexed hash — which data-plane
+//! messages the network drops or duplicates. Because every decision is a
+//! pure function of `(seed, index)`, a faulted run is exactly as
+//! reproducible as a fault-free one: identical `(seed, config)` inputs
+//! produce byte-identical simulations.
+//!
+//! The plan models a *survivable* fault environment by construction:
+//!
+//! - node 0 never crashes (the runtime uses it as the recovery
+//!   coordinator, mirroring the paper's top-level control node);
+//! - at most `nodes - 1` nodes crash, so at least one survivor exists;
+//! - drop/duplication probabilities are bounded (≤ 50% drop), so retried
+//!   messages eventually get through;
+//! - control-plane traffic (completion reports, retry directives) is
+//!   exempt from drop/duplication — see `NodeCtx::send_control` — which is
+//!   the standard "reliable transport for the control channel" assumption
+//!   of distributed task runtimes (cf. TaskTorrent's MPI control messages).
+//!
+//! This crate has zero dependencies, so the plan uses an inline
+//! SplitMix64-style finalizer rather than `il-testkit`'s PRNG.
+
+use crate::time::SimTime;
+use crate::NodeId;
+
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit value.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Domain-separated draw: a deterministic u64 from `(seed, salt, index)`.
+#[inline]
+fn draw(seed: u64, salt: u64, index: u64) -> u64 {
+    mix64(seed ^ mix64(salt.wrapping_mul(0xA076_1D64_78BD_642F) ^ index))
+}
+
+/// Parameters a [`FaultPlan`] is generated from. The runtime layer owns
+/// the user-facing configuration and maps it onto this machine-level spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Per-message drop probability for data-plane traffic, in ‰.
+    /// Clamped to 500 (50%) so retries make progress.
+    pub drop_per_mille: u16,
+    /// Per-message duplication probability for data-plane traffic, in ‰.
+    pub dup_per_mille: u16,
+    /// Maximum number of node crashes to schedule (never node 0; capped
+    /// at `nodes - 1`).
+    pub max_crashes: usize,
+    /// Absolute time window crash instants are drawn from.
+    pub crash_window: (SimTime, SimTime),
+    /// Number of slow nodes to select (never node 0).
+    pub slow_nodes: usize,
+    /// Multiplier applied to every charge/execution on a slow node.
+    pub slow_factor: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            drop_per_mille: 50,
+            dup_per_mille: 25,
+            max_crashes: 1,
+            crash_window: (SimTime::us(200), SimTime::ms(20)),
+            slow_nodes: 1,
+            slow_factor: 3,
+        }
+    }
+}
+
+/// A fully materialized, deterministic fault schedule.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_per_mille: u16,
+    dup_per_mille: u16,
+    /// `(node, crash time)`, sorted by node; node 0 never appears.
+    crashes: Vec<(NodeId, SimTime)>,
+    /// `(node, charge multiplier)`, sorted by node.
+    slow: Vec<(NodeId, u64)>,
+}
+
+impl FaultPlan {
+    /// Materialize the plan for a `nodes`-node machine.
+    pub fn generate(seed: u64, nodes: usize, spec: &FaultSpec) -> FaultPlan {
+        let mut crashes: Vec<(NodeId, SimTime)> = Vec::new();
+        let (lo, hi) = spec.crash_window;
+        let span = hi.0.saturating_sub(lo.0).max(1);
+        if nodes > 1 {
+            let want = spec.max_crashes.min(nodes - 1);
+            let mut i = 0u64;
+            while crashes.len() < want && i < 16 * want as u64 + 16 {
+                let node = 1 + (draw(seed, 0xC4A5, i) as usize) % (nodes - 1);
+                if !crashes.iter().any(|&(n, _)| n == node) {
+                    let t = lo + SimTime::ns(draw(seed, 0x71BE, i) % span);
+                    crashes.push((node, t));
+                }
+                i += 1;
+            }
+            crashes.sort_unstable_by_key(|&(n, _)| n);
+        }
+        let mut slow: Vec<(NodeId, u64)> = Vec::new();
+        if nodes > 1 && spec.slow_factor > 1 {
+            let want = spec.slow_nodes.min(nodes - 1);
+            let mut i = 0u64;
+            while slow.len() < want && i < 16 * want as u64 + 16 {
+                let node = 1 + (draw(seed, 0x510E, i) as usize) % (nodes - 1);
+                if !slow.iter().any(|&(n, _)| n == node) {
+                    slow.push((node, spec.slow_factor));
+                }
+                i += 1;
+            }
+            slow.sort_unstable_by_key(|&(n, _)| n);
+        }
+        FaultPlan {
+            seed,
+            drop_per_mille: spec.drop_per_mille.min(500),
+            dup_per_mille: spec.dup_per_mille.min(1000),
+            crashes,
+            slow,
+        }
+    }
+
+    /// The seed the plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All scheduled crashes as `(node, time)`, sorted by node.
+    pub fn crashes(&self) -> &[(NodeId, SimTime)] {
+        &self.crashes
+    }
+
+    /// The time `node` crashes, if it ever does.
+    pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether `node` is down at time `at` (crashes are permanent).
+    pub fn is_crashed(&self, node: NodeId, at: SimTime) -> bool {
+        self.crash_time(node).is_some_and(|t| at >= t)
+    }
+
+    /// Whether `node` crashes at any point in the schedule. Used by the
+    /// runtime's (modeled-perfect) failure detector before re-sharding.
+    pub fn ever_crashes(&self, node: NodeId) -> bool {
+        self.crash_time(node).is_some()
+    }
+
+    /// The charge multiplier for `node` (1 = full speed).
+    pub fn slow_factor(&self, node: NodeId) -> u64 {
+        self.slow
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map_or(1, |&(_, f)| f)
+    }
+
+    /// Whether the network drops the `nonce`-th data-plane message.
+    pub fn drop_message(&self, nonce: u64) -> bool {
+        (draw(self.seed, 0xD409, nonce) % 1000) < u64::from(self.drop_per_mille)
+    }
+
+    /// Whether the network duplicates the `nonce`-th data-plane message
+    /// (only consulted when the message is not dropped).
+    pub fn duplicate_message(&self, nonce: u64) -> bool {
+        (draw(self.seed, 0xD0B1, nonce) % 1000) < u64::from(self.dup_per_mille)
+    }
+}
+
+/// Counters of machine-level fault activity during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Data-plane messages the network dropped.
+    pub dropped: u64,
+    /// Extra copies the network delivered.
+    pub duplicated: u64,
+    /// Events discarded because their destination node had crashed.
+    pub crash_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(42, 8, &spec);
+        let b = FaultPlan::generate(42, 8, &spec);
+        assert_eq!(a.crashes(), b.crashes());
+        assert_eq!(a.slow, b.slow);
+        for n in 0..4096 {
+            assert_eq!(a.drop_message(n), b.drop_message(n));
+            assert_eq!(a.duplicate_message(n), b.duplicate_message(n));
+        }
+    }
+
+    #[test]
+    fn node_zero_never_crashes_and_survivors_exist() {
+        for seed in 0..200 {
+            for nodes in [1usize, 2, 3, 8] {
+                let spec = FaultSpec {
+                    max_crashes: nodes, // ask for more than allowed
+                    ..FaultSpec::default()
+                };
+                let plan = FaultPlan::generate(seed, nodes, &spec);
+                assert!(plan.crashes().iter().all(|&(n, _)| n != 0 && n < nodes));
+                assert!(plan.crashes().len() < nodes.max(1));
+                assert!(!plan.ever_crashes(0));
+                assert_eq!(plan.slow_factor(0), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_times_fall_in_the_window() {
+        let spec = FaultSpec::default();
+        for seed in 0..100 {
+            let plan = FaultPlan::generate(seed, 4, &spec);
+            for &(_, t) in plan.crashes() {
+                assert!(t >= spec.crash_window.0 && t <= spec.crash_window.1);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_calibrated_and_bounded() {
+        let spec = FaultSpec {
+            drop_per_mille: 900, // clamped to 500
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(7, 4, &spec);
+        let n = 100_000u64;
+        let drops = (0..n).filter(|&i| plan.drop_message(i)).count();
+        let rate = drops as f64 / n as f64;
+        assert!(rate > 0.45 && rate < 0.55, "clamped drop rate was {rate}");
+    }
+
+    #[test]
+    fn crash_state_is_permanent() {
+        let plan = FaultPlan::generate(3, 4, &FaultSpec::default());
+        if let Some(&(node, t)) = plan.crashes().first() {
+            assert!(!plan.is_crashed(node, t.saturating_sub(SimTime::ns(1))));
+            assert!(plan.is_crashed(node, t));
+            assert!(plan.is_crashed(node, t + SimTime::ms(100)));
+        }
+    }
+}

@@ -19,13 +19,15 @@
 #![warn(missing_docs)]
 
 pub mod des;
+pub mod fault;
 pub mod machine;
 pub mod network;
 pub mod stage;
 pub mod time;
 pub mod topology;
 
-pub use des::{NodeBehavior, NodeCtx, SimStats, Simulator};
+pub use des::{NodeBehavior, NodeCtx, SimError, SimStats, Simulator};
+pub use fault::{FaultCounters, FaultPlan, FaultSpec};
 pub use machine::{MachineDesc, ProcId, ProcKind};
 pub use network::Network;
 pub use stage::{Stage, StageTotals, StageTraffic};

@@ -46,8 +46,13 @@ impl Network {
         let xfer = if self.bytes_per_us == u64::MAX {
             0
         } else {
-            // ceil(bytes * 1000 / bytes_per_us) nanoseconds
-            (bytes * 1_000).div_ceil(self.bytes_per_us)
+            // ceil(bytes * 1000 / bytes_per_us) nanoseconds, in u128 so
+            // transfers ≥ ~1.8e16 bytes can't wrap the intermediate
+            // product; saturate at the u64 horizon (~584 simulated years).
+            u64::try_from(
+                (u128::from(bytes) * 1_000).div_ceil(u128::from(self.bytes_per_us)),
+            )
+            .unwrap_or(u64::MAX)
         };
         self.injection_overhead + SimTime::ns(xfer)
     }
@@ -84,6 +89,35 @@ mod tests {
     fn ideal_network_is_free() {
         let n = Network::ideal();
         assert_eq!(n.delivery(1 << 30), SimTime::ZERO);
+    }
+
+    #[test]
+    fn occupancy_survives_huge_transfers() {
+        // Regression: `bytes * 1_000` wrapped u64 for bytes ≥ ~1.8e16
+        // (u64::MAX / 1000 ≈ 1.8446e16), silently making petabyte-scale
+        // transfers near-free. The boundary where the old math first wrapped:
+        let n = Network::aries();
+        let boundary = u64::MAX / 1_000 + 1; // smallest bytes where old math wrapped
+        let just_below = boundary - 1;
+        // Monotonic across the boundary (the old code collapsed here).
+        assert!(n.occupancy(boundary) >= n.occupancy(just_below));
+        // Exact value: ceil(bytes * 1000 / 10_000) ns = ceil(bytes / 10).
+        assert_eq!(
+            n.occupancy(boundary),
+            n.injection_overhead + SimTime::ns(boundary.div_ceil(10))
+        );
+        // Far past the boundary: saturates instead of wrapping.
+        assert_eq!(
+            n.occupancy(u64::MAX),
+            n.injection_overhead + SimTime::ns(u64::MAX.div_ceil(10))
+        );
+        // A 1-byte/us network saturates the u64 horizon rather than wrap.
+        let slow = Network {
+            latency: SimTime::ZERO,
+            injection_overhead: SimTime::ZERO,
+            bytes_per_us: 1,
+        };
+        assert_eq!(slow.occupancy(u64::MAX), SimTime::ns(u64::MAX));
     }
 
     #[test]

@@ -31,13 +31,17 @@ pub enum Stage {
     Network,
     /// Dynamic projection-functor safety checks (§4).
     DynamicChecks,
+    /// Fault recovery: completion journaling, acknowledgement timeouts,
+    /// retries, and re-sharding after node failures. Only accrues when a
+    /// fault plan is installed.
+    Recovery,
     /// Untagged work (handlers that never declared a stage).
     Other,
 }
 
 impl Stage {
     /// Number of stages (length of [`Stage::ALL`]).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every stage, in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -48,6 +52,7 @@ impl Stage {
         Stage::Exec,
         Stage::Network,
         Stage::DynamicChecks,
+        Stage::Recovery,
         Stage::Other,
     ];
 
@@ -67,6 +72,7 @@ impl Stage {
             Stage::Exec => "exec",
             Stage::Network => "network",
             Stage::DynamicChecks => "dynamic_checks",
+            Stage::Recovery => "recovery",
             Stage::Other => "other",
         }
     }

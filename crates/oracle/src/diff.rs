@@ -51,11 +51,17 @@ pub struct DiffConfig {
     /// Every case is a pure function of its seed and results are folded
     /// in case order, so the report is identical for any thread count.
     pub threads: usize,
+    /// Base fault seed. `Some(base)` adds a chaos leg to every case: the
+    /// program is re-executed under the survivable fault schedule derived
+    /// from `SplitMix64::mix(base, case_seed)` and must run the same
+    /// tasks, take at least the fault-free makespan, and replay
+    /// byte-identically.
+    pub faults: Option<u64>,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { cases: 64, seed: 0xD1FF, nodes: 2, inject: false, threads: 0 }
+        DiffConfig { cases: 64, seed: 0xD1FF, nodes: 2, inject: false, threads: 0, faults: None }
     }
 }
 
@@ -187,7 +193,7 @@ pub struct DiffReport {
 /// Run `program` through the fast path and the oracle and compare.
 /// `Err` carries the first disagreement found.
 pub fn check_program(program: &Program, nodes: usize) -> Result<(), String> {
-    let (_, _, error) = compare(program, nodes, false);
+    let (_, _, error) = compare(program, nodes, false, None);
     match error {
         Some(e) => Err(e),
         None => Ok(()),
@@ -199,9 +205,15 @@ pub fn check_program(program: &Program, nodes: usize) -> Result<(), String> {
 /// far beyond any generated cost — so the serial-makespan comparison
 /// must flag a divergence; this proves end-to-end that a real divergence
 /// would be caught and reproduced from the seed alone.
-pub fn run_case(seed: u64, nodes: usize, inject: bool) -> CaseResult {
+///
+/// With `fault_base = Some(base)`, the case additionally executes under
+/// the fault schedule seeded by `SplitMix64::mix(base, seed)` — a pure
+/// function of the two seeds, so a chaos divergence also reproduces from
+/// `(seed, base)` alone.
+pub fn run_case(seed: u64, nodes: usize, inject: bool, fault_base: Option<u64>) -> CaseResult {
     let program = generate_program(seed);
-    let (coverage, tasks, error) = compare(&program, nodes, inject);
+    let fault_seed = fault_base.map(|base| SplitMix64::mix(base, seed));
+    let (coverage, tasks, error) = compare(&program, nodes, inject, fault_seed);
     CaseResult { coverage, tasks, error }
 }
 
@@ -225,11 +237,11 @@ pub fn run_differential(cfg: &DiffConfig) -> DiffReport {
 /// task totals, divergence order) is byte-identical no matter how many
 /// workers the pool has.
 pub fn run_differential_on(cfg: &DiffConfig, pool: &ThreadPool) -> DiffReport {
-    let (nodes, inject) = (cfg.nodes, cfg.inject);
+    let (nodes, inject, faults) = (cfg.nodes, cfg.inject, cfg.faults);
     let jobs: Vec<_> = (0..cfg.cases)
         .map(|case| {
             let seed = SplitMix64::mix(cfg.seed, case);
-            move || run_case(seed, nodes, inject)
+            move || run_case(seed, nodes, inject, faults)
         })
         .collect();
     let mut report = DiffReport {
@@ -253,9 +265,15 @@ pub fn run_differential_on(cfg: &DiffConfig, pool: &ThreadPool) -> DiffReport {
     report
 }
 
-/// The five comparisons plus a full simulated execution. Returns
+/// The five comparisons plus a full simulated execution (twice more
+/// under a fault schedule when `fault_seed` is set). Returns
 /// (coverage, task count, first disagreement).
-fn compare(program: &Program, nodes: usize, inject: bool) -> (Coverage, u64, Option<String>) {
+fn compare(
+    program: &Program,
+    nodes: usize,
+    inject: bool,
+    fault_seed: Option<u64>,
+) -> (Coverage, u64, Option<String>) {
     let mut coverage = Coverage::default();
 
     // Independent re-analysis of every op (the runtime's verdict cache
@@ -357,6 +375,47 @@ fn compare(program: &Program, nodes: usize, inject: bool) -> (Coverage, u64, Opt
                 report.tasks
             ));
         }
+
+        // Chaos leg: the same program under a survivable fault schedule
+        // must still run every task, take no less time than the clean
+        // run, and — being a pure function of `(seed, config)` — replay
+        // byte-identically.
+        if let Some(fseed) = fault_seed {
+            let fcfg = config.clone().with_faults(fseed);
+            let faulted = execute(program, &fcfg);
+            if faulted.tasks != tasks {
+                return Some(format!(
+                    "faulted execution (fault seed {fseed:#018x}) ran {} tasks \
+                     but the expansion has {tasks}",
+                    faulted.tasks
+                ));
+            }
+            if faulted.makespan < report.makespan {
+                return Some(format!(
+                    "faulted makespan {} ns beat fault-free {} ns (fault seed {fseed:#018x})",
+                    faulted.makespan.as_ns(),
+                    report.makespan.as_ns()
+                ));
+            }
+            let replay = execute(program, &fcfg);
+            let fp = |r: &il_runtime::RunReport| {
+                (
+                    r.makespan,
+                    r.messages,
+                    r.bytes,
+                    r.stage_json().to_string(),
+                    r.recovery.clone(),
+                )
+            };
+            if fp(&faulted) != fp(&replay) {
+                return Some(format!(
+                    "faulted execution is not deterministic for fault seed {fseed:#018x}: \
+                     {:?} vs {:?}",
+                    fp(&faulted),
+                    fp(&replay)
+                ));
+            }
+        }
         None
     })();
 
@@ -416,9 +475,23 @@ mod tests {
         let cfg = DiffConfig { cases: 4, inject: true, ..DiffConfig::default() };
         let report = run_differential(&cfg);
         for d in &report.divergences {
-            let again = run_case(d.seed, cfg.nodes, true);
+            let again = run_case(d.seed, cfg.nodes, true, None);
             assert_eq!(again.error.as_deref(), Some(d.detail.as_str()));
         }
+    }
+
+    #[test]
+    fn chaos_corpus_is_clean() {
+        let report = run_differential(&DiffConfig {
+            cases: 16,
+            faults: Some(0xFA17),
+            ..DiffConfig::default()
+        });
+        assert!(
+            report.divergences.is_empty(),
+            "chaos divergences: {:#?}",
+            report.divergences
+        );
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl FieldStore {
 /// instances, and the runtime copies between them when dependencies cross
 /// nodes. Storage is row-major (struct-of-arrays) over the domain's
 /// bounding rectangle.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhysicalInstance {
     domain: Domain,
     fields: BTreeMap<FieldId, FieldStore>,

@@ -1,6 +1,6 @@
 //! Runtime configuration and the calibrated cost model.
 
-use il_machine::SimTime;
+use il_machine::{FaultSpec, SimTime};
 
 /// Whether task bodies really execute or are only cost-modeled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,6 +60,10 @@ pub struct RuntimeConfig {
     pub mode: ExecutionMode,
     /// Cost model constants.
     pub cost: CostModel,
+    /// Seeded fault injection and recovery. `None` (the default) leaves
+    /// every fault/recovery code path inert, so fault-free runs remain
+    /// byte-identical to a build without this subsystem.
+    pub faults: Option<FaultConfig>,
 }
 
 impl RuntimeConfig {
@@ -77,6 +81,7 @@ impl RuntimeConfig {
             analysis_cache: true,
             mode: ExecutionMode::Scale,
             cost: CostModel::calibrated(),
+            faults: None,
         }
     }
 
@@ -123,6 +128,80 @@ impl RuntimeConfig {
     pub fn with_analysis_cache(mut self, on: bool) -> Self {
         self.analysis_cache = on;
         self
+    }
+
+    /// Enable seeded fault injection with the default fault mix.
+    pub fn with_faults(mut self, seed: u64) -> Self {
+        self.faults = Some(FaultConfig::from_seed(seed));
+        self
+    }
+
+    /// Install a fully specified fault configuration.
+    pub fn with_fault_config(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Seeded fault-injection parameters plus the runtime's recovery knobs.
+///
+/// The machine-side fault schedule ([`FaultSpec`]/`FaultPlan`) is derived
+/// deterministically from `seed` and the machine shape, so the same
+/// `(seed, RuntimeConfig)` always yields the same crashes, drops,
+/// duplications, and slow nodes — and therefore a byte-identical
+/// [`RunReport`](crate::RunReport).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Master seed for the fault schedule.
+    pub seed: u64,
+    /// Per-mille probability a data-plane message is dropped.
+    pub drop_per_mille: u16,
+    /// Per-mille probability a data-plane message is duplicated.
+    pub dup_per_mille: u16,
+    /// Maximum number of node crashes to schedule (node 0 never crashes).
+    pub max_crashes: usize,
+    /// Crash times are drawn uniformly from this window.
+    pub crash_window: (SimTime, SimTime),
+    /// Number of slowed nodes.
+    pub slow_nodes: usize,
+    /// Runtime-work multiplier on slowed nodes.
+    pub slow_factor: u64,
+    /// How long the coordinator waits for an op's completion reports
+    /// before probing/retrying (per-attempt base; backs off exponentially).
+    pub ack_timeout: SimTime,
+    /// Retries per op before the coordinator declares the assigned node
+    /// dead (confirmed against the fault plan) and re-shards its work.
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// The default chaos mix for `seed`: moderate drop/duplication rates,
+    /// at most one crash, one slow node.
+    pub fn from_seed(seed: u64) -> Self {
+        let spec = FaultSpec::default();
+        FaultConfig {
+            seed,
+            drop_per_mille: spec.drop_per_mille,
+            dup_per_mille: spec.dup_per_mille,
+            max_crashes: spec.max_crashes,
+            crash_window: spec.crash_window,
+            slow_nodes: spec.slow_nodes,
+            slow_factor: spec.slow_factor,
+            ack_timeout: SimTime::ms(5),
+            max_retries: 3,
+        }
+    }
+
+    /// The machine-side schedule parameters of this configuration.
+    pub fn to_spec(&self) -> FaultSpec {
+        FaultSpec {
+            drop_per_mille: self.drop_per_mille,
+            dup_per_mille: self.dup_per_mille,
+            max_crashes: self.max_crashes,
+            crash_window: self.crash_window,
+            slow_nodes: self.slow_nodes,
+            slow_factor: self.slow_factor,
+        }
     }
 }
 
@@ -181,6 +260,10 @@ pub struct CostModel {
     pub slice_message_bytes: u64,
     /// Size of a completion/dependence notification message.
     pub notify_message_bytes: u64,
+    /// Coordinator-side cost of one recovery probe: inspecting the
+    /// completion journal for an outstanding op when its acknowledgement
+    /// timer fires. Only charged when fault injection is enabled.
+    pub recovery_check: SimTime,
 }
 
 impl CostModel {
@@ -201,6 +284,7 @@ impl CostModel {
             task_message_bytes: 512,
             slice_message_bytes: 256,
             notify_message_bytes: 64,
+            recovery_check: SimTime::us(5),
         }
     }
 
@@ -222,6 +306,7 @@ impl CostModel {
             task_message_bytes: 0,
             slice_message_bytes: 0,
             notify_message_bytes: 0,
+            recovery_check: SimTime::ZERO,
         }
     }
 }

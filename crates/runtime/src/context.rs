@@ -18,7 +18,11 @@ use std::collections::HashMap;
 pub type InstanceKey = (RegionTreeId, IndexSpaceId);
 
 /// All physical instances resident on one simulated node.
-#[derive(Default, Debug)]
+///
+/// `PartialEq` compares the full resident data set; the chaos suite uses
+/// it to assert that a faulted run converges to the same final data as a
+/// fault-free one.
+#[derive(Default, Debug, PartialEq)]
 pub struct InstanceStore {
     insts: HashMap<InstanceKey, PhysicalInstance>,
 }

@@ -15,7 +15,7 @@
 
 use crate::config::RuntimeConfig;
 use crate::program::{FunctorId, Program};
-use crate::shard::{block_shard, point_at};
+use crate::shard::{block_shard, point_at, ShardDomain};
 use il_analysis::{analyze_launch, HybridVerdict, LaunchArg};
 use il_geometry::{Domain, DomainPoint};
 use il_machine::NodeId;
@@ -286,9 +286,12 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
         let shard = launch.shard.clone().unwrap_or_else(|| default_shard.clone());
         let lo = tasks.len() as u32;
         let volume = launch.domain.volume();
+        // One ShardDomain per op: sparse rank queries inside the functor
+        // amortize to O(1) instead of re-scanning the point list per task.
+        let shard_domain = ShardDomain::new(&launch.domain);
         for idx in 0..volume {
             let point = point_at(&launch.domain, idx);
-            let owner = shard(point, &launch.domain, nodes);
+            let owner = shard(point, &shard_domain, nodes);
             assert!(owner < nodes, "sharding functor returned node {owner} of {nodes}");
             let subspaces = launch
                 .reqs

@@ -23,7 +23,7 @@
 //!   copies pay α–β network costs, and in validation mode move real
 //!   bytes between physical instances.
 
-use crate::config::{ExecutionMode, RuntimeConfig};
+use crate::config::{ExecutionMode, FaultConfig, RuntimeConfig};
 use crate::context::{InstanceStore, TaskContext};
 use crate::depgraph::{
     expand_program, launch_signature, AnalysisCacheStats, ExpandedProgram, OpSafety, TaskRef,
@@ -31,7 +31,8 @@ use crate::depgraph::{
 use crate::program::Program;
 use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
-    MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator, Stage, StageTotals,
+    FaultPlan, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator, Stage,
+    StageTotals,
 };
 use il_region::{domain_intersection, FieldId, IndexSpaceId, Privilege, RegionTreeId};
 use il_testkit::Json;
@@ -83,6 +84,43 @@ pub struct RunReport {
     /// only — deliberately *not* part of [`RunReport::stage_json`], so
     /// cache-on and cache-off runs stay byte-identical there.
     pub analysis_cache: AnalysisCacheStats,
+    /// Fault-injection and recovery accounting (when
+    /// [`RuntimeConfig::faults`] is set; `None` on fault-free runs, which
+    /// therefore stay byte-identical to a build without the subsystem).
+    pub recovery: Option<RecoveryStats>,
+}
+
+/// Counters of fault activity and the recovery protocol's responses,
+/// deterministic for a given `(seed, RuntimeConfig)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// The fault seed the schedule was generated from.
+    pub seed: u64,
+    /// Node crashes the plan scheduled.
+    pub crashes: u64,
+    /// Nodes running with a slow-down multiplier.
+    pub slow_nodes: u64,
+    /// Data-plane messages the network dropped.
+    pub dropped: u64,
+    /// Data-plane messages the network duplicated.
+    pub duplicated: u64,
+    /// Events discarded because their destination node had crashed.
+    pub crash_dropped: u64,
+    /// Acknowledgement-timeout probes the coordinator ran.
+    pub recovery_checks: u64,
+    /// Task retry directives issued (a task may be retried repeatedly
+    /// across backoff rounds until its completion is journaled).
+    pub retried_tasks: u64,
+    /// Per-op task groups re-sharded off a confirmed-dead node.
+    pub resharded_groups: u64,
+    /// Launch-level safety re-analyses run for re-mapped launches.
+    pub reanalyses: u64,
+    /// Credit messages discarded as duplicate deliveries of an already
+    /// paid (producer, consumer) edge.
+    pub duplicate_credits: u64,
+    /// Credits that arrived after a retry snapshot had already resolved
+    /// the corresponding waits (absorbed by saturation, never applied).
+    pub late_credits: u64,
 }
 
 impl RunReport {
@@ -97,6 +135,27 @@ impl RunReport {
                     .set("busy_ns", busy.as_ns())
                     .set("messages", self.stage_messages[stage.index()])
                     .set("bytes", self.stage_bytes[stage.index()]),
+            );
+        }
+        // Fault/recovery counters ride under their own key ("recovery" is
+        // already taken by the stage loop above) — and only when fault
+        // injection was on, so fault-free stage summaries are unchanged.
+        if let Some(r) = &self.recovery {
+            obj = obj.set(
+                "faults",
+                Json::obj()
+                    .set("seed", r.seed)
+                    .set("crashes", r.crashes)
+                    .set("slow_nodes", r.slow_nodes)
+                    .set("dropped", r.dropped)
+                    .set("duplicated", r.duplicated)
+                    .set("crash_dropped", r.crash_dropped)
+                    .set("recovery_checks", r.recovery_checks)
+                    .set("retried_tasks", r.retried_tasks)
+                    .set("resharded_groups", r.resharded_groups)
+                    .set("reanalyses", r.reanalyses)
+                    .set("duplicate_credits", r.duplicate_credits)
+                    .set("late_credits", r.late_credits),
             );
         }
         obj
@@ -114,13 +173,24 @@ enum Msg {
     SliceBatch { op: u32, lo: u32, hi: u32 },
     /// Non-DCR, expanded: a single task launch arriving at its owner.
     TaskArrive { task: TaskRef },
-    /// Dependence credits (completions/copies) for consumer tasks.
-    Credits { items: Vec<(TaskRef, u32)> },
+    /// Dependence credits (completions/copies) for consumer tasks, all
+    /// from producer `from` (the key the duplicate-delivery dedup uses).
+    Credits { from: TaskRef, items: Vec<(TaskRef, u32)> },
     /// A task finished executing on this node's processor.
     TaskDone { task: TaskRef },
     /// Non-DCR: completion/coordination records arriving at the
     /// centralized runtime on node 0 (`count` units to process).
     CentralNotify { count: u32 },
+    /// Recovery (faults only): a completion report reaching the node-0
+    /// coordinator's journal, over the reliable control channel.
+    Complete { task: TaskRef },
+    /// Recovery: the coordinator's acknowledgement-timeout probe for `op`
+    /// (self-scheduled with exponential backoff until fully journaled).
+    RecoveryCheck { op: u32, attempt: u32 },
+    /// Recovery: re-issue `items` (task, journal-snapshot remaining
+    /// waits) on the receiving node — the original owner, or a survivor
+    /// the group was re-sharded onto.
+    Retry { op: u32, items: Vec<(TaskRef, u32)> },
 }
 
 #[derive(Default, Clone, Copy)]
@@ -167,6 +237,37 @@ struct Shared<'p> {
     trace: Option<RefCell<TraceLog>>,
     /// Pipeline-audit counters (when `config.audit`).
     audit: Option<RefCell<AuditData>>,
+    /// Fault-injection runtime state (when `config.faults`). `None` keeps
+    /// every recovery code path inert.
+    faults: Option<FaultRuntime>,
+}
+
+/// Runtime-side state of the recovery protocol.
+///
+/// The simulated machine can crash nodes, drop and duplicate data-plane
+/// messages, and slow nodes down (see [`il_machine::fault`]); this is the
+/// runtime's answer. Every completed task reports to a coordinator
+/// journal on node 0 over the reliable control channel; per-op
+/// acknowledgement timers probe the journal with exponential backoff and
+/// re-issue unacknowledged tasks with a journal-snapshot wait count; after
+/// `max_retries` probes, a task group whose assigned node is confirmed
+/// crashed is re-sharded onto a surviving node (charging a launch-level
+/// re-analysis). The cross-node cells model coordinator state cheaply —
+/// the simulation is single-threaded and the protocol only reads them on
+/// node 0 or for first-completion dedup, both of which a real
+/// implementation keeps node-local.
+struct FaultRuntime {
+    cfg: FaultConfig,
+    plan: FaultPlan,
+    /// First-completion guard: a task's completion effects (body, timing,
+    /// credits, report) run exactly once, however many times crashes and
+    /// retries make it execute.
+    completed: RefCell<Vec<bool>>,
+    /// Node-0 coordinator journal: tasks whose completion report arrived.
+    journal: RefCell<Vec<bool>>,
+    /// `(op, dead static owner) → survivor` re-sharding decisions.
+    reassigned: RefCell<HashMap<(u32, NodeId), NodeId>>,
+    stats: RefCell<RecoveryStats>,
 }
 
 impl<'p> Shared<'p> {
@@ -187,6 +288,9 @@ struct RtNode<'p> {
     /// slice's completion is reported centrally once, when the last
     /// local task finishes).
     slice_remaining: HashMap<u32, u32>,
+    /// Faults only: `(producer, consumer)` credit edges already paid on
+    /// this node, so duplicated credit messages are discarded.
+    paid: HashSet<(TaskRef, TaskRef)>,
 }
 
 impl<'p> RtNode<'p> {
@@ -201,8 +305,12 @@ impl<'p> RtNode<'p> {
     }
 
     /// Charge mapping + physical analysis for a local task and mark it
-    /// ready for dependence resolution.
+    /// ready for dependence resolution. Idempotent: a duplicated launch
+    /// message or a recovery retry of an already injected task is a no-op.
     fn inject_task(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
+        if self.state(task).injected {
+            return;
+        }
         let cost = &self.shared.config.cost;
         let op = self.shared.expanded.tasks[task as usize].op;
         let phys = self.shared.phys_weight[op as usize];
@@ -269,6 +377,16 @@ impl<'p> RtNode<'p> {
     /// Run the body (validation mode) and fan out completion credits.
     fn complete_task(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
         let shared = self.shared.clone();
+        // First completion wins, globally: a task can execute both on a
+        // node that later crashed and on the survivor it was re-sharded
+        // to; its effects (body, timing, credits, report) must not repeat.
+        if let Some(fr) = &shared.faults {
+            let mut completed = fr.completed.borrow_mut();
+            if completed[task as usize] {
+                return;
+            }
+            completed[task as usize] = true;
+        }
         if shared.config.mode == ExecutionMode::Validate {
             self.run_body(task);
         }
@@ -304,11 +422,27 @@ impl<'p> RtNode<'p> {
         for (node, (items, bytes)) in targets {
             if node == ctx.node() {
                 for (succ, credits) in items {
-                    self.apply_credits(ctx, succ, credits);
+                    self.pay(ctx, task, succ, credits);
                 }
             } else {
-                ctx.send(node, Msg::Credits { items }, bytes);
+                ctx.send(node, Msg::Credits { from: task, items }, bytes);
             }
+        }
+        // Recovery: report the completion to the node-0 coordinator's
+        // journal over the reliable control channel.
+        if let Some(fr) = &shared.faults {
+            let prev = ctx.stage();
+            ctx.set_stage(Stage::Recovery);
+            if ctx.node() == 0 {
+                fr.journal.borrow_mut()[task as usize] = true;
+            } else {
+                ctx.send_control(
+                    0,
+                    Msg::Complete { task },
+                    shared.config.cost.notify_message_bytes,
+                );
+            }
+            ctx.set_stage(prev);
         }
         // Centralized mode: completion processing flows through node 0's
         // runtime instance — per task when the op was expanded, per
@@ -316,7 +450,14 @@ impl<'p> RtNode<'p> {
         if !shared.config.dcr {
             let op = shared.expanded.tasks[task as usize].op;
             let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
-            let notify = if compact {
+            // Slice-granularity accounting only makes sense on the node
+            // the slice statically belongs to; a task recovered onto a
+            // different node reports per-task instead (the static owner's
+            // count then never reaches zero — it crashed).
+            let at_static_owner = ctx.node() == shared.expanded.tasks[task as usize].owner;
+            let notify = if compact && !at_static_owner {
+                true
+            } else if compact {
                 // A task of a compact op only ever completes on a node
                 // that owns a non-empty group of its tasks; a missed
                 // lookup or a decrement past zero is executor-state
@@ -346,15 +487,39 @@ impl<'p> RtNode<'p> {
         }
     }
 
+    /// Pay `credits` from producer `from` to consumer `task`. Under faults
+    /// the `(from, task)` edge is paid at most once — a duplicated credit
+    /// message is discarded here.
+    fn pay(&mut self, ctx: &mut NodeCtx<'_, Msg>, from: TaskRef, task: TaskRef, credits: u32) {
+        if let Some(fr) = &self.shared.faults {
+            if !self.paid.insert((from, task)) {
+                fr.stats.borrow_mut().duplicate_credits += 1;
+                return;
+            }
+        }
+        self.apply_credits(ctx, task, credits);
+    }
+
     fn apply_credits(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, credits: u32) {
-        if let Some(audit) = &self.shared.audit {
+        let shared = self.shared.clone();
+        if let Some(audit) = &shared.audit {
             audit.borrow_mut().credits_paid[task as usize] += credits as u64;
         }
         let st = self.state(task);
         let waits = st.waits;
-        st.waits = waits.checked_sub(credits).unwrap_or_else(|| {
-            panic!("credit underflow for task {task}: {credits} credits paid against {waits} waits")
-        });
+        if let Some(fr) = &shared.faults {
+            // A retry snapshot may already have resolved these waits
+            // (the producer was journaled before its credit message made
+            // it through): saturate instead of panicking, and count it.
+            if credits > waits {
+                fr.stats.borrow_mut().late_credits += (credits - waits) as u64;
+            }
+            self.state(task).waits = waits.saturating_sub(credits);
+        } else {
+            st.waits = waits.checked_sub(credits).unwrap_or_else(|| {
+                panic!("credit underflow for task {task}: {credits} credits paid against {waits} waits")
+            });
+        }
         self.try_start(ctx, task);
     }
 
@@ -484,10 +649,10 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                 ctx.set_stage(Stage::Distribution);
                 self.inject_task(ctx, task);
             }
-            Msg::Credits { items } => {
+            Msg::Credits { from, items } => {
                 ctx.set_stage(Stage::Network);
                 for (task, credits) in items {
-                    self.apply_credits(ctx, task, credits);
+                    self.pay(ctx, from, task, credits);
                 }
             }
             Msg::TaskDone { task } => {
@@ -499,11 +664,140 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                 let per_unit = self.shared.config.cost.central_complete;
                 ctx.charge(per_unit * count as u64);
             }
+            Msg::Complete { task } => {
+                ctx.set_stage(Stage::Recovery);
+                if let Some(fr) = &self.shared.faults {
+                    fr.journal.borrow_mut()[task as usize] = true;
+                }
+            }
+            Msg::RecoveryCheck { op, attempt } => {
+                self.recovery_check(ctx, op, attempt);
+            }
+            Msg::Retry { op, items } => {
+                self.handle_retry(ctx, op, items);
+            }
         }
     }
 }
 
 impl<'p> RtNode<'p> {
+    /// Node-0 coordinator: probe the completion journal for `op`. Fully
+    /// journaled ops let their timer die; otherwise every unacknowledged
+    /// task is re-issued to its responsible node with a journal-snapshot
+    /// wait count, groups on confirmed-dead nodes are re-sharded onto a
+    /// survivor once `attempt` exhausts the retry budget, and the timer
+    /// re-arms with exponential backoff.
+    fn recovery_check(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, attempt: u32) {
+        let shared = self.shared.clone();
+        let Some(fr) = &shared.faults else { return };
+        ctx.set_stage(Stage::Recovery);
+        let check_start = ctx.now();
+        ctx.charge(shared.config.cost.recovery_check);
+        fr.stats.borrow_mut().recovery_checks += 1;
+        let (lo, hi) = shared.expanded.op_tasks[op as usize];
+        let mut by_node: HashMap<NodeId, Vec<(TaskRef, u32)>> = HashMap::new();
+        {
+            let journal = fr.journal.borrow();
+            let mut reassigned = fr.reassigned.borrow_mut();
+            let now = ctx.now();
+            for t in lo..hi {
+                if journal[t as usize] {
+                    continue;
+                }
+                let static_owner = shared.expanded.tasks[t as usize].owner;
+                let mut dest =
+                    reassigned.get(&(op, static_owner)).copied().unwrap_or(static_owner);
+                if attempt >= fr.cfg.max_retries && fr.plan.is_crashed(dest, now) {
+                    // Retry budget exhausted and the assignee is confirmed
+                    // dead (modeled perfect failure detector: the plan's
+                    // crash is in the past): re-shard the group onto the
+                    // next survivor in rotation and charge the safety
+                    // re-analysis the re-mapped launch requires.
+                    let survivor = next_survivor(dest, ctx.nodes(), &fr.plan);
+                    reassigned.insert((op, static_owner), survivor);
+                    dest = survivor;
+                    let mut stats = fr.stats.borrow_mut();
+                    stats.resharded_groups += 1;
+                    stats.reanalyses += 1;
+                    drop(stats);
+                    let mut reanalysis = shared.config.cost.logical_launch;
+                    if let OpSafety::Dynamic { evals } = &shared.expanded.safety[op as usize] {
+                        reanalysis += shared.config.cost.dyn_check_per_eval * *evals;
+                    }
+                    ctx.charge(reanalysis);
+                }
+                // Journal-snapshot wait count: edges from producers not
+                // yet journaled. Monotone in the journal, so an upper
+                // bound on the true remaining waits — and eventually 0.
+                let waits = shared.expanded.deps[t as usize]
+                    .iter()
+                    .filter(|&&p| !journal[p as usize])
+                    .count()
+                    + shared.expanded.copies[t as usize]
+                        .iter()
+                        .filter(|c| !journal[c.from as usize])
+                        .count();
+                by_node.entry(dest).or_default().push((t, waits as u32));
+            }
+        }
+        let fully_journaled = by_node.is_empty();
+        let mut targets: Vec<_> = by_node.into_iter().collect();
+        targets.sort_unstable_by_key(|(n, _)| *n);
+        for (node, items) in targets {
+            fr.stats.borrow_mut().retried_tasks += items.len() as u64;
+            let bytes = items.len() as u64 * shared.config.cost.task_message_bytes;
+            if node == ctx.node() {
+                self.handle_retry(ctx, op, items);
+            } else {
+                ctx.send_control(node, Msg::Retry { op, items }, bytes);
+            }
+        }
+        shared.record(TraceEvent {
+            op,
+            task: None,
+            node: ctx.node(),
+            stage: Stage::Recovery,
+            start: check_start,
+            duration: ctx.now() - check_start,
+        });
+        if !fully_journaled {
+            let backoff = fr.cfg.ack_timeout * (1u64 << attempt.min(6));
+            ctx.send_self_at(ctx.now() + backoff, Msg::RecoveryCheck { op, attempt: attempt + 1 });
+        }
+    }
+
+    /// Re-issue retried tasks locally: inject if the launch message was
+    /// lost, then resolve waits down to the coordinator's journal
+    /// snapshot. `min` keeps both bounds honest — the snapshot and the
+    /// locally paid credits are each upper bounds on the true remaining
+    /// waits, so a task never starts before all its producers completed.
+    fn handle_retry(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, items: Vec<(TaskRef, u32)>) {
+        let retry_start = ctx.now();
+        ctx.set_stage(Stage::Recovery);
+        for (task, waits) in items {
+            let st = *self.state(task);
+            if st.started {
+                continue;
+            }
+            if !st.injected {
+                self.inject_task(ctx, task);
+            }
+            let s = self.state(task);
+            if !s.started {
+                s.waits = s.waits.min(waits);
+                self.try_start(ctx, task);
+            }
+        }
+        self.shared.record(TraceEvent {
+            op,
+            task: None,
+            node: ctx.node(),
+            stage: Stage::Recovery,
+            start: retry_start,
+            duration: ctx.now() - retry_start,
+        });
+    }
+
     /// Recursive-halving scatter of slice descriptors (§5, Figure 3): the
     /// sender keeps the first half and forwards the second half to the
     /// owner of its first slice, until single slices expand locally.
@@ -547,6 +841,21 @@ impl<'p> RtNode<'p> {
             hi = mid;
         }
     }
+}
+
+/// The node a dead assignee's work moves to: the next node in rotation
+/// that never crashes in this run's fault plan. Node 0 is crash-exempt by
+/// construction, so the rotation always terminates — and spreading by
+/// rotation (rather than dumping everything on node 0) keeps recovered
+/// work balanced when several groups die.
+fn next_survivor(dead: NodeId, nodes: usize, plan: &FaultPlan) -> NodeId {
+    for step in 1..nodes {
+        let candidate = (dead + step) % nodes;
+        if !plan.ever_crashes(candidate) {
+            return candidate;
+        }
+    }
+    0
 }
 
 /// Whether this op travels as a compact slice descriptor without DCR.
@@ -756,6 +1065,14 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
     } else {
         None
     };
+    let faults = config.faults.as_ref().map(|fc| FaultRuntime {
+        cfg: fc.clone(),
+        plan: FaultPlan::generate(fc.seed, config.nodes, &fc.to_spec()),
+        completed: RefCell::new(vec![false; expanded.len()]),
+        journal: RefCell::new(vec![false; expanded.len()]),
+        reassigned: RefCell::new(HashMap::new()),
+        stats: RefCell::new(RecoveryStats::default()),
+    });
     let shared = Rc::new(Shared {
         program,
         expanded,
@@ -777,6 +1094,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         dynamic_check_time: issuance.dyn_total,
         trace,
         audit,
+        faults,
     });
 
     let behaviors: Vec<RtNode<'_>> = (0..config.nodes)
@@ -784,9 +1102,13 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
             shared: shared.clone(),
             states: HashMap::new(),
             slice_remaining: HashMap::new(),
+            paid: HashSet::new(),
         })
         .collect();
     let mut sim = Simulator::new(machine, Network::aries(), behaviors);
+    if let Some(fr) = &shared.faults {
+        sim.set_fault_plan(fr.plan.clone());
+    }
 
     for op_idx in 0..program.ops.len() {
         let at = shared.frontier[op_idx];
@@ -797,9 +1119,24 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         } else {
             sim.inject(at, 0, Msg::DistributeOp { op: op_idx as u32 });
         }
+        // Arm the coordinator's acknowledgement timer for every op: the
+        // first probe fires one timeout after the op cleared issuance.
+        if let Some(fr) = &shared.faults {
+            sim.inject(
+                at + fr.cfg.ack_timeout,
+                0,
+                Msg::RecoveryCheck { op: op_idx as u32, attempt: 0 },
+            );
+        }
     }
 
-    let max_events = 64 * total_tasks.max(1_000) + 64 * (program.ops.len() as u64) * (config.nodes as u64);
+    let mut max_events =
+        64 * total_tasks.max(1_000) + 64 * (program.ops.len() as u64) * (config.nodes as u64);
+    if config.faults.is_some() {
+        // Retries, duplicated deliveries, and backoff probes inflate the
+        // event count well past the fault-free bound.
+        max_events = max_events.saturating_mul(16);
+    }
     sim.run(max_events);
 
     let makespan = sim.makespan();
@@ -832,7 +1169,23 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
     );
 
     let audit = shared.audit.map(|cell| {
-        run_audits(&cell.into_inner(), &shared.waits_init, &shared.compact_ops)
+        run_audits(
+            &cell.into_inner(),
+            &shared.waits_init,
+            &shared.compact_ops,
+            shared.faults.is_some(),
+        )
+    });
+
+    let recovery = shared.faults.as_ref().map(|fr| {
+        let mut r = fr.stats.borrow().clone();
+        r.seed = fr.cfg.seed;
+        r.crashes = fr.plan.crashes().len() as u64;
+        r.slow_nodes = (0..config.nodes).filter(|&n| fr.plan.slow_factor(n) > 1).count() as u64;
+        r.dropped = stats.faults.dropped;
+        r.duplicated = stats.faults.duplicated;
+        r.crash_dropped = stats.faults.crash_dropped;
+        r
     });
 
     RunReport {
@@ -852,6 +1205,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         audit,
         store,
         analysis_cache: shared.expanded.analysis_cache,
+        recovery,
     }
 }
 

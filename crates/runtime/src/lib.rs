@@ -54,16 +54,16 @@ pub mod program;
 pub mod shard;
 pub mod trace;
 
-pub use config::{CostModel, ExecutionMode, RuntimeConfig};
+pub use config::{CostModel, ExecutionMode, FaultConfig, RuntimeConfig};
 pub use context::{InstanceStore, TaskContext};
 pub use depgraph::{
     expand_program, launch_signature, AnalysisCacheStats, ExpandedProgram, TaskInstance,
 };
-pub use exec::{execute, RunReport};
+pub use exec::{execute, RecoveryStats, RunReport};
 pub use pool::ThreadPool;
 pub use program::{
     CostSpec, FunctorId, IndexLaunchDesc, Operation, Program, ProgramBuilder, RegionReq, TaskBody,
     TaskId,
 };
-pub use shard::{block_shard, round_robin_shard, ShardingFn};
+pub use shard::{block_shard, position_in_domain, round_robin_shard, ShardDomain, ShardingFn};
 pub use trace::{AuditReport, TraceEvent, TraceLog};

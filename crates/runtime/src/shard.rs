@@ -9,36 +9,101 @@
 
 use il_geometry::{Domain, DomainPoint};
 use il_machine::NodeId;
+use std::cell::OnceCell;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A launch domain handed to a sharding functor, with a lazily built
+/// point→rank index for sparse domains.
+///
+/// Sharding functors are evaluated once per domain point during
+/// expansion. The old functor signature passed a bare [`Domain`], so any
+/// functor needing a point's iteration-order position (both built-ins do)
+/// paid [`position_in_domain`]'s O(|D|) sparse scan *per point* — making
+/// sparse launches O(|D|²). `ShardDomain` amortizes that: the first
+/// sparse rank query builds a `HashMap` rank index in O(|D|), and every
+/// subsequent query is O(1). Dense domains linearize in O(1) as before.
+pub struct ShardDomain<'a> {
+    domain: &'a Domain,
+    rank: OnceCell<HashMap<DomainPoint, u64>>,
+}
+
+impl<'a> ShardDomain<'a> {
+    /// Wrap `domain`. Cheap: the sparse rank index is built on first use.
+    pub fn new(domain: &'a Domain) -> Self {
+        ShardDomain { domain, rank: OnceCell::new() }
+    }
+
+    /// The underlying launch domain.
+    pub fn domain(&self) -> &'a Domain {
+        self.domain
+    }
+
+    /// Number of points in the domain.
+    pub fn volume(&self) -> u64 {
+        self.domain.volume()
+    }
+
+    /// Position of `p` in the iteration order of the domain — the same
+    /// value as [`position_in_domain`], in O(1) amortized time.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in the domain.
+    pub fn position(&self, p: DomainPoint) -> u64 {
+        match self.domain {
+            Domain::Sparse { points, .. } => {
+                let rank = self.rank.get_or_init(|| {
+                    let mut map = HashMap::with_capacity(points.len());
+                    // `Domain::sparse` rejects duplicate points, so every
+                    // insert is fresh and ranks match the linear scan.
+                    for (i, &q) in points.iter().enumerate() {
+                        map.insert(q, i as u64);
+                    }
+                    map
+                });
+                *rank
+                    .get(&p)
+                    .unwrap_or_else(|| panic!("point {p:?} not in sparse domain"))
+            }
+            dense => dense
+                .linearize(p)
+                .unwrap_or_else(|| panic!("point {p:?} not in domain {dense:?}")),
+        }
+    }
+}
 
 /// A sharding functor: `(point, domain, nodes) → owner node`.
 ///
 /// Must be pure (Legion memoizes them, §5) and total over the domain.
-pub type ShardingFn = Arc<dyn Fn(DomainPoint, &Domain, usize) -> NodeId + Send + Sync>;
+/// The domain arrives wrapped in a [`ShardDomain`] so rank queries on
+/// sparse domains are O(1) amortized rather than O(|D|) per point.
+pub type ShardingFn = Arc<dyn Fn(DomainPoint, &ShardDomain<'_>, usize) -> NodeId + Send + Sync>;
 
 /// Block sharding: contiguous runs of the domain's iteration order map to
 /// the same node. With |D| = k·N, each node owns k consecutive points —
 /// the common case in the paper's applications where the partition size
 /// equals (a small multiple of) the node count.
 pub fn block_shard() -> ShardingFn {
-    Arc::new(|p: DomainPoint, domain: &Domain, nodes: usize| {
+    Arc::new(|p: DomainPoint, domain: &ShardDomain<'_>, nodes: usize| {
         let volume = domain.volume().max(1);
-        let idx = position_in_domain(p, domain);
+        let idx = domain.position(p);
         ((idx as u128 * nodes as u128) / volume as u128) as NodeId
     })
 }
 
 /// Round-robin sharding: point `i` goes to node `i mod N`.
 pub fn round_robin_shard() -> ShardingFn {
-    Arc::new(|p: DomainPoint, domain: &Domain, nodes: usize| {
-        (position_in_domain(p, domain) % nodes as u64) as NodeId
+    Arc::new(|p: DomainPoint, domain: &ShardDomain<'_>, nodes: usize| {
+        (domain.position(p) % nodes as u64) as NodeId
     })
 }
 
 /// Position of `p` in the iteration order of `domain`.
 ///
 /// Dense domains use row-major linearization (O(1)); sparse domains use
-/// the point's rank in the list.
+/// the point's rank in the list — O(|D|) per call. Callers iterating a
+/// whole domain should go through [`ShardDomain::position`], which
+/// precomputes the sparse rank index once.
 pub fn position_in_domain(p: DomainPoint, domain: &Domain) -> u64 {
     match domain {
         Domain::Sparse { points, .. } => points
@@ -95,7 +160,7 @@ mod tests {
     fn block_shard_balanced_1d() {
         let shard = block_shard();
         let d = Domain::range(8);
-        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 4)).collect();
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &ShardDomain::new(&d), 4)).collect();
         assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
     }
 
@@ -103,7 +168,7 @@ mod tests {
     fn block_shard_overdecomposed() {
         let shard = block_shard();
         let d = Domain::range(8);
-        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 2)).collect();
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &ShardDomain::new(&d), 2)).collect();
         assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 1]);
     }
 
@@ -111,7 +176,7 @@ mod tests {
     fn block_shard_fewer_points_than_nodes() {
         let shard = block_shard();
         let d = Domain::range(3);
-        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 8)).collect();
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &ShardDomain::new(&d), 8)).collect();
         // Spread across the machine, each point on its own node.
         assert_eq!(owners.len(), 3);
         let mut sorted = owners.clone();
@@ -123,7 +188,7 @@ mod tests {
     fn round_robin() {
         let shard = round_robin_shard();
         let d = Domain::range(6);
-        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 4)).collect();
+        let owners: Vec<NodeId> = d.iter().map(|p| shard(p, &ShardDomain::new(&d), 4)).collect();
         assert_eq!(owners, vec![0, 1, 2, 3, 0, 1]);
     }
 
@@ -131,7 +196,7 @@ mod tests {
     fn sharding_2d_covers_all_nodes() {
         let shard = block_shard();
         let d: Domain = Rect::new2((0, 0), (3, 3)).into();
-        let mut owners: Vec<NodeId> = d.iter().map(|p| shard(p, &d, 4)).collect();
+        let mut owners: Vec<NodeId> = d.iter().map(|p| shard(p, &ShardDomain::new(&d), 4)).collect();
         owners.sort_unstable();
         owners.dedup();
         assert_eq!(owners, vec![0, 1, 2, 3]);
@@ -158,7 +223,7 @@ mod tests {
                 for &(lo, hi, owner) in &slices {
                     for idx in lo..=hi {
                         let p = point_at(&d, idx);
-                        assert_eq!(shard(p, &d, nodes), owner, "v={volume} n={nodes} idx={idx}");
+                        assert_eq!(shard(p, &ShardDomain::new(&d), nodes), owner, "v={volume} n={nodes} idx={idx}");
                         covered += 1;
                     }
                 }
@@ -196,11 +261,63 @@ mod more_tests {
     }
 
     #[test]
+    fn sparse_rank_index_matches_linear_scan_on_large_domain() {
+        // Regression: `position_in_domain` on a sparse domain is an O(|D|)
+        // scan, so evaluating a sharding functor over every point of a
+        // sparse launch was O(|D|²). `ShardDomain` must return the exact
+        // same ranks in O(1) amortized — and `point_at` must stay its
+        // inverse. Use a deterministically shuffled (non-monotone) point
+        // list so rank != coordinate anywhere.
+        let n = 50_000u64;
+        let mut pts: Vec<DomainPoint> = Vec::with_capacity(n as usize);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..n {
+            // LCG-ish scramble; spread over 3D so dense linearization
+            // can't accidentally apply.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i | 1);
+            pts.push(DomainPoint::new3(
+                (x >> 48) as i64,
+                ((x >> 24) & 0xFF_FFFF) as i64,
+                (x & 0xFF_FFFF) as i64,
+            ));
+        }
+        pts.sort_unstable();
+        pts.dedup();
+        let n = pts.len() as u64;
+        // Shuffle deterministically so iteration order != sorted order.
+        let mut shuffled = pts.clone();
+        for i in (1..shuffled.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            shuffled.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let d = Domain::sparse(shuffled.clone());
+        let sd = ShardDomain::new(&d);
+        // Full round-trip: position ∘ point_at == id over all of [0, n).
+        for idx in 0..n {
+            let p = point_at(&d, idx);
+            assert_eq!(sd.position(p), idx);
+            assert_eq!(point_at(&d, sd.position(p)), p);
+        }
+        // Spot-check the O(|D|)-per-call free function agrees with the
+        // indexed path (checking every point would itself be O(|D|²)).
+        for idx in [0, 1, n / 2, n - 2, n - 1] {
+            let p = point_at(&d, idx);
+            assert_eq!(position_in_domain(p, &d), sd.position(p));
+        }
+        // Built-in functors see the same ranks through the fast path.
+        let shard = block_shard();
+        let first = point_at(&d, 0);
+        let last = point_at(&d, n - 1);
+        assert_eq!(shard(first, &sd, 8), 0);
+        assert_eq!(shard(last, &sd, 8), 7);
+    }
+
+    #[test]
     fn block_shard_is_monotone() {
         // Owners never decrease along the iteration order.
         let shard = block_shard();
         let d = Domain::range(37);
-        let owners: Vec<_> = d.iter().map(|p| shard(p, &d, 5)).collect();
+        let owners: Vec<_> = d.iter().map(|p| shard(p, &ShardDomain::new(&d), 5)).collect();
         assert!(owners.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*owners.last().unwrap(), 4);
     }

@@ -48,6 +48,18 @@ cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --
 echo "== differential fuzz self-test (--inject must catch every case) =="
 cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 8 --seed 42 --inject
 
+echo "== chaos smoke (200 seeded programs, each re-run under a fault schedule) =="
+# Every case re-executes under the survivable fault schedule derived
+# from the --faults seed and its case seed: same task set, makespan no
+# better than fault-free, byte-identical replay.
+cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --seed 42 --faults 0xFA17
+
+echo "== chaos smoke (validated app run under faults) =="
+# A faulted validate-mode run must still match the sequential reference
+# (the binary asserts it) while the recovery protocol re-shards the
+# crashed node's work.
+cargo run --release --offline -q -p il-apps --bin ilaunch -- stencil --nodes 4 --validate --faults 7
+
 echo "== figure CSV pin guard (regenerate, byte-compare against results/) =="
 # The figure sweeps are deterministic DES output: regenerating them must
 # reproduce the pinned CSVs byte-for-byte at any pool width. Tables 2–3

@@ -15,9 +15,19 @@ const NODES: usize = 2;
 /// and every `HybridVerdict` / `UnsafeReason` class exercised at least
 /// once (SafeStatic, passing dynamic check, dynamic conflict, aliased
 /// write, non-injective write, conflicting images, cross-partition).
+/// Every case also re-executes under a seeded survivable fault schedule
+/// (`faults`): same task count, makespan ≥ fault-free, byte-identical
+/// replay.
 #[test]
 fn corpus_has_no_divergence_and_covers_every_verdict_class() {
-    let cfg = DiffConfig { cases: 500, seed: 0x5EED_CA5E, nodes: NODES, inject: false, threads: 0 };
+    let cfg = DiffConfig {
+        cases: 500,
+        seed: 0x5EED_CA5E,
+        nodes: NODES,
+        inject: false,
+        threads: 0,
+        faults: Some(0xFA17_5EED),
+    };
     let report = run_differential(&cfg);
     for d in &report.divergences {
         eprintln!("DIVERGENCE {d}");
@@ -45,7 +55,14 @@ fn corpus_has_no_divergence_and_covers_every_verdict_class() {
 /// what diverges.
 #[test]
 fn injected_divergence_reproduces_from_the_printed_seed_alone() {
-    let cfg = DiffConfig { cases: 16, seed: 0xBAD_CA5E, nodes: NODES, inject: true, threads: 0 };
+    let cfg = DiffConfig {
+        cases: 16,
+        seed: 0xBAD_CA5E,
+        nodes: NODES,
+        inject: true,
+        threads: 0,
+        faults: None,
+    };
     let report = run_differential(&cfg);
     assert_eq!(
         report.divergences.len(),
@@ -54,14 +71,14 @@ fn injected_divergence_reproduces_from_the_printed_seed_alone() {
         report.divergences.len()
     );
     for d in &report.divergences {
-        let replay = run_case(d.seed, NODES, true);
+        let replay = run_case(d.seed, NODES, true, None);
         assert_eq!(
             replay.error.as_deref(),
             Some(d.detail.as_str()),
             "seed {:#x} did not reproduce the identical divergence",
             d.seed
         );
-        let clean = run_case(d.seed, NODES, false);
+        let clean = run_case(d.seed, NODES, false, None);
         assert_eq!(
             clean.error, None,
             "seed {:#x} diverges even without injection",

@@ -1,0 +1,233 @@
+//! Chaos suite: seeded fault injection and recovery.
+//!
+//! The fault subsystem's contract has three legs, and each gets locked
+//! here:
+//!
+//! 1. **Determinism** — a fault schedule is a pure function of
+//!    `(seed, RuntimeConfig)`, so two runs with identical inputs must
+//!    produce byte-identical [`RunReport`]s, including every recovery
+//!    counter and (in validation mode) the final instance data.
+//! 2. **Semantics** — any *survivable* schedule (node 0 alive, at least
+//!    one survivor, bounded drop rate — guaranteed by construction in
+//!    `FaultPlan::generate`) may delay the run but must not change what
+//!    it computes: same task count, same final data as the fault-free
+//!    run, makespan no better than fault-free.
+//! 3. **Inertness** — with `faults: None` (the default) every recovery
+//!    code path is dormant: no recovery stats, no fault counters in the
+//!    stage JSON, reports identical to a build without the subsystem.
+
+use index_launch::apps::{circuit, soleil, stencil};
+use index_launch::machine::SimTime;
+use index_launch::runtime::{
+    execute, FaultConfig, Program, RunReport, RuntimeConfig, ThreadPool,
+};
+
+/// Everything observable about a run, as one comparable value. String
+/// rather than struct so assertion failures print the full diff.
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "makespan={} tasks={} messages={} bytes={} dyn={} stages={} recovery={:?}",
+        r.makespan.as_ns(),
+        r.tasks,
+        r.messages,
+        r.bytes,
+        r.dynamic_check_time.as_ns(),
+        r.stage_json().to_string(),
+        r.recovery,
+    )
+}
+
+/// The three golden applications at validation-mode sizes.
+fn golden_apps() -> Vec<(&'static str, Program)> {
+    let stencil = stencil::build(&stencil::StencilConfig {
+        iterations: 2,
+        ..stencil::StencilConfig::tiny((2, 2))
+    });
+    let circuit = circuit::build(&circuit::CircuitConfig {
+        iterations: 2,
+        ..circuit::CircuitConfig::tiny(4)
+    });
+    let soleil = soleil::build(&soleil::SoleilConfig {
+        iterations: 2,
+        ..soleil::SoleilConfig::tiny((2, 1, 1))
+    });
+    vec![
+        ("stencil", stencil.program),
+        ("circuit", circuit.program),
+        ("soleil", soleil.program),
+    ]
+}
+
+/// Leg 1: identical `(seed, config)` → byte-identical reports, including
+/// the recovery counters and the final instance store.
+#[test]
+fn identical_seed_and_config_give_byte_identical_reports() {
+    for (name, program) in golden_apps() {
+        for seed in [0xC0FFEE_u64, 7, 1234] {
+            let config = RuntimeConfig::validate(4).with_faults(seed);
+            let a = execute(&program, &config);
+            let b = execute(&program, &config);
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{name}: faulted replay diverged for seed {seed:#x}"
+            );
+            assert_eq!(
+                a.store, b.store,
+                "{name}: final data diverged between identical faulted runs (seed {seed:#x})"
+            );
+            let rec = a.recovery.expect("faulted run must carry recovery stats");
+            assert_eq!(rec.seed, seed);
+        }
+    }
+}
+
+/// Leg 2: survivable schedules change timing, never semantics. Every
+/// golden app, several seeds: same task count, same final data, makespan
+/// at least the fault-free one.
+#[test]
+fn survivable_faults_preserve_semantics() {
+    for (name, program) in golden_apps() {
+        let clean_config = RuntimeConfig::validate(4);
+        let clean = execute(&program, &clean_config);
+        assert!(clean.recovery.is_none());
+        for seed in [1_u64, 2, 3, 0xBAD5EED] {
+            let faulted = execute(&program, &clean_config.clone().with_faults(seed));
+            let rec = faulted.recovery.expect("recovery stats");
+            assert_eq!(
+                faulted.tasks, clean.tasks,
+                "{name}/seed {seed:#x}: task count changed under faults"
+            );
+            assert_eq!(
+                faulted.store, clean.store,
+                "{name}/seed {seed:#x}: final data changed under faults \
+                 (crashes={} dropped={} duplicated={})",
+                rec.crashes, rec.dropped, rec.duplicated
+            );
+            assert!(
+                faulted.makespan >= clean.makespan,
+                "{name}/seed {seed:#x}: faulted makespan {} beat fault-free {}",
+                faulted.makespan.as_ns(),
+                clean.makespan.as_ns()
+            );
+        }
+    }
+}
+
+/// Leg 2, sharpened: a schedule that *only* crashes one node (no drops,
+/// no duplicates, no slow nodes), pinned early enough that the victim
+/// still holds undone work — the run must detect the death, re-shard the
+/// victim's slices onto survivors, and still converge to fault-free data.
+#[test]
+fn early_crash_is_detected_resharded_and_survived() {
+    let (name, program) = golden_apps().remove(0);
+    let clean = execute(&program, &RuntimeConfig::validate(4));
+    let faults = FaultConfig {
+        drop_per_mille: 0,
+        dup_per_mille: 0,
+        slow_nodes: 0,
+        // Crash the victim almost immediately, before it can have
+        // completed its share of any launch.
+        crash_window: (SimTime::us(10), SimTime::us(10)),
+        ..FaultConfig::from_seed(42)
+    };
+    let faulted = execute(&program, &RuntimeConfig::validate(4).with_fault_config(faults));
+    let rec = faulted.recovery.expect("recovery stats");
+    assert_eq!(rec.crashes, 1, "{name}: schedule must crash exactly one node");
+    assert_eq!(rec.dropped, 0);
+    assert_eq!(rec.duplicated, 0);
+    assert!(
+        rec.crash_dropped > 0,
+        "{name}: an early crash must discard in-flight events"
+    );
+    assert!(
+        rec.resharded_groups > 0,
+        "{name}: the dead node's slices must be re-sharded onto survivors"
+    );
+    assert!(
+        rec.retried_tasks > 0 && rec.recovery_checks > 0,
+        "{name}: recovery must go through the timeout/retry protocol"
+    );
+    assert!(
+        rec.reanalyses > 0,
+        "{name}: re-sharded launches must be re-analyzed"
+    );
+    assert_eq!(faulted.tasks, clean.tasks, "{name}: every task still runs");
+    assert_eq!(faulted.store, clean.store, "{name}: data survives the crash");
+    assert!(faulted.makespan >= clean.makespan);
+}
+
+/// Leg 3: the default configuration keeps every fault path inert.
+#[test]
+fn faults_off_is_inert() {
+    let (_, program) = golden_apps().remove(0);
+    let config = RuntimeConfig::validate(2);
+    assert!(config.faults.is_none(), "faults must default to off");
+    let a = execute(&program, &config);
+    let b = execute(&program, &config);
+    assert!(a.recovery.is_none());
+    assert!(
+        !a.stage_json().to_string().contains("\"faults\""),
+        "fault counters must not appear in fault-free stage JSON"
+    );
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+/// Seed-corpus sweep across both runtime axes and both execution modes:
+/// every survivable schedule completes with the fault-free task count
+/// (and, in validation mode, the fault-free data).
+#[test]
+fn seed_corpus_completes_under_every_axis() {
+    let (name, program) = golden_apps().remove(0);
+    for (dcr, idx) in [(true, true), (true, false), (false, true), (false, false)] {
+        let clean_cfg = RuntimeConfig::validate(4).with_axes(dcr, idx);
+        let clean = execute(&program, &clean_cfg);
+        for seed in 0..6_u64 {
+            let faulted = execute(&program, &clean_cfg.clone().with_faults(seed));
+            assert_eq!(
+                faulted.tasks, clean.tasks,
+                "{name}: dcr={dcr} idx={idx} seed={seed}"
+            );
+            assert_eq!(
+                faulted.store, clean.store,
+                "{name}: dcr={dcr} idx={idx} seed={seed}: data diverged"
+            );
+        }
+        // Scale mode (modeled bodies, no store): still completes and is
+        // internally consistent.
+        let scale_cfg = RuntimeConfig::scale(4).with_axes(dcr, idx);
+        let scale_clean = execute(&program, &scale_cfg);
+        for seed in 0..3_u64 {
+            let faulted = execute(&program, &scale_cfg.clone().with_faults(seed));
+            assert_eq!(
+                faulted.tasks, scale_clean.tasks,
+                "{name} (scale): dcr={dcr} idx={idx} seed={seed}"
+            );
+            assert!(faulted.makespan >= scale_clean.makespan);
+        }
+    }
+}
+
+/// The chaos sweep is thread-count invariant: fanning faulted runs over
+/// worker pools of different widths yields identical fingerprints in
+/// identical order (each simulation is a pure function of its seed; the
+/// pool maps results back in submission order).
+#[test]
+fn faulted_sweep_is_pool_width_invariant() {
+    let sweep = |threads: usize| -> Vec<String> {
+        let pool = ThreadPool::new(threads);
+        let jobs: Vec<_> = (0..8_u64)
+            .map(|seed| {
+                move || {
+                    let (_, program) = golden_apps().remove(0);
+                    let config = RuntimeConfig::validate(3).with_faults(seed);
+                    fingerprint(&execute(&program, &config))
+                }
+            })
+            .collect();
+        pool.map(jobs)
+    };
+    let one = sweep(1);
+    let four = sweep(4);
+    assert_eq!(one, four, "chaos sweep must not depend on pool width");
+}

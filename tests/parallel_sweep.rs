@@ -52,7 +52,14 @@ fn five_run_methodology_equals_single_run() {
 /// whole differential report is pool-size invariant too.
 #[test]
 fn fuzz_corpus_report_is_identical_at_every_pool_size() {
-    let cfg = DiffConfig { cases: 8, seed: 0x5EED_5EED, nodes: 2, inject: false, threads: 0 };
+    let cfg = DiffConfig {
+        cases: 8,
+        seed: 0x5EED_5EED,
+        nodes: 2,
+        inject: false,
+        threads: 0,
+        faults: Some(0xFA17),
+    };
     let render = |threads: usize| {
         let report = run_differential_on(&cfg, &ThreadPool::new(threads));
         format!(

@@ -358,6 +358,29 @@ fn apps_clear_safety_matrix_end_to_end() {
         // runtime (which re-executes the same checks internally).
         let report = execute(program, &RuntimeConfig::validate(2));
         assert!(report.makespan.as_ns() > 0, "{name}: empty execution");
+
+        // The same program under a survivable crash schedule: the
+        // safety verdicts are a property of the launches, not the
+        // machine, so the classification above must keep holding while
+        // the runtime re-shards the dead node's work — same tasks, same
+        // final data, and a makespan no better than fault-free.
+        let faulted = execute(program, &RuntimeConfig::validate(4).with_faults(0x5AFE));
+        let baseline = execute(program, &RuntimeConfig::validate(4));
+        let rec = faulted.recovery.expect("faulted run reports recovery stats");
+        assert_eq!(faulted.tasks, baseline.tasks, "{name}: task count drifted under faults");
+        assert_eq!(faulted.store, baseline.store, "{name}: data drifted under faults");
+        assert!(
+            faulted.makespan >= baseline.makespan,
+            "{name}: faulted makespan {} beat fault-free {}",
+            faulted.makespan.as_ns(),
+            baseline.makespan.as_ns()
+        );
+        let (again_static, again_dynamic) = classify(name, program);
+        assert_eq!(
+            (again_static, again_dynamic),
+            (want_static, want_dynamic),
+            "{name}: verdicts changed after a faulted execution (rec: {rec:?})"
+        );
     }
 }
 
