@@ -45,6 +45,7 @@ struct Args {
     dcr: bool,
     idx: bool,
     tracing: bool,
+    trace_replay: bool,
     checks: bool,
     fluid_only: bool,
     overdecompose: usize,
@@ -63,6 +64,7 @@ fn parse() -> Result<Args, String> {
         dcr: true,
         idx: true,
         tracing: true,
+        trace_replay: true,
         checks: true,
         fluid_only: false,
         overdecompose: 1,
@@ -101,6 +103,7 @@ fn parse() -> Result<Args, String> {
             "--no-dcr" => args.dcr = false,
             "--no-idx" => args.idx = false,
             "--no-tracing" => args.tracing = false,
+            "--no-trace-replay" => args.trace_replay = false,
             "--no-checks" => args.checks = false,
             "--fluid-only" => args.fluid_only = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -118,6 +121,7 @@ fn runtime_config(a: &Args) -> RuntimeConfig {
     let mut config = base
         .with_axes(a.dcr, a.idx)
         .with_tracing(a.tracing)
+        .with_trace_replay(a.trace_replay)
         .with_dynamic_checks(a.checks)
         .with_trace(a.trace_out.is_some());
     if a.audit {
@@ -139,6 +143,13 @@ fn report_line(args: &Args, report: &RunReport) {
         report.bytes,
         report.dynamic_check_time
     );
+    if report.trace_replay.enabled && report.trace_replay.captured > 0 {
+        let tr = &report.trace_replay;
+        println!(
+            "trace replay: {} captured, {} replayed, {} invalidated, {} analyses skipped",
+            tr.captured, tr.replayed, tr.invalidated, tr.analyses_skipped
+        );
+    }
     if let Some(rec) = &report.recovery {
         println!(
             "faults (seed {:#x}): {} crash(es), {} slow node(s), {} dropped, {} duplicated, \
@@ -318,12 +329,13 @@ fn main() {
     };
     let rt = runtime_config(&args);
     println!(
-        "{} on {} simulated nodes [dcr={} idx={} tracing={} checks={} mode={}]",
+        "{} on {} simulated nodes [dcr={} idx={} tracing={} replay={} checks={} mode={}]",
         args.app,
         args.nodes,
         args.dcr,
         args.idx,
         args.tracing,
+        args.trace_replay,
         args.checks,
         if args.validate { "validate" } else { "scale" }
     );

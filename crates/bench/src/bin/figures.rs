@@ -19,7 +19,9 @@
 //! cache off vs. on, repeats 5 vs. 1), and writes the wall-clock
 //! trajectory to `BENCH_PR4.json`, including the per-stage pipeline
 //! breakdown of a reference stencil run under each (DCR × IDX) corner
-//! and a Chrome `about:tracing` export in `<out-dir>/stencil_trace.json`.
+//! and a Chrome `about:tracing` export in `<out-dir>/stencil_trace.json`,
+//! plus the trace-replay trajectory (per-iteration analysis overhead on
+//! the iterative apps, replay on vs. off) to `BENCH_PR6.json`.
 
 use il_analysis::{
     cross_check, cross_check_reference, self_check, self_check_reference, ArgCheck, ProjExpr,
@@ -121,7 +123,122 @@ fn main() {
 
     if bench {
         write_bench_trajectory("BENCH_PR4.json", &out_dir, &pool);
+        write_replay_trajectory("BENCH_PR6.json");
     }
+}
+
+/// Trace capture & replay wall-clock trajectory: per-iteration analysis
+/// overhead of `expand_program` on the iterative golden apps, replay on
+/// vs. off. Measured as a finite difference between a long and a short
+/// run of the same app, so one-time costs (region setup, first-iteration
+/// capture) cancel and only the steady-state per-iteration cost remains
+/// — the quantity replay is supposed to collapse.
+///
+/// Two numbers per app: *analysis overhead* (safety verdicts, oracle
+/// dependence scans, distribution planning, plus the recorder's own
+/// validation cost — from [`il_runtime::ExpandProfile`]) is what replay
+/// skips and where the headline drop shows; *total expand* wall-clock
+/// additionally includes task materialization, which both paths pay
+/// identically, and bounds the end-to-end win.
+fn write_replay_trajectory(path: &str) {
+    use il_apps::{circuit, soleil, stencil};
+    use il_runtime::{expand_program, Program, RuntimeConfig};
+    use std::time::Instant;
+
+    /// Mean `(analysis+replay overhead ns, total expand ns)`.
+    fn mean_expand_ns(program: &Program, config: &RuntimeConfig, samples: u32) -> (f64, f64) {
+        expand_program(program, config); // warm-up
+        let (mut overhead, mut total) = (0.0, 0.0);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let prof = expand_program(program, config).profile;
+            total += start.elapsed().as_secs_f64() * 1e9;
+            overhead += (prof.analysis_ns + prof.replay_ns) as f64;
+        }
+        (overhead / samples as f64, total / samples as f64)
+    }
+
+    type BuildFn = Box<dyn Fn(usize) -> Program>;
+    let apps: Vec<(&str, BuildFn)> = vec![
+        (
+            "stencil",
+            Box::new(|iters| {
+                stencil::build(&stencil::StencilConfig {
+                    iterations: iters,
+                    ..stencil::StencilConfig::tiny((4, 4))
+                })
+                .program
+            }),
+        ),
+        (
+            "circuit",
+            Box::new(|iters| {
+                circuit::build(&circuit::CircuitConfig {
+                    iterations: iters,
+                    ..circuit::CircuitConfig::tiny(8)
+                })
+                .program
+            }),
+        ),
+        (
+            "soleil",
+            Box::new(|iters| {
+                soleil::build(&soleil::SoleilConfig {
+                    iterations: iters,
+                    ..soleil::SoleilConfig::tiny((2, 1, 1))
+                })
+                .program
+            }),
+        ),
+    ];
+
+    let (lo, hi, samples) = (10usize, 50usize, 3u32);
+    let cfg_on = RuntimeConfig::scale(4);
+    let cfg_off = cfg_on.clone().with_trace_replay(false);
+    let mut rows = Vec::new();
+    println!("trace replay: per-iteration analysis overhead ({} iterations)", hi - lo);
+    for (name, build) in apps {
+        let p_lo = build(lo);
+        let p_hi = build(hi);
+        let per_iter = |cfg: &RuntimeConfig| {
+            let (over_hi, total_hi) = mean_expand_ns(&p_hi, cfg, samples);
+            let (over_lo, total_lo) = mean_expand_ns(&p_lo, cfg, samples);
+            let iters = (hi - lo) as f64;
+            ((over_hi - over_lo) / iters, (total_hi - total_lo) / iters)
+        };
+        let (off_ns, off_total_ns) = per_iter(&cfg_off);
+        let (on_ns, on_total_ns) = per_iter(&cfg_on);
+        let on_ns = on_ns.max(1.0);
+        let stats = expand_program(&p_hi, &cfg_on).trace_replay;
+        let speedup = off_ns / on_ns;
+        let total_speedup = off_total_ns / on_total_ns.max(1.0);
+        println!(
+            "  {name:8} analysis off {:9.0} ns/iter   on {:9.0} ns/iter   {speedup:6.1}x \
+             (total {total_speedup:.1}x; captured={} replayed={} analyses_skipped={})",
+            off_ns, on_ns, stats.captured, stats.replayed, stats.analyses_skipped
+        );
+        rows.push(
+            Json::obj()
+                .set("app", name)
+                .set("iterations", hi - lo)
+                .set("analysis_per_iter_ns_off", off_ns)
+                .set("analysis_per_iter_ns_on", on_ns)
+                .set("analysis_speedup", speedup)
+                .set("total_per_iter_ns_off", off_total_ns)
+                .set("total_per_iter_ns_on", on_total_ns)
+                .set("total_speedup", total_speedup)
+                .set("captured", stats.captured)
+                .set("replayed", stats.replayed)
+                .set("invalidated", stats.invalidated)
+                .set("analyses_skipped", stats.analyses_skipped),
+        );
+    }
+    let json = Json::obj()
+        .set("schema", "il-bench-trajectory-v1")
+        .set("pr", "PR6")
+        .set("replay_overhead", Json::Arr(rows));
+    std::fs::write(path, json.to_string_pretty()).expect("write replay trajectory");
+    println!("wrote {path}");
 }
 
 /// Re-measure the dynamic-check kernels (the paper's Tables 2–3 hot

@@ -35,13 +35,17 @@ pub enum Stage {
     /// retries, and re-sharding after node failures. Only accrues when a
     /// fault plan is installed.
     Recovery,
+    /// Trace replay: re-issuing a previously captured task-graph fragment
+    /// instead of re-running its logical analysis (the Legion tracing
+    /// cost model, charged per replayed task when `tracing` is on).
+    TraceReplay,
     /// Untagged work (handlers that never declared a stage).
     Other,
 }
 
 impl Stage {
     /// Number of stages (length of [`Stage::ALL`]).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every stage, in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -53,6 +57,7 @@ impl Stage {
         Stage::Network,
         Stage::DynamicChecks,
         Stage::Recovery,
+        Stage::TraceReplay,
         Stage::Other,
     ];
 
@@ -73,6 +78,7 @@ impl Stage {
             Stage::Network => "network",
             Stage::DynamicChecks => "dynamic_checks",
             Stage::Recovery => "recovery",
+            Stage::TraceReplay => "trace_replay",
             Stage::Other => "other",
         }
     }

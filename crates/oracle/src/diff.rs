@@ -376,6 +376,22 @@ fn compare(
             ));
         }
 
+        // Trace replay is host-side memoization of the expansion
+        // pipeline, so disabling it must not change anything the
+        // simulation observes: same makespan, same traffic, same
+        // per-stage attribution.
+        let no_replay = execute(program, &config.clone().with_trace_replay(false));
+        let observable = |r: &il_runtime::RunReport| {
+            (r.makespan, r.messages, r.bytes, r.stage_json().to_string())
+        };
+        if observable(&report) != observable(&no_replay) {
+            return Some(format!(
+                "trace replay is not transparent: on {:?} vs off {:?}",
+                observable(&report),
+                observable(&no_replay)
+            ));
+        }
+
         // Chaos leg: the same program under a survivable fault schedule
         // must still run every task, take no less time than the clean
         // run, and — being a pure function of `(seed, config)` — replay

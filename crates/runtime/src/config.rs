@@ -56,6 +56,19 @@ pub struct RuntimeConfig {
     /// rates), only how fast the simulator itself runs. Defaults to on;
     /// turning it off exists for the cache-equivalence tests.
     pub analysis_cache: bool,
+    /// Whole-sequence trace capture & replay during expansion: a rolling
+    /// window over launch signatures detects a repeated launch sequence
+    /// (every app's time loop), captures its fully expanded dependence
+    /// graph, sharding decisions, and distribution plan as a
+    /// [`LaunchTrace`](crate::replay::LaunchTrace), and replays the trace
+    /// on subsequent iterations instead of re-running logical/physical
+    /// analysis — invalidating on any partition, privilege, domain, or
+    /// functor change. Like [`analysis_cache`](Self::analysis_cache) this
+    /// is *host-side* memoization: replayed runs are byte-identical to
+    /// replay-off runs (locked by `tests/trace_replay.rs`); only the
+    /// host-side expansion cost drops. Defaults to on; off restores
+    /// bit-for-bit pre-subsystem behavior.
+    pub trace_replay: bool,
     /// Execute or model task bodies.
     pub mode: ExecutionMode,
     /// Cost model constants.
@@ -79,6 +92,7 @@ impl RuntimeConfig {
             trace: false,
             audit: cfg!(debug_assertions),
             analysis_cache: true,
+            trace_replay: true,
             mode: ExecutionMode::Scale,
             cost: CostModel::calibrated(),
             faults: None,
@@ -127,6 +141,13 @@ impl RuntimeConfig {
     /// Enable/disable the launch-signature analysis cache.
     pub fn with_analysis_cache(mut self, on: bool) -> Self {
         self.analysis_cache = on;
+        self
+    }
+
+    /// Enable/disable trace capture & replay of repeated launch
+    /// sequences.
+    pub fn with_trace_replay(mut self, on: bool) -> Self {
+        self.trace_replay = on;
         self
     }
 
@@ -332,6 +353,13 @@ mod tests {
         // The analysis cache defaults to on and toggles independently.
         assert!(c3.analysis_cache);
         assert!(!c3.clone().with_analysis_cache(false).analysis_cache);
+        // Trace replay likewise defaults to on, toggles independently,
+        // and turning off the cache leaves it alone (and vice versa).
+        assert!(c3.trace_replay);
+        let c4 = c3.clone().with_trace_replay(false);
+        assert!(!c4.trace_replay && c4.analysis_cache);
+        assert!(c4.clone().with_analysis_cache(false).analysis_cache == false);
+        assert!(!c4.with_analysis_cache(false).trace_replay);
     }
 
     #[test]

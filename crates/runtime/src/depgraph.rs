@@ -9,13 +9,22 @@
 //! source loop — and cross-validates it: a launch declared safe must
 //! produce **zero** intra-launch dependencies, which is asserted.
 //!
+//! The expansion is structured as two cooperating pieces so the trace
+//! recorder ([`crate::replay`]) can drive it op by op: an [`Expander`]
+//! that materializes one op's tasks, verdict, and distribution plan, and
+//! an [`Oracle`] holding the mutable dependence state (per-space access
+//! records, the BVH overlap index, the reduction-epoch counter). A
+//! repeated launch sequence lets the recorder skip both and splice in a
+//! captured [`crate::replay::LaunchTrace`] instead.
+//!
 //! The *cost* of discovering these edges is charged by the executor
 //! according to the §5 complexities; this module is only the semantic
 //! oracle.
 
 use crate::config::RuntimeConfig;
 use crate::program::{FunctorId, Program};
-use crate::shard::{block_shard, point_at, ShardDomain};
+use crate::replay::{Recorder, TraceMark, TraceReplayStats};
+use crate::shard::{block_shard, point_at, ShardDomain, ShardingFn};
 use il_analysis::{analyze_launch, HybridVerdict, LaunchArg};
 use il_geometry::{Domain, DomainPoint};
 use il_machine::NodeId;
@@ -108,6 +117,46 @@ pub struct AnalysisCacheStats {
     pub evals_saved: u64,
 }
 
+/// Distribution plan of one operation, fixed at expansion time: the
+/// sharding decision (tasks grouped by owner node) and the non-DCR slice
+/// runs. Precomputing this here — rather than re-grouping inside the
+/// executor — lets a captured trace replay the sharding and distribution
+/// decisions verbatim alongside the dependence graph.
+#[derive(Clone, Debug, Default)]
+pub struct OpDist {
+    /// Tasks grouped by owner, sorted by node id (task lists in issuance
+    /// order).
+    pub groups: Vec<(NodeId, Vec<TaskRef>)>,
+    /// Contiguous iteration-order task runs `[lo, hi)` per owner — the
+    /// fixed-size slice descriptors non-DCR distribution scatters.
+    pub slices: Vec<(u32, u32, NodeId)>,
+}
+
+/// Host-side wall-clock profile of one expansion, split by what the
+/// time bought. Pure observability: the numbers vary run to run and are
+/// never part of any simulated result, fingerprint, or stage report.
+///
+/// The split separates *analysis* — safety verdicts, the dependence
+/// oracle's scans, and distribution planning, the work trace replay
+/// exists to skip — from *materialization*, the construction of task
+/// instances and their dependence/copy lists, which every expansion
+/// (fresh or replayed) must produce. `replay_ns` is the replay
+/// subsystem's own footprint: key hashing, window detection, entry
+/// validation, and oracle exit-state bookkeeping. The per-iteration
+/// analysis overhead compared across replay on/off in `BENCH_PR6.json`
+/// is `analysis_ns + replay_ns`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpandProfile {
+    /// Safety verdicts, oracle dependence scans, distribution planning.
+    pub analysis_ns: u64,
+    /// Task-instance construction: the fresh point loop or a trace's
+    /// splice of captured instances.
+    pub materialize_ns: u64,
+    /// Trace recorder overhead: detection, entry validation, capture
+    /// snapshots, and replayed oracle exit states.
+    pub replay_ns: u64,
+}
+
 /// The fully expanded program plus its exact task graph.
 pub struct ExpandedProgram {
     /// All point tasks, in issuance order (op-major, then point order).
@@ -122,8 +171,22 @@ pub struct ExpandedProgram {
     pub succs: Vec<Vec<TaskRef>>,
     /// Incoming copies of each task.
     pub copies: Vec<Vec<CopyIn>>,
+    /// Distribution plan (owner groups + slice runs) of each operation.
+    pub dist: Vec<OpDist>,
     /// Analysis-cache hit/miss accounting for this expansion.
     pub analysis_cache: AnalysisCacheStats,
+    /// Trace capture/replay accounting for this expansion. Host-side
+    /// observability only — like `analysis_cache`, never part of the
+    /// simulated result.
+    pub trace_replay: TraceReplayStats,
+    /// Whether each operation was materialized by replaying a captured
+    /// trace instead of running the analyses.
+    pub replayed_ops: Vec<bool>,
+    /// Capture/replay/invalidate events in op order, for the executor's
+    /// `TraceLog` markers.
+    pub trace_marks: Vec<TraceMark>,
+    /// Host wall-clock spent producing this expansion, by bucket.
+    pub profile: ExpandProfile,
 }
 
 impl ExpandedProgram {
@@ -150,13 +213,13 @@ impl ExpandedProgram {
 /// conflict even on the same points. We track fields as bitmasks (field
 /// spaces here are small); a write retires exactly the bits it covers
 /// from earlier records.
-#[derive(Default, Clone)]
-struct SpaceState {
+#[derive(Default, Clone, PartialEq, Eq, Debug)]
+pub(crate) struct SpaceState {
     /// Live writers: `(task, producer req, field mask, reduce op if the
     /// write was a reduction)`.
-    writes: Vec<(TaskRef, usize, u64, Option<ReductionOpId>)>,
+    pub(crate) writes: Vec<(TaskRef, usize, u64, Option<ReductionOpId>)>,
     /// Readers since the covering writes.
-    readers: Vec<(TaskRef, u64)>,
+    pub(crate) readers: Vec<(TaskRef, u64)>,
     /// Pending reducers (folded into the next reader/writer). A write
     /// whose subspace *fully covers* this buffer retires these records
     /// (e.g. circuit's `update_voltages` consuming the ghost charge
@@ -166,14 +229,14 @@ struct SpaceState {
     /// the records in place — accessors of the uncovered part still need
     /// direct edges — which at worst duplicates edges the covering path
     /// already implies.
-    reducers: Vec<(ReductionOpId, TaskRef, usize, u64)>,
+    pub(crate) reducers: Vec<(ReductionOpId, TaskRef, usize, u64)>,
     /// Open reduction epochs on this buffer: `(op, field bits, epoch id)`.
     /// Tracks which epoch each live field bit belongs to, so every
     /// reducer can be told which epoch to (lazily) initialize. *Any*
     /// overlapping write (full or partial cover) closes the epoch bits
     /// it writes: the next reduce there opens a fresh epoch and the
     /// executor re-initializes the buffer.
-    epochs: Vec<(ReductionOpId, u64, u32)>,
+    pub(crate) epochs: Vec<(ReductionOpId, u64, u32)>,
     /// Field bits whose pending contributions were folded into (or
     /// invalidated by) a write to overlapping data, tagged with the
     /// consuming op. Gates *data folds only* — later ops do not fold the
@@ -184,7 +247,7 @@ struct SpaceState {
     /// when a fresh epoch re-initializes the buffer. Tasks of the
     /// consuming op itself still fold (several sibling writers may each
     /// consume part of the buffer, as in circuit's `update_voltages`).
-    consumed: Vec<(u32, u64)>,
+    pub(crate) consumed: Vec<(u32, u64)>,
 }
 
 impl SpaceState {
@@ -219,122 +282,131 @@ fn mask_fields(mask: u64) -> Vec<il_region::FieldId> {
         .collect()
 }
 
-/// Expand `program` for `config.nodes` nodes: point tasks, ownership,
-/// safety verdicts, dependence edges, and copy plans.
-pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProgram {
-    let forest = &program.forest;
-    let nodes = config.nodes;
-    let default_shard = block_shard();
+/// The mutable state of the dependence oracle: per-space access records,
+/// the BVH overlap index per tree, and the reduction-epoch counter. The
+/// oracle's transition per task is a deterministic function of the states
+/// it touches and is *equivariant* under uniform shifts of task refs, op
+/// indices, and epoch ids — only equality and ordering comparisons are
+/// applied to those — which is what makes whole-sequence trace replay
+/// ([`crate::replay`]) sound: equal (shift-normalized) entry states imply
+/// equal (shifted) outputs.
+pub(crate) struct Oracle {
+    /// Access records per `(tree, subspace)`.
+    pub(crate) states: HashMap<(RegionTreeId, IndexSpaceId), SpaceState>,
+    /// Candidate overlaps among touched spaces, per tree, found through a
+    /// bounding-volume hierarchy — the §5 structure Legion uses for its
+    /// logarithmic-time physical analysis.
+    touched: HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>>,
+    /// Overlap sets, append-only once registered.
+    pub(crate) overlaps: HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>>,
+    /// Monotone id source for reduction epochs (globally unique so the
+    /// executor's once-per-epoch fill markers never collide across
+    /// buffers or fields).
+    pub(crate) next_epoch: u32,
+    /// When `Some`, every state consultation appends a [`ProvEntry`]
+    /// describing which member space produced which run of dependence
+    /// edges and copies, and every consumption-record clear appends to
+    /// `clears`. Enabled only while the trace recorder captures a
+    /// window — provenance lets it encode each captured edge per the
+    /// validity argument of the member that produced it. Pure
+    /// observation: recording never changes the scan's output.
+    pub(crate) prov: Option<ProvLog>,
+}
 
-    let mut tasks: Vec<TaskInstance> = Vec::new();
-    let mut op_tasks: Vec<(u32, u32)> = Vec::with_capacity(program.ops.len());
-    let mut safety: Vec<OpSafety> = Vec::with_capacity(program.ops.len());
+/// Provenance recorded over one capture window (see [`Oracle::prov`]).
+#[derive(Default)]
+pub(crate) struct ProvLog {
+    /// One entry per state consultation, in scan order.
+    pub(crate) consults: Vec<ProvEntry>,
+    /// Field bits cleared from a space's consumption record during the
+    /// window (a fresh reduction epoch moots stale consumed marks, a
+    /// write retires its own space's record). Clears apply to every
+    /// record present at that moment, so replay can reapply the union
+    /// to whatever has accumulated since capture.
+    pub(crate) clears: Vec<((RegionTreeId, IndexSpaceId), u64)>,
+}
 
-    // Verdicts memoized per launch signature (same task + requirement
-    // shapes + domain ⇒ same verdict), as the compiler caches per source
-    // loop. PR 2 made the signature collision-free precisely so it could
-    // carry this weight; `tests/analysis_cache.rs` pins that cached and
-    // uncached expansions are indistinguishable.
-    let mut verdict_cache: HashMap<u64, OpSafety> = HashMap::new();
-    let mut cache_stats =
-        AnalysisCacheStats { enabled: config.analysis_cache, ..AnalysisCacheStats::default() };
+/// One state consultation during a provenance-recorded scan: task `t`'s
+/// requirement with privilege `privilege` and field `mask` consulted
+/// member `key` and contributed the dependence edges `deps` (pre-dedup
+/// values — the final per-task list is sorted and deduplicated, so
+/// counts could not be sliced back) and the next `copies` incoming
+/// copies of `t`'s copy list (in push order). `consumed` is the
+/// already-consumed field union the consult saw; `fold_src` is the
+/// reducer a fold copy was taken from, if any — replay validity hinges
+/// on whether that source predates the window.
+pub(crate) struct ProvEntry {
+    pub(crate) task: TaskRef,
+    pub(crate) key: (RegionTreeId, IndexSpaceId),
+    pub(crate) mask: u64,
+    pub(crate) privilege: Privilege,
+    pub(crate) deps: Vec<TaskRef>,
+    pub(crate) copies: u32,
+    pub(crate) consumed: u64,
+    pub(crate) fold_src: Option<TaskRef>,
+}
 
-    for op in &program.ops {
-        let launch = op.launch();
-        let analyze = || {
-            let args: Vec<LaunchArg> = launch
-                .reqs
-                .iter()
-                .map(|r| LaunchArg {
-                    partition: r.partition,
-                    functor: resolve(program, r.functor).clone(),
-                    privilege: r.privilege,
-                    fields: r.fields.clone(),
-                })
-                .collect();
-            match analyze_launch(forest, &launch.domain, &args) {
-                HybridVerdict::SafeStatic => OpSafety::Static,
-                HybridVerdict::NeedsDynamic(plan) => match plan.run() {
-                    Ok(evals) => OpSafety::Dynamic { evals },
-                    Err(_) => OpSafety::Sequential,
-                },
-                HybridVerdict::Unsafe(_) => OpSafety::Sequential,
-            }
-        };
-        let verdict = if config.analysis_cache {
-            use std::collections::hash_map::Entry;
-            let sig = launch_signature(launch, program);
-            match verdict_cache.entry(sig) {
-                Entry::Occupied(hit) => {
-                    cache_stats.hits += 1;
-                    if let OpSafety::Dynamic { evals } = hit.get() {
-                        cache_stats.evals_saved += *evals;
-                    }
-                    hit.get().clone()
-                }
-                Entry::Vacant(miss) => {
-                    cache_stats.misses += 1;
-                    miss.insert(analyze()).clone()
-                }
-            }
-        } else {
-            cache_stats.misses += 1;
-            analyze()
-        };
-        safety.push(verdict);
-
-        let shard = launch.shard.clone().unwrap_or_else(|| default_shard.clone());
-        let lo = tasks.len() as u32;
-        let volume = launch.domain.volume();
-        // One ShardDomain per op: sparse rank queries inside the functor
-        // amortize to O(1) instead of re-scanning the point list per task.
-        let shard_domain = ShardDomain::new(&launch.domain);
-        for idx in 0..volume {
-            let point = point_at(&launch.domain, idx);
-            let owner = shard(point, &shard_domain, nodes);
-            assert!(owner < nodes, "sharding functor returned node {owner} of {nodes}");
-            let subspaces = launch
-                .reqs
-                .iter()
-                .map(|r| {
-                    let color = resolve(program, r.functor).eval(point);
-                    forest.try_subspace(r.partition, color).unwrap_or_else(|| {
-                        panic!(
-                            "projection functor {:?} selected color {color:?} with no subspace in {:?}",
-                            resolve(program, r.functor),
-                            r.partition
-                        )
-                    })
-                })
-                .collect();
-            let nreqs = launch.reqs.len();
-            tasks.push(TaskInstance {
-                op: op_tasks.len() as u32,
-                point_idx: idx as u32,
-                point,
-                owner,
-                subspaces,
-                reduce_fill: vec![Vec::new(); nreqs],
-            });
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            states: HashMap::new(),
+            touched: HashMap::new(),
+            overlaps: HashMap::new(),
+            next_epoch: 0,
+            prov: None,
         }
-        op_tasks.push((lo, tasks.len() as u32));
     }
 
-    // ---- Dependence oracle ----
-    let mut deps: Vec<Vec<TaskRef>> = vec![Vec::new(); tasks.len()];
-    let mut copies: Vec<Vec<CopyIn>> = vec![Vec::new(); tasks.len()];
-    let mut states: HashMap<(RegionTreeId, IndexSpaceId), SpaceState> = HashMap::new();
-    // Candidate overlaps among touched spaces, per tree, found through a
-    // bounding-volume hierarchy — the §5 structure Legion uses for its
-    // logarithmic-time physical analysis.
-    let mut touched: HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>> = HashMap::new();
-    let mut overlaps: HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>> = HashMap::new();
-    // Monotone id source for reduction epochs (globally unique so the
-    // executor's once-per-epoch fill markers never collide across
-    // buffers or fields).
-    let mut next_epoch: u32 = 0;
+    /// Register `space` in `tree`'s BVH and compute its overlap set: BVH
+    /// query for bounding-box candidates (O(log n + k)), then the exact
+    /// region-forest disjointness test on each candidate. This mirrors
+    /// §5's "distributed bounding volume hierarchy" used by Legion's
+    /// physical analysis. Overlap lists are append-only: registering a
+    /// new space pushes it onto the lists of everything it overlaps, and
+    /// nothing is ever removed — so list *length* equality implies list
+    /// equality, which the trace-replay validity check relies on.
+    pub(crate) fn register(
+        &mut self,
+        forest: &RegionForest,
+        tree: RegionTreeId,
+        space: IndexSpaceId,
+    ) {
+        if self.overlaps.contains_key(&(tree, space)) {
+            return;
+        }
+        let bvh = self.touched.entry(tree).or_default();
+        let mut mine = vec![space];
+        let domain = forest.domain(space);
+        if !domain.is_empty() {
+            let (lo, hi) = domain.bounds();
+            let query = il_region::BBox::new(lo, hi);
+            let mut candidates = Vec::new();
+            bvh.query(&query, &mut candidates);
+            for other in candidates {
+                if !forest.spaces_disjoint(space, other) {
+                    mine.push(other);
+                    self.overlaps.get_mut(&(tree, other)).expect("present").push(space);
+                }
+            }
+            bvh.insert(query, space);
+        }
+        self.overlaps.insert((tree, space), mine);
+    }
 
-    for t in 0..tasks.len() {
+    /// Run the dependence scan for task `t`: discover its predecessor
+    /// edges and incoming copies, then fold its own accesses into the
+    /// per-space states. `tasks` is the full task list (mutated only at
+    /// `tasks[t].reduce_fill`); `deps_t`/`copies_t` are task `t`'s edge
+    /// and copy lists.
+    fn process_task(
+        &mut self,
+        program: &Program,
+        tasks: &mut [TaskInstance],
+        deps_t: &mut Vec<TaskRef>,
+        copies_t: &mut Vec<CopyIn>,
+        t: usize,
+    ) {
+        let forest = &program.forest;
         let tref = t as TaskRef;
         let op_idx = tasks[t].op as usize;
         let launch = program.ops[op_idx].launch();
@@ -342,12 +414,12 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
             let space = tasks[t].subspaces[req_idx];
             let tree = req.tree;
             let mask = field_mask(program, req.field_space, &req.fields);
-            ensure_overlaps(forest, tree, space, &mut touched, &mut overlaps);
+            self.register(forest, tree, space);
             let fsd = forest.field_space(req.field_space);
 
-            let over = overlaps.get(&(tree, space)).expect("registered").clone();
+            let over = self.overlaps.get(&(tree, space)).expect("registered").clone();
             for o_space in over {
-                let Some(state) = states.get(&(tree, o_space)) else {
+                let Some(state) = self.states.get(&(tree, o_space)) else {
                     continue;
                 };
                 // Contributions already folded into an earlier op's
@@ -360,7 +432,9 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                     let vol = overlap_volume(forest.domain(space), forest.domain(o_space));
                     (shared, vol * per_point)
                 };
+                let copies_before = copies_t.len();
                 let mut new_deps: Vec<TaskRef> = Vec::new();
+                let mut fold_src: Option<TaskRef> = None;
                 match req.privilege {
                     Privilege::Read => {
                         for &(w, _wreq, wmask, reduce) in &state.writes {
@@ -368,7 +442,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                                 new_deps.push(w);
                                 let (fields, bytes) = copy_bytes(wmask);
                                 if bytes > 0 {
-                                    copies[t].push(CopyIn {
+                                    copies_t.push(CopyIn {
                                         from: w,
                                         src_space: o_space,
                                         dst_req: req_idx,
@@ -383,14 +457,13 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                         // One fold per source buffer: the buffer already
                         // accumulates every contribution of the epoch, so
                         // depend on all reducers but copy once.
-                        let mut folded = false;
                         for &(red_op, r, _rreq, rmask) in &state.reducers {
                             if r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
                                 let (fields, bytes) = copy_bytes(rmask & !consumed);
-                                if bytes > 0 && !folded {
-                                    folded = true;
-                                    copies[t].push(CopyIn {
+                                if bytes > 0 && fold_src.is_none() {
+                                    fold_src = Some(r);
+                                    copies_t.push(CopyIn {
                                         from: r,
                                         src_space: o_space,
                                         dst_req: req_idx,
@@ -411,7 +484,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                                 if wants_data {
                                     let (fields, bytes) = copy_bytes(wmask);
                                     if bytes > 0 {
-                                        copies[t].push(CopyIn {
+                                        copies_t.push(CopyIn {
                                             from: w,
                                             src_space: o_space,
                                             dst_req: req_idx,
@@ -429,15 +502,14 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                                 new_deps.push(r);
                             }
                         }
-                        let mut folded = false;
                         for &(red_op, r, _rreq, rmask) in &state.reducers {
                             if r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
                                 if wants_data {
                                     let (fields, bytes) = copy_bytes(rmask & !consumed);
-                                    if bytes > 0 && !folded {
-                                        folded = true;
-                                        copies[t].push(CopyIn {
+                                    if bytes > 0 && fold_src.is_none() {
+                                        fold_src = Some(r);
+                                        copies_t.push(CopyIn {
                                             from: r,
                                             src_space: o_space,
                                             dst_req: req_idx,
@@ -475,7 +547,19 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                         // without an ordering edge.
                     }
                 }
-                deps[t].extend(new_deps);
+                if let Some(prov) = &mut self.prov {
+                    prov.consults.push(ProvEntry {
+                        task: tref,
+                        key: (tree, o_space),
+                        mask,
+                        privilege: req.privilege,
+                        deps: new_deps.clone(),
+                        copies: (copies_t.len() - copies_before) as u32,
+                        consumed,
+                        fold_src,
+                    });
+                }
+                deps_t.extend(new_deps);
             }
 
             // A write consumes pending reduction contributions on every
@@ -492,14 +576,14 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
             // region spanning two neighbor pieces).
             if matches!(req.privilege, Privilege::Write | Privilege::ReadWrite) {
                 let op_idx = tasks[t].op;
-                let over = overlaps.get(&(tree, space)).expect("registered").clone();
+                let over = self.overlaps.get(&(tree, space)).expect("registered").clone();
                 for o_space in over {
                     if o_space == space {
                         continue; // own state retired below
                     }
                     let o_dom = forest.domain(o_space);
                     let full = overlap_volume(forest.domain(space), o_dom) == o_dom.volume();
-                    let Some(st) = states.get_mut(&(tree, o_space)) else {
+                    let Some(st) = self.states.get_mut(&(tree, o_space)) else {
                         continue;
                     };
                     for e in &mut st.epochs {
@@ -522,7 +606,7 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
             }
 
             // Update this space's own state.
-            let state = states.entry((tree, space)).or_default();
+            let state = self.states.entry((tree, space)).or_default();
             match req.privilege {
                 Privilege::Read => state.readers.push((tref, mask)),
                 Privilege::Write | Privilege::ReadWrite => {
@@ -547,6 +631,9 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                         *m &= !mask;
                     }
                     state.consumed.retain(|(_, m)| *m != 0);
+                    if let Some(prov) = &mut self.prov {
+                        prov.clears.push(((tree, space), mask));
+                    }
                     state.writes.push((tref, req_idx, mask, None));
                 }
                 Privilege::Reduce(op) => {
@@ -567,8 +654,11 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                             *m &= !fresh_bits;
                         }
                         state.consumed.retain(|(_, m)| *m != 0);
-                        state.epochs.push((op, fresh_bits, next_epoch));
-                        next_epoch += 1;
+                        if let Some(prov) = &mut self.prov {
+                            prov.clears.push(((tree, space), fresh_bits));
+                        }
+                        state.epochs.push((op, fresh_bits, self.next_epoch));
+                        self.next_epoch += 1;
                     }
                     // Record the epoch of every field this requirement
                     // folds into; the executor identity-fills each
@@ -593,9 +683,249 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
                 }
             }
         }
-        deps[t].sort_unstable();
-        deps[t].dedup();
+        deps_t.sort_unstable();
+        deps_t.dedup();
     }
+}
+
+/// In-progress expansion: the accumulating [`ExpandedProgram`] arrays,
+/// the verdict cache, and the dependence [`Oracle`]. The main loop (and
+/// the trace recorder) appends one op at a time, either by running
+/// [`Expander::expand_op`] + [`Expander::scan_op`] or by splicing in a
+/// captured trace.
+pub(crate) struct Expander<'p> {
+    pub(crate) program: &'p Program,
+    config: &'p RuntimeConfig,
+    default_shard: ShardingFn,
+    verdict_cache: HashMap<u64, OpSafety>,
+    cache_stats: AnalysisCacheStats,
+    pub(crate) oracle: Oracle,
+    pub(crate) tasks: Vec<TaskInstance>,
+    pub(crate) op_tasks: Vec<(u32, u32)>,
+    pub(crate) safety: Vec<OpSafety>,
+    pub(crate) deps: Vec<Vec<TaskRef>>,
+    pub(crate) copies: Vec<Vec<CopyIn>>,
+    pub(crate) dist: Vec<OpDist>,
+    pub(crate) replayed_ops: Vec<bool>,
+    pub(crate) prof: ExpandProfile,
+}
+
+impl<'p> Expander<'p> {
+    fn new(program: &'p Program, config: &'p RuntimeConfig) -> Self {
+        Expander {
+            program,
+            config,
+            default_shard: block_shard(),
+            verdict_cache: HashMap::new(),
+            cache_stats: AnalysisCacheStats {
+                enabled: config.analysis_cache,
+                ..AnalysisCacheStats::default()
+            },
+            oracle: Oracle::new(),
+            tasks: Vec::new(),
+            op_tasks: Vec::with_capacity(program.ops.len()),
+            safety: Vec::with_capacity(program.ops.len()),
+            deps: Vec::new(),
+            copies: Vec::new(),
+            dist: Vec::with_capacity(program.ops.len()),
+            replayed_ops: Vec::with_capacity(program.ops.len()),
+            prof: ExpandProfile::default(),
+        }
+    }
+
+    /// Number of ops materialized so far (the index the next op gets).
+    pub(crate) fn next_op(&self) -> usize {
+        self.op_tasks.len()
+    }
+
+    /// Materialize op `op_idx`: safety verdict (through the signature
+    /// cache), point tasks with sharding decisions, and the distribution
+    /// plan. Does not touch the oracle.
+    pub(crate) fn expand_op(&mut self, op_idx: usize) {
+        debug_assert_eq!(op_idx, self.next_op());
+        let program = self.program;
+        let forest = &program.forest;
+        let nodes = self.config.nodes;
+        let launch = program.ops[op_idx].launch();
+        let analyze = || {
+            let args: Vec<LaunchArg> = launch
+                .reqs
+                .iter()
+                .map(|r| LaunchArg {
+                    partition: r.partition,
+                    functor: resolve(program, r.functor).clone(),
+                    privilege: r.privilege,
+                    fields: r.fields.clone(),
+                })
+                .collect();
+            match analyze_launch(forest, &launch.domain, &args) {
+                HybridVerdict::SafeStatic => OpSafety::Static,
+                HybridVerdict::NeedsDynamic(plan) => match plan.run() {
+                    Ok(evals) => OpSafety::Dynamic { evals },
+                    Err(_) => OpSafety::Sequential,
+                },
+                HybridVerdict::Unsafe(_) => OpSafety::Sequential,
+            }
+        };
+        // Verdicts memoized per launch signature (same task + requirement
+        // shapes + domain ⇒ same verdict), as the compiler caches per
+        // source loop. PR 2 made the signature collision-free precisely so
+        // it could carry this weight; `tests/analysis_cache.rs` pins that
+        // cached and uncached expansions are indistinguishable.
+        let s_analysis = std::time::Instant::now();
+        let verdict = if self.config.analysis_cache {
+            use std::collections::hash_map::Entry;
+            let sig = launch_signature(launch, program);
+            match self.verdict_cache.entry(sig) {
+                Entry::Occupied(hit) => {
+                    self.cache_stats.hits += 1;
+                    if let OpSafety::Dynamic { evals } = hit.get() {
+                        self.cache_stats.evals_saved += *evals;
+                    }
+                    hit.get().clone()
+                }
+                Entry::Vacant(miss) => {
+                    self.cache_stats.misses += 1;
+                    miss.insert(analyze()).clone()
+                }
+            }
+        } else {
+            self.cache_stats.misses += 1;
+            analyze()
+        };
+        self.safety.push(verdict);
+        self.prof.analysis_ns += s_analysis.elapsed().as_nanos() as u64;
+
+        let s_mat = std::time::Instant::now();
+        let shard = launch.shard.clone().unwrap_or_else(|| self.default_shard.clone());
+        let lo = self.tasks.len() as u32;
+        let volume = launch.domain.volume();
+        // One ShardDomain per op: sparse rank queries inside the functor
+        // amortize to O(1) instead of re-scanning the point list per task.
+        let shard_domain = ShardDomain::new(&launch.domain);
+        for idx in 0..volume {
+            let point = point_at(&launch.domain, idx);
+            let owner = shard(point, &shard_domain, nodes);
+            assert!(owner < nodes, "sharding functor returned node {owner} of {nodes}");
+            let subspaces = launch
+                .reqs
+                .iter()
+                .map(|r| {
+                    let color = resolve(program, r.functor).eval(point);
+                    forest.try_subspace(r.partition, color).unwrap_or_else(|| {
+                        panic!(
+                            "projection functor {:?} selected color {color:?} with no subspace in {:?}",
+                            resolve(program, r.functor),
+                            r.partition
+                        )
+                    })
+                })
+                .collect();
+            let nreqs = launch.reqs.len();
+            self.tasks.push(TaskInstance {
+                op: op_idx as u32,
+                point_idx: idx as u32,
+                point,
+                owner,
+                subspaces,
+                reduce_fill: vec![Vec::new(); nreqs],
+            });
+            self.deps.push(Vec::new());
+            self.copies.push(Vec::new());
+        }
+        let hi = self.tasks.len() as u32;
+        self.op_tasks.push((lo, hi));
+        self.prof.materialize_ns += s_mat.elapsed().as_nanos() as u64;
+        let s_dist = std::time::Instant::now();
+        self.dist.push(dist_plan(&self.tasks, lo, hi));
+        self.prof.analysis_ns += s_dist.elapsed().as_nanos() as u64;
+        self.replayed_ops.push(false);
+    }
+
+    /// Run the dependence oracle over op `op_idx`'s tasks (which must be
+    /// the most recently expanded op).
+    pub(crate) fn scan_op(&mut self, op_idx: usize) {
+        let s_scan = std::time::Instant::now();
+        let (lo, hi) = self.op_tasks[op_idx];
+        for t in lo as usize..hi as usize {
+            let mut deps_t = std::mem::take(&mut self.deps[t]);
+            let mut copies_t = std::mem::take(&mut self.copies[t]);
+            self.oracle.process_task(self.program, &mut self.tasks, &mut deps_t, &mut copies_t, t);
+            self.deps[t] = deps_t;
+            self.copies[t] = copies_t;
+        }
+        self.prof.analysis_ns += s_scan.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Group tasks `[lo, hi)` by owner and compute the contiguous slice runs
+/// — the sharding/distribution plan the executor (and any captured
+/// trace) works from.
+fn dist_plan(tasks: &[TaskInstance], lo: u32, hi: u32) -> OpDist {
+    let mut groups: HashMap<NodeId, Vec<TaskRef>> = HashMap::new();
+    let mut runs: Vec<(u32, u32, NodeId)> = Vec::new();
+    for t in lo..hi {
+        let owner = tasks[t as usize].owner;
+        groups.entry(owner).or_default().push(t);
+        match runs.last_mut() {
+            Some((_, rhi, rowner)) if *rowner == owner && *rhi == t => *rhi = t + 1,
+            _ => runs.push((t, t + 1, owner)),
+        }
+    }
+    let mut groups: Vec<_> = groups.into_iter().collect();
+    groups.sort_unstable_by_key(|(n, _)| *n);
+    OpDist { groups, slices: runs }
+}
+
+/// Expand `program` for `config.nodes` nodes: point tasks, ownership,
+/// safety verdicts, dependence edges, copy plans, and distribution plans.
+///
+/// With [`RuntimeConfig::trace_replay`] on, a rolling window over the
+/// per-op trace keys detects repeated launch sequences (every golden
+/// app's time loop), captures the first repetition as a
+/// [`crate::replay::LaunchTrace`], and replays it on subsequent
+/// iterations — skipping the safety analysis, sharding, and dependence
+/// scan wholesale. Replay is validated against the oracle's entry state
+/// and invalidated on any partition, privilege, domain, functor, or
+/// sharding change; the result is bit-for-bit identical with replay off
+/// (`tests/trace_replay.rs` locks this over the oracle corpus).
+pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProgram {
+    let keys = crate::replay::trace_keys(program);
+    let mut xp = Expander::new(program, config);
+    let mut recorder = Recorder::new(config.trace_replay);
+    let n = program.ops.len();
+    let mut i = 0usize;
+    while i < n {
+        if config.trace_replay {
+            // Recorder work charges its task splices to the materialize
+            // bucket itself; the residual — detection, validation,
+            // capture snapshots, exit bookkeeping — is the subsystem's
+            // own overhead.
+            let s = std::time::Instant::now();
+            let inner = xp.prof;
+            let r = recorder.try_replay(&mut xp, i, &keys);
+            if let Some(p) = r {
+                charge_residual(&mut xp.prof, inner, s.elapsed());
+                i += p;
+                continue;
+            }
+            if let Some(p) = recorder.detect(i, &keys) {
+                recorder.capture(&mut xp, i, p, &keys);
+                charge_residual(&mut xp.prof, inner, s.elapsed());
+                i += p;
+                continue;
+            }
+            charge_residual(&mut xp.prof, inner, s.elapsed());
+        }
+        xp.expand_op(i);
+        xp.scan_op(i);
+        i += 1;
+    }
+
+    let Expander {
+        tasks, op_tasks, safety, deps, copies, dist, replayed_ops, cache_stats, prof, ..
+    } = xp;
+    let (trace_replay, trace_marks) = recorder.finish();
 
     // Cross-validation: a launch the hybrid analysis declared safe must
     // have produced no intra-launch edges.
@@ -620,45 +950,34 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
         }
     }
 
-    ExpandedProgram { tasks, op_tasks, safety, deps, succs, copies, analysis_cache: cache_stats }
+    ExpandedProgram {
+        tasks,
+        op_tasks,
+        safety,
+        deps,
+        succs,
+        copies,
+        dist,
+        analysis_cache: cache_stats,
+        trace_replay,
+        replayed_ops,
+        trace_marks,
+        profile: prof,
+    }
+}
+
+/// Charge `elapsed` minus whatever the inner call already booked (to any
+/// bucket) to the recorder-overhead bucket. Keeps the three buckets
+/// disjoint even though recorder calls nest expansion and splice work.
+fn charge_residual(prof: &mut ExpandProfile, before: ExpandProfile, elapsed: std::time::Duration) {
+    let inner = (prof.analysis_ns - before.analysis_ns)
+        + (prof.materialize_ns - before.materialize_ns)
+        + (prof.replay_ns - before.replay_ns);
+    prof.replay_ns += (elapsed.as_nanos() as u64).saturating_sub(inner);
 }
 
 fn resolve(program: &Program, f: FunctorId) -> &il_analysis::ProjExpr {
     program.functor(f)
-}
-
-/// Register `space` in `tree`'s BVH and compute its overlap set: BVH
-/// query for bounding-box candidates (O(log n + k)), then the exact
-/// region-forest disjointness test on each candidate. This mirrors §5's
-/// "distributed bounding volume hierarchy" used by Legion's physical
-/// analysis.
-fn ensure_overlaps(
-    forest: &RegionForest,
-    tree: RegionTreeId,
-    space: IndexSpaceId,
-    touched: &mut HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>>,
-    overlaps: &mut HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>>,
-) {
-    if overlaps.contains_key(&(tree, space)) {
-        return;
-    }
-    let bvh = touched.entry(tree).or_default();
-    let mut mine = vec![space];
-    let domain = forest.domain(space);
-    if !domain.is_empty() {
-        let (lo, hi) = domain.bounds();
-        let query = il_region::BBox::new(lo, hi);
-        let mut candidates = Vec::new();
-        bvh.query(&query, &mut candidates);
-        for other in candidates {
-            if !forest.spaces_disjoint(space, other) {
-                mine.push(other);
-                overlaps.get_mut(&(tree, other)).expect("present").push(space);
-            }
-        }
-        bvh.insert(query, space);
-    }
-    overlaps.insert((tree, space), mine);
 }
 
 /// Hash of a launch's analysis-relevant shape. Covers the full domain
@@ -666,7 +985,9 @@ fn ensure_overlaps(
 /// requirement's partition, functor, privilege (with reduction op), and
 /// field list, so distinct launch shapes do not collide. Keys both the
 /// executor's tracing replays ([`crate::exec`]) and the expansion-time
-/// analysis cache ([`AnalysisCacheStats`]).
+/// analysis cache ([`AnalysisCacheStats`]); the whole-sequence trace keys
+/// ([`crate::replay`]) extend it with the region tree, field space, and
+/// sharding-functor identity.
 pub fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Program) -> u64 {
     let mut h = DefaultHasher::new();
     launch.task.0.hash(&mut h);

@@ -29,6 +29,7 @@ use crate::depgraph::{
     expand_program, launch_signature, AnalysisCacheStats, ExpandedProgram, OpSafety, TaskRef,
 };
 use crate::program::Program;
+use crate::replay::TraceReplayStats;
 use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
     FaultPlan, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator, Stage,
@@ -84,6 +85,12 @@ pub struct RunReport {
     /// only — deliberately *not* part of [`RunReport::stage_json`], so
     /// cache-on and cache-off runs stay byte-identical there.
     pub analysis_cache: AnalysisCacheStats,
+    /// Expansion-time trace capture/replay accounting (plus, under fault
+    /// injection, invalidations forced by crash re-shards of replayed
+    /// ops). Host-side observability only — like `analysis_cache`,
+    /// deliberately *not* part of [`RunReport::stage_json`], so replay-on
+    /// and replay-off runs stay byte-identical there.
+    pub trace_replay: TraceReplayStats,
     /// Fault-injection and recovery accounting (when
     /// [`RuntimeConfig::faults`] is set; `None` on fault-free runs, which
     /// therefore stay byte-identical to a build without the subsystem).
@@ -214,10 +221,6 @@ struct Shared<'p> {
     machine: MachineDesc,
     /// Issuance/logical frontier per op.
     frontier: Vec<SimTime>,
-    /// Tasks grouped by owner, per op (sorted by owner).
-    op_owner_tasks: Vec<Vec<(NodeId, Vec<TaskRef>)>>,
-    /// Non-DCR slice lists per op: contiguous task ranges per owner.
-    slices: Vec<Vec<(u32, u32, NodeId)>>,
     /// Initial wait counts (deps + copies).
     waits_init: Vec<u32>,
     /// Sum over reqs of ceil(log2 |P_req|), per op (physical-analysis
@@ -240,6 +243,10 @@ struct Shared<'p> {
     /// Fault-injection runtime state (when `config.faults`). `None` keeps
     /// every recovery code path inert.
     faults: Option<FaultRuntime>,
+    /// Trace-replay stats, seeded from the expansion and bumped when a
+    /// crash re-shard lands on a replayed op (the trace that produced it
+    /// is then stale for any later capture epoch).
+    trace_stats: RefCell<TraceReplayStats>,
 }
 
 /// Runtime-side state of the recovery protocol.
@@ -466,7 +473,7 @@ impl<'p> RtNode<'p> {
                 // credit-conservation audit.
                 let node = ctx.node();
                 let remaining = self.slice_remaining.entry(op).or_insert_with(|| {
-                    let groups = &shared.op_owner_tasks[op as usize];
+                    let groups = &shared.expanded.dist[op as usize].groups;
                     let i = groups
                         .binary_search_by_key(&node, |(n, _)| *n)
                         .unwrap_or_else(|_| {
@@ -609,7 +616,7 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
             Msg::InjectOp { op } => {
                 ctx.set_stage(Stage::Distribution);
                 let shared = self.shared.clone();
-                let groups = &shared.op_owner_tasks[op as usize];
+                let groups = &shared.expanded.dist[op as usize].groups;
                 if let Ok(i) = groups.binary_search_by_key(&ctx.node(), |(n, _)| *n) {
                     let tasks = groups[i].1.clone();
                     for t in tasks {
@@ -622,7 +629,7 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                 let shared = self.shared.clone();
                 let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
                 if compact {
-                    let n = shared.slices[op as usize].len() as u32;
+                    let n = shared.expanded.dist[op as usize].slices.len() as u32;
                     self.handle_slice_batch(ctx, op, 0, n);
                 } else {
                     // Stream one message per task out of node 0.
@@ -720,6 +727,14 @@ impl<'p> RtNode<'p> {
                     stats.resharded_groups += 1;
                     stats.reanalyses += 1;
                     drop(stats);
+                    // A re-shard rewrites a sharding decision a captured
+                    // trace may have baked in: if the op was materialized
+                    // by replay, count the trace as invalidated (the
+                    // paper-side contract for composing tracing with
+                    // recovery).
+                    if shared.expanded.replayed_ops[op as usize] {
+                        shared.trace_stats.borrow_mut().invalidated += 1;
+                    }
                     let mut reanalysis = shared.config.cost.logical_launch;
                     if let OpSafety::Dynamic { evals } = &shared.expanded.safety[op as usize] {
                         reanalysis += shared.config.cost.dyn_check_per_eval * *evals;
@@ -803,7 +818,7 @@ impl<'p> RtNode<'p> {
     /// owner of its first slice, until single slices expand locally.
     fn handle_slice_batch(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, lo: u32, mut hi: u32) {
         let shared = self.shared.clone();
-        let slices = &shared.slices[op as usize];
+        let slices = &shared.expanded.dist[op as usize].slices;
         loop {
             if lo >= hi {
                 return;
@@ -942,6 +957,9 @@ fn compute_frontier(
         } else {
             cost.logical_task
         };
+        // Per-task charges for a traced repeat are replay work, not fresh
+        // logical analysis — attribute them to their own stage.
+        let logical_stage = if traced { Stage::TraceReplay } else { Stage::Logical };
         if issuance_is_compact(config, safety) {
             if config.dcr || !config.tracing {
                 // Compact through issuance, logical analysis, and (under
@@ -966,11 +984,11 @@ fn compute_frontier(
                     Stage::Distribution,
                     cost.distribute_point * d,
                 );
-                tl.segment(&mut t, config.trace, opi, Stage::Logical, per_task * d);
+                tl.segment(&mut t, config.trace, opi, logical_stage, per_task * d);
             }
         } else {
             tl.segment(&mut t, config.trace, opi, Stage::Issuance, cost.issue_task * d);
-            tl.segment(&mut t, config.trace, opi, Stage::Logical, per_task * d);
+            tl.segment(&mut t, config.trace, opi, logical_stage, per_task * d);
         }
         tl.frontier.push(t);
     }
@@ -991,28 +1009,6 @@ fn op_signature(program: &Program, op: &crate::program::Operation) -> u64 {
 pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
     let expanded = expand_program(program, config);
     let issuance = compute_frontier(program, &expanded, config);
-
-    // Group tasks by owner per op; build slice lists (contiguous owner
-    // runs in iteration order).
-    let mut op_owner_tasks: Vec<Vec<(NodeId, Vec<TaskRef>)>> = Vec::with_capacity(program.ops.len());
-    let mut slices: Vec<Vec<(u32, u32, NodeId)>> = Vec::with_capacity(program.ops.len());
-    for op_idx in 0..program.ops.len() {
-        let (lo, hi) = expanded.op_tasks[op_idx];
-        let mut groups: HashMap<NodeId, Vec<TaskRef>> = HashMap::new();
-        let mut runs: Vec<(u32, u32, NodeId)> = Vec::new();
-        for t in lo..hi {
-            let owner = expanded.tasks[t as usize].owner;
-            groups.entry(owner).or_default().push(t);
-            match runs.last_mut() {
-                Some((_, rhi, rowner)) if *rowner == owner && *rhi == t => *rhi = t + 1,
-                _ => runs.push((t, t + 1, owner)),
-            }
-        }
-        let mut groups: Vec<_> = groups.into_iter().collect();
-        groups.sort_unstable_by_key(|(n, _)| *n);
-        op_owner_tasks.push(groups);
-        slices.push(runs);
-    }
 
     let waits_init: Vec<u32> = (0..expanded.len())
         .map(|t| (expanded.deps[t].len() + expanded.copies[t].len()) as u32)
@@ -1051,15 +1047,33 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         for &e in &issuance.events {
             log.record(e);
         }
+        // Zero-duration markers for every capture/replay/invalidate
+        // event, pinned at the moment the window's first op cleared the
+        // issuance timeline. Recorded directly (not through
+        // `Shared::record`, which elides zero-duration events): the
+        // markers carry no simulated time by design — replay must stay
+        // invisible to the clock — but should still be visible in the
+        // structured log and Chrome timeline.
+        for m in &expanded.trace_marks {
+            log.record(TraceEvent {
+                op: m.op,
+                task: None,
+                node: 0,
+                stage: Stage::TraceReplay,
+                start: issuance.frontier[m.op as usize],
+                duration: SimTime::ZERO,
+            });
+        }
         Some(RefCell::new(log))
     } else {
         None
     };
     let audit = if config.audit {
-        let slices_per_op: Vec<usize> = slices
+        let slices_per_op: Vec<usize> = expanded
+            .dist
             .iter()
             .zip(&compact_ops)
-            .map(|(s, &c)| if c { s.len() } else { 0 })
+            .map(|(d, &c)| if c { d.slices.len() } else { 0 })
             .collect();
         Some(RefCell::new(AuditData::sized(expanded.len(), &slices_per_op)))
     } else {
@@ -1073,14 +1087,13 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         reassigned: RefCell::new(HashMap::new()),
         stats: RefCell::new(RecoveryStats::default()),
     });
+    let trace_stats = RefCell::new(expanded.trace_replay);
     let shared = Rc::new(Shared {
         program,
         expanded,
         config: config.clone(),
         machine: machine.clone(),
         frontier: issuance.frontier,
-        op_owner_tasks,
-        slices,
         waits_init,
         phys_weight,
         compact_ops,
@@ -1095,6 +1108,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         trace,
         audit,
         faults,
+        trace_stats,
     });
 
     let behaviors: Vec<RtNode<'_>> = (0..config.nodes)
@@ -1113,7 +1127,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
     for op_idx in 0..program.ops.len() {
         let at = shared.frontier[op_idx];
         if config.dcr {
-            for (node, _) in &shared.op_owner_tasks[op_idx] {
+            for (node, _) in &shared.expanded.dist[op_idx].groups {
                 sim.inject(at, *node, Msg::InjectOp { op: op_idx as u32 });
             }
         } else {
@@ -1205,6 +1219,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         audit,
         store,
         analysis_cache: shared.expanded.analysis_cache,
+        trace_replay: shared.trace_stats.into_inner(),
         recovery,
     }
 }
@@ -1264,6 +1279,61 @@ mod tests {
         // Genuinely identical launches still share one (that is what
         // makes tracing replay work at all).
         assert_eq!(sigs[0], sigs[3]);
+    }
+
+    /// Transparency of the trace-replay stats surface: `RunReport`
+    /// carries `trace_replay` counters, but `stage_json()` — the
+    /// byte-compared observable in the equivalence tiers — must not
+    /// mention them, and must be identical with replay on and off even
+    /// when a trace actually captures and replays.
+    #[test]
+    fn trace_replay_stats_stay_out_of_stage_json() {
+        let mut b = ProgramBuilder::new();
+        let mut fs = FieldSpaceDesc::new();
+        let f = fs.add("v", FieldKind::F64);
+        let fs = b.forest.create_field_space(fs);
+        let r = b.forest.create_region(Domain::range(8), fs);
+        let p = equal_partition_1d(&mut b.forest, r.space, 4);
+        let ident = b.identity_functor();
+        let t = b.task_modeled("t");
+        for _ in 0..6 {
+            b.index_launch(IndexLaunchDesc {
+                task: t,
+                domain: Domain::range(4),
+                reqs: vec![RegionReq {
+                    partition: p,
+                    functor: ident,
+                    privilege: Privilege::ReadWrite,
+                    fields: vec![f],
+                    tree: r.tree,
+                    field_space: fs,
+                }],
+                scalars: vec![],
+                cost: CostSpec::Uniform(SimTime::us(10)),
+                shard: None,
+            });
+        }
+        let program = b.build();
+        let cfg_on = RuntimeConfig::scale(2);
+        let on = execute(&program, &cfg_on);
+        let off = execute(&program, &cfg_on.clone().with_trace_replay(false));
+        assert!(
+            on.trace_replay.captured > 0 && on.trace_replay.replayed > 0,
+            "identical launches must capture and replay: {:?}",
+            on.trace_replay
+        );
+        // The `trace_replay` *stage bucket* is part of the fixed stage
+        // schema (present, zero simulated time, on and off alike); the
+        // capture/replay *counters* must never leak into it.
+        let json = on.stage_json().to_string();
+        for counter in ["captured", "replayed", "invalidated", "analyses_skipped"] {
+            assert!(
+                !json.contains(counter),
+                "trace-replay counter {counter:?} leaked into stage JSON: {json}"
+            );
+        }
+        assert_eq!(json, off.stage_json().to_string(), "stage JSON differs with replay on/off");
+        assert_eq!(on.makespan, off.makespan);
     }
 
     /// The physical-analysis weight is ceil(log2 |P|) per requirement: a

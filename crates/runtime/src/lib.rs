@@ -51,13 +51,15 @@ pub mod depgraph;
 pub mod exec;
 pub mod pool;
 pub mod program;
+pub mod replay;
 pub mod shard;
 pub mod trace;
 
 pub use config::{CostModel, ExecutionMode, FaultConfig, RuntimeConfig};
 pub use context::{InstanceStore, TaskContext};
 pub use depgraph::{
-    expand_program, launch_signature, AnalysisCacheStats, ExpandedProgram, TaskInstance,
+    expand_program, launch_signature, AnalysisCacheStats, ExpandProfile, ExpandedProgram, OpDist,
+    TaskInstance,
 };
 pub use exec::{execute, RecoveryStats, RunReport};
 pub use pool::ThreadPool;
@@ -65,5 +67,8 @@ pub use program::{
     CostSpec, FunctorId, IndexLaunchDesc, Operation, Program, ProgramBuilder, RegionReq, TaskBody,
     TaskId,
 };
-pub use shard::{block_shard, position_in_domain, round_robin_shard, ShardDomain, ShardingFn};
+pub use replay::{LaunchTrace, TraceMark, TraceMarkKind, TraceReplayStats};
+pub use shard::{
+    block_shard, position_in_domain, round_robin_shard, sharding_identity, ShardDomain, ShardingFn,
+};
 pub use trace::{AuditReport, TraceEvent, TraceLog};

@@ -98,6 +98,16 @@ pub fn round_robin_shard() -> ShardingFn {
     })
 }
 
+/// Stable identity of a sharding functor for trace keying: the address
+/// of the closure behind the `Arc`. Two clones of the same `Arc` compare
+/// equal; distinct functors (even with identical behavior) compare
+/// different, which errs on the side of invalidation — a trace is never
+/// replayed across a functor swap. The program holds its `Arc`s alive
+/// for the whole run, so addresses cannot be recycled mid-expansion.
+pub fn sharding_identity(f: &ShardingFn) -> usize {
+    Arc::as_ptr(f) as *const () as usize
+}
+
 /// Position of `p` in the iteration order of `domain`.
 ///
 /// Dense domains use row-major linearization (O(1)); sparse domains use

@@ -54,6 +54,16 @@ echo "== chaos smoke (200 seeded programs, each re-run under a fault schedule) =
 # better than fault-free, byte-identical replay.
 cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --seed 42 --faults 0xFA17
 
+echo "== replay-equivalence tier (trace capture & replay) =="
+# Trace replay is host-side memoization: these tiers assert replay-on
+# vs replay-off runs are byte-identical (reports, stage attribution,
+# final stores) over the oracle corpus, the golden apps, and randomized
+# iterative programs with mid-run mutations, and that repeated launch
+# sequences actually replay. The fuzz legs above also check on/off
+# report equality per case, so the 200-case corpus carries it too.
+cargo test --release --offline -q --test trace_replay
+cargo test --release --offline -q -p il-runtime --test trace_props
+
 echo "== chaos smoke (validated app run under faults) =="
 # A faulted validate-mode run must still match the sequential reference
 # (the binary asserts it) while the recovery protocol re-shards the
@@ -82,5 +92,13 @@ cargo run --release --offline -q -p il-bench --bin figures -- \
     fig4 --max-nodes 4 --out-dir "$csvtmp" > /dev/null
 test -s BENCH_PR4.json || { echo "BENCH_PR4.json was not written"; exit 1; }
 echo "BENCH_PR4.json written"
+
+echo "== bench smoke (BENCH_PR6.json replay trajectory) =="
+# The same `figures -- bench` invocation measures per-iteration
+# analysis overhead (ExpandProfile: verdicts + oracle scans + dist
+# planning + recorder validation) on the iterative apps with replay on
+# vs off and writes BENCH_PR6.json alongside BENCH_PR4.json.
+test -s BENCH_PR6.json || { echo "BENCH_PR6.json was not written"; exit 1; }
+echo "BENCH_PR6.json written"
 
 echo "verify.sh: all green"

@@ -17,8 +17,13 @@ use index_launch::runtime::{execute, expand_program, Program, RuntimeConfig};
 const NODES: usize = 2;
 
 fn on_off_configs() -> (RuntimeConfig, RuntimeConfig) {
-    let on = RuntimeConfig::scale(NODES);
-    let off = RuntimeConfig::scale(NODES).with_analysis_cache(false);
+    // Trace replay off on both sides: a replayed op skips the verdict
+    // path entirely, which is its own transparency contract
+    // (`tests/trace_replay.rs`); this tier isolates the per-launch
+    // verdict cache, whose hit/miss counts assume every op resolves a
+    // verdict.
+    let on = RuntimeConfig::scale(NODES).with_trace_replay(false);
+    let off = RuntimeConfig::scale(NODES).with_trace_replay(false).with_analysis_cache(false);
     (on, off)
 }
 

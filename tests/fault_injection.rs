@@ -157,6 +157,57 @@ fn early_crash_is_detected_resharded_and_survived() {
     assert!(faulted.makespan >= clean.makespan);
 }
 
+/// Crash + trace replay composition: a crash in the middle of an
+/// iterative run whose launch sequence has already been captured and
+/// replayed must invalidate the captured traces (the re-sharded
+/// distribution no longer matches the recorded plans), go through the
+/// re-shard protocol, and still converge to the fault-free data.
+#[test]
+fn mid_trace_crash_invalidates_and_converges() {
+    let built = stencil::build(&stencil::StencilConfig {
+        iterations: 8,
+        ..stencil::StencilConfig::tiny((2, 2))
+    });
+    let clean = execute(&built.program, &RuntimeConfig::validate(4));
+    assert!(
+        clean.trace_replay.captured > 0 && clean.trace_replay.replayed > 0,
+        "iterative stencil must capture and replay its launch trace: {:?}",
+        clean.trace_replay
+    );
+    assert_eq!(clean.trace_replay.invalidated, 0, "fault-free run must not invalidate");
+
+    // Crash one node halfway through the fault-free makespan: well after
+    // the trace has begun replaying, well before the run completes.
+    let mid = SimTime::us(clean.makespan.as_ns() / 1000 / 2);
+    let faults = FaultConfig {
+        drop_per_mille: 0,
+        dup_per_mille: 0,
+        slow_nodes: 0,
+        crash_window: (mid, mid),
+        ..FaultConfig::from_seed(42)
+    };
+    let faulted = execute(&built.program, &RuntimeConfig::validate(4).with_fault_config(faults));
+    let rec = faulted.recovery.expect("recovery stats");
+    assert_eq!(rec.crashes, 1, "schedule must crash exactly one node");
+    assert!(
+        rec.resharded_groups > 0,
+        "the dead node's slices must be re-sharded onto survivors"
+    );
+    assert!(
+        faulted.trace_replay.invalidated > 0,
+        "re-sharding must invalidate the captured traces: {:?}",
+        faulted.trace_replay
+    );
+    assert!(
+        faulted.trace_replay.replayed > 0,
+        "iterations before the crash still replay: {:?}",
+        faulted.trace_replay
+    );
+    assert_eq!(faulted.tasks, clean.tasks, "every task still runs");
+    assert_eq!(faulted.store, clean.store, "data converges to the fault-free stores");
+    assert!(faulted.makespan >= clean.makespan);
+}
+
 /// Leg 3: the default configuration keeps every fault path inert.
 #[test]
 fn faults_off_is_inert() {

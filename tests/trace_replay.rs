@@ -1,0 +1,388 @@
+//! Trace capture & replay must be pure memoization of the expansion
+//! pipeline: with replay on (the default) and off, every program
+//! produces identical verdicts, identical dependence structure,
+//! identical simulated time — byte-identical [`RunReport::stage_json`]
+//! output and identical final instance data. The only permitted
+//! difference is the host-side [`TraceReplayStats`] accounting.
+//!
+//! Locked in over the 500-seed differential-oracle corpus, the four
+//! safety-matrix applications (swept across the dcr × idx × tracing
+//! axes), a pinned capture → replay → invalidate lifecycle on a
+//! hand-built iterative program, and pool-width invariance of replayed
+//! runs.
+
+use il_oracle::generate_program;
+use il_testkit::SplitMix64;
+use index_launch::machine::{SimTime, Stage};
+use index_launch::prelude::*;
+use index_launch::runtime::{
+    execute, expand_program, CostSpec, IndexLaunchDesc, Program, ProgramBuilder, RegionReq,
+    RunReport, RuntimeConfig, ThreadPool, TraceMarkKind, TraceReplayStats,
+};
+
+const NODES: usize = 2;
+
+/// Everything observable about a run, as one comparable value. String
+/// rather than struct so assertion failures print the full diff.
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "makespan={} tasks={} messages={} bytes={} dyn={} stages={}",
+        r.makespan.as_ns(),
+        r.tasks,
+        r.messages,
+        r.bytes,
+        r.dynamic_check_time.as_ns(),
+        r.stage_json().to_string(),
+    )
+}
+
+/// Execute `program` with replay on and off and assert the runs are
+/// observationally identical. Returns the replay-on stats.
+fn assert_replay_transparent(
+    name: &str,
+    program: &Program,
+    cfg_on: &RuntimeConfig,
+) -> TraceReplayStats {
+    let cfg_off = cfg_on.clone().with_trace_replay(false);
+
+    let exp_on = expand_program(program, cfg_on);
+    let exp_off = expand_program(program, &cfg_off);
+    assert_eq!(exp_on.safety, exp_off.safety, "{name}: verdicts differ with replay on/off");
+    assert_eq!(exp_on.len(), exp_off.len(), "{name}: task counts differ");
+
+    let on = execute(program, cfg_on);
+    let off = execute(program, &cfg_off);
+    assert_eq!(
+        fingerprint(&on),
+        fingerprint(&off),
+        "{name}: observable run differs with replay on/off"
+    );
+    assert_eq!(on.store, off.store, "{name}: final data differs with replay on/off");
+
+    // The off run must be a true control: subsystem disabled, dormant.
+    assert!(!off.trace_replay.enabled, "{name}: off run reports replay enabled");
+    assert_eq!(
+        (off.trace_replay.captured, off.trace_replay.replayed, off.trace_replay.invalidated),
+        (0, 0, 0),
+        "{name}: off run did trace work"
+    );
+    assert!(on.trace_replay.enabled, "{name}: on run reports replay disabled");
+    on.trace_replay
+}
+
+/// 500 seeded random launch programs (the differential-oracle corpus
+/// generator): replay on and off agree everywhere. (The generator
+/// rarely produces a periodic launch sequence, so replay counts are
+/// not asserted here — the iterative-apps test below pins that replay
+/// actually fires.)
+#[test]
+fn corpus_runs_identically_with_replay_on_and_off() {
+    for case in 0..500u64 {
+        let seed = SplitMix64::mix(0xCAC4E, case);
+        let program = generate_program(seed);
+        assert_replay_transparent(
+            &format!("seed {seed:#x}"),
+            &program,
+            &RuntimeConfig::scale(NODES),
+        );
+    }
+}
+
+/// The four safety-matrix applications in validation mode (real
+/// kernels, final data compared). The iterative apps re-issue the same
+/// launch sequence every timestep, so traces must actually replay; the
+/// equivalence assertions prove the replays change nothing observable.
+#[test]
+fn safety_matrix_apps_run_identically_with_replay_on_and_off() {
+    use index_launch::apps::{circuit, soleil, stencil};
+
+    let stencil = stencil::build(&stencil::StencilConfig {
+        iterations: 6,
+        ..stencil::StencilConfig::tiny((2, 2))
+    });
+    let circuit = circuit::build(&circuit::CircuitConfig {
+        iterations: 5,
+        ..circuit::CircuitConfig::tiny(4)
+    });
+    let soleil = soleil::build(&soleil::SoleilConfig {
+        iterations: 4,
+        ..soleil::SoleilConfig::tiny((2, 1, 1))
+    });
+    let opaque = opaque_program();
+
+    for (name, program, want_replay) in [
+        ("stencil", &stencil.program, true),
+        ("circuit", &circuit.program, true),
+        ("soleil", &soleil.program, true),
+        ("opaque", &opaque, false),
+    ] {
+        let stats = assert_replay_transparent(name, program, &RuntimeConfig::validate(4));
+        if want_replay {
+            assert!(stats.captured > 0, "{name}: iterative app never captured a trace");
+            assert!(stats.replayed > 0, "{name}: iterative app never replayed a trace");
+            assert!(stats.analyses_skipped > 0, "{name}: replay skipped no analyses");
+        }
+    }
+}
+
+/// Replay transparency holds on every cell of the evaluation's
+/// configuration space: dcr × idx × tracing, at scale-mode node counts.
+/// (Legion-style tracing reattributes logical-analysis time to
+/// [`Stage::TraceReplay`] identically on both sides, so stage reports
+/// still match byte-for-byte.)
+#[test]
+fn replay_is_transparent_across_dcr_idx_tracing_axes() {
+    use index_launch::apps::{circuit, stencil};
+
+    let stencil = stencil::build(&stencil::StencilConfig {
+        iterations: 6,
+        ..stencil::StencilConfig::tiny((2, 2))
+    });
+    let circuit = circuit::build(&circuit::CircuitConfig {
+        iterations: 4,
+        ..circuit::CircuitConfig::tiny(4)
+    });
+
+    for (name, program) in [("stencil", &stencil.program), ("circuit", &circuit.program)] {
+        for dcr in [false, true] {
+            for idx in [false, true] {
+                for tracing in [false, true] {
+                    let cfg = RuntimeConfig::scale(8).with_axes(dcr, idx).with_tracing(tracing);
+                    assert_replay_transparent(
+                        &format!("{name} dcr={dcr} idx={idx} tracing={tracing}"),
+                        program,
+                        &cfg,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A hand-built iterative program: one setup launch, then `clean`
+/// iterations of a two-launch loop body, then `mutated` iterations
+/// whose second launch uses a different projection functor (the
+/// paper's "any change to the loop body invalidates the trace" case).
+/// 8-point launches over an 8-piece partition of a 32-cell region.
+fn iterative_program(clean: usize, mutated: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut fsd = FieldSpaceDesc::new();
+    let f = fsd.add("f", FieldKind::F64);
+    let g = fsd.add("g", FieldKind::F64);
+    let fs = b.forest.create_field_space(fsd);
+    let region = b.forest.create_region(Domain::range(32), fs);
+    let blocks = equal_partition_1d(&mut b.forest, region.space, 8);
+    let init = b.task_modeled("init");
+    let step_w = b.task_modeled("step_w");
+    let step_r = b.task_modeled("step_r");
+    let identity = b.identity_functor();
+    let shift1 = b.functor(ProjExpr::Modular { a: 1, b: 1, m: 8 });
+    let shift2 = b.functor(ProjExpr::Modular { a: 1, b: 2, m: 8 });
+
+    let req = |functor, privilege, field| RegionReq {
+        partition: blocks,
+        functor,
+        privilege,
+        fields: vec![field],
+        tree: region.tree,
+        field_space: fs,
+    };
+    let launch = |b: &mut ProgramBuilder, task, reqs| {
+        b.index_launch(IndexLaunchDesc {
+            task,
+            domain: Domain::range(8),
+            reqs,
+            scalars: vec![],
+            cost: CostSpec::Uniform(SimTime::us(10)),
+            shard: None,
+        });
+    };
+
+    launch(&mut b, init, vec![req(identity, Privilege::Write, f)]);
+    for iter in 0..clean + mutated {
+        let shift = if iter < clean { shift1 } else { shift2 };
+        launch(&mut b, step_w, vec![req(identity, Privilege::Write, f)]);
+        launch(
+            &mut b,
+            step_r,
+            vec![req(identity, Privilege::Read, f), req(shift, Privilege::Write, g)],
+        );
+    }
+    b.build()
+}
+
+/// Pinned lifecycle, clean loop: setup + 6 identical iterations of a
+/// 2-launch body. The rolling window detects the period at op 3
+/// (`keys[1..3] == keys[3..5]`), captures that window while expanding
+/// it normally, and replays the remaining 4 iterations — skipping 8
+/// launch analyses and splicing in 64 point tasks. Nothing ever
+/// invalidates.
+#[test]
+fn pinned_lifecycle_capture_then_steady_replay() {
+    let program = iterative_program(6, 0);
+    let cfg = RuntimeConfig::scale(NODES);
+    let exp = expand_program(&program, &cfg);
+
+    assert_eq!(
+        exp.trace_replay,
+        TraceReplayStats {
+            enabled: true,
+            captured: 1,
+            replayed: 4,
+            invalidated: 0,
+            analyses_skipped: 8,
+            tasks_replayed: 64,
+        },
+        "clean iterative loop: lifecycle counts drifted"
+    );
+    let marks: Vec<_> = exp.trace_marks.iter().map(|m| (m.op, m.len, m.kind)).collect();
+    assert_eq!(
+        marks,
+        vec![
+            (3, 2, TraceMarkKind::Captured),
+            (5, 2, TraceMarkKind::Replayed),
+            (7, 2, TraceMarkKind::Replayed),
+            (9, 2, TraceMarkKind::Replayed),
+            (11, 2, TraceMarkKind::Replayed),
+        ],
+        "clean iterative loop: mark sequence drifted"
+    );
+
+    // The report carries the same stats (no faults, so the simulated
+    // run adds no invalidations), and the run itself is transparent.
+    let stats = assert_replay_transparent("pinned-clean", &program, &cfg);
+    assert_eq!(stats, exp.trace_replay);
+}
+
+/// Pinned lifecycle, mutated loop: 4 clean iterations then 3 whose
+/// second launch swaps its projection functor. The stored trace is
+/// invalidated the moment its first key reappears with a different
+/// continuation (op 9), the new body is re-captured (op 11), and
+/// steady-state replay resumes — never a stale replay.
+#[test]
+fn pinned_lifecycle_mutation_invalidates_and_recaptures() {
+    let program = iterative_program(4, 3);
+    let cfg = RuntimeConfig::scale(NODES);
+    let exp = expand_program(&program, &cfg);
+
+    assert_eq!(
+        exp.trace_replay,
+        TraceReplayStats {
+            enabled: true,
+            captured: 2,
+            replayed: 3,
+            invalidated: 1,
+            analyses_skipped: 6,
+            tasks_replayed: 48,
+        },
+        "mutated iterative loop: lifecycle counts drifted"
+    );
+    let marks: Vec<_> = exp.trace_marks.iter().map(|m| (m.op, m.len, m.kind)).collect();
+    assert_eq!(
+        marks,
+        vec![
+            (3, 2, TraceMarkKind::Captured),
+            (5, 2, TraceMarkKind::Replayed),
+            (7, 2, TraceMarkKind::Replayed),
+            (9, 1, TraceMarkKind::Invalidated),
+            (11, 2, TraceMarkKind::Captured),
+            (13, 2, TraceMarkKind::Replayed),
+        ],
+        "mutated iterative loop: mark sequence drifted"
+    );
+
+    assert_replay_transparent("pinned-mutated", &program, &cfg);
+}
+
+/// Capture/replay/invalidate markers surface in the execution trace as
+/// zero-duration [`Stage::TraceReplay`] events at the issuing
+/// frontier, one per mark, in op order.
+#[test]
+fn lifecycle_markers_surface_in_trace_log() {
+    let program = iterative_program(6, 0);
+    let report = execute(&program, &RuntimeConfig::scale(NODES).with_trace(true));
+    let trace = report.trace.as_ref().expect("trace requested");
+    let markers: Vec<_> = trace
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::TraceReplay && e.duration == SimTime::ZERO)
+        .map(|e| e.op)
+        .collect();
+    assert_eq!(markers, vec![3, 5, 7, 9, 11], "one marker event per lifecycle mark");
+}
+
+/// The host-side accounting is bookkeeping only: none of it leaks into
+/// the wire-format stage report that equivalence tiers compare.
+#[test]
+fn replay_stats_stay_out_of_stage_json() {
+    let program = iterative_program(6, 0);
+    let report = execute(&program, &RuntimeConfig::scale(NODES));
+    assert!(report.trace_replay.replayed > 0);
+    let json = report.stage_json().to_string();
+    for key in ["captured", "replayed", "invalidated", "analyses_skipped", "tasks_replayed"] {
+        assert!(!json.contains(key), "stage_json leaked replay stat {key:?}: {json}");
+    }
+}
+
+/// Replayed runs are thread-count invariant: fanning the corpus and the
+/// pinned iterative program over worker pools of different widths
+/// yields identical fingerprints in identical order (each simulation is
+/// a pure function of its inputs; the pool maps results back in
+/// submission order).
+#[test]
+fn replayed_runs_are_pool_width_invariant() {
+    let sweep = |threads: usize| -> Vec<String> {
+        let pool = ThreadPool::new(threads);
+        let mut jobs: Vec<Box<dyn FnOnce() -> String + Send>> = (0..8_u64)
+            .map(|case| {
+                Box::new(move || {
+                    let program = generate_program(SplitMix64::mix(0xCAC4E, case));
+                    fingerprint(&execute(&program, &RuntimeConfig::scale(NODES)))
+                }) as Box<dyn FnOnce() -> String + Send>
+            })
+            .collect();
+        jobs.push(Box::new(|| {
+            let program = iterative_program(6, 0);
+            fingerprint(&execute(&program, &RuntimeConfig::scale(NODES)))
+        }));
+        pool.map(jobs)
+    };
+    let one = sweep(1);
+    let four = sweep(4);
+    assert_eq!(one, four, "replayed sweep must not depend on pool width");
+}
+
+/// An opaque-functor program (from the safety matrix): one identity
+/// launch and one opaque reversed-write launch, forcing the dynamic
+/// check path; aperiodic, so no trace ever captures.
+fn opaque_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let mut fsd = FieldSpaceDesc::new();
+    let f = fsd.add("x", FieldKind::F64);
+    let fs = b.forest.create_field_space(fsd);
+    let region = b.forest.create_region(Domain::range(32), fs);
+    let blocks = equal_partition_1d(&mut b.forest, region.space, 8);
+    let domain = Domain::range(8);
+    let task = b.task_modeled("reverse_write");
+    for functor in [
+        b.identity_functor(),
+        b.functor(ProjExpr::opaque(|p| DomainPoint::new1(7 - p.x()))),
+    ] {
+        b.index_launch(IndexLaunchDesc {
+            task,
+            domain: domain.clone(),
+            reqs: vec![RegionReq {
+                partition: blocks,
+                functor,
+                privilege: Privilege::Write,
+                fields: vec![f],
+                tree: region.tree,
+                field_space: fs,
+            }],
+            scalars: vec![],
+            cost: CostSpec::Uniform(SimTime::us(10)),
+            shard: None,
+        });
+    }
+    b.build()
+}
