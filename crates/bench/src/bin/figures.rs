@@ -6,6 +6,7 @@
 //! cargo run -p il-bench --release --bin figures -- fig4 --max-nodes 64
 //! cargo run -p il-bench --release --bin figures -- all --repeats 5
 //! cargo run -p il-bench --release --bin figures -- fig4 --out-dir /tmp/r --no-bench
+//! cargo run -p il-bench --release --bin figures -- scale --scale-max-nodes 65536
 //! ```
 //!
 //! ASCII tables print to stdout; CSVs land in `--out-dir` (default
@@ -27,6 +28,7 @@ use il_analysis::{
     cross_check, cross_check_reference, self_check, self_check_reference, ArgCheck, ProjExpr,
 };
 use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure, SweepOpts};
+use il_bench::machine_scale;
 use il_bench::render::{render_figure, render_table, write_figure_csv, write_table_csv};
 use il_bench::tables::{extrapolate_checks, table2, table3};
 use il_geometry::Domain;
@@ -38,6 +40,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: Vec<String> = Vec::new();
     let mut max_nodes = 1024usize;
+    let mut scale_max_nodes = 1_048_576usize;
     let mut repeats = 1u32;
     let mut pool_size = 0usize;
     let mut out_dir = PathBuf::from("results");
@@ -48,6 +51,11 @@ fn main() {
             "--max-nodes" => {
                 i += 1;
                 max_nodes = args[i].parse().expect("--max-nodes takes a number");
+            }
+            "--scale-max-nodes" => {
+                i += 1;
+                scale_max_nodes =
+                    args[i].parse().expect("--scale-max-nodes takes a number");
             }
             "--repeats" => {
                 i += 1;
@@ -111,13 +119,26 @@ fn main() {
                 write_table_csv("extrapolate", &rows, &out_dir).expect("write extrapolate.csv");
                 println!();
             }
+            // Not part of "all": the machine-scale sweep measures the
+            // raw DES, not a paper figure, and the 1M-node point takes
+            // a while. `--scale-max-nodes 65536` is the CI smoke size.
+            "scale" => {
+                let sweep = machine_scale::weak_scaling(scale_max_nodes);
+                print!("{}", sweep.render());
+                std::fs::write("BENCH_PR7.json", sweep.to_json().to_string_pretty())
+                    .expect("write machine-scale trajectory");
+                println!("wrote BENCH_PR7.json");
+                println!();
+            }
             "table3" => {
                 let rows = table3();
                 print!("{}", render_table("Table 3: dynamic cross-checks", "Number of arguments", &rows));
                 write_table_csv("table3", &rows, &out_dir).expect("write table3.csv");
                 println!();
             }
-            other => eprintln!("unknown target {other:?} (expected fig4..fig10, table2, table3, all)"),
+            other => eprintln!(
+                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, all)"
+            ),
         }
     }
 

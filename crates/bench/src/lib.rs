@@ -4,6 +4,9 @@
 //! * [`figures`] — the scaling experiments (Figures 4–10), run on the
 //!   simulated machine across node counts and runtime configurations,
 //!   parallelized over a work-stealing pool;
+//! * [`machine_scale`] — the weak-scaling sweep of the raw DES at
+//!   16k–1M simulated nodes (`figures -- scale`), written to
+//!   `BENCH_PR7.json`;
 //! * [`tables`] — the dynamic-check microbenchmarks (Tables 2–3),
 //!   measured in real wall-clock time on this machine (no simulation —
 //!   the checks are ordinary single-node code);
@@ -16,8 +19,10 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod machine_scale;
 pub mod render;
 pub mod tables;
 
 pub use figures::{FigPoint, Figure};
+pub use machine_scale::{weak_scaling, ScalePoint, ScaleSweep};
 pub use tables::{extrapolate_checks, table2, table3, TableRow};

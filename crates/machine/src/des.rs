@@ -5,27 +5,40 @@
 //! Events (messages) are processed in deterministic `(time, sequence)`
 //! order: ties in time break by the sequence number assigned at enqueue, so
 //! same-timestamp events (common under injected faults) always pop in the
-//! order they were sent, regardless of heap internals or host parallelism.
+//! order they were sent, regardless of queue internals or host parallelism.
 //! A node handles a message no earlier than both its arrival time and
 //! the time the node's runtime thread frees up, which is what makes a
 //! centralized control node processing O(|D|) messages an honest bottleneck
 //! in the simulation.
+//!
+//! The simulator is built for machines far beyond the paper's 1024 nodes:
+//!
+//! - the pending-event queue is pluggable ([`QueueKind`]): a binary heap at
+//!   paper scale, a calendar queue ([`crate::queue`]) at 10⁵–10⁶ nodes,
+//!   both producing the identical dispatch sequence;
+//! - per-node clocks live in a slot arena ([`ClockArena`]): a node gets
+//!   mutable state the first time an event reaches it, so stepping, the
+//!   makespan, and report assembly cost O(active nodes), not O(machine),
+//!   and an idle node costs 4 bytes;
+//! - the interconnect is pluggable ([`Interconnect`]): flat α–β by default
+//!   (byte-identical to the original model), hierarchical with per-level
+//!   link contention on request.
 //!
 //! An optional [`FaultPlan`] (see [`crate::fault`]) makes the machine
 //! adversarial: crashed nodes silently discard every event addressed to
 //! them, the network drops or duplicates data-plane messages, and slow
 //! nodes pay a multiplier on all charged work. With no plan installed every
 //! fault hook is a no-op and the simulation is byte-identical to one built
-//! before faults existed.
+//! before faults existed. Fault lookups are O(1) table reads, so a dense
+//! fault schedule does not slow the per-event hot path.
 
 use crate::fault::{FaultCounters, FaultPlan};
 use crate::machine::MachineDesc;
-use crate::network::Network;
+use crate::network::{Interconnect, Network};
+use crate::queue::{BinaryHeapQueue, CalendarQueue, Event, EventQueue, QueueKind};
 use crate::stage::{Stage, StageTotals, StageTraffic};
 use crate::time::SimTime;
 use crate::NodeId;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Behavior of one simulated node: a message handler invoked by the
@@ -36,32 +49,53 @@ pub trait NodeBehavior<M> {
     fn on_message(&mut self, ctx: &mut NodeCtx<'_, M>, msg: M);
 }
 
-#[derive(Debug)]
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    dst: NodeId,
-    msg: M,
+/// The queue implementation actually in force, dispatched statically.
+enum ActiveQueue<M> {
+    Heap(BinaryHeapQueue<M>),
+    Calendar(CalendarQueue<M>),
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<M> ActiveQueue<M> {
+    fn new(kind: QueueKind, nodes: usize) -> Self {
+        match kind.resolve(nodes) {
+            QueueKind::Calendar => ActiveQueue::Calendar(CalendarQueue::new()),
+            _ => ActiveQueue::Heap(BinaryHeapQueue::new()),
+        }
     }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    fn kind(&self) -> QueueKind {
+        match self {
+            ActiveQueue::Heap(_) => QueueKind::BinaryHeap,
+            ActiveQueue::Calendar(_) => QueueKind::Calendar,
+        }
     }
 }
 
-/// Per-node availability clocks.
+impl<M> EventQueue<M> for ActiveQueue<M> {
+    fn push(&mut self, ev: Event<M>) {
+        match self {
+            ActiveQueue::Heap(q) => q.push(ev),
+            ActiveQueue::Calendar(q) => q.push(ev),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event<M>> {
+        match self {
+            ActiveQueue::Heap(q) => q.pop(),
+            ActiveQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ActiveQueue::Heap(q) => q.len(),
+            ActiveQueue::Calendar(q) => q.len(),
+        }
+    }
+}
+
+/// Per-node availability clocks (a by-value snapshot; see
+/// [`Simulator::clock`]).
 #[derive(Clone, Debug, Default)]
 pub struct NodeClock {
     /// When the node's (single) runtime/analysis thread is next free.
@@ -76,6 +110,90 @@ pub struct NodeClock {
     /// stage the handler declared ([`NodeCtx::set_stage`]); processor
     /// work accrues under [`Stage::Exec`].
     pub stage_busy: StageTotals,
+}
+
+/// Sentinel slot meaning "node never touched".
+const UNTRACKED: u32 = u32::MAX;
+
+/// Struct-of-arrays storage for per-node clocks, allocated per *active*
+/// node rather than per node.
+///
+/// `slot[node]` maps a node to its arena slot (4 bytes per node, the only
+/// O(machine) allocation); every other array is indexed by slot and grows
+/// only when an event first reaches a node. A 1M-node machine where 10k
+/// nodes participate carries 10k clock records, and every full-machine
+/// aggregate (makespan, stage totals, per-node report rows) walks the
+/// active list — O(active), not O(nodes).
+struct ClockArena {
+    procs_per_node: usize,
+    /// Node → arena slot, `UNTRACKED` when the node was never dispatched.
+    slot: Vec<u32>,
+    /// Slot → node, in first-touch order.
+    active: Vec<NodeId>,
+    runtime_free: Vec<SimTime>,
+    nic_free: Vec<SimTime>,
+    runtime_busy: Vec<SimTime>,
+    stage_busy: Vec<StageTotals>,
+    /// Flat `active × procs_per_node` arena.
+    proc_free: Vec<SimTime>,
+}
+
+impl ClockArena {
+    fn new(nodes: usize, procs_per_node: usize) -> Self {
+        ClockArena {
+            procs_per_node,
+            slot: vec![UNTRACKED; nodes],
+            active: Vec::new(),
+            runtime_free: Vec::new(),
+            nic_free: Vec::new(),
+            runtime_busy: Vec::new(),
+            stage_busy: Vec::new(),
+            proc_free: Vec::new(),
+        }
+    }
+
+    /// The node's slot, allocating one on first touch.
+    fn touch(&mut self, node: NodeId) -> usize {
+        let s = self.slot[node];
+        if s != UNTRACKED {
+            return s as usize;
+        }
+        let s = self.active.len();
+        assert!(s < UNTRACKED as usize, "active-node slot space exhausted");
+        self.slot[node] = s as u32;
+        self.active.push(node);
+        self.runtime_free.push(SimTime::ZERO);
+        self.nic_free.push(SimTime::ZERO);
+        self.runtime_busy.push(SimTime::ZERO);
+        self.stage_busy.push(StageTotals::new());
+        self.proc_free
+            .resize(self.proc_free.len() + self.procs_per_node, SimTime::ZERO);
+        s
+    }
+
+    fn procs(&self, slot: usize) -> &[SimTime] {
+        &self.proc_free[slot * self.procs_per_node..(slot + 1) * self.procs_per_node]
+    }
+
+    fn snapshot(&self, node: NodeId) -> NodeClock {
+        assert!(node < self.slot.len(), "node {node} out of range");
+        match self.slot[node] {
+            UNTRACKED => NodeClock {
+                proc_free: vec![SimTime::ZERO; self.procs_per_node],
+                ..NodeClock::default()
+            },
+            s => {
+                let s = s as usize;
+                NodeClock {
+                    runtime_free: self.runtime_free[s],
+                    nic_free: self.nic_free[s],
+                    proc_free: self.procs(s).to_vec(),
+                    runtime_busy: self.runtime_busy[s],
+                    stage_busy: self.stage_busy[s],
+                }
+            }
+        }
+    }
 }
 
 /// Aggregate statistics of a simulation run.
@@ -110,6 +228,17 @@ pub enum SimError {
         /// The event's enqueue sequence number.
         seq: u64,
     },
+    /// The run dispatched more events than its runaway guard allows —
+    /// almost always a livelocked protocol (a handler re-sending to
+    /// itself without progress). Reported as data instead of a panic so
+    /// large sweeps can size caps from the machine
+    /// ([`Simulator::default_event_cap`]) and fail cleanly.
+    RunawayGuard {
+        /// The event cap that was exceeded.
+        limit: u64,
+        /// Events still pending when the guard tripped.
+        pending: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -119,6 +248,11 @@ impl fmt::Display for SimError {
                 f,
                 "time went backwards: event seq {seq} for node {dst} due at {event} \
                  popped at simulation time {now}"
+            ),
+            SimError::RunawayGuard { limit, pending } => write!(
+                f,
+                "simulation exceeded {limit} events ({pending} still pending): \
+                 runaway guard tripped"
             ),
         }
     }
@@ -133,11 +267,13 @@ impl std::error::Error for SimError {}
 /// All sends are injected at the cursor (serialized through the NIC).
 pub struct NodeCtx<'a, M> {
     node: NodeId,
+    /// The node's slot in the clock arena (touched before dispatch).
+    slot: usize,
     arrival: SimTime,
     cursor: SimTime,
     stage: Stage,
-    clock: &'a mut NodeClock,
-    network: &'a Network,
+    clocks: &'a mut ClockArena,
+    net: &'a mut dyn Interconnect,
     nodes: usize,
     outbox: Vec<(SimTime, NodeId, M)>,
     stats: &'a mut SimStats,
@@ -188,8 +324,8 @@ impl<'a, M> NodeCtx<'a, M> {
     pub fn charge(&mut self, duration: SimTime) {
         let duration = duration * self.slow;
         self.cursor += duration;
-        self.clock.runtime_busy += duration;
-        self.clock.stage_busy.add(self.stage, duration);
+        self.clocks.runtime_busy[self.slot] += duration;
+        self.clocks.stage_busy[self.slot].add(self.stage, duration);
     }
 
     /// Send `msg` to another node through the network; `bytes` sets the
@@ -211,7 +347,8 @@ impl<'a, M> NodeCtx<'a, M> {
             self.outbox.push((self.cursor, dst, msg));
             return;
         }
-        let arrival = self.inject_to_nic(bytes);
+        let nic_done = self.inject_to_nic(bytes);
+        let arrival = self.net.deliver(self.node, dst, bytes, nic_done);
         if let Some(plan) = self.plan {
             let nonce = *self.fault_nonce;
             *self.fault_nonce += 1;
@@ -222,7 +359,7 @@ impl<'a, M> NodeCtx<'a, M> {
             if plan.duplicate_message(nonce) {
                 self.stats.faults.duplicated += 1;
                 self.outbox
-                    .push((arrival + self.network.latency, dst, msg.clone()));
+                    .push((arrival + self.net.base().latency, dst, msg.clone()));
             }
         }
         self.outbox.push((arrival, dst, msg));
@@ -241,21 +378,22 @@ impl<'a, M> NodeCtx<'a, M> {
             self.outbox.push((self.cursor, dst, msg));
             return;
         }
-        let arrival = self.inject_to_nic(bytes);
+        let nic_done = self.inject_to_nic(bytes);
+        let arrival = self.net.deliver(self.node, dst, bytes, nic_done);
         self.outbox.push((arrival, dst, msg));
     }
 
     /// Serialize a `bytes`-byte message through the NIC: advances
-    /// `nic_free`, records stats, returns the arrival time at the remote
-    /// node.
+    /// `nic_free`, records stats, returns the time injection completes
+    /// (the [`Interconnect`] decides the remote arrival from there).
     fn inject_to_nic(&mut self, bytes: u64) -> SimTime {
-        let start = self.cursor.max(self.clock.nic_free);
-        let occupancy = self.network.occupancy(bytes);
-        self.clock.nic_free = start + occupancy;
+        let start = self.cursor.max(self.clocks.nic_free[self.slot]);
+        let occupancy = self.net.base().occupancy(bytes);
+        self.clocks.nic_free[self.slot] = start + occupancy;
         self.stats.messages += 1;
         self.stats.bytes += bytes;
         self.stats.traffic.record(self.stage, bytes);
-        start + occupancy + self.network.latency
+        start + occupancy
     }
 
     /// Schedule a message to this node at an absolute future time (used for
@@ -271,33 +409,35 @@ impl<'a, M> NodeCtx<'a, M> {
     /// thread; pair with [`send_self_at`](NodeCtx::send_self_at) to observe
     /// completion.
     pub fn exec_on_proc(&mut self, local: usize, duration: SimTime) -> SimTime {
-        assert!(local < self.clock.proc_free.len(), "processor {local} out of range");
+        assert!(local < self.clocks.procs_per_node, "processor {local} out of range");
         let duration = duration * self.slow;
-        let start = self.cursor.max(self.clock.proc_free[local]);
+        let idx = self.slot * self.clocks.procs_per_node + local;
+        let start = self.cursor.max(self.clocks.proc_free[idx]);
         let done = start + duration;
-        self.clock.proc_free[local] = done;
-        self.clock.stage_busy.add(Stage::Exec, duration);
+        self.clocks.proc_free[idx] = done;
+        self.clocks.stage_busy[self.slot].add(Stage::Exec, duration);
         done
     }
 
     /// When processor `local` is next free.
     pub fn proc_free(&self, local: usize) -> SimTime {
-        self.clock.proc_free[local]
+        assert!(local < self.clocks.procs_per_node, "processor {local} out of range");
+        self.clocks.proc_free[self.slot * self.clocks.procs_per_node + local]
     }
 
-    /// The network model in force.
+    /// The flat α–β parameters of the network model in force.
     pub fn network(&self) -> &Network {
-        self.network
+        self.net.base()
     }
 }
 
 /// The deterministic discrete-event simulator.
 pub struct Simulator<M, B> {
     machine: MachineDesc,
-    network: Network,
+    net: Box<dyn Interconnect>,
     nodes: Vec<B>,
-    clocks: Vec<NodeClock>,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    clocks: ClockArena,
+    queue: ActiveQueue<M>,
     now: SimTime,
     seq: u64,
     stats: SimStats,
@@ -306,30 +446,55 @@ pub struct Simulator<M, B> {
 }
 
 impl<M, B: NodeBehavior<M>> Simulator<M, B> {
-    /// Build a simulator over `machine` with one behavior per node.
+    /// Build a simulator over `machine` with one behavior per node, the
+    /// flat α–β `network`, and the [`QueueKind::Auto`] event queue.
     ///
     /// # Panics
     /// Panics if `behaviors.len() != machine.nodes`.
     pub fn new(machine: MachineDesc, network: Network, behaviors: Vec<B>) -> Self {
         assert_eq!(behaviors.len(), machine.nodes, "one behavior per node required");
-        let clocks = (0..machine.nodes)
-            .map(|_| NodeClock {
-                proc_free: vec![SimTime::ZERO; machine.procs_per_node()],
-                ..NodeClock::default()
-            })
-            .collect();
+        let clocks = ClockArena::new(machine.nodes, machine.procs_per_node());
+        let queue = ActiveQueue::new(QueueKind::Auto, machine.nodes);
         Simulator {
             machine,
-            network,
+            net: Box::new(network),
             nodes: behaviors,
             clocks,
-            queue: BinaryHeap::new(),
+            queue,
             now: SimTime::ZERO,
             seq: 0,
             stats: SimStats::default(),
             fault_plan: None,
             fault_nonce: 0,
         }
+    }
+
+    /// Replace the event queue implementation. Both kinds dispatch in the
+    /// identical `(time, seq)` order; this only selects the data structure.
+    ///
+    /// # Panics
+    /// Panics if events were already injected.
+    pub fn with_queue(mut self, kind: QueueKind) -> Self {
+        assert_eq!(self.seq, 0, "select the event queue before injecting events");
+        self.queue = ActiveQueue::new(kind, self.machine.nodes);
+        self
+    }
+
+    /// Replace the interconnect model (e.g. with
+    /// [`HierNetwork`](crate::network::HierNetwork)). The default flat
+    /// model is byte-identical to the pre-trait simulator.
+    ///
+    /// # Panics
+    /// Panics if events were already injected.
+    pub fn with_interconnect(mut self, net: Box<dyn Interconnect>) -> Self {
+        assert_eq!(self.seq, 0, "select the interconnect before injecting events");
+        self.net = net;
+        self
+    }
+
+    /// The event-queue implementation in force (`Auto` already resolved).
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Install a fault plan. Every subsequent dispatch consults it; with no
@@ -348,13 +513,13 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         assert!(dst < self.nodes.len(), "destination out of range");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, dst, msg }));
+        self.queue.push(Event { time, seq, dst, msg });
     }
 
     /// Dispatch the next event. `Ok(false)` when the queue is empty;
     /// [`SimError::TimeRegression`] if the due event predates the clock.
     pub fn try_step(&mut self) -> Result<bool, SimError> {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop() else {
             return Ok(false);
         };
         if ev.time < self.now {
@@ -378,15 +543,16 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             .fault_plan
             .as_ref()
             .map_or(1, |p| p.slow_factor(ev.dst));
-        let clock = &mut self.clocks[ev.dst];
-        let start = ev.time.max(clock.runtime_free);
+        let slot = self.clocks.touch(ev.dst);
+        let start = ev.time.max(self.clocks.runtime_free[slot]);
         let mut ctx = NodeCtx {
             node: ev.dst,
+            slot,
             arrival: ev.time,
             cursor: start,
             stage: Stage::Other,
-            clock,
-            network: &self.network,
+            clocks: &mut self.clocks,
+            net: self.net.as_mut(),
             nodes: self.nodes.len(),
             outbox: Vec::new(),
             stats: &mut self.stats,
@@ -397,11 +563,11 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         self.nodes[ev.dst].on_message(&mut ctx, ev.msg);
         let cursor = ctx.cursor;
         let outbox = std::mem::take(&mut ctx.outbox);
-        self.clocks[ev.dst].runtime_free = cursor;
+        self.clocks.runtime_free[slot] = cursor;
         for (time, dst, msg) in outbox {
             let seq = self.seq;
             self.seq += 1;
-            self.queue.push(Reverse(Event { time, seq, dst, msg }));
+            self.queue.push(Event { time, seq, dst, msg });
         }
         Ok(true)
     }
@@ -414,17 +580,45 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         self.try_step().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Run until the event queue drains, dispatching at most `max_events`
+    /// events. Returns the number dispatched, or
+    /// [`SimError::RunawayGuard`] once the cap is exceeded (use
+    /// [`default_event_cap`](Simulator::default_event_cap) for a
+    /// machine-sized cap).
+    pub fn try_run(&mut self, max_events: u64) -> Result<u64, SimError> {
+        let mut dispatched = 0u64;
+        while self.try_step()? {
+            dispatched += 1;
+            if dispatched > max_events {
+                return Err(SimError::RunawayGuard {
+                    limit: max_events,
+                    pending: self.queue.len() as u64,
+                });
+            }
+        }
+        Ok(dispatched)
+    }
+
     /// Run until the event queue drains.
     ///
     /// # Panics
-    /// Panics after `max_events` dispatches as a runaway guard, or with the
-    /// [`SimError`] if the queue invariant is violated.
+    /// Panics with the [`SimError`] after `max_events` dispatches (runaway
+    /// guard) or if the queue invariant is violated. Use
+    /// [`try_run`](Simulator::try_run) to handle either as data.
     pub fn run(&mut self, max_events: u64) {
-        let mut dispatched = 0u64;
-        while self.step() {
-            dispatched += 1;
-            assert!(dispatched <= max_events, "simulation exceeded {max_events} events");
+        if let Err(e) = self.try_run(max_events) {
+            panic!("{e}");
         }
+    }
+
+    /// A runaway-guard cap proportional to the machine: 4096 events per
+    /// node, at least 2²⁰. Callers with a tighter estimate of their
+    /// protocol's event count should take the max of the two — a fixed
+    /// constant tuned at paper scale will trip spuriously at 65k+ nodes.
+    pub fn default_event_cap(&self) -> u64 {
+        (self.machine.nodes as u64)
+            .saturating_mul(4_096)
+            .max(1 << 20)
     }
 
     /// Current simulated time (time of the last dispatched event).
@@ -432,17 +626,33 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         self.now
     }
 
+    /// Events currently pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// The makespan: the latest time any runtime thread, NIC, or processor
     /// is busy until. A crashed node's contribution is clamped to its crash
-    /// time — work it had booked past that instant died with it.
+    /// time — work it had booked past that instant died with it. O(active
+    /// nodes): untouched nodes hold no clock state and contribute zero.
     pub fn makespan(&self) -> SimTime {
+        let plan = self.fault_plan.as_ref();
         self.clocks
+            .active
             .iter()
             .enumerate()
-            .map(|(id, c)| {
-                let p = c.proc_free.iter().copied().max().unwrap_or(SimTime::ZERO);
-                let busy_until = c.runtime_free.max(c.nic_free).max(p);
-                match self.fault_plan.as_ref().and_then(|pl| pl.crash_time(id)) {
+            .map(|(slot, &id)| {
+                let p = self
+                    .clocks
+                    .procs(slot)
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                let busy_until = self.clocks.runtime_free[slot]
+                    .max(self.clocks.nic_free[slot])
+                    .max(p);
+                match plan.and_then(|pl| pl.crash_time(id)) {
                     Some(crash) => busy_until.min(crash),
                     None => busy_until,
                 }
@@ -457,13 +667,30 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
     }
 
     /// Per-stage busy time summed across every node (runtime threads plus
-    /// [`Stage::Exec`] processor work).
+    /// [`Stage::Exec`] processor work). O(active nodes).
     pub fn stage_totals(&self) -> StageTotals {
         let mut totals = StageTotals::new();
-        for c in &self.clocks {
-            totals.merge(&c.stage_busy);
+        for sb in &self.clocks.stage_busy {
+            totals.merge(sb);
         }
         totals
+    }
+
+    /// Per-node stage attribution, sparse: `(node, totals)` for exactly
+    /// the nodes with nonzero accumulated stage time, sorted by node.
+    /// O(active nodes) to assemble — a 1M-node run where 10k nodes worked
+    /// yields 10k rows, not 1M.
+    pub fn node_stage_busy(&self) -> Vec<(NodeId, StageTotals)> {
+        let mut rows: Vec<(NodeId, StageTotals)> = self
+            .clocks
+            .active
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| self.clocks.stage_busy[slot].sum() != SimTime::ZERO)
+            .map(|(slot, &id)| (id, self.clocks.stage_busy[slot]))
+            .collect();
+        rows.sort_unstable_by_key(|&(id, _)| id);
+        rows
     }
 
     /// The machine description.
@@ -482,9 +709,10 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         &mut self.nodes[id]
     }
 
-    /// Per-node clocks (read-only).
-    pub fn clock(&self, id: NodeId) -> &NodeClock {
-        &self.clocks[id]
+    /// A snapshot of a node's clocks. Nodes no event ever reached report
+    /// all-zero clocks (they hold no arena slot).
+    pub fn clock(&self, id: NodeId) -> NodeClock {
+        self.clocks.snapshot(id)
     }
 
     /// Consume the simulator, returning the node behaviors.
@@ -692,44 +920,50 @@ mod tests {
     fn same_timestamp_events_pop_in_enqueue_order() {
         // The documented tie-break: equal-time events dispatch in the order
         // they were enqueued (sequence number), independent of payload,
-        // destination, or heap internals.
-        let mut sim = Simulator::new(
-            MachineDesc::piz_daint(2),
-            Network::ideal(),
-            vec![Recorder::default(), Recorder::default()],
-        );
-        let t = SimTime::us(5);
-        for k in [9u64, 3, 7, 1, 8, 2] {
-            sim.inject(t, 0, k);
+        // destination, or queue implementation.
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut sim = Simulator::new(
+                MachineDesc::piz_daint(2),
+                Network::ideal(),
+                vec![Recorder::default(), Recorder::default()],
+            )
+            .with_queue(kind);
+            let t = SimTime::us(5);
+            for k in [9u64, 3, 7, 1, 8, 2] {
+                sim.inject(t, 0, k);
+            }
+            sim.inject(t, 1, 100);
+            sim.inject(t, 1, 99);
+            sim.run(100);
+            assert_eq!(sim.node(0).seen, vec![9, 3, 7, 1, 8, 2]);
+            assert_eq!(sim.node(1).seen, vec![100, 99]);
         }
-        sim.inject(t, 1, 100);
-        sim.inject(t, 1, 99);
-        sim.run(100);
-        assert_eq!(sim.node(0).seen, vec![9, 3, 7, 1, 8, 2]);
-        assert_eq!(sim.node(1).seen, vec![100, 99]);
     }
 
     #[test]
     fn time_regression_is_a_structured_error() {
-        let mut sim = Simulator::new(
-            MachineDesc::piz_daint(1),
-            Network::ideal(),
-            vec![Recorder::default()],
-        );
-        sim.inject(SimTime::us(10), 0, 1);
-        assert_eq!(sim.try_step(), Ok(true)); // clock now at 10us
-        sim.inject(SimTime::us(2), 0, 2); // stale injection
-        let err = sim.try_step().unwrap_err();
-        assert_eq!(
-            err,
-            SimError::TimeRegression {
-                event: SimTime::us(2),
-                now: SimTime::us(10),
-                dst: 0,
-                seq: 1,
-            }
-        );
-        assert!(err.to_string().contains("time went backwards"));
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut sim = Simulator::new(
+                MachineDesc::piz_daint(1),
+                Network::ideal(),
+                vec![Recorder::default()],
+            )
+            .with_queue(kind);
+            sim.inject(SimTime::us(10), 0, 1);
+            assert_eq!(sim.try_step(), Ok(true)); // clock now at 10us
+            sim.inject(SimTime::us(2), 0, 2); // stale injection
+            let err = sim.try_step().unwrap_err();
+            assert_eq!(
+                err,
+                SimError::TimeRegression {
+                    event: SimTime::us(2),
+                    now: SimTime::us(10),
+                    dst: 0,
+                    seq: 1,
+                }
+            );
+            assert!(err.to_string().contains("time went backwards"));
+        }
     }
 
     #[test]
@@ -899,5 +1133,129 @@ mod tests {
         let mut sim = Simulator::new(MachineDesc::piz_daint(1), Network::ideal(), vec![Loopy]);
         sim.inject(SimTime::ZERO, 0, 0);
         sim.run(50);
+    }
+
+    #[test]
+    fn try_run_reports_runaway_as_data() {
+        struct Loopy;
+        impl NodeBehavior<u8> for Loopy {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, _msg: u8) {
+                ctx.charge(SimTime::us(1));
+                let t = ctx.now();
+                ctx.send_self_at(t, 0);
+            }
+        }
+        let mut sim = Simulator::new(MachineDesc::piz_daint(1), Network::ideal(), vec![Loopy]);
+        sim.inject(SimTime::ZERO, 0, 0);
+        let err = sim.try_run(50).unwrap_err();
+        assert_eq!(err, SimError::RunawayGuard { limit: 50, pending: 1 });
+        assert!(err.to_string().contains("exceeded"));
+        // A finishing run reports its dispatch count.
+        let mut ok = sim2();
+        ok.inject(SimTime::ZERO, 0, Msg::Ping(0));
+        assert_eq!(ok.try_run(1_000), Ok(ok.stats().events));
+    }
+
+    #[test]
+    fn default_event_cap_scales_with_machine_size() {
+        let small = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::ideal(),
+            vec![Recorder::default(), Recorder::default()],
+        );
+        // Paper scale: floor of 2^20 events.
+        assert_eq!(small.default_event_cap(), 1 << 20);
+        let big = Simulator::new(
+            MachineDesc::piz_daint(65_536),
+            Network::ideal(),
+            (0..65_536).map(|_| Recorder::default()).collect(),
+        );
+        assert_eq!(big.default_event_cap(), 65_536 * 4_096);
+        assert!(big.default_event_cap() > small.default_event_cap());
+    }
+
+    #[test]
+    fn auto_queue_selects_by_machine_size() {
+        let small = sim2();
+        assert_eq!(small.queue_kind(), QueueKind::BinaryHeap);
+        let big = Simulator::new(
+            MachineDesc::piz_daint(4_096),
+            Network::ideal(),
+            (0..4_096).map(|_| Recorder::default()).collect(),
+        );
+        assert_eq!(big.queue_kind(), QueueKind::Calendar);
+    }
+
+    #[test]
+    fn clock_storage_is_o_active_and_reports_are_sparse() {
+        struct Worker;
+        impl NodeBehavior<u8> for Worker {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, _msg: u8) {
+                ctx.set_stage(Stage::Exec);
+                ctx.charge(SimTime::us(ctx.node() as u64 + 1));
+            }
+        }
+        let nodes = 10_000;
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(nodes),
+            Network::ideal(),
+            (0..nodes).map(|_| Worker).collect(),
+        );
+        // Only three nodes ever see an event (injected out of node order).
+        for n in [7_777, 3, 512] {
+            sim.inject(SimTime::ZERO, n, 0);
+        }
+        sim.run(100);
+        assert_eq!(sim.clocks.active.len(), 3);
+        // Sparse per-node rows: sorted by node, only active nodes.
+        let rows = sim.node_stage_busy();
+        let ids: Vec<NodeId> = rows.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 512, 7_777]);
+        for &(id, totals) in &rows {
+            assert_eq!(totals.get(Stage::Exec), SimTime::us(id as u64 + 1));
+        }
+        // Untouched nodes still answer clock() with zeros.
+        let idle = sim.clock(9_999);
+        assert_eq!(idle.runtime_busy, SimTime::ZERO);
+        assert_eq!(idle.proc_free.len(), sim.machine().procs_per_node());
+        // Aggregates agree with the sparse rows.
+        let merged: SimTime = rows.iter().map(|&(_, t)| t.sum()).sum();
+        assert_eq!(sim.stage_totals().sum(), merged);
+        assert_eq!(sim.makespan(), SimTime::us(7_778));
+    }
+
+    #[test]
+    fn hierarchical_interconnect_is_opt_in_and_slower() {
+        use crate::network::HierNetwork;
+        use crate::topology::HierarchySpec;
+        struct Fan;
+        impl NodeBehavior<u64> for Fan {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u64>, msg: u64) {
+                if msg == 0 && ctx.node() == 0 {
+                    for dst in 1..ctx.nodes() {
+                        ctx.send(dst, dst as u64, 4_096);
+                    }
+                }
+            }
+        }
+        let run = |hier: bool| {
+            let machine = MachineDesc::piz_daint(64);
+            let behaviors = (0..64).map(|_| Fan).collect();
+            let mut sim = Simulator::new(machine, Network::aries(), behaviors);
+            if hier {
+                sim = sim.with_interconnect(Box::new(HierNetwork::new(
+                    Network::aries(),
+                    HierarchySpec::two_level(4, 4),
+                )));
+            }
+            sim.inject(SimTime::ZERO, 0, 0);
+            sim.run(1_000);
+            (sim.stats().events, sim.makespan())
+        };
+        let (flat_events, flat_makespan) = run(false);
+        let (hier_events, hier_makespan) = run(true);
+        // Same traffic either way; the hierarchy only delays arrivals.
+        assert_eq!(flat_events, hier_events);
+        assert!(hier_makespan > flat_makespan);
     }
 }

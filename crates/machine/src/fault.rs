@@ -75,6 +75,14 @@ impl Default for FaultSpec {
 }
 
 /// A fully materialized, deterministic fault schedule.
+///
+/// Per-node queries (`crash_time`, `slow_factor`, …) are answered from
+/// dense lookup tables built once at [`generate`](FaultPlan::generate)
+/// time, so the simulator's per-event fault hooks are O(1) regardless of
+/// how many faults the plan schedules. The pre-table linear scans are kept
+/// behind [`with_scan_lookups`](FaultPlan::with_scan_lookups) as the
+/// reference implementation for equivalence tests and the PR 7
+/// before/after benchmark.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
     seed: u64,
@@ -84,12 +92,25 @@ pub struct FaultPlan {
     crashes: Vec<(NodeId, SimTime)>,
     /// `(node, charge multiplier)`, sorted by node.
     slow: Vec<(NodeId, u64)>,
+    /// Per-node crash time, `SimTime::MAX` = never (len = nodes).
+    crash_at: Vec<SimTime>,
+    /// Per-node charge multiplier, 1 = full speed (len = nodes).
+    slow_at: Vec<u64>,
+    /// Answer queries with the original O(faults) list scans instead of
+    /// the tables (benchmark baseline; results are identical).
+    scan_mode: bool,
 }
 
 impl FaultPlan {
     /// Materialize the plan for a `nodes`-node machine.
+    ///
+    /// Build time is O(nodes + faults): candidate deduplication consults
+    /// the per-node tables rather than rescanning the fault lists, and the
+    /// draw sequence is unchanged from the scan-based builder, so plans
+    /// are bit-identical to those generated before the tables existed.
     pub fn generate(seed: u64, nodes: usize, spec: &FaultSpec) -> FaultPlan {
         let mut crashes: Vec<(NodeId, SimTime)> = Vec::new();
+        let mut crash_at = vec![SimTime::MAX; nodes];
         let (lo, hi) = spec.crash_window;
         let span = hi.0.saturating_sub(lo.0).max(1);
         if nodes > 1 {
@@ -97,22 +118,25 @@ impl FaultPlan {
             let mut i = 0u64;
             while crashes.len() < want && i < 16 * want as u64 + 16 {
                 let node = 1 + (draw(seed, 0xC4A5, i) as usize) % (nodes - 1);
-                if !crashes.iter().any(|&(n, _)| n == node) {
+                if crash_at[node] == SimTime::MAX {
                     let t = lo + SimTime::ns(draw(seed, 0x71BE, i) % span);
                     crashes.push((node, t));
+                    crash_at[node] = t;
                 }
                 i += 1;
             }
             crashes.sort_unstable_by_key(|&(n, _)| n);
         }
         let mut slow: Vec<(NodeId, u64)> = Vec::new();
+        let mut slow_at = vec![1u64; nodes];
         if nodes > 1 && spec.slow_factor > 1 {
             let want = spec.slow_nodes.min(nodes - 1);
             let mut i = 0u64;
             while slow.len() < want && i < 16 * want as u64 + 16 {
                 let node = 1 + (draw(seed, 0x510E, i) as usize) % (nodes - 1);
-                if !slow.iter().any(|&(n, _)| n == node) {
+                if slow_at[node] == 1 {
                     slow.push((node, spec.slow_factor));
+                    slow_at[node] = spec.slow_factor;
                 }
                 i += 1;
             }
@@ -124,7 +148,20 @@ impl FaultPlan {
             dup_per_mille: spec.dup_per_mille.min(1000),
             crashes,
             slow,
+            crash_at,
+            slow_at,
+            scan_mode: false,
         }
+    }
+
+    /// Switch per-node queries to the original O(faults) linear scans.
+    ///
+    /// The answers are identical to the table path (locked by tests);
+    /// this exists so the weak-scaling benchmark can measure the pre-PR 7
+    /// per-event cost, and as an oracle for the lookup tables.
+    pub fn with_scan_lookups(mut self) -> Self {
+        self.scan_mode = true;
+        self
     }
 
     /// The seed the plan was generated from.
@@ -137,12 +174,24 @@ impl FaultPlan {
         &self.crashes
     }
 
-    /// The time `node` crashes, if it ever does.
+    /// Number of nodes the plan marks slow.
+    pub fn slow_count(&self) -> usize {
+        self.slow.len()
+    }
+
+    /// The time `node` crashes, if it ever does. O(1) table lookup.
     pub fn crash_time(&self, node: NodeId) -> Option<SimTime> {
-        self.crashes
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map(|&(_, t)| t)
+        if self.scan_mode {
+            return self
+                .crashes
+                .iter()
+                .find(|&&(n, _)| n == node)
+                .map(|&(_, t)| t);
+        }
+        match self.crash_at.get(node) {
+            Some(&t) if t != SimTime::MAX => Some(t),
+            _ => None,
+        }
     }
 
     /// Whether `node` is down at time `at` (crashes are permanent).
@@ -156,12 +205,17 @@ impl FaultPlan {
         self.crash_time(node).is_some()
     }
 
-    /// The charge multiplier for `node` (1 = full speed).
+    /// The charge multiplier for `node` (1 = full speed). O(1) table
+    /// lookup.
     pub fn slow_factor(&self, node: NodeId) -> u64 {
-        self.slow
-            .iter()
-            .find(|&&(n, _)| n == node)
-            .map_or(1, |&(_, f)| f)
+        if self.scan_mode {
+            return self
+                .slow
+                .iter()
+                .find(|&&(n, _)| n == node)
+                .map_or(1, |&(_, f)| f);
+        }
+        self.slow_at.get(node).copied().unwrap_or(1)
     }
 
     /// Whether the network drops the `nonce`-th data-plane message.
@@ -253,5 +307,65 @@ mod tests {
             assert!(plan.is_crashed(node, t));
             assert!(plan.is_crashed(node, t + SimTime::ms(100)));
         }
+    }
+
+    #[test]
+    fn table_lookups_match_the_scan_oracle() {
+        // The O(1) tables must answer every query exactly like the
+        // original linear scans, across seeds and fault densities.
+        for seed in 0..50 {
+            let spec = FaultSpec {
+                max_crashes: 5,
+                slow_nodes: 5,
+                ..FaultSpec::default()
+            };
+            let plan = FaultPlan::generate(seed, 32, &spec);
+            let oracle = plan.clone().with_scan_lookups();
+            for node in 0..40 {
+                // (includes out-of-range nodes 32..40)
+                assert_eq!(plan.crash_time(node), oracle.crash_time(node));
+                assert_eq!(plan.slow_factor(node), oracle.slow_factor(node));
+                assert_eq!(plan.ever_crashes(node), oracle.ever_crashes(node));
+                assert_eq!(
+                    plan.is_crashed(node, SimTime::ms(1)),
+                    oracle.is_crashed(node, SimTime::ms(1))
+                );
+            }
+            assert_eq!(plan.slow_count(), oracle.slow.len());
+        }
+    }
+
+    #[test]
+    fn dense_plan_lookups_are_constant_time() {
+        // Regression for the PR 7 bugfix: a 100k-node plan with 10k
+        // crashes and 10k slow nodes used to cost O(faults) list scans on
+        // every dispatched event. Build the plan (O(nodes + faults)) and
+        // answer one million mixed queries; with the tables this is a few
+        // milliseconds even in debug builds, while the old scans needed
+        // ~20k comparisons per query (tens of billions total — minutes).
+        let nodes = 100_000;
+        let spec = FaultSpec {
+            max_crashes: 10_000,
+            slow_nodes: 10_000,
+            slow_factor: 3,
+            ..FaultSpec::default()
+        };
+        let start = std::time::Instant::now();
+        let plan = FaultPlan::generate(42, nodes, &spec);
+        assert_eq!(plan.crashes().len(), 10_000);
+        assert_eq!(plan.slow_count(), 10_000);
+        let mut acc = 0u64;
+        for i in 0..1_000_000usize {
+            let node = (i * 2_654_435_761) % nodes;
+            acc = acc
+                .wrapping_add(plan.slow_factor(node))
+                .wrapping_add(u64::from(plan.is_crashed(node, SimTime::ms(1))));
+        }
+        assert!(acc > 0);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "per-event fault lookups regressed to O(faults): 1M queries took {elapsed:?}"
+        );
     }
 }

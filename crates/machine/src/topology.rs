@@ -1,4 +1,4 @@
-//! Broadcast-tree topology helpers.
+//! Broadcast-tree topology helpers and machine hierarchy descriptions.
 //!
 //! The non-DCR distribution path ships slices of an index launch around the
 //! machine "in a broadcast tree-like manner" (§5), achieving O(log |D|)
@@ -6,8 +6,92 @@
 //! schedule: in round `r`, every node that already holds the message
 //! forwards it to one new node, so `N` nodes are covered in `⌈log2 N⌉`
 //! rounds.
+//!
+//! [`HierarchySpec`] describes a machine's physical grouping (nodes per
+//! switch, switches per pod, …) for the hierarchical α–β network model in
+//! [`crate::network`]: each level has a group size, a traversal latency,
+//! and a link bandwidth, and a message pays for every level between its
+//! endpoints' lowest common group.
 
+use crate::time::SimTime;
 use crate::NodeId;
+
+/// A multi-level grouping of the machine for the hierarchical network
+/// model, innermost level first.
+///
+/// Level `j` partitions the machine into groups of
+/// `arity[0] · … · arity[j]` nodes; `latency[j]` is the extra propagation
+/// latency a message pays when its route crosses level `j`, and
+/// `bytes_per_us[j]` is the bandwidth of each level-`j` link (one up- and
+/// one down-link per group). Nodes outside the product of all arities
+/// simply land in higher-numbered top-level groups — the spec does not
+/// need to cover the node count exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HierarchySpec {
+    /// Group size multiplier per level (each entry ≥ 2).
+    pub arity: Vec<usize>,
+    /// Per-level traversal latency, same length as `arity`.
+    pub latency: Vec<SimTime>,
+    /// Per-level link bandwidth in bytes per microsecond, same length as
+    /// `arity`.
+    pub bytes_per_us: Vec<u64>,
+}
+
+impl HierarchySpec {
+    /// A dragonfly-flavored two-level hierarchy: `leaf` nodes share a
+    /// router (fast local links), `pod` routers form a group, and
+    /// everything above rides the group-to-group links. Reasonable
+    /// Cray-XC-like constants; pair with [`crate::Network::aries`].
+    pub fn two_level(leaf: usize, pod: usize) -> Self {
+        HierarchySpec {
+            arity: vec![leaf, pod],
+            latency: vec![SimTime::ns(100), SimTime::ns(500)],
+            bytes_per_us: vec![25_000, 12_000],
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.arity.len()
+    }
+
+    /// Check internal consistency (equal array lengths, arities ≥ 2,
+    /// nonzero bandwidths). Panics on a malformed spec.
+    pub fn validate(&self) {
+        assert!(!self.arity.is_empty(), "hierarchy needs at least one level");
+        assert_eq!(self.arity.len(), self.latency.len(), "latency per level");
+        assert_eq!(self.arity.len(), self.bytes_per_us.len(), "bandwidth per level");
+        assert!(self.arity.iter().all(|&a| a >= 2), "arities must be >= 2");
+        assert!(self.bytes_per_us.iter().all(|&b| b > 0), "bandwidths must be > 0");
+    }
+
+    /// The level-`level` group `node` belongs to.
+    pub fn group(&self, node: NodeId, level: usize) -> u64 {
+        let mut size = 1u64;
+        for &a in &self.arity[..=level] {
+            size = size.saturating_mul(a as u64);
+        }
+        node as u64 / size
+    }
+
+    /// Number of levels a `src → dst` message crosses: 1 if the endpoints
+    /// share a level-0 group (they still traverse that group's switch),
+    /// up to [`levels`](Self::levels) when only the machine root joins
+    /// them. `src == dst` crosses nothing.
+    pub fn crossed(&self, src: NodeId, dst: NodeId) -> usize {
+        if src == dst {
+            return 0;
+        }
+        let mut size = 1u64;
+        for (j, &a) in self.arity.iter().enumerate() {
+            size = size.saturating_mul(a as u64);
+            if src as u64 / size == dst as u64 / size {
+                return j + 1;
+            }
+        }
+        self.arity.len()
+    }
+}
 
 /// The children of `me` in a binomial broadcast tree over nodes `0..n`
 /// rooted at `root`.
@@ -120,5 +204,27 @@ mod tests {
         assert_eq!(binomial_children(0, 4, 8), vec![6, 5]);
         assert_eq!(binomial_children(0, 6, 8), vec![7]);
         assert_eq!(binomial_children(0, 7, 8), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn hierarchy_groups_and_crossings() {
+        let spec = HierarchySpec::two_level(16, 32);
+        spec.validate();
+        assert_eq!(spec.levels(), 2);
+        // Level 0: 16-node routers; level 1: 512-node pods.
+        assert_eq!(spec.group(0, 0), 0);
+        assert_eq!(spec.group(15, 0), 0);
+        assert_eq!(spec.group(16, 0), 1);
+        assert_eq!(spec.group(511, 1), 0);
+        assert_eq!(spec.group(512, 1), 1);
+        // Same node: no crossing. Same router: one level. Same pod but
+        // different routers: two. Different pods: still two (top level).
+        assert_eq!(spec.crossed(3, 3), 0);
+        assert_eq!(spec.crossed(3, 12), 1);
+        assert_eq!(spec.crossed(3, 100), 2);
+        assert_eq!(spec.crossed(3, 5_000), 2);
+        // Nodes beyond 16*32 land in higher top-level groups, not UB.
+        assert_eq!(spec.crossed(3, 100_000), 2);
+        assert_eq!(spec.group(100_000, 1), 195);
     }
 }

@@ -1,6 +1,6 @@
 //! Runtime configuration and the calibrated cost model.
 
-use il_machine::{FaultSpec, SimTime};
+use il_machine::{FaultSpec, HierarchySpec, SimTime};
 
 /// Whether task bodies really execute or are only cost-modeled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,6 +77,11 @@ pub struct RuntimeConfig {
     /// every fault/recovery code path inert, so fault-free runs remain
     /// byte-identical to a build without this subsystem.
     pub faults: Option<FaultConfig>,
+    /// Hierarchical interconnect topology. `None` (the default) keeps the
+    /// original flat α–β network, so every existing figure CSV stays
+    /// byte-identical; `Some(spec)` routes messages through the leaf/pod
+    /// switch tree with per-link contention accounting.
+    pub net_hierarchy: Option<HierarchySpec>,
 }
 
 impl RuntimeConfig {
@@ -96,6 +101,7 @@ impl RuntimeConfig {
             mode: ExecutionMode::Scale,
             cost: CostModel::calibrated(),
             faults: None,
+            net_hierarchy: None,
         }
     }
 
@@ -160,6 +166,13 @@ impl RuntimeConfig {
     /// Install a fully specified fault configuration.
     pub fn with_fault_config(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Route messages through a hierarchical interconnect instead of the
+    /// flat α–β network.
+    pub fn with_net_hierarchy(mut self, spec: HierarchySpec) -> Self {
+        self.net_hierarchy = Some(spec);
         self
     }
 }

@@ -32,8 +32,8 @@ use crate::program::Program;
 use crate::replay::TraceReplayStats;
 use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
-    FaultPlan, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime, Simulator, Stage,
-    StageTotals,
+    FaultPlan, HierNetwork, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime,
+    Simulator, Stage, StageTotals,
 };
 use il_region::{domain_intersection, FieldId, IndexSpaceId, Privilege, RegionTreeId};
 use il_testkit::Json;
@@ -67,10 +67,12 @@ pub struct RunReport {
     /// on every node; it is not multiplied here).
     pub stage_busy: StageTotals,
     /// Per-node, simulator-side per-stage busy time (distribution,
-    /// physical, exec, network). The analytically computed issuance
-    /// timeline is *not* folded in — each node's runtime-thread stages
-    /// here sum to at most the makespan.
-    pub node_stage_busy: Vec<StageTotals>,
+    /// physical, exec, network). Sparse: one `(node, totals)` row per
+    /// node with nonzero totals, sorted by node id — on a 100k-node
+    /// machine where only a few nodes ran work, the report stays small.
+    /// The analytically computed issuance timeline is *not* folded in —
+    /// each row's runtime-thread stages sum to at most the makespan.
+    pub node_stage_busy: Vec<(NodeId, StageTotals)>,
     /// Cross-node messages by sending stage.
     pub stage_messages: [u64; Stage::COUNT],
     /// Bytes injected into the network by sending stage.
@@ -1120,6 +1122,9 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         })
         .collect();
     let mut sim = Simulator::new(machine, Network::aries(), behaviors);
+    if let Some(spec) = &config.net_hierarchy {
+        sim = sim.with_interconnect(Box::new(HierNetwork::new(Network::aries(), spec.clone())));
+    }
     if let Some(fr) = &shared.faults {
         sim.set_fault_plan(fr.plan.clone());
     }
@@ -1151,14 +1156,20 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         // event count well past the fault-free bound.
         max_events = max_events.saturating_mul(16);
     }
-    sim.run(max_events);
+    // Never cap below the machine-size-derived floor: a huge machine's
+    // legitimate traffic must not trip the runaway guard.
+    max_events = max_events.max(sim.default_event_cap());
+    if let Err(err) = sim.try_run(max_events) {
+        // The guard is structured data ([`il_machine::SimError`]); at this
+        // boundary a trip still means a protocol bug, so escalate.
+        panic!("{err}");
+    }
 
     let makespan = sim.makespan();
     let stats = sim.stats().clone();
     // Simulator-side per-node stage busy time (distribution, physical,
     // exec, network); the analytic issuance timeline is not per-node.
-    let node_stage_busy: Vec<StageTotals> =
-        (0..config.nodes).map(|n| sim.clock(n).stage_busy).collect();
+    let node_stage_busy = sim.node_stage_busy();
     let mut stage_busy = sim.stage_totals();
     // Fold the issuance/logical/dynamic-check timeline in once: under
     // DCR it is replicated identically on every node, so multiplying it
@@ -1195,7 +1206,7 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         let mut r = fr.stats.borrow().clone();
         r.seed = fr.cfg.seed;
         r.crashes = fr.plan.crashes().len() as u64;
-        r.slow_nodes = (0..config.nodes).filter(|&n| fr.plan.slow_factor(n) > 1).count() as u64;
+        r.slow_nodes = fr.plan.slow_count() as u64;
         r.dropped = stats.faults.dropped;
         r.duplicated = stats.faults.duplicated;
         r.crash_dropped = stats.faults.crash_dropped;

@@ -6,7 +6,7 @@
 
 use il_analysis::ProjExpr;
 use il_geometry::{Domain, DomainPoint};
-use il_machine::SimTime;
+use il_machine::{HierarchySpec, SimTime};
 use il_region::{
     equal_partition_1d, FieldId, FieldKind, FieldSpaceDesc, Privilege, RegionTreeId,
 };
@@ -226,6 +226,27 @@ fn deterministic_replay() {
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.messages, b.messages);
     assert_eq!(a.bytes, b.bytes);
+}
+
+/// The hierarchical interconnect is opt-in performance modeling, never
+/// semantics: routing the same program through a two-level switch tree
+/// completes the same tasks with bit-identical validated data, runs
+/// deterministically, and can only stretch simulated time.
+#[test]
+fn hierarchical_network_changes_time_never_data() {
+    let (g_ref, x_ref) = reference();
+    let flat = execute(&build_program().program, &RuntimeConfig::validate(4));
+    let built = build_program();
+    let config =
+        RuntimeConfig::validate(4).with_net_hierarchy(HierarchySpec::two_level(2, 2));
+    let a = execute(&built.program, &config);
+    let b = execute(&built.program, &config);
+    assert_eq!(a.tasks, flat.tasks);
+    let (g, x) = extract(&built, &a);
+    assert_eq!(g, g_ref, "hierarchical routing changed computed data");
+    assert_eq!(x, x_ref);
+    assert!(a.makespan >= flat.makespan, "added switch hops cannot shrink the run");
+    assert_eq!((a.makespan, a.messages, a.bytes), (b.makespan, b.messages, b.bytes));
 }
 
 #[test]

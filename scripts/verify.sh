@@ -101,4 +101,20 @@ echo "== bench smoke (BENCH_PR6.json replay trajectory) =="
 test -s BENCH_PR6.json || { echo "BENCH_PR6.json was not written"; exit 1; }
 echo "BENCH_PR6.json written"
 
+echo "== machine-scale smoke (65k-node weak-scaling sweep, BENCH_PR7.json) =="
+# The raw-DES weak-scaling sweep: calendar queue + O(1) fault tables +
+# O(active) clock arena vs. the legacy heap/scan baseline, at the CI
+# smoke size. Writes the BENCH_PR7.json trajectory; the full 1M-node
+# sweep is `figures -- scale` with no cap.
+cargo run --release --offline -q -p il-bench --bin figures -- \
+    scale --scale-max-nodes 65536 --no-bench
+test -s BENCH_PR7.json || { echo "BENCH_PR7.json was not written"; exit 1; }
+echo "BENCH_PR7.json written"
+
+echo "== chaos leg at 65k simulated nodes (release) =="
+# The full runtime stack — expansion, distribution, recovery — on a
+# 65,536-node machine, fault-free and faulted. Release-only: the test
+# is #[cfg(not(debug_assertions))]-gated.
+cargo test --release --offline -q --test fault_injection chaos_leg_at_65k
+
 echo "verify.sh: all green"

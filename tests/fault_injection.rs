@@ -259,6 +259,37 @@ fn seed_corpus_completes_under_every_axis() {
     }
 }
 
+/// Machine-scale chaos leg: a faulted weak-scaling stencil at 65,536
+/// simulated nodes. This exercises the whole scale stack at once — the
+/// calendar event queue (auto-selected above 4096 nodes), the O(1)
+/// fault-table lookups on every dispatched event, and the O(active)
+/// clock arena — and must still honor the chaos contract: no lost
+/// tasks, makespan no better than fault-free. Release builds only;
+/// debug-mode dispatch is an order of magnitude slower.
+#[cfg(not(debug_assertions))]
+#[test]
+fn chaos_leg_at_65k_nodes() {
+    const NODES: usize = 65_536;
+    let built = stencil::build(&stencil::StencilConfig {
+        iterations: 1,
+        ..stencil::StencilConfig::weak(NODES)
+    });
+    let clean_cfg = RuntimeConfig::scale(NODES);
+    let clean = execute(&built.program, &clean_cfg);
+    assert!(clean.tasks >= NODES as u64, "weak scaling runs at least one task per node");
+    let faulted = execute(&built.program, &clean_cfg.clone().with_faults(7));
+    let rec = faulted.recovery.as_ref().expect("recovery stats");
+    assert!(
+        rec.crashes + rec.slow_nodes > 0,
+        "a 65k-node schedule must inject something: {rec:?}"
+    );
+    assert_eq!(faulted.tasks, clean.tasks, "chaos at 65k nodes must not lose tasks");
+    assert!(faulted.makespan >= clean.makespan);
+    // The per-node report is sparse: bounded by the machine, and only
+    // rows that actually accrued busy time.
+    assert!(faulted.node_stage_busy.len() <= NODES);
+}
+
 /// The chaos sweep is thread-count invariant: fanning faulted runs over
 /// worker pools of different widths yields identical fingerprints in
 /// identical order (each simulation is a pure function of its seed; the

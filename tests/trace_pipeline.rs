@@ -133,8 +133,12 @@ fn check_stage_accounting(report: &RunReport, nodes: usize) {
     let makespan = report.makespan;
     let machine = MachineDesc::piz_daint(nodes);
     let procs = machine.cpus_per_node + machine.gpus_per_node;
-    assert_eq!(report.node_stage_busy.len(), nodes);
-    for (n, totals) in report.node_stage_busy.iter().enumerate() {
+    // Sparse rows: sorted by node id, in range, and only nonzero totals.
+    assert!(report.node_stage_busy.len() <= nodes);
+    assert!(report.node_stage_busy.windows(2).all(|w| w[0].0 < w[1].0));
+    for &(n, ref totals) in report.node_stage_busy.iter() {
+        assert!(n < nodes, "sparse row for out-of-range node {n}");
+        assert!(totals.sum() > SimTime::ZERO, "node {n}: zero row should be omitted");
         // Runtime-thread stages share one thread per node.
         let thread: SimTime = Stage::ALL
             .into_iter()
