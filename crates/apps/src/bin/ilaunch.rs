@@ -21,6 +21,16 @@
 //! and prints the recovery counters; `--validate --faults SEED` also
 //! checks that the faulted run still matches the sequential reference.
 //!
+//! `ilaunch serve --policy P [--sessions N] [--tenants T] [--slots S]
+//! [--slot-nodes K] [--seed SEED] [--mean-gap-us G] [--skewed] [--heavy H]
+//! [--light L] [--queue-cap C] [--faults SEED] [--per-session]` runs the
+//! multi-tenant service scheduler instead of a single application: a
+//! seeded workload mix (golden apps + fuzzer programs, Poisson-like
+//! arrivals) streams through the shared simulated machine under the
+//! chosen scheduling policy (`fifo`, `fair`, `aged-priority`, or `all`
+//! to compare the three), printing per-policy throughput and latency
+//! percentiles — `--per-session` adds one line per session.
+//!
 //! `ilaunch fuzz --cases N --seed S [--nodes K] [--threads T] [--inject]`
 //! runs the differential fuzzer instead of an application: N seeded random
 //! launch programs through both the fast path and the desugared-launch
@@ -34,9 +44,13 @@
 //! schedule derived from SEED and the case seed, and must run the same
 //! tasks, no faster than fault-free, with a byte-identical replay.
 
+use il_apps::service_mix::{generate_mix, skewed_mix, MixConfig};
 use il_apps::{circuit, soleil, stencil};
+use il_machine::SimTime;
 use il_oracle::{run_case, run_differential, DiffConfig};
-use il_runtime::{execute, RunReport, RuntimeConfig};
+use il_runtime::{
+    execute, policy_by_name, FaultConfig, RunReport, RuntimeConfig, Service, ServiceConfig,
+};
 
 struct Args {
     app: String,
@@ -315,10 +329,178 @@ fn fuzz_main(argv: &[String]) -> ! {
     std::process::exit(1);
 }
 
+struct ServeArgs {
+    policies: Vec<String>,
+    sessions: usize,
+    tenants: u32,
+    slots: usize,
+    slot_nodes: usize,
+    seed: u64,
+    mean_gap_us: u64,
+    skewed: bool,
+    heavy: usize,
+    light: usize,
+    queue_cap: usize,
+    faults: Option<u64>,
+    per_session: bool,
+}
+
+fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut a = ServeArgs {
+        policies: vec!["fifo".into()],
+        sessions: 32,
+        tenants: 8,
+        slots: 2,
+        slot_nodes: 2,
+        seed: 0x5E8E,
+        mean_gap_us: 50,
+        skewed: false,
+        heavy: 10,
+        light: 1500,
+        queue_cap: 0,
+        faults: None,
+        per_session: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or(format!("{name} takes a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--policy" => {
+                let v = it.next().ok_or("--policy takes a value")?;
+                a.policies = if v == "all" {
+                    vec!["fifo".into(), "fair".into(), "aged-priority".into()]
+                } else {
+                    vec![v.clone()]
+                };
+            }
+            "--sessions" => a.sessions = num("--sessions")? as usize,
+            "--tenants" => a.tenants = num("--tenants")? as u32,
+            "--slots" => a.slots = num("--slots")? as usize,
+            "--slot-nodes" => a.slot_nodes = num("--slot-nodes")? as usize,
+            "--seed" => a.seed = parse_seed(it.next().ok_or("--seed takes a value")?)?,
+            "--mean-gap-us" => a.mean_gap_us = num("--mean-gap-us")?,
+            "--skewed" => a.skewed = true,
+            "--heavy" => a.heavy = num("--heavy")? as usize,
+            "--light" => a.light = num("--light")? as usize,
+            "--queue-cap" => a.queue_cap = num("--queue-cap")? as usize,
+            "--faults" => {
+                a.faults = Some(parse_seed(it.next().ok_or("--faults takes a seed")?)?);
+            }
+            "--per-session" => a.per_session = true,
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    Ok(a)
+}
+
+fn serve_main(argv: &[String]) -> ! {
+    let a = match parse_serve(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: ilaunch serve [--policy fifo|fair|aged-priority|all] [--sessions N] \
+                 [--tenants T] [--slots S] [--slot-nodes K] [--seed SEED] [--mean-gap-us G] \
+                 [--skewed] [--heavy H] [--light L] [--queue-cap C] [--faults SEED] \
+                 [--per-session]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let cfg = MixConfig {
+        seed: a.seed,
+        tenants: a.tenants,
+        sessions: a.sessions,
+        slot_nodes: a.slot_nodes,
+        mean_gap: SimTime::us(a.mean_gap_us),
+        fuzz_per_mille: 500,
+    };
+    let sessions = if a.skewed {
+        skewed_mix(&cfg, a.heavy, a.light)
+    } else {
+        generate_mix(&cfg)
+    };
+    println!(
+        "service mix: {} sessions, {} tenants, {} slots x {} nodes, seed {:#x}{}",
+        sessions.len(),
+        a.tenants,
+        a.slots,
+        a.slot_nodes,
+        a.seed,
+        if a.skewed {
+            format!(" (skewed: {} heavy + {} light)", a.heavy, a.light)
+        } else {
+            String::new()
+        }
+    );
+    for policy in &a.policies {
+        let mut svc = Service::new(
+            ServiceConfig {
+                slots: a.slots,
+                slot_nodes: a.slot_nodes,
+                queue_cap: if a.queue_cap == 0 { sessions.len().max(1) } else { a.queue_cap },
+                faults: a.faults.map(FaultConfig::from_seed),
+            },
+            policy_by_name(policy),
+        );
+        let out = svc.run(&sessions);
+        let mut latencies: Vec<u64> =
+            out.sessions.iter().map(|s| s.latency().as_ns()).collect();
+        latencies.sort_unstable();
+        let pct = |p: f64| -> SimTime {
+            let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+            SimTime::ns(latencies[rank.clamp(1, latencies.len()) - 1])
+        };
+        let secs = out.makespan.as_ns() as f64 / 1e9;
+        println!(
+            "{:>13}: {} finished, {} rejected, {} rounds, makespan {}   \
+             {:.1} sessions/s   p50 {}  p95 {}  p99 {}",
+            out.policy,
+            out.sessions.len(),
+            out.rejected.len(),
+            out.rounds,
+            out.makespan,
+            if secs > 0.0 { out.sessions.len() as f64 / secs } else { 0.0 },
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
+        );
+        if a.per_session {
+            let mut by_finish: Vec<_> = out.sessions.iter().collect();
+            by_finish.sort_by_key(|s| (s.finished, s.submit_idx));
+            for s in by_finish {
+                println!(
+                    "    #{:<3} tenant {:<2} prio {}  slot {}  arrival {:>12}  admitted {:>12}  \
+                     finished {:>12}  latency {:>12}  waited {} rounds  tasks {}",
+                    s.submit_idx,
+                    s.tenant,
+                    s.priority,
+                    s.slot,
+                    s.arrival,
+                    s.admitted,
+                    s.finished,
+                    s.latency(),
+                    s.wait_rounds,
+                    s.report.tasks,
+                );
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("fuzz") {
         fuzz_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve_main(&argv[1..]);
     }
     let args = match parse() {
         Ok(a) => a,

@@ -21,5 +21,6 @@
 #![warn(missing_docs)]
 
 pub mod circuit;
+pub mod service_mix;
 pub mod soleil;
 pub mod stencil;

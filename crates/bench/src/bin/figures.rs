@@ -7,6 +7,7 @@
 //! cargo run -p il-bench --release --bin figures -- all --repeats 5
 //! cargo run -p il-bench --release --bin figures -- fig4 --out-dir /tmp/r --no-bench
 //! cargo run -p il-bench --release --bin figures -- scale --scale-max-nodes 65536
+//! cargo run -p il-bench --release --bin figures -- serve --serve-light 120
 //! ```
 //!
 //! ASCII tables print to stdout; CSVs land in `--out-dir` (default
@@ -29,6 +30,7 @@ use il_analysis::{
 };
 use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure, SweepOpts};
 use il_bench::machine_scale;
+use il_bench::service_workload;
 use il_bench::render::{render_figure, render_table, write_figure_csv, write_table_csv};
 use il_bench::tables::{extrapolate_checks, table2, table3};
 use il_geometry::Domain;
@@ -41,6 +43,8 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut max_nodes = 1024usize;
     let mut scale_max_nodes = 1_048_576usize;
+    let mut serve_light = 1500usize;
+    let mut serve_seed = 0x5E8Eu64;
     let mut repeats = 1u32;
     let mut pool_size = 0usize;
     let mut out_dir = PathBuf::from("results");
@@ -56,6 +60,14 @@ fn main() {
                 i += 1;
                 scale_max_nodes =
                     args[i].parse().expect("--scale-max-nodes takes a number");
+            }
+            "--serve-light" => {
+                i += 1;
+                serve_light = args[i].parse().expect("--serve-light takes a number");
+            }
+            "--serve-seed" => {
+                i += 1;
+                serve_seed = args[i].parse().expect("--serve-seed takes a number");
             }
             "--repeats" => {
                 i += 1;
@@ -130,6 +142,18 @@ fn main() {
                 println!("wrote BENCH_PR7.json");
                 println!();
             }
+            // Not part of "all" either: the service-mode policy sweep
+            // benches the multi-tenant scheduler, not a paper figure.
+            // `--serve-light N` sizes the skewed mix's light-session
+            // stream (default 1500).
+            "serve" => {
+                let sweep = service_workload::service_sweep(serve_seed, serve_light);
+                print!("{}", sweep.render());
+                std::fs::write("BENCH_PR8.json", sweep.to_json().to_string_pretty())
+                    .expect("write service-mode trajectory");
+                println!("wrote BENCH_PR8.json");
+                println!();
+            }
             "table3" => {
                 let rows = table3();
                 print!("{}", render_table("Table 3: dynamic cross-checks", "Number of arguments", &rows));
@@ -137,7 +161,7 @@ fn main() {
                 println!();
             }
             other => eprintln!(
-                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, all)"
+                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, serve, all)"
             ),
         }
     }

@@ -7,6 +7,9 @@
 //! * [`machine_scale`] — the weak-scaling sweep of the raw DES at
 //!   16k–1M simulated nodes (`figures -- scale`), written to
 //!   `BENCH_PR7.json`;
+//! * [`service_workload`] — the multi-tenant service-mode policy sweep
+//!   (`figures -- serve`): throughput and p50/p95/p99 latency per
+//!   scheduling policy, written to `BENCH_PR8.json`;
 //! * [`tables`] — the dynamic-check microbenchmarks (Tables 2–3),
 //!   measured in real wall-clock time on this machine (no simulation —
 //!   the checks are ordinary single-node code);
@@ -21,8 +24,10 @@
 pub mod figures;
 pub mod machine_scale;
 pub mod render;
+pub mod service_workload;
 pub mod tables;
 
 pub use figures::{FigPoint, Figure};
 pub use machine_scale::{weak_scaling, ScalePoint, ScaleSweep};
+pub use service_workload::{run_policy, service_sweep, PolicyPoint, ServiceSweep};
 pub use tables::{extrapolate_checks, table2, table3, TableRow};

@@ -1,0 +1,270 @@
+//! Service-mode policy sweep: throughput and tail latency of the
+//! multi-tenant scheduler under each built-in policy, written to
+//! `BENCH_PR8.json` by `figures -- serve`.
+//!
+//! Two workloads, both pure functions of the seed (the simulated times
+//! are DES output, so every number here is reproducible bit-for-bit):
+//!
+//! * **balanced** — the [`MixConfig::standard`] 8-tenant mix (golden
+//!   apps + fuzzer programs, Poisson-like arrivals) run under FIFO,
+//!   fair share, and aged priority. Reports per-policy session
+//!   throughput and p50/p95/p99 end-to-end latency.
+//! * **skewed** — the tail-latency adversary from
+//!   [`il_apps::service_mix::skewed_mix`]: one tenant bursts a queue of
+//!   moderately long sessions at time zero, hundreds of light sessions
+//!   from other tenants arrive behind them. FIFO hands every freed slot
+//!   back to the heavy tenant's queued burst, so light sessions wait
+//!   for the whole burst to drain; fair share charges the heavy tenant
+//!   its accumulated service and drains the light queue first. The
+//!   headline number is the p99 gap — `fair_beats_fifo_p99` in the
+//!   JSON, asserted by the CI smoke.
+
+use il_apps::service_mix::{generate_mix, skewed_mix, MixConfig};
+use il_machine::SimTime;
+use il_runtime::{policy_by_name, Service, ServiceConfig, ServiceReport, SessionSpec};
+use il_testkit::Json;
+
+/// Slots in the benched service machine.
+const SLOTS: usize = 2;
+/// Heavy sessions in the skewed burst. Many moderate sessions rather
+/// than a few huge ones: FIFO convoys the whole burst (both slots stay
+/// heavy until all of it drains), while fair share only pays for the
+/// two admitted before the first completion reveals the tenant's usage.
+const HEAVY: usize = 10;
+
+/// Latency/throughput digest of one policy over one workload.
+#[derive(Clone, Debug)]
+pub struct PolicyPoint {
+    /// Policy name (`fifo`, `fair`, `aged-priority`).
+    pub policy: String,
+    /// Sessions that ran to completion.
+    pub sessions: usize,
+    /// Sessions rejected by queue backpressure.
+    pub rejected: usize,
+    /// Admission rounds the scheduler executed.
+    pub rounds: u64,
+    /// Simulated time at which the last session finished.
+    pub makespan_ns: u64,
+    /// Completed sessions per simulated second.
+    pub throughput_per_s: f64,
+    /// End-to-end latency percentiles (arrival → completion), nearest
+    /// rank, over all completed sessions.
+    pub p50_ns: u64,
+    /// 95th percentile latency.
+    pub p95_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Mean admission rounds waited in the pending queue.
+    pub mean_wait_rounds: f64,
+}
+
+/// The full PR 8 sweep: per-policy digests of the balanced and skewed
+/// workloads plus the headline FIFO-vs-fair p99 contrast.
+#[derive(Clone, Debug)]
+pub struct ServiceSweep {
+    /// Master seed of both workloads.
+    pub seed: u64,
+    /// Tenants in the balanced mix.
+    pub tenants: u32,
+    /// Balanced-mix digests, one per policy.
+    pub balanced: Vec<PolicyPoint>,
+    /// Skewed-mix digests, one per policy.
+    pub skewed: Vec<PolicyPoint>,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile(latencies: &mut [u64], p: f64) -> u64 {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+    latencies[rank.clamp(1, latencies.len()) - 1]
+}
+
+fn digest(policy: &str, out: &ServiceReport) -> PolicyPoint {
+    let mut latencies: Vec<u64> =
+        out.sessions.iter().map(|s| s.latency().as_ns()).collect();
+    let makespan_ns = out.makespan.as_ns();
+    let secs = makespan_ns as f64 / 1e9;
+    let wait_sum: u64 = out.sessions.iter().map(|s| s.wait_rounds).sum();
+    PolicyPoint {
+        policy: policy.to_string(),
+        sessions: out.sessions.len(),
+        rejected: out.rejected.len(),
+        rounds: out.rounds,
+        makespan_ns,
+        throughput_per_s: if secs > 0.0 { out.sessions.len() as f64 / secs } else { 0.0 },
+        p50_ns: percentile(&mut latencies, 50.0),
+        p95_ns: percentile(&mut latencies, 95.0),
+        p99_ns: percentile(&mut latencies, 99.0),
+        mean_wait_rounds: wait_sum as f64 / out.sessions.len().max(1) as f64,
+    }
+}
+
+/// Run one policy over a session stream on the standard benched
+/// machine (`SLOTS` slots), with a queue deep enough that nothing is
+/// rejected — latency comparisons across policies need identical
+/// completed-session sets.
+pub fn run_policy(sessions: &[SessionSpec], slot_nodes: usize, policy: &str) -> PolicyPoint {
+    let mut svc = Service::new(
+        ServiceConfig {
+            slots: SLOTS,
+            slot_nodes,
+            queue_cap: sessions.len().max(1),
+            faults: None,
+        },
+        policy_by_name(policy),
+    );
+    let out = svc.run(sessions);
+    assert!(out.rejected.is_empty(), "bench queue must absorb the whole stream");
+    assert_eq!(out.sessions.len(), sessions.len(), "bench lost sessions");
+    digest(policy, &out)
+}
+
+/// Run the whole sweep. `light` scales the skewed mix's light-session
+/// count; at the default size (1500) the p99 rank lands past the heavy
+/// burst and fair share's deferred heavies, so the percentile measures
+/// the light tail — the population the two policies actually treat
+/// differently.
+pub fn service_sweep(seed: u64, light: usize) -> ServiceSweep {
+    let cfg = MixConfig::standard(seed);
+    let balanced_sessions = generate_mix(&cfg);
+    let skew_cfg = MixConfig { mean_gap: SimTime::us(900), ..cfg.clone() };
+    let skewed_sessions = skewed_mix(&skew_cfg, HEAVY, light);
+
+    let policies = ["fifo", "fair", "aged-priority"];
+    ServiceSweep {
+        seed,
+        tenants: cfg.tenants,
+        balanced: policies
+            .iter()
+            .map(|p| run_policy(&balanced_sessions, cfg.slot_nodes, p))
+            .collect(),
+        skewed: policies
+            .iter()
+            .map(|p| run_policy(&skewed_sessions, cfg.slot_nodes, p))
+            .collect(),
+    }
+}
+
+impl ServiceSweep {
+    fn point(p: &PolicyPoint) -> Json {
+        Json::obj()
+            .set("policy", p.policy.as_str())
+            .set("sessions", p.sessions)
+            .set("rejected", p.rejected)
+            .set("rounds", p.rounds)
+            .set("makespan_ns", p.makespan_ns)
+            .set("throughput_sessions_per_s", p.throughput_per_s)
+            .set("p50_ns", p.p50_ns)
+            .set("p95_ns", p.p95_ns)
+            .set("p99_ns", p.p99_ns)
+            .set("mean_wait_rounds", p.mean_wait_rounds)
+    }
+
+    /// The skewed-mix p99 of `policy`.
+    fn skew_p99(&self, policy: &str) -> u64 {
+        self.skewed.iter().find(|p| p.policy == policy).expect("policy benched").p99_ns
+    }
+
+    /// Serialize as the `BENCH_PR8.json` trajectory.
+    pub fn to_json(&self) -> Json {
+        let fifo = self.skew_p99("fifo");
+        let fair = self.skew_p99("fair");
+        Json::obj()
+            .set("schema", "il-bench-trajectory-v1")
+            .set("pr", "PR8")
+            .set("seed", self.seed)
+            .set("tenants", self.tenants as u64)
+            .set("slots", SLOTS)
+            .set("policies", Json::Arr(self.balanced.iter().map(Self::point).collect()))
+            .set("skewed", Json::Arr(self.skewed.iter().map(Self::point).collect()))
+            .set("skew_fifo_p99_ns", fifo)
+            .set("skew_fair_p99_ns", fair)
+            .set("fair_beats_fifo_p99", fair < fifo)
+    }
+
+    /// Human-readable summary for stdout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Service-mode policy sweep (seed {:#x}, {} tenants, {} slots)\n",
+            self.seed, self.tenants, SLOTS
+        ));
+        for (name, points) in [("balanced", &self.balanced), ("skewed", &self.skewed)] {
+            out.push_str(&format!("  {name} mix:\n"));
+            for p in points.iter() {
+                out.push_str(&format!(
+                    "    {:>13}: {:>4} sessions  {:>9.1}/s  p50 {:>10}ns  p95 {:>10}ns  \
+                     p99 {:>10}ns  wait {:.2} rounds\n",
+                    p.policy,
+                    p.sessions,
+                    p.throughput_per_s,
+                    p.p50_ns,
+                    p.p95_ns,
+                    p.p99_ns,
+                    p.mean_wait_rounds
+                ));
+            }
+        }
+        let (fifo, fair) = (self.skew_p99("fifo"), self.skew_p99("fair"));
+        out.push_str(&format!(
+            "  skewed p99: fifo {}ns vs fair {}ns ({}, ratio {:.2})\n",
+            fifo,
+            fair,
+            if fair < fifo { "fair wins" } else { "FAIR DID NOT WIN" },
+            fifo as f64 / fair.max(1) as f64
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Percentiles are nearest-rank: pinned on a known sample.
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&mut v, 50.0), 50);
+        assert_eq!(percentile(&mut v, 95.0), 95);
+        assert_eq!(percentile(&mut v, 99.0), 99);
+        let mut w = vec![7u64];
+        assert_eq!(percentile(&mut w, 99.0), 7);
+    }
+
+    /// The headline property at a debug-friendly size: under the skewed
+    /// mix, fair share's light-session tail beats FIFO's. (The full-size
+    /// all-session p99 contrast is measured by `figures -- serve` in
+    /// release and recorded in BENCH_PR8.json.)
+    #[test]
+    fn fair_share_beats_fifo_tail_on_skewed_mix() {
+        let cfg = MixConfig { mean_gap: SimTime::us(900), ..MixConfig::standard(11) };
+        let sessions = skewed_mix(&cfg, HEAVY, 300);
+        let light_p99 = |policy: &str| -> u64 {
+            let mut svc = Service::new(
+                ServiceConfig {
+                    slots: SLOTS,
+                    slot_nodes: cfg.slot_nodes,
+                    queue_cap: sessions.len(),
+                    faults: None,
+                },
+                policy_by_name(policy),
+            );
+            let out = svc.run(&sessions);
+            let mut lat: Vec<u64> = out
+                .sessions
+                .iter()
+                .filter(|s| s.tenant != 0)
+                .map(|s| s.latency().as_ns())
+                .collect();
+            percentile(&mut lat, 99.0)
+        };
+        let fifo = light_p99("fifo");
+        let fair = light_p99("fair");
+        assert!(
+            fair < fifo,
+            "fair share must cap the light tail: fair p99 {fair}ns vs fifo p99 {fifo}ns"
+        );
+    }
+}

@@ -211,6 +211,33 @@ pub struct SimStats {
     pub faults: FaultCounters,
 }
 
+/// Per-lane aggregate counters: the slice of [`SimStats`] attributable to
+/// one group of nodes (a service-mode session slot). Maintained only when
+/// [`Simulator::enable_lanes`] was called; with a single lane covering the
+/// whole machine the lane counters equal the global ones field for field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Cross-node messages sent by nodes of this lane.
+    pub messages: u64,
+    /// Bytes injected by nodes of this lane.
+    pub bytes: u64,
+    /// Messages/bytes by the sending handler's stage.
+    pub traffic: StageTraffic,
+    /// Fault activity charged to this lane (drops/dups by the sending
+    /// node's lane, crash-discards by the dead destination's lane).
+    pub faults: FaultCounters,
+}
+
+/// Lane bookkeeping: the node→lane map, per-lane counters, and the number
+/// of pending events addressed to each lane's nodes (`outstanding`). A
+/// lane with zero outstanding events has fully drained — nothing in the
+/// queue can ever reach its nodes again without a new injection.
+struct LaneTable {
+    of_node: Vec<u32>,
+    stats: Vec<LaneStats>,
+    outstanding: Vec<u64>,
+}
+
 /// A structural invariant violation detected by the simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
@@ -277,6 +304,8 @@ pub struct NodeCtx<'a, M> {
     nodes: usize,
     outbox: Vec<(SimTime, NodeId, M)>,
     stats: &'a mut SimStats,
+    /// This node's lane counters, when lanes are enabled.
+    lane: Option<&'a mut LaneStats>,
     /// The fault plan, if one is installed (None → every hook is a no-op).
     plan: Option<&'a FaultPlan>,
     /// Counter indexing the plan's per-message drop/duplication draws.
@@ -354,10 +383,16 @@ impl<'a, M> NodeCtx<'a, M> {
             *self.fault_nonce += 1;
             if plan.drop_message(nonce) {
                 self.stats.faults.dropped += 1;
+                if let Some(lane) = self.lane.as_deref_mut() {
+                    lane.faults.dropped += 1;
+                }
                 return;
             }
             if plan.duplicate_message(nonce) {
                 self.stats.faults.duplicated += 1;
+                if let Some(lane) = self.lane.as_deref_mut() {
+                    lane.faults.duplicated += 1;
+                }
                 self.outbox
                     .push((arrival + self.net.base().latency, dst, msg.clone()));
             }
@@ -393,6 +428,11 @@ impl<'a, M> NodeCtx<'a, M> {
         self.stats.messages += 1;
         self.stats.bytes += bytes;
         self.stats.traffic.record(self.stage, bytes);
+        if let Some(lane) = self.lane.as_deref_mut() {
+            lane.messages += 1;
+            lane.bytes += bytes;
+            lane.traffic.record(self.stage, bytes);
+        }
         start + occupancy
     }
 
@@ -443,6 +483,7 @@ pub struct Simulator<M, B> {
     stats: SimStats,
     fault_plan: Option<FaultPlan>,
     fault_nonce: u64,
+    lanes: Option<LaneTable>,
 }
 
 impl<M, B: NodeBehavior<M>> Simulator<M, B> {
@@ -466,7 +507,49 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             stats: SimStats::default(),
             fault_plan: None,
             fault_nonce: 0,
+            lanes: None,
         }
+    }
+
+    /// Partition the machine into `lanes` groups of nodes (`of_node[n]` =
+    /// the lane node `n` belongs to) and start maintaining per-lane
+    /// counters ([`LaneStats`]) plus per-lane outstanding-event counts.
+    /// Service mode uses one lane per session slot so each session's
+    /// report carries exactly its own traffic and fault slice, and drains
+    /// (`lane_outstanding` = 0) signal a slot can be reused.
+    ///
+    /// # Panics
+    /// Panics if events were already injected, `of_node` is not one entry
+    /// per node, or an entry names a lane `>= lanes`.
+    pub fn enable_lanes(&mut self, of_node: Vec<u32>, lanes: usize) {
+        assert_eq!(self.seq, 0, "enable lanes before injecting events");
+        assert_eq!(of_node.len(), self.nodes.len(), "one lane entry per node required");
+        assert!(
+            of_node.iter().all(|&l| (l as usize) < lanes),
+            "lane id out of range"
+        );
+        self.lanes = Some(LaneTable {
+            of_node,
+            stats: vec![LaneStats::default(); lanes],
+            outstanding: vec![0; lanes],
+        });
+    }
+
+    /// Aggregate counters of `lane` so far.
+    ///
+    /// # Panics
+    /// Panics if lanes were not enabled or `lane` is out of range.
+    pub fn lane_stats(&self, lane: usize) -> LaneStats {
+        self.lanes.as_ref().expect("lanes not enabled").stats[lane]
+    }
+
+    /// Events still pending for `lane`'s nodes. Zero means the lane has
+    /// fully drained: no queued event can reach its nodes again.
+    ///
+    /// # Panics
+    /// Panics if lanes were not enabled or `lane` is out of range.
+    pub fn lane_outstanding(&self, lane: usize) -> u64 {
+        self.lanes.as_ref().expect("lanes not enabled").outstanding[lane]
     }
 
     /// Replace the event queue implementation. Both kinds dispatch in the
@@ -511,9 +594,24 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
     /// Inject an initial message for `dst` at absolute time `time`.
     pub fn inject(&mut self, time: SimTime, dst: NodeId, msg: M) {
         assert!(dst < self.nodes.len(), "destination out of range");
+        if let Some(lanes) = &mut self.lanes {
+            lanes.outstanding[lanes.of_node[dst] as usize] += 1;
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Event { time, seq, dst, msg });
+    }
+
+    /// Timestamp of the next due event without dispatching it, or `None`
+    /// when the queue is empty. Implemented as a pop immediately undone by
+    /// a push: the re-pushed event keeps its sequence number, so dispatch
+    /// order is unchanged on either queue kind, and lane outstanding
+    /// counts are deliberately left untouched.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let ev = self.queue.pop()?;
+        let time = ev.time;
+        self.queue.push(ev);
+        Some(time)
     }
 
     /// Dispatch the next event. `Ok(false)` when the queue is empty;
@@ -522,6 +620,9 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         let Some(ev) = self.queue.pop() else {
             return Ok(false);
         };
+        if let Some(lanes) = &mut self.lanes {
+            lanes.outstanding[lanes.of_node[ev.dst] as usize] -= 1;
+        }
         if ev.time < self.now {
             return Err(SimError::TimeRegression {
                 event: ev.time,
@@ -536,6 +637,9 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             if plan.is_crashed(ev.dst, ev.time) {
                 // A dead node silently discards everything addressed to it.
                 self.stats.faults.crash_dropped += 1;
+                if let Some(lanes) = &mut self.lanes {
+                    lanes.stats[lanes.of_node[ev.dst] as usize].faults.crash_dropped += 1;
+                }
                 return Ok(true);
             }
         }
@@ -545,6 +649,10 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             .map_or(1, |p| p.slow_factor(ev.dst));
         let slot = self.clocks.touch(ev.dst);
         let start = ev.time.max(self.clocks.runtime_free[slot]);
+        let lane = self
+            .lanes
+            .as_mut()
+            .map(|lanes| &mut lanes.stats[lanes.of_node[ev.dst] as usize]);
         let mut ctx = NodeCtx {
             node: ev.dst,
             slot,
@@ -556,6 +664,7 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             nodes: self.nodes.len(),
             outbox: Vec::new(),
             stats: &mut self.stats,
+            lane,
             plan: self.fault_plan.as_ref(),
             fault_nonce: &mut self.fault_nonce,
             slow,
@@ -565,6 +674,9 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         let outbox = std::mem::take(&mut ctx.outbox);
         self.clocks.runtime_free[slot] = cursor;
         for (time, dst, msg) in outbox {
+            if let Some(lanes) = &mut self.lanes {
+                lanes.outstanding[lanes.of_node[dst] as usize] += 1;
+            }
             let seq = self.seq;
             self.seq += 1;
             self.queue.push(Event { time, seq, dst, msg });
@@ -640,18 +752,8 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
         self.clocks
             .active
             .iter()
-            .enumerate()
-            .map(|(slot, &id)| {
-                let p = self
-                    .clocks
-                    .procs(slot)
-                    .iter()
-                    .copied()
-                    .max()
-                    .unwrap_or(SimTime::ZERO);
-                let busy_until = self.clocks.runtime_free[slot]
-                    .max(self.clocks.nic_free[slot])
-                    .max(p);
+            .map(|&id| {
+                let busy_until = self.node_busy_until(id);
                 match plan.and_then(|pl| pl.crash_time(id)) {
                     Some(crash) => busy_until.min(crash),
                     None => busy_until,
@@ -659,6 +761,44 @@ impl<M, B: NodeBehavior<M>> Simulator<M, B> {
             })
             .max()
             .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The raw time `node`'s runtime thread, NIC, and processors are all
+    /// free — *unclamped* by any crash schedule (use [`makespan`]'s clamp
+    /// semantics for "work that actually happened"). Untouched nodes
+    /// report zero. Service mode uses the per-range maximum both for
+    /// per-session makespans and to decide when a slot's clocks have gone
+    /// quiet enough to admit the next session without cross-session
+    /// queueing.
+    ///
+    /// [`makespan`]: Simulator::makespan
+    pub fn node_busy_until(&self, node: NodeId) -> SimTime {
+        match self.clocks.slot.get(node) {
+            Some(&s) if s != UNTRACKED => {
+                let slot = s as usize;
+                let p = self
+                    .clocks
+                    .procs(slot)
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(SimTime::ZERO);
+                self.clocks.runtime_free[slot]
+                    .max(self.clocks.nic_free[slot])
+                    .max(p)
+            }
+            _ => SimTime::ZERO,
+        }
+    }
+
+    /// Per-stage busy time of one node (all-zero for untouched nodes).
+    /// Cheaper than [`clock`](Simulator::clock) — no `proc_free`
+    /// allocation — for walking a node range during report assembly.
+    pub fn node_stage(&self, node: NodeId) -> StageTotals {
+        match self.clocks.slot.get(node) {
+            Some(&s) if s != UNTRACKED => self.clocks.stage_busy[s as usize],
+            _ => StageTotals::new(),
+        }
     }
 
     /// Aggregate statistics so far.
@@ -1222,6 +1362,169 @@ mod tests {
         let merged: SimTime = rows.iter().map(|&(_, t)| t.sum()).sum();
         assert_eq!(sim.stage_totals().sum(), merged);
         assert_eq!(sim.makespan(), SimTime::us(7_778));
+    }
+
+    #[test]
+    fn single_lane_counters_match_global_stats() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        // One lane over the whole machine must reproduce SimStats field
+        // for field — the service-mode n=1 transparency anchor. Faults on
+        // so the fault counters are exercised too.
+        #[derive(Default)]
+        struct Chat;
+        impl NodeBehavior<u64> for Chat {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u64>, msg: u64) {
+                ctx.charge(SimTime::us(1));
+                if msg > 0 {
+                    ctx.set_stage(Stage::Distribution);
+                    ctx.send(ctx.node() ^ 1, msg - 1, 128);
+                }
+            }
+        }
+        let spec = FaultSpec {
+            drop_per_mille: 200,
+            dup_per_mille: 200,
+            max_crashes: 0,
+            slow_nodes: 0,
+            ..FaultSpec::default()
+        };
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(2),
+            Network::aries(),
+            vec![Chat, Chat],
+        );
+        sim.set_fault_plan(FaultPlan::generate(9, 2, &spec));
+        sim.enable_lanes(vec![0, 0], 1);
+        sim.inject(SimTime::ZERO, 0, 64);
+        sim.run(10_000);
+        let lane = sim.lane_stats(0);
+        let stats = sim.stats();
+        assert_eq!(lane.messages, stats.messages);
+        assert_eq!(lane.bytes, stats.bytes);
+        assert_eq!(lane.traffic, stats.traffic);
+        assert_eq!(lane.faults, stats.faults);
+        assert!(lane.faults.dropped > 0 || lane.faults.duplicated > 0);
+        assert_eq!(sim.lane_outstanding(0), 0);
+    }
+
+    #[test]
+    fn lanes_attribute_traffic_and_drain_independently() {
+        struct Relay;
+        impl NodeBehavior<u64> for Relay {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u64>, msg: u64) {
+                ctx.charge(SimTime::us(1));
+                if msg > 0 {
+                    ctx.send(ctx.node() ^ 1, msg - 1, 100);
+                }
+            }
+        }
+        let mut sim = Simulator::new(
+            MachineDesc::piz_daint(4),
+            Network::aries(),
+            (0..4).map(|_| Relay).collect(),
+        );
+        sim.enable_lanes(vec![0, 0, 1, 1], 2);
+        sim.inject(SimTime::ZERO, 0, 4);
+        sim.inject(SimTime::ZERO, 2, 2);
+        assert_eq!(sim.lane_outstanding(0), 1);
+        assert_eq!(sim.lane_outstanding(1), 1);
+        sim.run(100);
+        let (a, b) = (sim.lane_stats(0), sim.lane_stats(1));
+        assert_eq!(a.messages, 4);
+        assert_eq!(a.bytes, 400);
+        assert_eq!(b.messages, 2);
+        assert_eq!(b.bytes, 200);
+        assert_eq!(a.messages + b.messages, sim.stats().messages);
+        assert_eq!(sim.lane_outstanding(0), 0);
+        assert_eq!(sim.lane_outstanding(1), 0);
+    }
+
+    #[test]
+    fn peek_time_is_nonperturbing() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::Calendar] {
+            let mut sim = Simulator::new(
+                MachineDesc::piz_daint(2),
+                Network::ideal(),
+                vec![Recorder::default(), Recorder::default()],
+            )
+            .with_queue(kind);
+            let t = SimTime::us(5);
+            for k in [9u64, 3, 7] {
+                sim.inject(t, 0, k);
+            }
+            sim.inject(SimTime::us(6), 1, 42);
+            // Peeking is idempotent and preserves the (time, seq) order.
+            assert_eq!(sim.peek_time(), Some(t));
+            assert_eq!(sim.peek_time(), Some(t));
+            while sim.peek_time().is_some() {
+                sim.step();
+            }
+            assert_eq!(sim.node(0).seen, vec![9, 3, 7]);
+            assert_eq!(sim.node(1).seen, vec![42]);
+        }
+    }
+
+    #[test]
+    fn node_busy_until_is_raw_and_node_stage_is_per_node() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        struct Worker;
+        impl NodeBehavior<u8> for Worker {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, u8>, _msg: u8) {
+                ctx.charge(SimTime::us(10));
+            }
+        }
+        let spec = FaultSpec {
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            slow_nodes: 0,
+            crash_window: (SimTime::us(1), SimTime::us(1)),
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(0, 2, &spec);
+        assert_eq!(plan.crashes(), &[(1, SimTime::us(1))]);
+        let mut sim =
+            Simulator::new(MachineDesc::piz_daint(2), Network::ideal(), vec![Worker, Worker]);
+        sim.set_fault_plan(plan);
+        sim.inject(SimTime::ZERO, 1, 0); // delivered before the crash
+        sim.run(10);
+        // The makespan clamps the crashed node to its crash time; the raw
+        // per-node query reports the booked work unclamped.
+        assert_eq!(sim.makespan(), SimTime::us(1));
+        assert_eq!(sim.node_busy_until(1), SimTime::us(10));
+        assert_eq!(sim.node_busy_until(0), SimTime::ZERO); // untouched
+        assert_eq!(sim.node_stage(1).get(Stage::Other), SimTime::us(10));
+        assert_eq!(sim.node_stage(0), StageTotals::new());
+    }
+
+    #[test]
+    fn exempt_nodes_are_removed_from_fault_schedules() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let spec = FaultSpec {
+            max_crashes: 6,
+            slow_nodes: 6,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(5, 16, &spec);
+        assert!(!plan.crashes().is_empty());
+        let exempted = plan.clone().with_exempt_nodes(|n| n % 4 == 0);
+        for n in 0..16 {
+            if n % 4 == 0 {
+                assert_eq!(exempted.crash_time(n), None);
+                assert_eq!(exempted.slow_factor(n), 1);
+            } else {
+                assert_eq!(exempted.crash_time(n), plan.crash_time(n));
+                assert_eq!(exempted.slow_factor(n), plan.slow_factor(n));
+            }
+        }
+        // Drop/duplication draws are untouched.
+        for nonce in 0..256 {
+            assert_eq!(exempted.drop_message(nonce), plan.drop_message(nonce));
+            assert_eq!(exempted.duplicate_message(nonce), plan.duplicate_message(nonce));
+        }
+        // A predicate matching nothing leaves the schedule unchanged.
+        let same = plan.clone().with_exempt_nodes(|_| false);
+        assert_eq!(same.crashes(), plan.crashes());
+        assert_eq!(same.slow_nodes(), plan.slow_nodes());
     }
 
     #[test]

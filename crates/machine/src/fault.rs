@@ -154,6 +154,39 @@ impl FaultPlan {
         }
     }
 
+    /// Remove every crash and slow entry whose node satisfies `exempt`,
+    /// keeping the rest of the schedule (and the drop/duplication draw
+    /// sequence) untouched. Service mode exempts the per-slot coordinator
+    /// nodes the same way a single-machine plan never crashes node 0 —
+    /// each session keeps a live recovery coordinator by construction.
+    /// With a predicate no scheduled fault matches, the plan is unchanged.
+    pub fn with_exempt_nodes(mut self, exempt: impl Fn(NodeId) -> bool) -> Self {
+        let crash_at = &mut self.crash_at;
+        self.crashes.retain(|&(n, _)| {
+            if exempt(n) {
+                crash_at[n] = SimTime::MAX;
+                false
+            } else {
+                true
+            }
+        });
+        let slow_at = &mut self.slow_at;
+        self.slow.retain(|&(n, _)| {
+            if exempt(n) {
+                slow_at[n] = 1;
+                false
+            } else {
+                true
+            }
+        });
+        self
+    }
+
+    /// The slow-node schedule as `(node, multiplier)`, sorted by node.
+    pub fn slow_nodes(&self) -> &[(NodeId, u64)] {
+        &self.slow
+    }
+
     /// Switch per-node queries to the original O(faults) linear scans.
     ///
     /// The answers are identical to the table path (locked by tests);

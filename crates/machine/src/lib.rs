@@ -27,7 +27,7 @@ pub mod stage;
 pub mod time;
 pub mod topology;
 
-pub use des::{NodeBehavior, NodeCtx, SimError, SimStats, Simulator};
+pub use des::{LaneStats, NodeBehavior, NodeCtx, SimError, SimStats, Simulator};
 pub use fault::{FaultCounters, FaultPlan, FaultSpec};
 pub use machine::{MachineDesc, ProcId, ProcKind};
 pub use network::{HierNetwork, Interconnect, Network};

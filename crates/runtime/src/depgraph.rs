@@ -32,7 +32,7 @@ use il_region::{
     overlap_volume, FieldId, IndexSpaceId, Privilege, RegionForest, RegionTreeId, ReductionOpId,
 };
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Reference to a task instance (index into [`ExpandedProgram::tasks`]).
@@ -115,6 +115,42 @@ pub struct AnalysisCacheStats {
     /// re-running on the host (the `evals` of each hit's `Dynamic`
     /// verdict; the simulator still charges them when checks are on).
     pub evals_saved: u64,
+    /// Hits served from a tenant's *warm* state — verdicts carried over
+    /// from an earlier session of the same tenant running the same
+    /// program (service mode only; always zero on the legacy path and
+    /// on a tenant's first session).
+    pub warm_hits: u64,
+}
+
+/// A tenant's carry-over expansion state in service mode: the verdict
+/// cache and the surviving launch traces of that tenant's previous
+/// sessions of the *same* program. Keyed per `(tenant, program)` by the
+/// service — never shared across tenants, which is what keeps one
+/// tenant's trace invalidations and cache contents invisible to another
+/// (the per-tenant-isolation tier locks this). Purely host-side: seeding
+/// warm state never changes verdicts, task graphs, or simulated time,
+/// only how much analysis the expansion repeats.
+#[derive(Default)]
+pub struct WarmState {
+    pub(crate) verdicts: HashMap<u64, OpSafety>,
+    pub(crate) traces: Vec<crate::replay::LaunchTrace>,
+}
+
+impl WarmState {
+    /// Empty warm state (a tenant's first session).
+    pub fn new() -> Self {
+        WarmState::default()
+    }
+
+    /// Cached verdicts currently held.
+    pub fn verdict_count(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Captured launch traces currently held.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
 }
 
 /// Distribution plan of one operation, fixed at expansion time: the
@@ -698,6 +734,10 @@ pub(crate) struct Expander<'p> {
     config: &'p RuntimeConfig,
     default_shard: ShardingFn,
     verdict_cache: HashMap<u64, OpSafety>,
+    /// Signatures whose verdicts were pre-seeded from a tenant's warm
+    /// state (empty on the legacy path); hits on these count as
+    /// `warm_hits`.
+    warm_sigs: HashSet<u64>,
     cache_stats: AnalysisCacheStats,
     pub(crate) oracle: Oracle,
     pub(crate) tasks: Vec<TaskInstance>,
@@ -717,6 +757,7 @@ impl<'p> Expander<'p> {
             config,
             default_shard: block_shard(),
             verdict_cache: HashMap::new(),
+            warm_sigs: HashSet::new(),
             cache_stats: AnalysisCacheStats {
                 enabled: config.analysis_cache,
                 ..AnalysisCacheStats::default()
@@ -779,6 +820,9 @@ impl<'p> Expander<'p> {
             match self.verdict_cache.entry(sig) {
                 Entry::Occupied(hit) => {
                     self.cache_stats.hits += 1;
+                    if self.warm_sigs.contains(&sig) {
+                        self.cache_stats.warm_hits += 1;
+                    }
                     if let OpSafety::Dynamic { evals } = hit.get() {
                         self.cache_stats.evals_saved += *evals;
                     }
@@ -890,9 +934,40 @@ fn dist_plan(tasks: &[TaskInstance], lo: u32, hi: u32) -> OpDist {
 /// sharding change; the result is bit-for-bit identical with replay off
 /// (`tests/trace_replay.rs` locks this over the oracle corpus).
 pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProgram {
+    expand_program_warm(program, config, None)
+}
+
+/// [`expand_program`] seeded with (and updating) a tenant's [`WarmState`]:
+/// the verdict cache starts from the tenant's carried-over verdicts and
+/// the trace recorder from its surviving launch traces, so a repeat
+/// session of the same program skips analysis from its very first
+/// iteration instead of re-warming. On return the warm state holds the
+/// post-expansion cache and traces for the tenant's next session.
+///
+/// Host-side only: the expansion's *output* — verdicts, task graph,
+/// distribution plans, and everything the simulator charges — is
+/// byte-identical with or without warm state (warm verdicts were computed
+/// from the same collision-free signatures; warm traces validate against
+/// the current oracle state exactly like intra-run traces do). Only the
+/// `warm_hits`/replay accounting and host wall-clock differ.
+pub fn expand_program_warm(
+    program: &Program,
+    config: &RuntimeConfig,
+    warm: Option<&mut WarmState>,
+) -> ExpandedProgram {
     let keys = crate::replay::trace_keys(program);
     let mut xp = Expander::new(program, config);
     let mut recorder = Recorder::new(config.trace_replay);
+    let mut warm = warm;
+    if let Some(w) = warm.as_deref_mut() {
+        if config.analysis_cache {
+            xp.warm_sigs = w.verdicts.keys().copied().collect();
+            xp.verdict_cache = std::mem::take(&mut w.verdicts);
+        }
+        if config.trace_replay {
+            recorder.seed_traces(std::mem::take(&mut w.traces));
+        }
+    }
     let n = program.ops.len();
     let mut i = 0usize;
     while i < n {
@@ -923,9 +998,27 @@ pub fn expand_program(program: &Program, config: &RuntimeConfig) -> ExpandedProg
     }
 
     let Expander {
-        tasks, op_tasks, safety, deps, copies, dist, replayed_ops, cache_stats, prof, ..
+        tasks,
+        op_tasks,
+        safety,
+        deps,
+        copies,
+        dist,
+        replayed_ops,
+        cache_stats,
+        prof,
+        verdict_cache,
+        ..
     } = xp;
-    let (trace_replay, trace_marks) = recorder.finish();
+    let (trace_replay, trace_marks, surviving) = recorder.finish();
+    if let Some(w) = warm {
+        if config.analysis_cache {
+            w.verdicts = verdict_cache;
+        }
+        if config.trace_replay {
+            w.traces = surviving;
+        }
+    }
 
     // Cross-validation: a launch the hybrid analysis declared safe must
     // have produced no intra-launch edges.

@@ -32,8 +32,8 @@ use crate::program::Program;
 use crate::replay::TraceReplayStats;
 use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
-    FaultPlan, HierNetwork, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId, SimTime,
-    Simulator, Stage, StageTotals,
+    FaultCounters, FaultPlan, HierNetwork, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId,
+    SimTime, Simulator, Stage, StageTotals, StageTraffic,
 };
 use il_region::{domain_intersection, FieldId, IndexSpaceId, Privilege, RegionTreeId};
 use il_testkit::Json;
@@ -172,7 +172,7 @@ impl RunReport {
 }
 
 #[derive(Debug, Clone)]
-enum Msg {
+pub(crate) enum Msg {
     /// DCR: operation `op` clears logical analysis on this node.
     InjectOp { op: u32 },
     /// Non-DCR: node 0 starts distributing operation `op`.
@@ -216,21 +216,36 @@ struct Timing {
     tasks_done: u64,
 }
 
-struct Shared<'p> {
-    program: &'p Program,
-    expanded: ExpandedProgram,
-    config: RuntimeConfig,
-    machine: MachineDesc,
-    /// Issuance/logical frontier per op.
-    frontier: Vec<SimTime>,
+pub(crate) struct Shared<'p> {
+    pub(crate) program: &'p Program,
+    pub(crate) expanded: ExpandedProgram,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) machine: MachineDesc,
+    /// First machine node of this session's range `[base, base +
+    /// config.nodes)`. Zero on the legacy single-program path; service
+    /// mode places each session at its slot's base. All program-level
+    /// node ids (task owners, distribution groups) stay session-local;
+    /// the executor translates at every machine boundary via
+    /// [`Shared::abs`]/[`Shared::local`].
+    pub(crate) base: NodeId,
+    /// Admission time of this session on the shared machine clock. Zero
+    /// on the legacy path. Reported times (makespan, setup, trace-event
+    /// starts) are relative to `t0`, which is what makes a session's
+    /// report independent of when — and next to whom — it ran.
+    pub(crate) t0: SimTime,
+    /// Issuance/logical frontier per op, relative to `t0`.
+    pub(crate) frontier: Vec<SimTime>,
+    /// Per-stage decomposition of the issuance timeline (merged once
+    /// into the report's stage totals).
+    pub(crate) issuance_stage: StageTotals,
     /// Initial wait counts (deps + copies).
-    waits_init: Vec<u32>,
+    pub(crate) waits_init: Vec<u32>,
     /// Sum over reqs of ceil(log2 |P_req|), per op (physical-analysis
     /// multiplier).
-    phys_weight: Vec<u32>,
+    pub(crate) phys_weight: Vec<u32>,
     /// Whether each op travels as compact slices without DCR.
-    compact_ops: Vec<bool>,
-    store: RefCell<InstanceStore>,
+    pub(crate) compact_ops: Vec<bool>,
+    pub(crate) store: RefCell<InstanceStore>,
     /// Reduction buffers already identity-filled, keyed by
     /// `(tree, subspace, field, epoch id)`: the first epoch member to
     /// execute fills; the rest accumulate (validation mode only).
@@ -244,7 +259,7 @@ struct Shared<'p> {
     audit: Option<RefCell<AuditData>>,
     /// Fault-injection runtime state (when `config.faults`). `None` keeps
     /// every recovery code path inert.
-    faults: Option<FaultRuntime>,
+    pub(crate) faults: Option<FaultRuntime>,
     /// Trace-replay stats, seeded from the expansion and bumped when a
     /// crash re-shard lands on a replayed op (the trace that produced it
     /// is then stale for any later capture epoch).
@@ -265,9 +280,9 @@ struct Shared<'p> {
 /// the simulation is single-threaded and the protocol only reads them on
 /// node 0 or for first-completion dedup, both of which a real
 /// implementation keeps node-local.
-struct FaultRuntime {
+pub(crate) struct FaultRuntime {
     cfg: FaultConfig,
-    plan: FaultPlan,
+    pub(crate) plan: FaultPlan,
     /// First-completion guard: a task's completion effects (body, timing,
     /// credits, report) run exactly once, however many times crashes and
     /// retries make it execute.
@@ -279,19 +294,55 @@ struct FaultRuntime {
     stats: RefCell<RecoveryStats>,
 }
 
+impl FaultRuntime {
+    /// Fresh recovery state over `plan` for an `n_tasks`-task program.
+    pub(crate) fn new(cfg: FaultConfig, plan: FaultPlan, n_tasks: usize) -> FaultRuntime {
+        FaultRuntime {
+            cfg,
+            plan,
+            completed: RefCell::new(vec![false; n_tasks]),
+            journal: RefCell::new(vec![false; n_tasks]),
+            reassigned: RefCell::new(HashMap::new()),
+            stats: RefCell::new(RecoveryStats::default()),
+        }
+    }
+}
+
 impl<'p> Shared<'p> {
-    fn record(&self, event: TraceEvent) {
+    /// Machine node of session-local node id `local`.
+    #[inline]
+    pub(crate) fn abs(&self, local: NodeId) -> NodeId {
+        self.base + local
+    }
+
+    /// Session-local node id of machine node `node`.
+    #[inline]
+    pub(crate) fn local(&self, node: NodeId) -> NodeId {
+        node - self.base
+    }
+
+    /// Record a trace event, translating machine node ids and absolute
+    /// times into the session frame (identity on the legacy path, where
+    /// `base` and `t0` are both zero).
+    fn record(&self, mut event: TraceEvent) {
         if event.duration == SimTime::ZERO {
             return;
         }
         if let Some(trace) = &self.trace {
+            event.node = self.local(event.node);
+            event.start = event.start.saturating_sub(self.t0);
             trace.borrow_mut().record(event);
         }
     }
 }
 
-struct RtNode<'p> {
-    shared: Rc<Shared<'p>>,
+pub(crate) struct RtNode<'p> {
+    /// The session this node currently executes, `None` when the node is
+    /// idle between service sessions. Rebinding happens only after the
+    /// previous session's lane fully drained, so a message can never
+    /// reach a node bound to the wrong session; an unbound node receiving
+    /// one anyway discards it defensively.
+    shared: Option<Rc<Shared<'p>>>,
     states: HashMap<TaskRef, TState>,
     /// Non-DCR, compact ops: local tasks of each op still running (the
     /// slice's completion is reported centrally once, when the last
@@ -303,8 +354,38 @@ struct RtNode<'p> {
 }
 
 impl<'p> RtNode<'p> {
+    /// An idle node awaiting its first session.
+    pub(crate) fn unbound() -> Self {
+        RtNode {
+            shared: None,
+            states: HashMap::new(),
+            slice_remaining: HashMap::new(),
+            paid: HashSet::new(),
+        }
+    }
+
+    /// Bind this node to a session, resetting all per-session state.
+    pub(crate) fn bind(&mut self, shared: Rc<Shared<'p>>) {
+        self.shared = Some(shared);
+        self.states.clear();
+        self.slice_remaining.clear();
+        self.paid.clear();
+    }
+
+    /// Release the session binding (drops this node's `Rc` so the
+    /// service can unwrap the shared state into a report).
+    pub(crate) fn unbind(&mut self) {
+        self.shared = None;
+    }
+
+    /// The bound session. Only called from paths `on_message` already
+    /// guarded, so the expect is unreachable.
+    fn sh(&self) -> Rc<Shared<'p>> {
+        self.shared.clone().expect("message dispatched to an unbound node")
+    }
+
     fn state(&mut self, task: TaskRef) -> &mut TState {
-        let init = self.shared.waits_init[task as usize];
+        let init = self.sh().waits_init[task as usize];
         self.states.entry(task).or_insert(TState {
             injected: false,
             analysis_done: SimTime::ZERO,
@@ -320,9 +401,10 @@ impl<'p> RtNode<'p> {
         if self.state(task).injected {
             return;
         }
-        let cost = &self.shared.config.cost;
-        let op = self.shared.expanded.tasks[task as usize].op;
-        let phys = self.shared.phys_weight[op as usize];
+        let shared = self.sh();
+        let cost = &shared.config.cost;
+        let op = shared.expanded.tasks[task as usize].op;
+        let phys = shared.phys_weight[op as usize];
         let prev_stage = ctx.stage();
         ctx.set_stage(Stage::Distribution);
         let dist_start = ctx.now();
@@ -331,7 +413,7 @@ impl<'p> RtNode<'p> {
         let phys_start = ctx.now();
         ctx.charge(cost.map_task + cost.physical_per_task * phys as u64);
         let now = ctx.now();
-        self.shared.record(TraceEvent {
+        shared.record(TraceEvent {
             op,
             task: Some(task),
             node: ctx.node(),
@@ -339,7 +421,7 @@ impl<'p> RtNode<'p> {
             start: dist_start,
             duration: phys_start - dist_start,
         });
-        self.shared.record(TraceEvent {
+        shared.record(TraceEvent {
             op,
             task: Some(task),
             node: ctx.node(),
@@ -363,7 +445,7 @@ impl<'p> RtNode<'p> {
             return;
         }
         self.state(task).started = true;
-        let shared = self.shared.clone();
+        let shared = self.sh();
         let inst = &shared.expanded.tasks[task as usize];
         let op = inst.op as usize;
         let launch = shared.program.ops[op].launch();
@@ -385,7 +467,7 @@ impl<'p> RtNode<'p> {
 
     /// Run the body (validation mode) and fan out completion credits.
     fn complete_task(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef) {
-        let shared = self.shared.clone();
+        let shared = self.sh();
         // First completion wins, globally: a task can execute both on a
         // node that later crashed and on the survivor it was re-sharded
         // to; its effects (body, timing, credits, report) must not repeat.
@@ -429,24 +511,24 @@ impl<'p> RtNode<'p> {
         let mut targets: Vec<_> = per_node.into_iter().collect();
         targets.sort_unstable_by_key(|(n, _)| *n);
         for (node, (items, bytes)) in targets {
-            if node == ctx.node() {
+            if shared.abs(node) == ctx.node() {
                 for (succ, credits) in items {
                     self.pay(ctx, task, succ, credits);
                 }
             } else {
-                ctx.send(node, Msg::Credits { from: task, items }, bytes);
+                ctx.send(shared.abs(node), Msg::Credits { from: task, items }, bytes);
             }
         }
-        // Recovery: report the completion to the node-0 coordinator's
-        // journal over the reliable control channel.
+        // Recovery: report the completion to the session coordinator's
+        // journal (its base node) over the reliable control channel.
         if let Some(fr) = &shared.faults {
             let prev = ctx.stage();
             ctx.set_stage(Stage::Recovery);
-            if ctx.node() == 0 {
+            if ctx.node() == shared.base {
                 fr.journal.borrow_mut()[task as usize] = true;
             } else {
                 ctx.send_control(
-                    0,
+                    shared.base,
                     Msg::Complete { task },
                     shared.config.cost.notify_message_bytes,
                 );
@@ -463,7 +545,8 @@ impl<'p> RtNode<'p> {
             // the slice statically belongs to; a task recovered onto a
             // different node reports per-task instead (the static owner's
             // count then never reaches zero — it crashed).
-            let at_static_owner = ctx.node() == shared.expanded.tasks[task as usize].owner;
+            let at_static_owner =
+                ctx.node() == shared.abs(shared.expanded.tasks[task as usize].owner);
             let notify = if compact && !at_static_owner {
                 true
             } else if compact {
@@ -473,7 +556,7 @@ impl<'p> RtNode<'p> {
                 // corruption, so both fail loudly (release included)
                 // instead of wrapping — covered by the
                 // credit-conservation audit.
-                let node = ctx.node();
+                let node = shared.local(ctx.node());
                 let remaining = self.slice_remaining.entry(op).or_insert_with(|| {
                     let groups = &shared.expanded.dist[op as usize].groups;
                     let i = groups
@@ -491,7 +574,11 @@ impl<'p> RtNode<'p> {
                 true
             };
             if notify {
-                ctx.send(0, Msg::CentralNotify { count: 1 }, shared.config.cost.notify_message_bytes);
+                ctx.send(
+                    shared.base,
+                    Msg::CentralNotify { count: 1 },
+                    shared.config.cost.notify_message_bytes,
+                );
             }
         }
     }
@@ -500,7 +587,8 @@ impl<'p> RtNode<'p> {
     /// the `(from, task)` edge is paid at most once — a duplicated credit
     /// message is discarded here.
     fn pay(&mut self, ctx: &mut NodeCtx<'_, Msg>, from: TaskRef, task: TaskRef, credits: u32) {
-        if let Some(fr) = &self.shared.faults {
+        let shared = self.sh();
+        if let Some(fr) = &shared.faults {
             if !self.paid.insert((from, task)) {
                 fr.stats.borrow_mut().duplicate_credits += 1;
                 return;
@@ -510,7 +598,7 @@ impl<'p> RtNode<'p> {
     }
 
     fn apply_credits(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, credits: u32) {
-        let shared = self.shared.clone();
+        let shared = self.sh();
         if let Some(audit) = &shared.audit {
             audit.borrow_mut().credits_paid[task as usize] += credits as u64;
         }
@@ -535,7 +623,7 @@ impl<'p> RtNode<'p> {
     /// Validation mode: apply incoming copies, fill reduction buffers,
     /// run the kernel.
     fn run_body(&mut self, task: TaskRef) {
-        let shared = &self.shared;
+        let shared = self.sh();
         let forest = &shared.program.forest;
         let inst = &shared.expanded.tasks[task as usize];
         let op = inst.op as usize;
@@ -614,12 +702,19 @@ impl<'p> RtNode<'p> {
 
 impl<'p> NodeBehavior<Msg> for RtNode<'p> {
     fn on_message(&mut self, ctx: &mut NodeCtx<'_, Msg>, msg: Msg) {
+        if self.shared.is_none() {
+            // Unbound between service sessions: slots are only rebound
+            // after the previous session's lane drained, so nothing
+            // should ever land here — discard defensively if it does.
+            return;
+        }
         match msg {
             Msg::InjectOp { op } => {
                 ctx.set_stage(Stage::Distribution);
-                let shared = self.shared.clone();
+                let shared = self.sh();
                 let groups = &shared.expanded.dist[op as usize].groups;
-                if let Ok(i) = groups.binary_search_by_key(&ctx.node(), |(n, _)| *n) {
+                let local = shared.local(ctx.node());
+                if let Ok(i) = groups.binary_search_by_key(&local, |(n, _)| *n) {
                     let tasks = groups[i].1.clone();
                     for t in tasks {
                         self.inject_task(ctx, t);
@@ -628,16 +723,16 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
             }
             Msg::DistributeOp { op } => {
                 ctx.set_stage(Stage::Distribution);
-                let shared = self.shared.clone();
+                let shared = self.sh();
                 let compact = distribution_is_compact(&shared.config, &shared.expanded.safety[op as usize]);
                 if compact {
                     let n = shared.expanded.dist[op as usize].slices.len() as u32;
                     self.handle_slice_batch(ctx, op, 0, n);
                 } else {
-                    // Stream one message per task out of node 0.
+                    // Stream one message per task out of the base node.
                     let (lo, hi) = shared.expanded.op_tasks[op as usize];
                     for t in lo..hi {
-                        let owner = shared.expanded.tasks[t as usize].owner;
+                        let owner = shared.abs(shared.expanded.tasks[t as usize].owner);
                         if owner == ctx.node() {
                             self.inject_task(ctx, t);
                         } else {
@@ -670,12 +765,13 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
             }
             Msg::CentralNotify { count } => {
                 ctx.set_stage(Stage::Network);
-                let per_unit = self.shared.config.cost.central_complete;
+                let per_unit = self.sh().config.cost.central_complete;
                 ctx.charge(per_unit * count as u64);
             }
             Msg::Complete { task } => {
                 ctx.set_stage(Stage::Recovery);
-                if let Some(fr) = &self.shared.faults {
+                let shared = self.sh();
+                if let Some(fr) = &shared.faults {
                     fr.journal.borrow_mut()[task as usize] = true;
                 }
             }
@@ -697,7 +793,7 @@ impl<'p> RtNode<'p> {
     /// survivor once `attempt` exhausts the retry budget, and the timer
     /// re-arms with exponential backoff.
     fn recovery_check(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, attempt: u32) {
-        let shared = self.shared.clone();
+        let shared = self.sh();
         let Some(fr) = &shared.faults else { return };
         ctx.set_stage(Stage::Recovery);
         let check_start = ctx.now();
@@ -716,13 +812,15 @@ impl<'p> RtNode<'p> {
                 let static_owner = shared.expanded.tasks[t as usize].owner;
                 let mut dest =
                     reassigned.get(&(op, static_owner)).copied().unwrap_or(static_owner);
-                if attempt >= fr.cfg.max_retries && fr.plan.is_crashed(dest, now) {
+                if attempt >= fr.cfg.max_retries && fr.plan.is_crashed(shared.abs(dest), now) {
                     // Retry budget exhausted and the assignee is confirmed
                     // dead (modeled perfect failure detector: the plan's
                     // crash is in the past): re-shard the group onto the
-                    // next survivor in rotation and charge the safety
-                    // re-analysis the re-mapped launch requires.
-                    let survivor = next_survivor(dest, ctx.nodes(), &fr.plan);
+                    // next survivor in rotation (within this session's
+                    // node range) and charge the safety re-analysis the
+                    // re-mapped launch requires.
+                    let survivor =
+                        next_survivor(dest, shared.config.nodes, shared.base, &fr.plan);
                     reassigned.insert((op, static_owner), survivor);
                     dest = survivor;
                     let mut stats = fr.stats.borrow_mut();
@@ -763,10 +861,10 @@ impl<'p> RtNode<'p> {
         for (node, items) in targets {
             fr.stats.borrow_mut().retried_tasks += items.len() as u64;
             let bytes = items.len() as u64 * shared.config.cost.task_message_bytes;
-            if node == ctx.node() {
+            if shared.abs(node) == ctx.node() {
                 self.handle_retry(ctx, op, items);
             } else {
-                ctx.send_control(node, Msg::Retry { op, items }, bytes);
+                ctx.send_control(shared.abs(node), Msg::Retry { op, items }, bytes);
             }
         }
         shared.record(TraceEvent {
@@ -805,7 +903,7 @@ impl<'p> RtNode<'p> {
                 self.try_start(ctx, task);
             }
         }
-        self.shared.record(TraceEvent {
+        self.sh().record(TraceEvent {
             op,
             task: None,
             node: ctx.node(),
@@ -819,7 +917,7 @@ impl<'p> RtNode<'p> {
     /// sender keeps the first half and forwards the second half to the
     /// owner of its first slice, until single slices expand locally.
     fn handle_slice_batch(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, lo: u32, mut hi: u32) {
-        let shared = self.shared.clone();
+        let shared = self.sh();
         let slices = &shared.expanded.dist[op as usize].slices;
         loop {
             if lo >= hi {
@@ -827,6 +925,7 @@ impl<'p> RtNode<'p> {
             }
             if hi - lo == 1 {
                 let (tlo, thi, owner) = slices[lo as usize];
+                let owner = shared.abs(owner);
                 if owner == ctx.node() {
                     // The slice has reached its owner and expands into
                     // point tasks: this is the delivery the coverage
@@ -847,7 +946,7 @@ impl<'p> RtNode<'p> {
                 return;
             }
             let mid = lo + (hi - lo) / 2;
-            let right_owner = slices[mid as usize].2;
+            let right_owner = shared.abs(slices[mid as usize].2);
             let bytes = (hi - mid) as u64 * shared.config.cost.slice_message_bytes;
             if right_owner == ctx.node() {
                 // Keep both halves local: handle right recursively.
@@ -860,15 +959,17 @@ impl<'p> RtNode<'p> {
     }
 }
 
-/// The node a dead assignee's work moves to: the next node in rotation
-/// that never crashes in this run's fault plan. Node 0 is crash-exempt by
-/// construction, so the rotation always terminates — and spreading by
-/// rotation (rather than dumping everything on node 0) keeps recovered
+/// The session-local node a dead assignee's work moves to: the next node
+/// in rotation *within the session's range* that never crashes in the
+/// machine's fault plan. The session's base node is crash-exempt by
+/// construction (node 0 on the legacy path, exempted slot bases in
+/// service mode), so the rotation always terminates — and spreading by
+/// rotation (rather than dumping everything on the base) keeps recovered
 /// work balanced when several groups die.
-fn next_survivor(dead: NodeId, nodes: usize, plan: &FaultPlan) -> NodeId {
+fn next_survivor(dead: NodeId, nodes: usize, base: NodeId, plan: &FaultPlan) -> NodeId {
     for step in 1..nodes {
         let candidate = (dead + step) % nodes;
-        if !plan.ever_crashes(candidate) {
+        if !plan.ever_crashes(base + candidate) {
             return candidate;
         }
     }
@@ -1007,9 +1108,22 @@ fn op_signature(program: &Program, op: &crate::program::Operation) -> u64 {
     launch_signature(op.launch(), program)
 }
 
-/// Execute `program` under `config`, returning the run report.
-pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
-    let expanded = expand_program(program, config);
+/// Assemble the per-session shared state: frontier, wait counts,
+/// physical-analysis weights, trace pre-seed, audit counters. `base`/`t0`
+/// place the session on the machine (`0`/`ZERO` on the legacy path —
+/// every derived quantity is then byte-identical to the pre-service
+/// executor). `faults` is the session's recovery runtime, built by the
+/// caller because the fault *plan* differs between the paths: the legacy
+/// path generates a plan over its own machine, the service hands every
+/// session the machine-global plan.
+pub(crate) fn build_shared<'p>(
+    program: &'p Program,
+    config: &RuntimeConfig,
+    base: NodeId,
+    t0: SimTime,
+    expanded: ExpandedProgram,
+    faults: Option<FaultRuntime>,
+) -> Rc<Shared<'p>> {
     let issuance = compute_frontier(program, &expanded, config);
 
     let waits_init: Vec<u32> = (0..expanded.len())
@@ -1043,7 +1157,6 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         .collect();
 
     let machine = MachineDesc::piz_daint(config.nodes);
-    let total_tasks = expanded.len() as u64;
     let trace = if config.trace {
         let mut log = TraceLog::new();
         for &e in &issuance.events {
@@ -1081,21 +1194,16 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
     } else {
         None
     };
-    let faults = config.faults.as_ref().map(|fc| FaultRuntime {
-        cfg: fc.clone(),
-        plan: FaultPlan::generate(fc.seed, config.nodes, &fc.to_spec()),
-        completed: RefCell::new(vec![false; expanded.len()]),
-        journal: RefCell::new(vec![false; expanded.len()]),
-        reassigned: RefCell::new(HashMap::new()),
-        stats: RefCell::new(RecoveryStats::default()),
-    });
     let trace_stats = RefCell::new(expanded.trace_replay);
-    let shared = Rc::new(Shared {
+    Rc::new(Shared {
         program,
         expanded,
         config: config.clone(),
-        machine: machine.clone(),
+        machine,
+        base,
+        t0,
         frontier: issuance.frontier,
+        issuance_stage: issuance.stage,
         waits_init,
         phys_weight,
         compact_ops,
@@ -1111,77 +1219,82 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         audit,
         faults,
         trace_stats,
-    });
+    })
+}
 
-    let behaviors: Vec<RtNode<'_>> = (0..config.nodes)
-        .map(|_| RtNode {
-            shared: shared.clone(),
-            states: HashMap::new(),
-            slice_remaining: HashMap::new(),
-            paid: HashSet::new(),
-        })
-        .collect();
-    let mut sim = Simulator::new(machine, Network::aries(), behaviors);
-    if let Some(spec) = &config.net_hierarchy {
-        sim = sim.with_interconnect(Box::new(HierNetwork::new(Network::aries(), spec.clone())));
-    }
-    if let Some(fr) = &shared.faults {
-        sim.set_fault_plan(fr.plan.clone());
-    }
-
-    for op_idx in 0..program.ops.len() {
-        let at = shared.frontier[op_idx];
-        if config.dcr {
+/// Inject a session's ops (and, under faults, its acknowledgement
+/// timers) into the simulator: every op at `t0 + frontier[op]`, targeted
+/// at the session's node range. The enqueue order is identical to the
+/// pre-service executor, which is what keeps sequence-number assignment —
+/// and therefore the whole dispatch schedule — byte-identical at
+/// `base = 0`, `t0 = ZERO`.
+pub(crate) fn inject_session<'p>(
+    sim: &mut Simulator<Msg, RtNode<'p>>,
+    shared: &Shared<'p>,
+    t0: SimTime,
+) {
+    for op_idx in 0..shared.program.ops.len() {
+        let at = t0 + shared.frontier[op_idx];
+        if shared.config.dcr {
             for (node, _) in &shared.expanded.dist[op_idx].groups {
-                sim.inject(at, *node, Msg::InjectOp { op: op_idx as u32 });
+                sim.inject(at, shared.abs(*node), Msg::InjectOp { op: op_idx as u32 });
             }
         } else {
-            sim.inject(at, 0, Msg::DistributeOp { op: op_idx as u32 });
+            sim.inject(at, shared.base, Msg::DistributeOp { op: op_idx as u32 });
         }
         // Arm the coordinator's acknowledgement timer for every op: the
         // first probe fires one timeout after the op cleared issuance.
         if let Some(fr) = &shared.faults {
             sim.inject(
                 at + fr.cfg.ack_timeout,
-                0,
+                shared.base,
                 Msg::RecoveryCheck { op: op_idx as u32, attempt: 0 },
             );
         }
     }
+}
 
-    let mut max_events =
-        64 * total_tasks.max(1_000) + 64 * (program.ops.len() as u64) * (config.nodes as u64);
-    if config.faults.is_some() {
+/// Runaway-guard budget of one session's protocol (the caller still takes
+/// the max with the machine-sized floor).
+pub(crate) fn event_budget(total_tasks: u64, ops: usize, nodes: usize, faulted: bool) -> u64 {
+    let mut max_events = 64 * total_tasks.max(1_000) + 64 * (ops as u64) * (nodes as u64);
+    if faulted {
         // Retries, duplicated deliveries, and backoff probes inflate the
         // event count well past the fault-free bound.
         max_events = max_events.saturating_mul(16);
     }
-    // Never cap below the machine-size-derived floor: a huge machine's
-    // legitimate traffic must not trip the runaway guard.
-    max_events = max_events.max(sim.default_event_cap());
-    if let Err(err) = sim.try_run(max_events) {
-        // The guard is structured data ([`il_machine::SimError`]); at this
-        // boundary a trip still means a protocol bug, so escalate.
-        panic!("{err}");
-    }
+    max_events
+}
 
-    let makespan = sim.makespan();
-    let stats = sim.stats().clone();
-    // Simulator-side per-node stage busy time (distribution, physical,
-    // exec, network); the analytic issuance timeline is not per-node.
-    let node_stage_busy = sim.node_stage_busy();
-    let mut stage_busy = sim.stage_totals();
-    // Fold the issuance/logical/dynamic-check timeline in once: under
-    // DCR it is replicated identically on every node, so multiplying it
-    // by the node count would misstate the work the paper attributes to
-    // the pipeline front end.
-    stage_busy.merge(&issuance.stage);
-    drop(sim);
-    let shared = Rc::try_unwrap(shared)
-        .unwrap_or_else(|_| panic!("simulator retained shared state"));
+/// Simulator-side aggregates of one session, extracted before the shared
+/// state is unwrapped: the whole machine's counters on the legacy path,
+/// one lane's slice in service mode. All times are session-relative (the
+/// caller subtracts `t0` where it applies).
+pub(crate) struct SimAggregates {
+    /// Latest busy instant of the session's nodes, crash-clamped,
+    /// relative to the session's `t0`.
+    pub(crate) makespan: SimTime,
+    pub(crate) messages: u64,
+    pub(crate) bytes: u64,
+    pub(crate) traffic: StageTraffic,
+    pub(crate) fault_counters: FaultCounters,
+    /// Per-stage busy time of the session's nodes (issuance timeline not
+    /// yet folded in).
+    pub(crate) stage_busy: StageTotals,
+    /// Sparse per-node stage rows, session-local node ids.
+    pub(crate) node_stage_busy: Vec<(NodeId, StageTotals)>,
+}
+
+/// Assemble a [`RunReport`] from a finished session's shared state and
+/// its simulator aggregates. Field-for-field the tail of the pre-service
+/// `execute` — both paths now end here, which is what the n=1
+/// transparency tier byte-compares.
+pub(crate) fn finish_report(shared: Shared<'_>, agg: SimAggregates) -> RunReport {
+    let t0 = shared.t0;
+    let total_tasks = shared.expanded.len() as u64;
     let timing = shared.timing.into_inner();
-    let setup_done = timing.setup_done;
-    let store = if config.mode == ExecutionMode::Validate {
+    let setup_done = timing.setup_done.saturating_sub(t0);
+    let store = if shared.config.mode == ExecutionMode::Validate {
         Some(shared.store.into_inner())
     } else {
         None
@@ -1202,30 +1315,51 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         )
     });
 
+    // Fault schedule counts are scoped to the session's node range —
+    // the whole machine on the legacy path.
+    let lo = shared.base;
+    let hi = shared.base + shared.config.nodes;
     let recovery = shared.faults.as_ref().map(|fr| {
         let mut r = fr.stats.borrow().clone();
         r.seed = fr.cfg.seed;
-        r.crashes = fr.plan.crashes().len() as u64;
-        r.slow_nodes = fr.plan.slow_count() as u64;
-        r.dropped = stats.faults.dropped;
-        r.duplicated = stats.faults.duplicated;
-        r.crash_dropped = stats.faults.crash_dropped;
+        r.crashes = fr
+            .plan
+            .crashes()
+            .iter()
+            .filter(|&&(n, _)| n >= lo && n < hi)
+            .count() as u64;
+        r.slow_nodes = fr
+            .plan
+            .slow_nodes()
+            .iter()
+            .filter(|&&(n, _)| n >= lo && n < hi)
+            .count() as u64;
+        r.dropped = agg.fault_counters.dropped;
+        r.duplicated = agg.fault_counters.duplicated;
+        r.crash_dropped = agg.fault_counters.crash_dropped;
         r
     });
 
+    // Fold the issuance/logical/dynamic-check timeline in once: under
+    // DCR it is replicated identically on every node, so multiplying it
+    // by the node count would misstate the work the paper attributes to
+    // the pipeline front end.
+    let mut stage_busy = agg.stage_busy;
+    stage_busy.merge(&shared.issuance_stage);
+
     RunReport {
-        makespan,
+        makespan: agg.makespan,
         setup_done,
-        elapsed: makespan.saturating_sub(setup_done),
+        elapsed: agg.makespan.saturating_sub(setup_done),
         tasks: total_tasks,
-        messages: stats.messages,
-        bytes: stats.bytes,
+        messages: agg.messages,
+        bytes: agg.bytes,
         dynamic_check_time: shared.dynamic_check_time,
         issuance_span: shared.frontier.last().copied().unwrap_or(SimTime::ZERO),
         stage_busy,
-        node_stage_busy,
-        stage_messages: stats.traffic.messages,
-        stage_bytes: stats.traffic.bytes,
+        node_stage_busy: agg.node_stage_busy,
+        stage_messages: agg.traffic.messages,
+        stage_bytes: agg.traffic.bytes,
         trace: shared.trace.map(RefCell::into_inner),
         audit,
         store,
@@ -1233,6 +1367,70 @@ pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
         trace_replay: shared.trace_stats.into_inner(),
         recovery,
     }
+}
+
+/// Execute `program` under `config`, returning the run report.
+pub fn execute(program: &Program, config: &RuntimeConfig) -> RunReport {
+    let expanded = expand_program(program, config);
+    let total_tasks = expanded.len() as u64;
+    let faults = config.faults.as_ref().map(|fc| {
+        FaultRuntime::new(
+            fc.clone(),
+            FaultPlan::generate(fc.seed, config.nodes, &fc.to_spec()),
+            expanded.len(),
+        )
+    });
+    let shared = build_shared(program, config, 0, SimTime::ZERO, expanded, faults);
+
+    let behaviors: Vec<RtNode<'_>> = (0..config.nodes)
+        .map(|_| {
+            let mut node = RtNode::unbound();
+            node.bind(shared.clone());
+            node
+        })
+        .collect();
+    let mut sim = Simulator::new(shared.machine.clone(), Network::aries(), behaviors);
+    if let Some(spec) = &config.net_hierarchy {
+        sim = sim.with_interconnect(Box::new(HierNetwork::new(Network::aries(), spec.clone())));
+    }
+    if let Some(fr) = &shared.faults {
+        sim.set_fault_plan(fr.plan.clone());
+    }
+
+    inject_session(&mut sim, &shared, SimTime::ZERO);
+
+    // Never cap below the machine-size-derived floor: a huge machine's
+    // legitimate traffic must not trip the runaway guard.
+    let max_events = event_budget(
+        total_tasks,
+        program.ops.len(),
+        config.nodes,
+        config.faults.is_some(),
+    )
+    .max(sim.default_event_cap());
+    if let Err(err) = sim.try_run(max_events) {
+        // The guard is structured data ([`il_machine::SimError`]); at this
+        // boundary a trip still means a protocol bug, so escalate.
+        panic!("{err}");
+    }
+
+    let stats = sim.stats().clone();
+    let agg = SimAggregates {
+        makespan: sim.makespan(),
+        messages: stats.messages,
+        bytes: stats.bytes,
+        traffic: stats.traffic,
+        fault_counters: stats.faults,
+        // Simulator-side per-node stage busy time (distribution,
+        // physical, exec, network); the analytic issuance timeline is
+        // not per-node.
+        stage_busy: sim.stage_totals(),
+        node_stage_busy: sim.node_stage_busy(),
+    };
+    drop(sim);
+    let shared = Rc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("simulator retained shared state"));
+    finish_report(shared, agg)
 }
 
 #[cfg(test)]

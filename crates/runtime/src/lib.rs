@@ -52,16 +52,21 @@ pub mod exec;
 pub mod pool;
 pub mod program;
 pub mod replay;
+pub mod service;
 pub mod shard;
 pub mod trace;
 
 pub use config::{CostModel, ExecutionMode, FaultConfig, RuntimeConfig};
 pub use context::{InstanceStore, TaskContext};
 pub use depgraph::{
-    expand_program, launch_signature, AnalysisCacheStats, ExpandProfile, ExpandedProgram, OpDist,
-    TaskInstance,
+    expand_program, expand_program_warm, launch_signature, AnalysisCacheStats, ExpandProfile,
+    ExpandedProgram, OpDist, TaskInstance, WarmState,
 };
 pub use exec::{execute, RecoveryStats, RunReport};
+pub use service::{
+    policy_by_name, AgedPriority, FairShare, Fifo, PendingView, SchedulingPolicy, Service,
+    ServiceConfig, ServiceReport, SessionReport, SessionSpec,
+};
 pub use pool::ThreadPool;
 pub use program::{
     CostSpec, FunctorId, IndexLaunchDesc, Operation, Program, ProgramBuilder, RegionReq, TaskBody,

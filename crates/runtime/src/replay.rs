@@ -348,6 +348,16 @@ pub(crate) struct Recorder {
     marks: Vec<TraceMark>,
     /// Live traces, most recently used first.
     traces: Vec<LaunchTrace>,
+    /// Warm-seeded traces (a tenant's previous session of this program)
+    /// awaiting their first successful entry validation. A pending trace
+    /// can never replay stale — it is only promoted to `traces` at an op
+    /// where both its key window *and* its captured entry state match
+    /// exactly, which for an iterative app is the loop's steady state
+    /// (iteration 2 onward). A pending trace whose entry never matches
+    /// this run is silently discarded at [`Recorder::finish`] — it is a
+    /// candidate that never became applicable, not an invalidation of a
+    /// live trace, so it perturbs no lifecycle counters or marks.
+    warm: Vec<LaunchTrace>,
 }
 
 impl Recorder {
@@ -357,12 +367,25 @@ impl Recorder {
             stats: TraceReplayStats { enabled, ..TraceReplayStats::default() },
             marks: Vec::new(),
             traces: Vec::new(),
+            warm: Vec::new(),
         }
     }
 
-    /// Consume the recorder into its stats and marks.
-    pub(crate) fn finish(self) -> (TraceReplayStats, Vec<TraceMark>) {
-        (self.stats, self.marks)
+    /// Seed the recorder with traces captured by an earlier expansion of
+    /// the same program (a tenant's warm state in service mode). A
+    /// disabled recorder discards the seed.
+    pub(crate) fn seed_traces(&mut self, traces: Vec<LaunchTrace>) {
+        if self.enabled {
+            self.warm = traces;
+        }
+    }
+
+    /// Consume the recorder into its stats, marks, and surviving traces
+    /// (the warm state for a tenant's next session of this program).
+    /// Warm candidates that validated were promoted into the live list;
+    /// ones that never did are dropped here, bounding carry-over state.
+    pub(crate) fn finish(self) -> (TraceReplayStats, Vec<TraceMark>, Vec<LaunchTrace>) {
+        (self.stats, self.marks, self.traces)
     }
 
     /// Smallest period `p ≤ MAX_PERIOD` such that the `p` ops before `i`
@@ -431,6 +454,34 @@ impl Recorder {
                 }
             }
             None => {
+                // Warm candidates: a seeded trace replays the moment its
+                // key window and captured entry state both match — for
+                // an iterative app that is the loop's first repetition,
+                // one full iteration earlier than a fresh capture could.
+                let warm_pos = self.warm.iter().position(|tr| {
+                    let p = tr.keys.len();
+                    i + p <= keys.len() && keys[i..i + p] == tr.keys[..]
+                });
+                if let Some(widx) = warm_pos {
+                    if self.entry_matches(xp, &self.warm[widx]) {
+                        let tr = self.warm.remove(widx);
+                        let p = tr.keys.len();
+                        self.apply(xp, i, &tr);
+                        self.stats.replayed += 1;
+                        self.stats.analyses_skipped += p as u64;
+                        self.stats.tasks_replayed += tr.tasks.len() as u64;
+                        self.marks.push(TraceMark {
+                            op: i as u32,
+                            len: p as u32,
+                            kind: TraceMarkKind::Replayed,
+                        });
+                        self.traces.insert(0, tr);
+                        return Some(p);
+                    }
+                    // Entry not yet (or no longer) applicable: leave the
+                    // candidate pending; the normal detect/capture path
+                    // proceeds unperturbed alongside it.
+                }
                 // No full match: any trace whose *first* key matches op
                 // `i` has had its continuation edited — drop it now so a
                 // later partial coincidence can never replay it.

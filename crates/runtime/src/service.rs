@@ -1,0 +1,645 @@
+//! Multi-tenant service mode: a persistent scheduler over one shared
+//! simulated machine.
+//!
+//! The paper's runtime executes one program and exits. Real Legion-style
+//! deployments run as a *service*: tenants submit launch programs over
+//! time, the runtime admits them onto the machine, and scheduling policy
+//! decides who waits. This module adds that layer without touching the
+//! per-program executor semantics:
+//!
+//! * The machine is space-shared into `slots` slots of `slot_nodes`
+//!   nodes each. A session owns its slot's node range exclusively from
+//!   admission to completion, so sessions never share a node clock and
+//!   the flat α–β network charges no cross-traffic contention — each
+//!   session's *relative* event schedule is identical to a solo run.
+//! * Sessions are [`SessionSpec`]s (tenant, priority, arrival time,
+//!   program, per-session [`RuntimeConfig`]). A bounded pending queue
+//!   ([`ServiceConfig::queue_cap`]) provides backpressure: arrivals that
+//!   find the queue full are rejected, never silently dropped.
+//! * A [`SchedulingPolicy`] picks which pending session gets a free slot
+//!   at each admission round. Three built-ins: [`Fifo`] (arrival order),
+//!   [`FairShare`] (least accumulated per-tenant service time), and
+//!   [`AgedPriority`] (static priority plus one aging credit per round
+//!   waited, so low-priority sessions cannot starve).
+//! * Per-tenant warm state: a tenant resubmitting the same program shape
+//!   reuses its analysis-cache verdicts and captured launch traces
+//!   ([`crate::depgraph::WarmState`]), keyed by `(tenant, program
+//!   fingerprint)` so tenants are isolated from each other. Warm state
+//!   only affects host-side expansion statistics — never simulated time
+//!   or results.
+//!
+//! **Transparency at n=1.** A service with one slot, one pending
+//! session, and a fault config equal to the session's own produces a
+//! [`RunReport`] byte-identical to [`crate::execute`]: same machine
+//! size, same fault plan (the per-slot-base exemption is a no-op at
+//! width 1 because plans never fault node 0), same injection order, and
+//! the same [`finish_report`] tail. The service-mode test tier locks
+//! this equivalence across the safety matrix and an oracle-corpus slice.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use il_machine::{
+    FaultCounters, FaultPlan, LaneStats, MachineDesc, Network, NodeId, SimTime, Stage, StageTotals,
+    StageTraffic, Simulator,
+};
+
+use crate::config::{FaultConfig, RuntimeConfig};
+use crate::depgraph::{expand_program_warm, launch_signature, WarmState};
+use crate::exec::{
+    build_shared, event_budget, finish_report, inject_session, FaultRuntime, Msg, RtNode,
+    RunReport, Shared, SimAggregates,
+};
+use crate::program::Program;
+
+/// One session submitted to the service: a launch program plus the
+/// tenant it belongs to, its static priority, and its arrival time on
+/// the shared machine clock.
+pub struct SessionSpec {
+    /// Owning tenant (warm state and fair-share accounting key).
+    pub tenant: u32,
+    /// Static priority (higher = more urgent; only [`AgedPriority`]
+    /// reads it).
+    pub priority: u32,
+    /// Arrival time on the machine clock.
+    pub arrival: SimTime,
+    /// The launch program to execute. `Rc` so a tenant can resubmit the
+    /// same program across sessions (which is what makes warm state
+    /// meaningful) without cloning the program body.
+    pub program: Rc<Program>,
+    /// Per-session runtime configuration. `config.nodes` must equal the
+    /// service's slot width and `net_hierarchy` must be `None` (the
+    /// shared machine has one interconnect).
+    pub config: RuntimeConfig,
+}
+
+/// Static shape of the service's machine and queue.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of slots (sessions that can run concurrently).
+    pub slots: usize,
+    /// Nodes per slot; every session's `config.nodes` must equal this.
+    pub slot_nodes: usize,
+    /// Pending-queue capacity. Arrivals beyond this are rejected
+    /// (backpressure), recorded in [`ServiceReport::rejected`].
+    pub queue_cap: usize,
+    /// Machine-wide fault configuration. The plan is generated over the
+    /// whole machine with per-slot base nodes exempted (each session
+    /// keeps a live recovery coordinator, mirroring the single-machine
+    /// invariant that node 0 never crashes). For n=1 transparency pass
+    /// the same config the session itself carries.
+    pub faults: Option<FaultConfig>,
+}
+
+/// A pending session as shown to a [`SchedulingPolicy`].
+#[derive(Clone, Copy, Debug)]
+pub struct PendingView {
+    /// Index into the submission slice.
+    pub submit_idx: usize,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Static priority.
+    pub priority: u32,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completed admission rounds this session has sat out.
+    pub waited_rounds: u64,
+}
+
+/// Admission-order policy: given the pending queue (arrival order) and
+/// the current machine time, pick the index of the next session to admit
+/// to a free slot, or `None` to leave the slot idle this round.
+///
+/// The policy only ever reorders *admission*; it cannot change what any
+/// session computes. Per-session reports are `t0`-relative and sessions
+/// are node-disjoint, so computed data is policy-independent by
+/// construction (locked by the scheduler-equivalence tests).
+pub trait SchedulingPolicy {
+    /// Human-readable policy name (report and bench labels).
+    fn name(&self) -> &'static str;
+    /// Pick an index into `pending`, or `None` to hold the slot.
+    fn pick(&mut self, pending: &[PendingView], now: SimTime) -> Option<usize>;
+    /// Hook: `session` was admitted at `now`.
+    fn on_admit(&mut self, _tenant: u32, _now: SimTime) {}
+    /// Hook: a session of `tenant` finished, having occupied its slot
+    /// for `service_time`.
+    fn on_complete(&mut self, _tenant: u32, _service_time: SimTime) {}
+}
+
+/// First-come, first-served: always admit the earliest arrival (the
+/// pending queue is kept in arrival order, submission order on ties).
+#[derive(Default)]
+pub struct Fifo;
+
+impl SchedulingPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(&mut self, pending: &[PendingView], _now: SimTime) -> Option<usize> {
+        if pending.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+}
+
+/// Fair share by tenant: admit the pending session whose tenant has the
+/// least accumulated service time (sum of completed sessions' slot
+/// occupancy), breaking ties by arrival then submission order. A tenant
+/// that monopolized the machine early accrues debt and yields to light
+/// tenants, which is what caps tail latency under skewed mixes.
+#[derive(Default)]
+pub struct FairShare {
+    used: HashMap<u32, u64>,
+}
+
+impl SchedulingPolicy for FairShare {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn pick(&mut self, pending: &[PendingView], _now: SimTime) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| {
+                (
+                    self.used.get(&p.tenant).copied().unwrap_or(0),
+                    p.arrival,
+                    p.submit_idx,
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn on_complete(&mut self, tenant: u32, service_time: SimTime) {
+        *self.used.entry(tenant).or_insert(0) += service_time.0;
+    }
+}
+
+/// Strict priority with aging: admit the pending session with the
+/// highest `priority + waited_rounds`, ties broken by arrival then
+/// submission order. Every round a session sits out adds one credit, so
+/// any fixed priority gap closes in finitely many rounds — no
+/// starvation (locked by the scheduler property tests).
+#[derive(Default)]
+pub struct AgedPriority;
+
+impl SchedulingPolicy for AgedPriority {
+    fn name(&self) -> &'static str {
+        "aged-priority"
+    }
+
+    fn pick(&mut self, pending: &[PendingView], _now: SimTime) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| {
+                (
+                    p.priority as u64 + p.waited_rounds,
+                    std::cmp::Reverse(p.arrival),
+                    std::cmp::Reverse(p.submit_idx),
+                )
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Construct the built-in policy named `name` (`fifo`, `fair`,
+/// `aged-priority`). Panics on an unknown name — callers surface the
+/// valid set in their own usage text.
+pub fn policy_by_name(name: &str) -> Box<dyn SchedulingPolicy> {
+    match name {
+        "fifo" => Box::new(Fifo),
+        "fair" => Box::new(FairShare::default()),
+        "aged-priority" => Box::new(AgedPriority),
+        other => panic!("unknown scheduling policy `{other}` (fifo, fair, aged-priority)"),
+    }
+}
+
+/// Outcome of one admitted session.
+pub struct SessionReport {
+    /// Index into the submission slice.
+    pub submit_idx: usize,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Static priority.
+    pub priority: u32,
+    /// Arrival time on the machine clock.
+    pub arrival: SimTime,
+    /// Admission time (the session's `t0`).
+    pub admitted: SimTime,
+    /// Completion time (`admitted + report.makespan`).
+    pub finished: SimTime,
+    /// Slot the session ran in.
+    pub slot: usize,
+    /// Admission rounds the session waited in the pending queue.
+    pub wait_rounds: u64,
+    /// The session's run report — byte-identical to what a solo
+    /// [`crate::execute`] of the same program produces (fault-free), all
+    /// times relative to `admitted`.
+    pub report: RunReport,
+}
+
+impl SessionReport {
+    /// End-to-end latency: completion minus arrival (queue wait plus
+    /// service time).
+    pub fn latency(&self) -> SimTime {
+        self.finished.saturating_sub(self.arrival)
+    }
+}
+
+/// Outcome of one [`Service::run`]: per-session reports (submission
+/// order), rejected submissions, and whole-service aggregates.
+pub struct ServiceReport {
+    /// Reports of every admitted-and-finished session, in submission
+    /// order.
+    pub sessions: Vec<SessionReport>,
+    /// Submission indices rejected by queue backpressure.
+    pub rejected: Vec<usize>,
+    /// Name of the scheduling policy that ran the service.
+    pub policy: String,
+    /// Machine time at which the last session finished.
+    pub makespan: SimTime,
+    /// Admission rounds executed.
+    pub rounds: u64,
+}
+
+/// A session occupying a slot: its shared state plus the lane/clock
+/// snapshots taken at admission, from which completion-time deltas
+/// reconstruct solo-run aggregates.
+struct Active<'p> {
+    submit_idx: usize,
+    tenant: u32,
+    priority: u32,
+    arrival: SimTime,
+    shared: Rc<Shared<'p>>,
+    admitted: SimTime,
+    wait_rounds: u64,
+    /// Lane counters at admission (lane stats are cumulative across the
+    /// sessions a slot hosts; the session's own traffic is the delta).
+    lane0: LaneStats,
+    /// Per-node stage clocks at admission, indexed by local node id.
+    stage0: Vec<StageTotals>,
+}
+
+/// Fingerprint of a program's launch shapes, keying per-tenant warm
+/// state: two submissions warm each other only if every op's full
+/// analysis-relevant signature matches, in order.
+fn program_fingerprint(program: &Program) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    program.ops.len().hash(&mut h);
+    for op in &program.ops {
+        launch_signature(op.launch(), program).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The persistent service: machine shape, scheduling policy, and
+/// per-tenant warm state that survives across sessions (and across
+/// [`Service::run`] calls).
+pub struct Service {
+    cfg: ServiceConfig,
+    policy: Box<dyn SchedulingPolicy>,
+    /// Warm analysis state keyed by `(tenant, program fingerprint)`.
+    /// Tenants never observe each other's entries — the per-tenant
+    /// isolation regression locks this.
+    warm: HashMap<(u32, u64), WarmState>,
+}
+
+impl Service {
+    /// Create a service with the given machine shape and policy.
+    pub fn new(cfg: ServiceConfig, policy: Box<dyn SchedulingPolicy>) -> Service {
+        assert!(cfg.slots >= 1, "service needs at least one slot");
+        assert!(cfg.slot_nodes >= 1, "slots need at least one node");
+        assert!(cfg.queue_cap >= 1, "queue capacity must be positive");
+        Service { cfg, policy, warm: HashMap::new() }
+    }
+
+    /// Warm entries currently held for `tenant` (observability for the
+    /// isolation tests).
+    pub fn warm_entries(&self, tenant: u32) -> usize {
+        self.warm.keys().filter(|(t, _)| *t == tenant).count()
+    }
+
+    /// Run the service over a batch of submissions. Arrivals are
+    /// processed in `(arrival, submission index)` order; the call
+    /// returns when every admitted session has finished. Warm state
+    /// persists on `self` for subsequent batches.
+    pub fn run(&mut self, sessions: &[SessionSpec]) -> ServiceReport {
+        let slots = self.cfg.slots;
+        let slot_nodes = self.cfg.slot_nodes;
+        let total = slots * slot_nodes;
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(
+                s.config.nodes, slot_nodes,
+                "session {i}: config.nodes must equal the service slot width"
+            );
+            assert!(
+                s.config.net_hierarchy.is_none(),
+                "session {i}: per-session interconnects are not supported in service mode"
+            );
+        }
+
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        order.sort_by_key(|&i| (sessions[i].arrival, i));
+
+        let behaviors: Vec<RtNode<'_>> = (0..total).map(|_| RtNode::unbound()).collect();
+        let mut sim = Simulator::new(MachineDesc::piz_daint(total), Network::aries(), behaviors);
+        sim.enable_lanes((0..total).map(|n| (n / slot_nodes) as u32).collect(), slots);
+        let plan = self.cfg.faults.as_ref().map(|fc| {
+            FaultPlan::generate(fc.seed, total, &fc.to_spec())
+                .with_exempt_nodes(|n| n % slot_nodes == 0)
+        });
+        if let Some(p) = &plan {
+            sim.set_fault_plan(p.clone());
+        }
+
+        let slot_ready = |sim: &Simulator<Msg, RtNode<'_>>, slot: usize| -> SimTime {
+            (slot * slot_nodes..(slot + 1) * slot_nodes)
+                .map(|n| sim.node_busy_until(n))
+                .max()
+                .unwrap_or(SimTime::ZERO)
+        };
+
+        // Pending queue in arrival order: `(submission index, rounds waited)`.
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        let mut active: Vec<Option<Active<'_>>> = (0..slots).map(|_| None).collect();
+        let mut done: Vec<Option<SessionReport>> = (0..sessions.len()).map(|_| None).collect();
+        let mut rejected: Vec<usize> = Vec::new();
+        let mut next_arr = 0usize;
+        let mut rounds = 0u64;
+        let mut now = SimTime::ZERO;
+        // Runaway guard: accumulated per-admission budgets, floored by
+        // the machine-sized cap exactly like the single-program path.
+        let mut budget: u64 = 0;
+        let mut dispatched: u64 = 0;
+        let floor = sim.default_event_cap();
+
+        loop {
+            // 1. Ingest arrivals due at or before `now`; reject on a
+            //    full queue (backpressure).
+            while next_arr < order.len() && sessions[order[next_arr]].arrival <= now {
+                let i = order[next_arr];
+                next_arr += 1;
+                if pending.len() >= self.cfg.queue_cap {
+                    rejected.push(i);
+                } else {
+                    pending.push((i, 0));
+                }
+            }
+
+            // 2. Finalize drained slots: a lane with zero outstanding
+            //    events has nothing left in flight or queued.
+            for s in 0..slots {
+                if active[s].is_some() && sim.lane_outstanding(s) == 0 {
+                    let a = active[s].take().unwrap();
+                    let rep = finalize_session(&mut sim, plan.as_ref(), a, s, slot_nodes);
+                    self.policy.on_complete(rep.tenant, rep.report.makespan);
+                    let idx = rep.submit_idx;
+                    done[idx] = Some(rep);
+                }
+            }
+
+            // 3. Admission round: offer every currently-ready free slot
+            //    to the policy.
+            if !pending.is_empty() {
+                let mut admitted_any = false;
+                loop {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let Some(s) = (0..slots)
+                        .find(|&s| active[s].is_none() && slot_ready(&sim, s) <= now)
+                    else {
+                        break;
+                    };
+                    let views: Vec<PendingView> = pending
+                        .iter()
+                        .map(|&(i, waited)| PendingView {
+                            submit_idx: i,
+                            tenant: sessions[i].tenant,
+                            priority: sessions[i].priority,
+                            arrival: sessions[i].arrival,
+                            waited_rounds: waited,
+                        })
+                        .collect();
+                    let Some(k) = self.policy.pick(&views, now) else { break };
+                    let (i, waited) = pending.remove(k);
+                    let spec = &sessions[i];
+                    self.policy.on_admit(spec.tenant, now);
+                    admitted_any = true;
+
+                    // Admit session `i` on slot `s` at `t0 = now`.
+                    let base = s * slot_nodes;
+                    let warm = self
+                        .warm
+                        .entry((spec.tenant, program_fingerprint(&spec.program)))
+                        .or_default();
+                    let expanded = expand_program_warm(&spec.program, &spec.config, Some(warm));
+                    let total_tasks = expanded.len() as u64;
+                    let faults = self.cfg.faults.as_ref().map(|fc| {
+                        FaultRuntime::new(
+                            fc.clone(),
+                            plan.clone().expect("plan exists when faults configured"),
+                            expanded.len(),
+                        )
+                    });
+                    budget = budget.saturating_add(event_budget(
+                        total_tasks,
+                        spec.program.ops.len(),
+                        slot_nodes,
+                        faults.is_some(),
+                    ));
+                    let shared =
+                        build_shared(&spec.program, &spec.config, base, now, expanded, faults);
+                    for n in base..base + slot_nodes {
+                        sim.node_mut(n).bind(shared.clone());
+                    }
+                    inject_session(&mut sim, &shared, now);
+                    active[s] = Some(Active {
+                        submit_idx: i,
+                        tenant: spec.tenant,
+                        priority: spec.priority,
+                        arrival: spec.arrival,
+                        shared,
+                        admitted: now,
+                        wait_rounds: waited,
+                        lane0: sim.lane_stats(s),
+                        stage0: (base..base + slot_nodes)
+                            .map(|n| sim.node_stage(n))
+                            .collect(),
+                    });
+                }
+                if admitted_any {
+                    rounds += 1;
+                    for p in &mut pending {
+                        p.1 += 1;
+                    }
+                }
+            }
+
+            // 4. Advance: the next instant is the earliest of the event
+            //    queue, the next arrival, and (when sessions wait) the
+            //    next free slot becoming ready.
+            let t_event = sim.peek_time();
+            let t_arr = if next_arr < order.len() {
+                Some(sessions[order[next_arr]].arrival)
+            } else {
+                None
+            };
+            let t_slot = if pending.is_empty() {
+                None
+            } else {
+                (0..slots)
+                    .filter(|&s| active[s].is_none())
+                    .map(|s| slot_ready(&sim, s))
+                    .filter(|&t| t > now)
+                    .min()
+            };
+            let next = [t_event, t_arr, t_slot].into_iter().flatten().min();
+            match next {
+                Some(t) if t_event == Some(t) => {
+                    // Events first on ties: injected work at `t` must run
+                    // before `t`-time admissions enqueue behind it.
+                    match sim.try_step() {
+                        Ok(true) => {
+                            dispatched += 1;
+                            assert!(
+                                dispatched <= budget.max(floor),
+                                "service event budget exceeded: {dispatched} events \
+                                 (protocol runaway)"
+                            );
+                            now = now.max(sim.now());
+                        }
+                        Ok(false) => unreachable!("peeked event vanished"),
+                        Err(err) => panic!("{err}"),
+                    }
+                }
+                Some(t) => now = t,
+                None => {
+                    assert!(
+                        pending.is_empty(),
+                        "scheduling stalled: policy `{}` held {} pending session(s) \
+                         with free slots and an idle machine",
+                        self.policy.name(),
+                        pending.len()
+                    );
+                    break;
+                }
+            }
+        }
+
+        // Drain check once more: the loop exits when the event queue is
+        // empty, which can leave the final sessions' lanes drained but
+        // unfinalized.
+        for s in 0..slots {
+            if let Some(a) = active[s].take() {
+                assert_eq!(sim.lane_outstanding(s), 0, "service ended with slot {s} busy");
+                let rep = finalize_session(&mut sim, plan.as_ref(), a, s, slot_nodes);
+                self.policy.on_complete(rep.tenant, rep.report.makespan);
+                let idx = rep.submit_idx;
+                done[idx] = Some(rep);
+            }
+        }
+
+        let sessions_out: Vec<SessionReport> = done.into_iter().flatten().collect();
+        let makespan = sessions_out
+            .iter()
+            .map(|r| r.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        ServiceReport {
+            sessions: sessions_out,
+            rejected,
+            policy: self.policy.name().to_string(),
+            makespan,
+            rounds,
+        }
+    }
+}
+
+/// Unbind a finished session's nodes and reconstruct its solo-run
+/// aggregates from lane and node-clock deltas against the admission
+/// snapshots (slot counters are cumulative across the sessions a slot
+/// hosts). All times come out relative to the session's `t0`, which is
+/// exactly the [`SimAggregates`] contract [`finish_report`] expects.
+fn finalize_session<'p>(
+    sim: &mut Simulator<Msg, RtNode<'p>>,
+    plan: Option<&FaultPlan>,
+    a: Active<'p>,
+    slot: usize,
+    slot_nodes: usize,
+) -> SessionReport {
+    let base = slot * slot_nodes;
+    for n in base..base + slot_nodes {
+        sim.node_mut(n).unbind();
+    }
+    let lane1 = sim.lane_stats(slot);
+    let t0 = a.admitted;
+
+    // Session makespan: latest crash-clamped busy instant of its nodes,
+    // relative to t0. A node crashed in an earlier epoch clamps to zero
+    // contribution, matching the solo simulator's crash clamp.
+    let mut makespan = SimTime::ZERO;
+    let mut stage_busy = StageTotals::default();
+    let mut node_stage_busy: Vec<(NodeId, StageTotals)> = Vec::new();
+    for (local, n) in (base..base + slot_nodes).enumerate() {
+        let mut busy = sim.node_busy_until(n);
+        if let Some(ct) = plan.and_then(|p| p.crash_time(n)) {
+            busy = busy.min(ct);
+        }
+        makespan = makespan.max(busy.saturating_sub(t0));
+
+        let cur = sim.node_stage(n);
+        let mut row = StageTotals::default();
+        for stage in Stage::ALL {
+            let d = cur.get(stage).saturating_sub(a.stage0[local].get(stage));
+            if d != SimTime::ZERO {
+                row.add(stage, d);
+            }
+        }
+        stage_busy.merge(&row);
+        if row.sum() != SimTime::ZERO {
+            node_stage_busy.push((local, row));
+        }
+    }
+
+    let mut traffic = StageTraffic::default();
+    for i in 0..Stage::COUNT {
+        traffic.messages[i] = lane1.traffic.messages[i] - a.lane0.traffic.messages[i];
+        traffic.bytes[i] = lane1.traffic.bytes[i] - a.lane0.traffic.bytes[i];
+    }
+    let agg = SimAggregates {
+        makespan,
+        messages: lane1.messages - a.lane0.messages,
+        bytes: lane1.bytes - a.lane0.bytes,
+        traffic,
+        fault_counters: FaultCounters {
+            dropped: lane1.faults.dropped - a.lane0.faults.dropped,
+            duplicated: lane1.faults.duplicated - a.lane0.faults.duplicated,
+            crash_dropped: lane1.faults.crash_dropped - a.lane0.faults.crash_dropped,
+        },
+        stage_busy,
+        node_stage_busy,
+    };
+
+    let Active { submit_idx, tenant, priority, arrival, shared, admitted, wait_rounds, .. } = a;
+    let shared = Rc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("simulator retained shared state after unbind"));
+    let report = finish_report(shared, agg);
+    SessionReport {
+        submit_idx,
+        tenant,
+        priority,
+        arrival,
+        admitted,
+        finished: admitted + report.makespan,
+        slot,
+        wait_rounds,
+        report,
+    }
+}

@@ -111,6 +111,31 @@ cargo run --release --offline -q -p il-bench --bin figures -- \
 test -s BENCH_PR7.json || { echo "BENCH_PR7.json was not written"; exit 1; }
 echo "BENCH_PR7.json written"
 
+echo "== service-mode smoke (3 policies x seeded 8-tenant mix) =="
+# The multi-tenant service scheduler: the standard balanced mix and the
+# skewed tail-latency mix under fifo, fair-share, and aged-priority on
+# the shared simulated machine. Prints per-policy throughput and
+# latency percentiles; conservation (finished + rejected == submitted)
+# is asserted by the binary and the service_mode/sched_props test tiers
+# in `cargo test` above.
+cargo run --release --offline -q -p il-apps --bin ilaunch -- serve --policy all
+cargo run --release --offline -q -p il-apps --bin ilaunch -- serve --policy all --skewed --mean-gap-us 900
+
+echo "== service-mode bench (BENCH_PR8.json policy sweep) =="
+# Per-policy throughput and p50/p95/p99 latency over the balanced and
+# skewed mixes. The headline property — fair share's p99 measurably
+# below FIFO's under the skewed mix — is recorded as a boolean the
+# smoke greps for.
+cargo run --release --offline -q -p il-bench --bin figures -- serve --no-bench
+test -s BENCH_PR8.json || { echo "BENCH_PR8.json was not written"; exit 1; }
+grep -q '"schema": "il-bench-trajectory-v1"' BENCH_PR8.json \
+    || { echo "BENCH_PR8.json has the wrong schema"; exit 1; }
+grep -q '"pr": "PR8"' BENCH_PR8.json \
+    || { echo "BENCH_PR8.json is not the PR8 trajectory"; exit 1; }
+grep -q '"fair_beats_fifo_p99": true' BENCH_PR8.json \
+    || { echo "fair share did not beat FIFO p99 on the skewed mix"; exit 1; }
+echo "BENCH_PR8.json written (fair-share p99 < FIFO p99 on the skewed mix)"
+
 echo "== chaos leg at 65k simulated nodes (release) =="
 # The full runtime stack — expansion, distribution, recovery — on a
 # 65,536-node machine, fault-free and faulted. Release-only: the test

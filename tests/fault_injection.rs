@@ -313,3 +313,99 @@ fn faulted_sweep_is_pool_width_invariant() {
     let four = sweep(4);
     assert_eq!(one, four, "chaos sweep must not depend on pool width");
 }
+
+/// Multi-tenant chaos: two tenants run concurrently on a two-slot
+/// service; a crash-only fault plan (no drops, no duplicates, no slow
+/// nodes) kills exactly one non-coordinator node mid-run. Only the
+/// session whose slot hosts the victim may observe the crash — its work
+/// re-shards onto its surviving nodes — and *both* sessions must
+/// converge to their fault-free instance stores. This is the blast-
+/// radius contract of space-shared tenancy: a node failure is a
+/// single-tenant event.
+#[test]
+fn node_crash_reshards_only_the_affected_tenant() {
+    use index_launch::runtime::{policy_by_name, Service, ServiceConfig, SessionSpec};
+    use std::rc::Rc;
+
+    const SLOT_NODES: usize = 4;
+    let apps = golden_apps();
+    let programs: Vec<Rc<Program>> =
+        apps.into_iter().take(2).map(|(_, p)| Rc::new(p)).collect();
+    let cfg = RuntimeConfig::validate(SLOT_NODES);
+    let clean: Vec<_> = programs.iter().map(|p| execute(p, &cfg)).collect();
+
+    // Crash exactly one node, early enough that it still holds undone
+    // work; everything else in the plan is quiet.
+    let faults = FaultConfig {
+        drop_per_mille: 0,
+        dup_per_mille: 0,
+        slow_nodes: 0,
+        crash_window: (SimTime::us(10), SimTime::us(10)),
+        ..FaultConfig::from_seed(42)
+    };
+    let mut svc = Service::new(
+        ServiceConfig {
+            slots: 2,
+            slot_nodes: SLOT_NODES,
+            queue_cap: 4,
+            faults: Some(faults),
+        },
+        policy_by_name("fifo"),
+    );
+    let sessions: Vec<SessionSpec> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| SessionSpec {
+            tenant: i as u32,
+            priority: 0,
+            arrival: SimTime::ZERO,
+            program: p.clone(),
+            config: cfg.clone().with_fault_config(FaultConfig {
+                drop_per_mille: 0,
+                dup_per_mille: 0,
+                slow_nodes: 0,
+                crash_window: (SimTime::us(10), SimTime::us(10)),
+                ..FaultConfig::from_seed(42)
+            }),
+        })
+        .collect();
+    let out = svc.run(&sessions);
+    assert_eq!(out.sessions.len(), 2);
+    // Both admitted immediately, on distinct slots.
+    for s in &out.sessions {
+        assert_eq!(s.admitted, SimTime::ZERO);
+    }
+    assert_ne!(out.sessions[0].slot, out.sessions[1].slot);
+
+    let recs: Vec<_> = out
+        .sessions
+        .iter()
+        .map(|s| s.report.recovery.clone().expect("faulted service reports recovery"))
+        .collect();
+    let total_crashes: u64 = recs.iter().map(|r| r.crashes).sum();
+    assert_eq!(total_crashes, 1, "the plan must crash exactly one slot's node: {recs:?}");
+    let hit = recs.iter().position(|r| r.crashes == 1).unwrap();
+    let spared = 1 - hit;
+
+    // Blast radius: the victim's session re-shards; the other session
+    // never sees a crash-related event.
+    assert!(
+        recs[hit].resharded_groups > 0,
+        "affected session must re-shard the dead node's work: {:?}",
+        recs[hit]
+    );
+    assert!(recs[hit].crash_dropped > 0, "the crash must discard in-flight events");
+    assert_eq!(recs[spared].crash_dropped, 0, "crash leaked into the other tenant's slot");
+    assert_eq!(recs[spared].resharded_groups, 0, "unaffected session re-sharded work");
+    assert_eq!(recs[spared].retried_tasks, 0, "unaffected session retried tasks");
+
+    // Convergence: both sessions end at their fault-free stores.
+    for (i, s) in out.sessions.iter().enumerate() {
+        assert_eq!(s.report.tasks, clean[i].tasks, "session {i}: lost tasks under the crash");
+        assert_eq!(
+            s.report.store, clean[i].store,
+            "session {i}: data diverged from the fault-free run"
+        );
+    }
+    assert!(out.sessions[hit].report.makespan >= clean[hit].makespan);
+}
