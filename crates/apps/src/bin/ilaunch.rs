@@ -43,6 +43,10 @@
 //! leg to every case: the program re-executes under a survivable fault
 //! schedule derived from SEED and the case seed, and must run the same
 //! tasks, no faster than fault-free, with a byte-identical replay.
+//! `fuzz --corrupt SEED` adds a silent-data-corruption leg: the program
+//! re-executes in validation mode under a seeded bit-flip schedule with
+//! replicate-2 defense, and every flip must be caught (zero escapes)
+//! with the final store converging byte-for-byte to the fault-free run.
 
 use il_apps::service_mix::{generate_mix, skewed_mix, MixConfig};
 use il_apps::{circuit, soleil, stencil};
@@ -248,6 +252,9 @@ fn parse_fuzz(argv: &[String]) -> Result<(DiffConfig, Option<u64>), String> {
             "--faults" => {
                 cfg.faults = Some(parse_seed(&it.next().ok_or("--faults takes a seed")?)?);
             }
+            "--corrupt" => {
+                cfg.corrupt = Some(parse_seed(&it.next().ok_or("--corrupt takes a seed")?)?);
+            }
             other => return Err(format!("unknown fuzz flag {other:?}")),
         }
     }
@@ -261,7 +268,7 @@ fn fuzz_main(argv: &[String]) -> ! {
             eprintln!("{e}");
             eprintln!(
                 "usage: ilaunch fuzz [--cases N] [--seed S] [--nodes K] [--threads T] \
-                 [--inject] [--faults SEED] [--repro CASE_SEED]"
+                 [--inject] [--faults SEED] [--corrupt SEED] [--repro CASE_SEED]"
             );
             std::process::exit(2);
         }
@@ -272,7 +279,7 @@ fn fuzz_main(argv: &[String]) -> ! {
             cfg.nodes,
             if cfg.inject { ", divergence injection ON" } else { "" }
         );
-        let result = run_case(seed, cfg.nodes, cfg.inject, cfg.faults);
+        let result = run_case(seed, cfg.nodes, cfg.inject, cfg.faults, cfg.corrupt);
         println!("{} point tasks", result.tasks);
         println!("verdict-class coverage:\n{}", result.coverage);
         match result.error {
@@ -287,13 +294,17 @@ fn fuzz_main(argv: &[String]) -> ! {
         }
     }
     println!(
-        "differential fuzz: {} cases, base seed {:#018x}, {} nodes{}{}",
+        "differential fuzz: {} cases, base seed {:#018x}, {} nodes{}{}{}",
         cfg.cases,
         cfg.seed,
         cfg.nodes,
         if cfg.inject { ", divergence injection ON" } else { "" },
         match cfg.faults {
             Some(s) => format!(", chaos leg ON (fault seed {s:#x})"),
+            None => String::new(),
+        },
+        match cfg.corrupt {
+            Some(s) => format!(", corruption leg ON (corrupt seed {s:#x})"),
             None => String::new(),
         }
     );
@@ -445,6 +456,7 @@ fn serve_main(argv: &[String]) -> ! {
                 slot_nodes: a.slot_nodes,
                 queue_cap: if a.queue_cap == 0 { sessions.len().max(1) } else { a.queue_cap },
                 faults: a.faults.map(FaultConfig::from_seed),
+                replication_overrides: vec![],
             },
             policy_by_name(policy),
         );

@@ -8,6 +8,7 @@
 //! cargo run -p il-bench --release --bin figures -- fig4 --out-dir /tmp/r --no-bench
 //! cargo run -p il-bench --release --bin figures -- scale --scale-max-nodes 65536
 //! cargo run -p il-bench --release --bin figures -- serve --serve-light 120
+//! cargo run -p il-bench --release --bin figures -- sdc --sdc-seed 24000
 //! ```
 //!
 //! ASCII tables print to stdout; CSVs land in `--out-dir` (default
@@ -30,6 +31,7 @@ use il_analysis::{
 };
 use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure, SweepOpts};
 use il_bench::machine_scale;
+use il_bench::sdc_overhead;
 use il_bench::service_workload;
 use il_bench::render::{render_figure, render_table, write_figure_csv, write_table_csv};
 use il_bench::tables::{extrapolate_checks, table2, table3};
@@ -45,6 +47,7 @@ fn main() {
     let mut scale_max_nodes = 1_048_576usize;
     let mut serve_light = 1500usize;
     let mut serve_seed = 0x5E8Eu64;
+    let mut sdc_seed = 0x5DC0u64;
     let mut repeats = 1u32;
     let mut pool_size = 0usize;
     let mut out_dir = PathBuf::from("results");
@@ -68,6 +71,10 @@ fn main() {
             "--serve-seed" => {
                 i += 1;
                 serve_seed = args[i].parse().expect("--serve-seed takes a number");
+            }
+            "--sdc-seed" => {
+                i += 1;
+                sdc_seed = args[i].parse().expect("--sdc-seed takes a number");
             }
             "--repeats" => {
                 i += 1;
@@ -154,6 +161,17 @@ fn main() {
                 println!("wrote BENCH_PR8.json");
                 println!();
             }
+            // Not part of "all" either: the SDC sweep benches the
+            // corruption defense, not a paper figure. `--sdc-seed N`
+            // picks the corruption seed (default 0x5DC0).
+            "sdc" => {
+                let sweep = sdc_overhead::replication_sweep(sdc_seed);
+                print!("{}", sweep.render());
+                std::fs::write("BENCH_PR9.json", sweep.to_json().to_string_pretty())
+                    .expect("write sdc-overhead trajectory");
+                println!("wrote BENCH_PR9.json");
+                println!();
+            }
             "table3" => {
                 let rows = table3();
                 print!("{}", render_table("Table 3: dynamic cross-checks", "Number of arguments", &rows));
@@ -161,7 +179,7 @@ fn main() {
                 println!();
             }
             other => eprintln!(
-                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, serve, all)"
+                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, serve, sdc, all)"
             ),
         }
     }

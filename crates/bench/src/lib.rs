@@ -10,6 +10,9 @@
 //! * [`service_workload`] — the multi-tenant service-mode policy sweep
 //!   (`figures -- serve`): throughput and p50/p95/p99 latency per
 //!   scheduling policy, written to `BENCH_PR8.json`;
+//! * [`sdc_overhead`] — the silent-data-corruption defense cost sweep
+//!   (`figures -- sdc`): golden apps under a corrupting schedule at
+//!   replication factors k ∈ {1, 2, 3}, written to `BENCH_PR9.json`;
 //! * [`tables`] — the dynamic-check microbenchmarks (Tables 2–3),
 //!   measured in real wall-clock time on this machine (no simulation —
 //!   the checks are ordinary single-node code);
@@ -24,10 +27,12 @@
 pub mod figures;
 pub mod machine_scale;
 pub mod render;
+pub mod sdc_overhead;
 pub mod service_workload;
 pub mod tables;
 
 pub use figures::{FigPoint, Figure};
 pub use machine_scale::{weak_scaling, ScalePoint, ScaleSweep};
+pub use sdc_overhead::{replication_sweep, SdcPoint, SdcSweep};
 pub use service_workload::{run_policy, service_sweep, PolicyPoint, ServiceSweep};
 pub use tables::{extrapolate_checks, table2, table3, TableRow};

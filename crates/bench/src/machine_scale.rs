@@ -99,6 +99,9 @@ fn storm_plan(nodes: usize) -> FaultPlan {
         slow_nodes: nodes / 4,
         crash_window: (SimTime::secs(3_600), SimTime::secs(7_200)),
         slow_factor: 3,
+        corrupt_nodes: 0,
+        corrupt_per_mille: 0,
+        corrupt_payload_per_mille: 0,
     };
     FaultPlan::generate(0x5CA1E, nodes, &spec)
 }

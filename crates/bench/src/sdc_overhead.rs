@@ -1,0 +1,238 @@
+//! Replication-overhead sweep: what the silent-data-corruption defense
+//! costs, written to `BENCH_PR9.json` by `figures -- sdc`.
+//!
+//! Each golden app runs in validation mode under a seeded corrupting
+//! fault schedule at replication factors k ∈ {1, 2, 3}. k = 1 is the
+//! undefended baseline (the policy is inert below k = 2, so corrupted
+//! commits are counted as escapes); k = 2 is the production digest-vote
+//! defense; k = 3 shows how the overhead scales with a deeper vote. The
+//! headline columns are the makespan overhead relative to a fault-free
+//! run of the same app and the replica executions that buy it.
+//!
+//! The sweep is simulated time, not wall clock, so every number is a
+//! pure function of `(seed, app)` and reproducible bit-for-bit. The
+//! sweep also re-asserts the defense contract while it measures: every
+//! defended point must finish with zero escapes and a store byte-equal
+//! to the fault-free run, and the undefended point must replicate
+//! nothing.
+
+use il_apps::{circuit, soleil, stencil};
+use il_machine::Stage;
+use il_runtime::{execute, Program, ReplicationConfig, RuntimeConfig};
+use il_testkit::Json;
+
+/// Replication factors swept per app: undefended, digest vote, deep vote.
+const FACTORS: [usize; 3] = [1, 2, 3];
+/// Nodes in the validation-mode machine.
+const NODES: usize = 4;
+
+/// One `(app, k)` cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct SdcPoint {
+    /// Golden app name.
+    pub app: String,
+    /// Total executions per selected task (1 = defense off).
+    pub k: usize,
+    /// Simulated makespan of the corrupted run.
+    pub makespan_ns: u64,
+    /// Makespan of the fault-free run of the same app.
+    pub clean_makespan_ns: u64,
+    /// `makespan / undefended_makespan - 1`: the defense's headline
+    /// cost, relative to the k = 1 run under the *same* corrupting
+    /// fault schedule — so the fault runtime's fixed protocol overhead
+    /// (heartbeats, recovery checks) cancels and only the replication
+    /// cost remains.
+    pub overhead_frac: f64,
+    /// Simulated node-time spent in the verify stage.
+    pub verify_busy_ns: u64,
+    /// Tasks the policy selected for replicated execution.
+    pub replicated_tasks: u64,
+    /// Extra (non-primary) replica executions performed.
+    pub replicas: u64,
+    /// Corrupted outputs caught by the digest vote.
+    pub detected: u64,
+    /// Re-executions triggered by quarantined results.
+    pub reruns: u64,
+    /// Corrupted outputs that committed unverified (k = 1 only).
+    pub escaped: u64,
+    /// Corrupted payloads caught (defense on) / accepted (defense off).
+    pub payload_detected: u64,
+    /// Corrupted payloads accepted by receivers (defense off).
+    pub payload_escaped: u64,
+}
+
+/// The full PR 9 sweep: one [`SdcPoint`] per golden app per factor.
+#[derive(Clone, Debug)]
+pub struct SdcSweep {
+    /// Master corruption seed.
+    pub seed: u64,
+    /// Sweep cells, grouped by app, ascending k.
+    pub points: Vec<SdcPoint>,
+}
+
+/// The golden apps at validation-mode sizes (the same shapes the SDC
+/// acceptance tests pin).
+fn golden_apps() -> Vec<(&'static str, Program)> {
+    let stencil = stencil::build(&stencil::StencilConfig {
+        iterations: 2,
+        ..stencil::StencilConfig::tiny((2, 2))
+    });
+    let circuit = circuit::build(&circuit::CircuitConfig {
+        iterations: 2,
+        ..circuit::CircuitConfig::tiny(4)
+    });
+    let soleil = soleil::build(&soleil::SoleilConfig {
+        iterations: 2,
+        ..soleil::SoleilConfig::tiny((2, 1, 1))
+    });
+    vec![
+        ("stencil", stencil.program),
+        ("circuit", circuit.program),
+        ("soleil", soleil.program),
+    ]
+}
+
+/// Run the replication-overhead sweep under corruption seed `seed`.
+pub fn replication_sweep(seed: u64) -> SdcSweep {
+    let mut points = Vec::new();
+    for (app, program) in golden_apps() {
+        let clean_cfg = RuntimeConfig::validate(NODES);
+        let clean = execute(&program, &clean_cfg);
+        let mut undefended_ns = 0u64;
+        for k in FACTORS {
+            let cfg = clean_cfg
+                .clone()
+                .with_corruption(seed)
+                .with_replication(ReplicationConfig::all(k));
+            let report = execute(&program, &cfg);
+            let sdc = report.sdc.clone().expect("corrupting run must carry SDC stats");
+            if k >= 2 {
+                assert_eq!(
+                    sdc.escaped, 0,
+                    "{app}/k={k}: corrupted outputs escaped the vote: {sdc:?}"
+                );
+                assert_eq!(
+                    report.store, clean.store,
+                    "{app}/k={k}: defended store diverged from fault-free"
+                );
+            } else {
+                assert_eq!(
+                    sdc.replicated_tasks + sdc.replicas + sdc.detected,
+                    0,
+                    "{app}/k={k}: an inert policy must not replicate: {sdc:?}"
+                );
+            }
+            let makespan_ns = report.makespan.as_ns();
+            if k == 1 {
+                undefended_ns = makespan_ns;
+            }
+            points.push(SdcPoint {
+                app: app.to_string(),
+                k,
+                makespan_ns,
+                clean_makespan_ns: clean.makespan.as_ns(),
+                overhead_frac: makespan_ns as f64 / undefended_ns.max(1) as f64 - 1.0,
+                verify_busy_ns: report.stage_busy.get(Stage::Verify).as_ns(),
+                replicated_tasks: sdc.replicated_tasks,
+                replicas: sdc.replicas,
+                detected: sdc.detected,
+                reruns: sdc.reruns,
+                escaped: sdc.escaped,
+                payload_detected: sdc.payload_detected,
+                payload_escaped: sdc.payload_escaped,
+            });
+        }
+    }
+    SdcSweep { seed, points }
+}
+
+impl SdcSweep {
+    /// Render the sweep as an ASCII table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sdc defense: replication overhead, corruption seed {:#x}\n",
+            self.seed
+        ));
+        out.push_str(
+            "  app      k   makespan      overhead  verify-busy   repl  replicas  det  rerun  esc\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:8} {}  {:>9} ns  {:>7.1}%  {:>8} ns  {:>5}  {:>8}  {:>3}  {:>5}  {:>3}\n",
+                p.app,
+                p.k,
+                p.makespan_ns,
+                p.overhead_frac * 100.0,
+                p.verify_busy_ns,
+                p.replicated_tasks,
+                p.replicas,
+                p.detected,
+                p.reruns,
+                p.escaped + p.payload_escaped,
+            ));
+        }
+        out
+    }
+
+    /// The sweep as a `BENCH_PR9.json` trajectory document.
+    pub fn to_json(&self) -> Json {
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .set("app", p.app.as_str())
+                    .set("k", p.k)
+                    .set("makespan_ns", p.makespan_ns)
+                    .set("clean_makespan_ns", p.clean_makespan_ns)
+                    .set("overhead_frac", p.overhead_frac)
+                    .set("verify_busy_ns", p.verify_busy_ns)
+                    .set("replicated_tasks", p.replicated_tasks)
+                    .set("replicas", p.replicas)
+                    .set("detected", p.detected)
+                    .set("reruns", p.reruns)
+                    .set("escaped", p.escaped)
+                    .set("payload_detected", p.payload_detected)
+                    .set("payload_escaped", p.payload_escaped)
+            })
+            .collect();
+        Json::obj()
+            .set("schema", "il-bench-trajectory-v1")
+            .set("pr", "PR9")
+            .set("corrupt_seed", self.seed)
+            .set("replication_overhead", Json::Arr(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sweep covers every (app, k) cell, measures real defense work
+    /// at k >= 2, and is deterministic.
+    #[test]
+    fn sweep_shape_and_determinism() {
+        let sweep = replication_sweep(0x5DC0);
+        assert_eq!(sweep.points.len(), 3 * FACTORS.len());
+        for p in &sweep.points {
+            if p.k >= 2 {
+                assert_eq!(p.escaped, 0, "{}: escape at k={}", p.app, p.k);
+                assert!(p.replicas > 0, "{}: no replicas at k={}", p.app, p.k);
+                assert!(
+                    p.overhead_frac >= 0.0,
+                    "{}: defense made the run faster at k={}",
+                    p.app,
+                    p.k
+                );
+            }
+        }
+        // Deeper votes never get cheaper: replicas grow with k per app.
+        for app in ["stencil", "circuit", "soleil"] {
+            let by_k: Vec<_> = sweep.points.iter().filter(|p| p.app == app).collect();
+            assert!(by_k.windows(2).all(|w| w[0].replicas <= w[1].replicas));
+        }
+        let again = replication_sweep(0x5DC0);
+        assert_eq!(format!("{:?}", sweep), format!("{:?}", again));
+    }
+}

@@ -111,6 +111,7 @@ pub fn run_policy(sessions: &[SessionSpec], slot_nodes: usize, policy: &str) -> 
             slot_nodes,
             queue_cap: sessions.len().max(1),
             faults: None,
+            replication_overrides: vec![],
         },
         policy_by_name(policy),
     );
@@ -248,6 +249,7 @@ mod tests {
                     slot_nodes: cfg.slot_nodes,
                     queue_cap: sessions.len(),
                     faults: None,
+                    replication_overrides: vec![],
                 },
                 policy_by_name(policy),
             );

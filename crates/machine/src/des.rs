@@ -400,6 +400,57 @@ impl<'a, M> NodeCtx<'a, M> {
         self.outbox.push((arrival, dst, msg));
     }
 
+    /// Data-plane send whose payload a corrupt sender may silently flip.
+    ///
+    /// Identical to [`send`](NodeCtx::send) — same NIC charging, same
+    /// drop/duplication draws, same single fault nonce per remote send —
+    /// except the message is built by `make(corrupted)`, where `corrupted`
+    /// is true when the installed fault plan marks this node as corrupt
+    /// *and* its payload-corruption draw fires for this nonce. Self-sends
+    /// bypass the NIC and are never corrupted (no wire, no flip). With no
+    /// plan, or a plan without a Corrupt schedule, this is byte-identical
+    /// to `send(dst, make(false), bytes)`.
+    ///
+    /// Returns whether the payload was corrupted.
+    pub fn send_data(&mut self, dst: NodeId, make: impl FnOnce(bool) -> M, bytes: u64) -> bool
+    where
+        M: Clone,
+    {
+        assert!(dst < self.nodes, "destination {dst} out of range");
+        if dst == self.node {
+            let msg = make(false);
+            self.outbox.push((self.cursor, dst, msg));
+            return false;
+        }
+        let nic_done = self.inject_to_nic(bytes);
+        let arrival = self.net.deliver(self.node, dst, bytes, nic_done);
+        if let Some(plan) = self.plan {
+            let nonce = *self.fault_nonce;
+            *self.fault_nonce += 1;
+            let corrupted = plan.corrupt_message(self.node, nonce);
+            let msg = make(corrupted);
+            if plan.drop_message(nonce) {
+                self.stats.faults.dropped += 1;
+                if let Some(lane) = self.lane.as_deref_mut() {
+                    lane.faults.dropped += 1;
+                }
+                return corrupted;
+            }
+            if plan.duplicate_message(nonce) {
+                self.stats.faults.duplicated += 1;
+                if let Some(lane) = self.lane.as_deref_mut() {
+                    lane.faults.duplicated += 1;
+                }
+                self.outbox
+                    .push((arrival + self.net.base().latency, dst, msg.clone()));
+            }
+            self.outbox.push((arrival, dst, msg));
+            return corrupted;
+        }
+        self.outbox.push((arrival, dst, make(false)));
+        false
+    }
+
     /// Send `msg` to another node over the *control channel*: identical
     /// charging and accounting to [`send`](NodeCtx::send), but exempt from
     /// fault-plan drop/duplication. The runtime's recovery protocol

@@ -59,6 +59,14 @@ pub struct FaultSpec {
     pub slow_nodes: usize,
     /// Multiplier applied to every charge/execution on a slow node.
     pub slow_factor: u64,
+    /// Number of silently-corrupting nodes to select (never node 0).
+    /// Defaults to 0 so pre-existing plans are byte-identical.
+    pub corrupt_nodes: usize,
+    /// Per-task-output corruption probability on a corrupt node, in ‰.
+    pub corrupt_per_mille: u16,
+    /// Per-message payload corruption probability for data-plane traffic
+    /// sent *from* a corrupt node, in ‰.
+    pub corrupt_payload_per_mille: u16,
 }
 
 impl Default for FaultSpec {
@@ -70,6 +78,9 @@ impl Default for FaultSpec {
             crash_window: (SimTime::us(200), SimTime::ms(20)),
             slow_nodes: 1,
             slow_factor: 3,
+            corrupt_nodes: 0,
+            corrupt_per_mille: 0,
+            corrupt_payload_per_mille: 0,
         }
     }
 }
@@ -92,10 +103,16 @@ pub struct FaultPlan {
     crashes: Vec<(NodeId, SimTime)>,
     /// `(node, charge multiplier)`, sorted by node.
     slow: Vec<(NodeId, u64)>,
+    /// Nodes that silently corrupt data, sorted; node 0 never appears.
+    corrupt: Vec<NodeId>,
+    corrupt_per_mille: u16,
+    corrupt_payload_per_mille: u16,
     /// Per-node crash time, `SimTime::MAX` = never (len = nodes).
     crash_at: Vec<SimTime>,
     /// Per-node charge multiplier, 1 = full speed (len = nodes).
     slow_at: Vec<u64>,
+    /// Per-node corruption flag (len = nodes).
+    corrupt_at: Vec<bool>,
     /// Answer queries with the original O(faults) list scans instead of
     /// the tables (benchmark baseline; results are identical).
     scan_mode: bool,
@@ -142,14 +159,33 @@ impl FaultPlan {
             }
             slow.sort_unstable_by_key(|&(n, _)| n);
         }
+        let mut corrupt: Vec<NodeId> = Vec::new();
+        let mut corrupt_at = vec![false; nodes];
+        if nodes > 1 && spec.corrupt_nodes > 0 {
+            let want = spec.corrupt_nodes.min(nodes - 1);
+            let mut i = 0u64;
+            while corrupt.len() < want && i < 16 * want as u64 + 16 {
+                let node = 1 + (draw(seed, 0x5DC0, i) as usize) % (nodes - 1);
+                if !corrupt_at[node] {
+                    corrupt.push(node);
+                    corrupt_at[node] = true;
+                }
+                i += 1;
+            }
+            corrupt.sort_unstable();
+        }
         FaultPlan {
             seed,
             drop_per_mille: spec.drop_per_mille.min(500),
             dup_per_mille: spec.dup_per_mille.min(1000),
             crashes,
             slow,
+            corrupt,
+            corrupt_per_mille: spec.corrupt_per_mille.min(1000),
+            corrupt_payload_per_mille: spec.corrupt_payload_per_mille.min(1000),
             crash_at,
             slow_at,
+            corrupt_at,
             scan_mode: false,
         }
     }
@@ -174,6 +210,15 @@ impl FaultPlan {
         self.slow.retain(|&(n, _)| {
             if exempt(n) {
                 slow_at[n] = 1;
+                false
+            } else {
+                true
+            }
+        });
+        let corrupt_at = &mut self.corrupt_at;
+        self.corrupt.retain(|&n| {
+            if exempt(n) {
+                corrupt_at[n] = false;
                 false
             } else {
                 true
@@ -260,6 +305,55 @@ impl FaultPlan {
     /// (only consulted when the message is not dropped).
     pub fn duplicate_message(&self, nonce: u64) -> bool {
         (draw(self.seed, 0xD0B1, nonce) % 1000) < u64::from(self.dup_per_mille)
+    }
+
+    /// The nodes the plan marks as silently corrupting, sorted.
+    pub fn corrupt_nodes(&self) -> &[NodeId] {
+        &self.corrupt
+    }
+
+    /// Number of nodes the plan marks as corrupting.
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// Whether `node` silently corrupts data. O(1) table lookup (or the
+    /// retained scan in [`with_scan_lookups`](FaultPlan::with_scan_lookups)
+    /// mode).
+    pub fn is_corrupt_node(&self, node: NodeId) -> bool {
+        if self.scan_mode {
+            return self.corrupt.contains(&node);
+        }
+        self.corrupt_at.get(node).copied().unwrap_or(false)
+    }
+
+    /// The nonzero XOR delta a corrupt `node` applies to the `nonce`-th
+    /// task output it produces, if the draw says this one flips. Distinct
+    /// `(node, nonce)` pairs draw independently, so two replicas of the
+    /// same task on different corrupt nodes (and two attempts of the same
+    /// task on one node) corrupt — or not — independently, and when both
+    /// do, their deltas differ with overwhelming probability.
+    pub fn corrupt_task_output(&self, node: NodeId, nonce: u64) -> Option<u64> {
+        if !self.is_corrupt_node(node) || self.corrupt_per_mille == 0 {
+            return None;
+        }
+        let idx = mix64((node as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ nonce);
+        if (draw(self.seed, 0xB17F, idx) % 1000) < u64::from(self.corrupt_per_mille) {
+            // `| 1` guarantees the delta is nonzero (a zero delta would be
+            // a no-op flip, i.e. no corruption at all).
+            Some(draw(self.seed, 0xDE1A, idx) | 1)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a corrupt `node` flips bits in the payload of the
+    /// `nonce`-th data-plane message it sends. Honest nodes never do.
+    pub fn corrupt_message(&self, node: NodeId, nonce: u64) -> bool {
+        self.is_corrupt_node(node)
+            && self.corrupt_payload_per_mille > 0
+            && (draw(self.seed, 0xFA1C, nonce) % 1000)
+                < u64::from(self.corrupt_payload_per_mille)
     }
 }
 
@@ -365,6 +459,141 @@ mod tests {
                 );
             }
             assert_eq!(plan.slow_count(), oracle.slow.len());
+        }
+    }
+
+    #[test]
+    fn corruption_defaults_to_off() {
+        // The default spec schedules no corruption, so plans generated
+        // before the Corrupt schedule existed are bit-identical.
+        let plan = FaultPlan::generate(42, 8, &FaultSpec::default());
+        assert_eq!(plan.corrupt_count(), 0);
+        for node in 0..8 {
+            assert!(!plan.is_corrupt_node(node));
+            for nonce in 0..64 {
+                assert_eq!(plan.corrupt_task_output(node, nonce), None);
+                assert!(!plan.corrupt_message(node, nonce));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_schedules_are_deterministic_and_survivable() {
+        for seed in 0..100u64 {
+            for nodes in [1usize, 2, 3, 8, 32] {
+                let spec = FaultSpec {
+                    corrupt_nodes: nodes, // ask for more than allowed
+                    corrupt_per_mille: 400,
+                    corrupt_payload_per_mille: 200,
+                    ..FaultSpec::default()
+                };
+                let a = FaultPlan::generate(seed, nodes, &spec);
+                let b = FaultPlan::generate(seed, nodes, &spec);
+                assert_eq!(a.corrupt_nodes(), b.corrupt_nodes());
+                // Node 0 (the recovery coordinator) never corrupts, and at
+                // least one honest node always exists.
+                assert!(!a.is_corrupt_node(0));
+                assert!(a.corrupt_nodes().iter().all(|&n| n != 0 && n < nodes));
+                assert!(a.corrupt_count() < nodes.max(1));
+                for node in 0..nodes {
+                    for nonce in 0..32 {
+                        assert_eq!(
+                            a.corrupt_task_output(node, nonce),
+                            b.corrupt_task_output(node, nonce)
+                        );
+                        assert_eq!(a.corrupt_message(node, nonce), b.corrupt_message(node, nonce));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_deltas_are_nonzero_and_node_independent() {
+        let spec = FaultSpec {
+            corrupt_nodes: 6,
+            corrupt_per_mille: 1000, // every output flips
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(9, 8, &spec);
+        assert!(plan.corrupt_count() >= 2);
+        let nodes = plan.corrupt_nodes().to_vec();
+        for nonce in 0..256u64 {
+            let mut deltas = Vec::new();
+            for &n in &nodes {
+                let d = plan.corrupt_task_output(n, nonce).expect("rate 1000‰ always flips");
+                assert_ne!(d, 0);
+                deltas.push(d);
+            }
+            // Same task output on different corrupt nodes: distinct flips,
+            // so a digest vote cannot be fooled by matching corruption.
+            deltas.sort_unstable();
+            deltas.dedup();
+            assert_eq!(deltas.len(), nodes.len(), "delta collision at nonce {nonce}");
+        }
+    }
+
+    #[test]
+    fn corruption_draws_leave_existing_schedules_untouched() {
+        // Adding corruption to a spec must not move the crash/slow/drop/
+        // duplication schedules: the Corrupt schedule uses its own salts.
+        let base = FaultSpec::default();
+        let with_corruption = FaultSpec {
+            corrupt_nodes: 3,
+            corrupt_per_mille: 500,
+            corrupt_payload_per_mille: 250,
+            ..base.clone()
+        };
+        for seed in 0..50u64 {
+            let a = FaultPlan::generate(seed, 16, &base);
+            let b = FaultPlan::generate(seed, 16, &with_corruption);
+            assert_eq!(a.crashes(), b.crashes());
+            assert_eq!(a.slow, b.slow);
+            for nonce in 0..512 {
+                assert_eq!(a.drop_message(nonce), b.drop_message(nonce));
+                assert_eq!(a.duplicate_message(nonce), b.duplicate_message(nonce));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_table_lookups_match_the_scan_oracle() {
+        for seed in 0..50 {
+            let spec = FaultSpec {
+                corrupt_nodes: 5,
+                corrupt_per_mille: 300,
+                corrupt_payload_per_mille: 150,
+                ..FaultSpec::default()
+            };
+            let plan = FaultPlan::generate(seed, 32, &spec);
+            let oracle = plan.clone().with_scan_lookups();
+            for node in 0..40 {
+                // (includes out-of-range nodes 32..40)
+                assert_eq!(plan.is_corrupt_node(node), oracle.is_corrupt_node(node));
+                for nonce in 0..16 {
+                    assert_eq!(
+                        plan.corrupt_task_output(node, nonce),
+                        oracle.corrupt_task_output(node, nonce)
+                    );
+                    assert_eq!(plan.corrupt_message(node, nonce), oracle.corrupt_message(node, nonce));
+                }
+            }
+            assert_eq!(plan.corrupt_count(), oracle.corrupt.len());
+        }
+    }
+
+    #[test]
+    fn exemption_clears_corruption_too() {
+        let spec = FaultSpec {
+            corrupt_nodes: 8,
+            corrupt_per_mille: 500,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(11, 16, &spec).with_exempt_nodes(|n| n % 4 == 0);
+        assert!(plan.corrupt_nodes().iter().all(|&n| n % 4 != 0));
+        for node in (0..16).step_by(4) {
+            assert!(!plan.is_corrupt_node(node));
+            assert_eq!(plan.corrupt_task_output(node, 0), None);
         }
     }
 

@@ -39,13 +39,17 @@ pub enum Stage {
     /// instead of re-running its logical analysis (the Legion tracing
     /// cost model, charged per replayed task when `tracing` is on).
     TraceReplay,
+    /// Silent-data-corruption defense: replica execution, output digest
+    /// computation, and checksum voting. Only accrues when a replication
+    /// policy is active.
+    Verify,
     /// Untagged work (handlers that never declared a stage).
     Other,
 }
 
 impl Stage {
     /// Number of stages (length of [`Stage::ALL`]).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every stage, in display order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -58,6 +62,7 @@ impl Stage {
         Stage::DynamicChecks,
         Stage::Recovery,
         Stage::TraceReplay,
+        Stage::Verify,
         Stage::Other,
     ];
 
@@ -79,6 +84,7 @@ impl Stage {
             Stage::DynamicChecks => "dynamic_checks",
             Stage::Recovery => "recovery",
             Stage::TraceReplay => "trace_replay",
+            Stage::Verify => "verify",
             Stage::Other => "other",
         }
     }

@@ -31,7 +31,7 @@ use crate::genprog::generate_program;
 use crate::reference::{reference_expand, serial_makespan, transitive_closure};
 use il_analysis::{analyze_launch, HybridVerdict, LaunchArg, UnsafeReason};
 use il_runtime::depgraph::{expand_program, OpSafety};
-use il_runtime::{execute, Program, RuntimeConfig, ThreadPool};
+use il_runtime::{execute, Program, ReplicationConfig, RuntimeConfig, ThreadPool};
 use il_testkit::SplitMix64;
 use std::fmt;
 
@@ -57,11 +57,26 @@ pub struct DiffConfig {
     /// tasks, take at least the fault-free makespan, and replay
     /// byte-identically.
     pub faults: Option<u64>,
+    /// Base corruption seed. `Some(base)` adds a silent-data-corruption
+    /// leg to every case: the program is re-executed in validation mode
+    /// under the corruption schedule derived from
+    /// `SplitMix64::mix(base, case_seed)` with replicate-2 defense on,
+    /// and must detect every flip (zero escapes), converge to the
+    /// fault-free final store byte-for-byte, and replay byte-identically.
+    pub corrupt: Option<u64>,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { cases: 64, seed: 0xD1FF, nodes: 2, inject: false, threads: 0, faults: None }
+        DiffConfig {
+            cases: 64,
+            seed: 0xD1FF,
+            nodes: 2,
+            inject: false,
+            threads: 0,
+            faults: None,
+            corrupt: None,
+        }
     }
 }
 
@@ -165,7 +180,7 @@ pub struct Divergence {
     /// Case index within the run.
     pub case: u64,
     /// The seed that alone reproduces the failure
-    /// (`run_case(seed, nodes, inject)`).
+    /// (`run_case(seed, nodes, inject, faults, corrupt)`).
     pub seed: u64,
     /// What disagreed.
     pub detail: String,
@@ -193,7 +208,7 @@ pub struct DiffReport {
 /// Run `program` through the fast path and the oracle and compare.
 /// `Err` carries the first disagreement found.
 pub fn check_program(program: &Program, nodes: usize) -> Result<(), String> {
-    let (_, _, error) = compare(program, nodes, false, None);
+    let (_, _, error) = compare(program, nodes, false, None, None);
     match error {
         Some(e) => Err(e),
         None => Ok(()),
@@ -209,11 +224,19 @@ pub fn check_program(program: &Program, nodes: usize) -> Result<(), String> {
 /// With `fault_base = Some(base)`, the case additionally executes under
 /// the fault schedule seeded by `SplitMix64::mix(base, seed)` — a pure
 /// function of the two seeds, so a chaos divergence also reproduces from
-/// `(seed, base)` alone.
-pub fn run_case(seed: u64, nodes: usize, inject: bool, fault_base: Option<u64>) -> CaseResult {
+/// `(seed, base)` alone. `corrupt_base` works the same way for the
+/// silent-data-corruption leg.
+pub fn run_case(
+    seed: u64,
+    nodes: usize,
+    inject: bool,
+    fault_base: Option<u64>,
+    corrupt_base: Option<u64>,
+) -> CaseResult {
     let program = generate_program(seed);
     let fault_seed = fault_base.map(|base| SplitMix64::mix(base, seed));
-    let (coverage, tasks, error) = compare(&program, nodes, inject, fault_seed);
+    let corrupt_seed = corrupt_base.map(|base| SplitMix64::mix(base, seed));
+    let (coverage, tasks, error) = compare(&program, nodes, inject, fault_seed, corrupt_seed);
     CaseResult { coverage, tasks, error }
 }
 
@@ -237,11 +260,11 @@ pub fn run_differential(cfg: &DiffConfig) -> DiffReport {
 /// task totals, divergence order) is byte-identical no matter how many
 /// workers the pool has.
 pub fn run_differential_on(cfg: &DiffConfig, pool: &ThreadPool) -> DiffReport {
-    let (nodes, inject, faults) = (cfg.nodes, cfg.inject, cfg.faults);
+    let (nodes, inject, faults, corrupt) = (cfg.nodes, cfg.inject, cfg.faults, cfg.corrupt);
     let jobs: Vec<_> = (0..cfg.cases)
         .map(|case| {
             let seed = SplitMix64::mix(cfg.seed, case);
-            move || run_case(seed, nodes, inject, faults)
+            move || run_case(seed, nodes, inject, faults, corrupt)
         })
         .collect();
     let mut report = DiffReport {
@@ -266,13 +289,15 @@ pub fn run_differential_on(cfg: &DiffConfig, pool: &ThreadPool) -> DiffReport {
 }
 
 /// The five comparisons plus a full simulated execution (twice more
-/// under a fault schedule when `fault_seed` is set). Returns
+/// under a fault schedule when `fault_seed` is set, and three more in
+/// validation mode when `corrupt_seed` is set). Returns
 /// (coverage, task count, first disagreement).
 fn compare(
     program: &Program,
     nodes: usize,
     inject: bool,
     fault_seed: Option<u64>,
+    corrupt_seed: Option<u64>,
 ) -> (Coverage, u64, Option<String>) {
     let mut coverage = Coverage::default();
 
@@ -432,6 +457,60 @@ fn compare(
                 ));
             }
         }
+
+        // SDC leg: re-execute in validation mode under a seeded
+        // corruption schedule with replicate-2 defense. The vote must
+        // catch every flip (zero escapes) and the final data must
+        // converge byte-for-byte to the fault-free store; being a pure
+        // function of `(seed, config)`, the defended run must also
+        // replay byte-identically.
+        if let Some(cseed) = corrupt_seed {
+            let vcfg = RuntimeConfig::validate(nodes);
+            let clean = execute(program, &vcfg);
+            let ccfg = vcfg
+                .clone()
+                .with_corruption(cseed)
+                .with_replication(ReplicationConfig::all(2));
+            let defended = execute(program, &ccfg);
+            if defended.tasks != tasks {
+                return Some(format!(
+                    "defended execution (corrupt seed {cseed:#018x}) ran {} tasks \
+                     but the expansion has {tasks}",
+                    defended.tasks
+                ));
+            }
+            let Some(sdc) = defended.sdc.clone() else {
+                return Some(format!(
+                    "corrupt seed {cseed:#018x}: defended run reported no SDC stats"
+                ));
+            };
+            if sdc.escaped != 0 {
+                return Some(format!(
+                    "corrupt seed {cseed:#018x}: {} corrupted outputs escaped the \
+                     replicate-2 vote",
+                    sdc.escaped
+                ));
+            }
+            if defended.store != clean.store {
+                return Some(format!(
+                    "corrupt seed {cseed:#018x}: defended final store diverged from \
+                     the fault-free store ({} detections, {} re-runs)",
+                    sdc.detected, sdc.reruns
+                ));
+            }
+            let replay = execute(program, &ccfg);
+            let fp = |r: &il_runtime::RunReport| {
+                (r.makespan, r.messages, r.bytes, r.stage_json().to_string(), r.sdc.clone())
+            };
+            if fp(&defended) != fp(&replay) {
+                return Some(format!(
+                    "defended execution is not deterministic for corrupt seed \
+                     {cseed:#018x}: {:?} vs {:?}",
+                    fp(&defended),
+                    fp(&replay)
+                ));
+            }
+        }
         None
     })();
 
@@ -491,7 +570,7 @@ mod tests {
         let cfg = DiffConfig { cases: 4, inject: true, ..DiffConfig::default() };
         let report = run_differential(&cfg);
         for d in &report.divergences {
-            let again = run_case(d.seed, cfg.nodes, true, None);
+            let again = run_case(d.seed, cfg.nodes, true, None, None);
             assert_eq!(again.error.as_deref(), Some(d.detail.as_str()));
         }
     }
@@ -506,6 +585,20 @@ mod tests {
         assert!(
             report.divergences.is_empty(),
             "chaos divergences: {:#?}",
+            report.divergences
+        );
+    }
+
+    #[test]
+    fn corruption_corpus_is_clean() {
+        let report = run_differential(&DiffConfig {
+            cases: 12,
+            corrupt: Some(0x5DC0),
+            ..DiffConfig::default()
+        });
+        assert!(
+            report.divergences.is_empty(),
+            "SDC divergences: {:#?}",
             report.divergences
         );
     }

@@ -7,7 +7,15 @@ use il_geometry::{Domain, DomainPoint};
 use std::collections::BTreeMap;
 
 /// Type-erased storage for one field of an instance.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `PartialEq` is **bitwise**: float lanes compare by `to_bits`, so two
+/// byte-identical stores are equal even where the data holds NaN (a
+/// derived float `==` would make a NaN-bearing store unequal to
+/// itself, breaking every "converges to the fault-free data" assertion
+/// on programs whose reductions produce NaN). The flip side — `-0.0`
+/// and `+0.0` compare *unequal* — is exactly the byte-identity the
+/// chaos/replay suites assert.
+#[derive(Clone, Debug)]
 pub enum FieldStore {
     /// 64-bit floats.
     F64(Vec<f64>),
@@ -22,6 +30,29 @@ pub enum FieldStore {
     /// 32-bit unsigned integers.
     U32(Vec<u32>),
 }
+
+impl PartialEq for FieldStore {
+    fn eq(&self, other: &Self) -> bool {
+        use FieldStore::*;
+        match (self, other) {
+            (F64(a), F64(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (F32(a), F32(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (I64(a), I64(b)) => a == b,
+            (I32(a), I32(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (U32(a), U32(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for FieldStore {}
 
 impl FieldStore {
     /// Allocate default-initialized storage of `len` elements of `kind`.
@@ -78,6 +109,36 @@ impl FieldStore {
             (FieldStore::U64(d), FieldStore::U64(s)) => d[dst_idx] = s[src_idx],
             (FieldStore::U32(d), FieldStore::U32(s)) => d[dst_idx] = s[src_idx],
             (d, s) => panic!("field kind mismatch in copy: {:?} vs {:?}", d.kind(), s.kind()),
+        }
+    }
+
+    /// Raw bit pattern of element `idx`, widened to 64 bits. Floats are
+    /// read via `to_bits`, so the digest distinguishes `-0.0` from `0.0`
+    /// and every NaN payload — bit-flip detection must be exact, not
+    /// numeric.
+    pub fn bits_at(&self, idx: usize) -> u64 {
+        match self {
+            FieldStore::F64(v) => v[idx].to_bits(),
+            FieldStore::F32(v) => u64::from(v[idx].to_bits()),
+            FieldStore::I64(v) => v[idx] as u64,
+            FieldStore::I32(v) => v[idx] as u32 as u64,
+            FieldStore::U64(v) => v[idx],
+            FieldStore::U32(v) => u64::from(v[idx]),
+        }
+    }
+
+    /// XOR `delta` into the raw bits of element `idx` — a modeled silent
+    /// bit flip. For 32-bit kinds the two halves of `delta` are OR-folded,
+    /// so any nonzero `delta` still flips at least one stored bit.
+    pub fn flip_bits(&mut self, idx: usize, delta: u64) {
+        let d32 = (delta as u32) | ((delta >> 32) as u32);
+        match self {
+            FieldStore::F64(v) => v[idx] = f64::from_bits(v[idx].to_bits() ^ delta),
+            FieldStore::F32(v) => v[idx] = f32::from_bits(v[idx].to_bits() ^ d32),
+            FieldStore::I64(v) => v[idx] = (v[idx] as u64 ^ delta) as i64,
+            FieldStore::I32(v) => v[idx] = (v[idx] as u32 ^ d32) as i32,
+            FieldStore::U64(v) => v[idx] ^= delta,
+            FieldStore::U32(v) => v[idx] ^= d32,
         }
     }
 
@@ -254,6 +315,47 @@ impl PhysicalInstance {
             .map(|s| s.len() as u64 * s.kind().size())
             .sum()
     }
+
+    /// Deterministic 64-bit content digest: FNV-1a over the instance's
+    /// shape (bounding-box volume, field ids and kinds) and every
+    /// element's raw bit pattern, fields in id order. Two instances have
+    /// equal digests iff their stored bytes agree, which is the checksum
+    /// the silent-data-corruption vote compares — a single flipped bit in
+    /// any element changes the digest.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+                h ^= (word >> shift) & 0xFF;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.domain.bbox_volume());
+        for (id, store) in &self.fields {
+            eat(u64::from(id.0));
+            eat(store.kind().size());
+            eat(store.len() as u64);
+            for idx in 0..store.len() {
+                eat(store.bits_at(idx));
+            }
+        }
+        h
+    }
+
+    /// Apply a modeled silent bit flip: XOR `delta` into the raw bits of
+    /// the element of `field` chosen deterministically from `delta`
+    /// itself. Used by fault injection to corrupt a task's output; a
+    /// no-op when the field has no elements.
+    pub fn corrupt_element(&mut self, field: FieldId, delta: u64) {
+        let store = self.fields.get_mut(&field).expect("field not in instance");
+        if store.is_empty() {
+            return;
+        }
+        let idx = (delta.rotate_right(17) as usize) % store.len();
+        store.flip_bits(idx, delta);
+    }
 }
 
 #[cfg(test)]
@@ -404,5 +506,62 @@ mod more_tests {
         fsd.add("b", FieldKind::I64);
         let inst = PhysicalInstance::new(Domain::range(10), &fsd, &[]);
         assert_eq!(inst.bytes(), 10 * 4 + 10 * 8);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_content_sensitive() {
+        let mut fsd = FieldSpaceDesc::new();
+        let x = fsd.add("x", FieldKind::F64);
+        let n = fsd.add("n", FieldKind::U32);
+        let dom: Domain = Rect::new1(0, 7).into();
+        let mut a = PhysicalInstance::new(dom.clone(), &fsd, &[]);
+        let mut b = PhysicalInstance::new(dom.clone(), &fsd, &[]);
+        for i in 0..8 {
+            a.set(x, DomainPoint::new1(i), i as f64 * 0.5);
+            b.set(x, DomainPoint::new1(i), i as f64 * 0.5);
+            a.set(n, DomainPoint::new1(i), i as u32);
+            b.set(n, DomainPoint::new1(i), i as u32);
+        }
+        assert_eq!(a.digest(), b.digest(), "equal contents must digest equally");
+        b.set(n, DomainPoint::new1(3), 999u32);
+        assert_ne!(a.digest(), b.digest(), "a changed element must change the digest");
+    }
+
+    #[test]
+    fn digest_distinguishes_float_bit_patterns() {
+        let mut fsd = FieldSpaceDesc::new();
+        let x = fsd.add("x", FieldKind::F64);
+        let dom: Domain = Rect::new1(0, 0).into();
+        let mut a = PhysicalInstance::new(dom.clone(), &fsd, &[]);
+        let mut b = PhysicalInstance::new(dom, &fsd, &[]);
+        a.set(x, DomainPoint::new1(0), 0.0f64);
+        b.set(x, DomainPoint::new1(0), -0.0f64);
+        // 0.0 == -0.0 numerically, but the stored bits differ — a bit-flip
+        // detector must see through numeric equality.
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn corrupt_element_flips_and_digest_detects() {
+        let mut fsd = FieldSpaceDesc::new();
+        let x = fsd.add("x", FieldKind::F64);
+        let m = fsd.add("m", FieldKind::U32);
+        let dom: Domain = Rect::new1(0, 5).into();
+        let inst = PhysicalInstance::new(dom, &fsd, &[]);
+        let before = inst.digest();
+        for delta in [1u64, 0xDEAD_BEEF, u64::MAX, 1 << 63, 0xFFFF_FFFF_0000_0000] {
+            for field in [x, m] {
+                let mut hit = inst.clone();
+                hit.corrupt_element(field, delta);
+                assert_ne!(
+                    hit.digest(),
+                    before,
+                    "delta {delta:#x} on field {field:?} must change the digest"
+                );
+                // XOR is an involution: the same flip restores the data.
+                hit.corrupt_element(field, delta);
+                assert_eq!(hit.digest(), before);
+            }
+        }
     }
 }

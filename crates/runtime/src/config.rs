@@ -1,5 +1,6 @@
 //! Runtime configuration and the calibrated cost model.
 
+use crate::sdc::ReplicationConfig;
 use il_machine::{FaultSpec, HierarchySpec, SimTime};
 
 /// Whether task bodies really execute or are only cost-modeled.
@@ -77,6 +78,11 @@ pub struct RuntimeConfig {
     /// every fault/recovery code path inert, so fault-free runs remain
     /// byte-identical to a build without this subsystem.
     pub faults: Option<FaultConfig>,
+    /// Silent-data-corruption defense: which tasks execute on k nodes
+    /// with output-digest voting. `None` (the default) leaves the
+    /// replication/verification path inert, so defense-off runs remain
+    /// byte-identical to a build without this subsystem.
+    pub replication: Option<ReplicationConfig>,
     /// Hierarchical interconnect topology. `None` (the default) keeps the
     /// original flat α–β network, so every existing figure CSV stays
     /// byte-identical; `Some(spec)` routes messages through the leaf/pod
@@ -101,6 +107,7 @@ impl RuntimeConfig {
             mode: ExecutionMode::Scale,
             cost: CostModel::calibrated(),
             faults: None,
+            replication: None,
             net_hierarchy: None,
         }
     }
@@ -169,6 +176,22 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable seeded silent-data-corruption injection: a corruption-only
+    /// fault schedule (no crashes, drops, duplicates, or slow nodes) for
+    /// `seed`. Compose with [`with_replication`](Self::with_replication)
+    /// to turn the defense on.
+    pub fn with_corruption(mut self, seed: u64) -> Self {
+        self.faults = Some(FaultConfig::corrupting(seed));
+        self
+    }
+
+    /// Install a replication policy for the silent-data-corruption
+    /// defense.
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> Self {
+        self.replication = Some(replication);
+        self
+    }
+
     /// Route messages through a hierarchical interconnect instead of the
     /// flat α–β network.
     pub fn with_net_hierarchy(mut self, spec: HierarchySpec) -> Self {
@@ -206,11 +229,21 @@ pub struct FaultConfig {
     /// Retries per op before the coordinator declares the assigned node
     /// dead (confirmed against the fault plan) and re-shards its work.
     pub max_retries: u32,
+    /// Number of silently-corrupting nodes to schedule (node 0 never
+    /// corrupts). Defaults to 0, keeping pre-existing fault schedules
+    /// byte-identical.
+    pub corrupt_nodes: usize,
+    /// Per-mille probability a corrupt node flips bits in one of its task
+    /// outputs.
+    pub corrupt_per_mille: u16,
+    /// Per-mille probability a corrupt node flips bits in a data-plane
+    /// message payload it sends.
+    pub corrupt_payload_per_mille: u16,
 }
 
 impl FaultConfig {
     /// The default chaos mix for `seed`: moderate drop/duplication rates,
-    /// at most one crash, one slow node.
+    /// at most one crash, one slow node, no corruption.
     pub fn from_seed(seed: u64) -> Self {
         let spec = FaultSpec::default();
         FaultConfig {
@@ -223,6 +256,26 @@ impl FaultConfig {
             slow_factor: spec.slow_factor,
             ack_timeout: SimTime::ms(5),
             max_retries: 3,
+            corrupt_nodes: 0,
+            corrupt_per_mille: 0,
+            corrupt_payload_per_mille: 0,
+        }
+    }
+
+    /// A corruption-only schedule for `seed`: silent bit flips on one
+    /// node's task outputs and message payloads, with every announced
+    /// fault (crashes, drops, duplicates, slow nodes) turned off — the
+    /// isolation mix the corruption chaos tier runs under.
+    pub fn corrupting(seed: u64) -> Self {
+        FaultConfig {
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            max_crashes: 0,
+            slow_nodes: 0,
+            corrupt_nodes: 1,
+            corrupt_per_mille: 250,
+            corrupt_payload_per_mille: 125,
+            ..FaultConfig::from_seed(seed)
         }
     }
 
@@ -235,7 +288,16 @@ impl FaultConfig {
             crash_window: self.crash_window,
             slow_nodes: self.slow_nodes,
             slow_factor: self.slow_factor,
+            corrupt_nodes: self.corrupt_nodes,
+            corrupt_per_mille: self.corrupt_per_mille,
+            corrupt_payload_per_mille: self.corrupt_payload_per_mille,
         }
+    }
+
+    /// Whether this configuration schedules any silent corruption.
+    pub fn corrupts(&self) -> bool {
+        self.corrupt_nodes > 0
+            && (self.corrupt_per_mille > 0 || self.corrupt_payload_per_mille > 0)
     }
 }
 
@@ -298,6 +360,15 @@ pub struct CostModel {
     /// completion journal for an outstanding op when its acknowledgement
     /// timer fires. Only charged when fault injection is enabled.
     pub recovery_check: SimTime,
+    /// Computing the content digest of one task's output (the
+    /// silent-data-corruption checksum). Only charged for replicated
+    /// tasks.
+    pub verify_digest: SimTime,
+    /// Owner-side comparison of one replica's digest against the
+    /// primary's during the corruption vote.
+    pub verify_vote: SimTime,
+    /// Size of a replica-digest report message.
+    pub digest_message_bytes: u64,
 }
 
 impl CostModel {
@@ -319,6 +390,9 @@ impl CostModel {
             slice_message_bytes: 256,
             notify_message_bytes: 64,
             recovery_check: SimTime::us(5),
+            verify_digest: SimTime::us(6),
+            verify_vote: SimTime::us(2),
+            digest_message_bytes: 32,
         }
     }
 
@@ -341,6 +415,9 @@ impl CostModel {
             slice_message_bytes: 0,
             notify_message_bytes: 0,
             recovery_check: SimTime::ZERO,
+            verify_digest: SimTime::ZERO,
+            verify_vote: SimTime::ZERO,
+            digest_message_bytes: 0,
         }
     }
 }

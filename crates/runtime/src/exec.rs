@@ -30,12 +30,16 @@ use crate::depgraph::{
 };
 use crate::program::Program;
 use crate::replay::TraceReplayStats;
+use crate::sdc::{NoReplication, ReplicationPolicy, SdcStats};
 use crate::trace::{run_audits, AuditData, AuditReport, TraceEvent, TraceLog};
 use il_machine::{
     FaultCounters, FaultPlan, HierNetwork, MachineDesc, Network, NodeBehavior, NodeCtx, NodeId,
     SimTime, Simulator, Stage, StageTotals, StageTraffic,
 };
-use il_region::{domain_intersection, FieldId, IndexSpaceId, Privilege, RegionTreeId};
+use il_region::{
+    domain_intersection, FieldId, FieldKind, IndexSpaceId, PhysicalInstance, Privilege,
+    RegionTreeId,
+};
 use il_testkit::Json;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -97,6 +101,13 @@ pub struct RunReport {
     /// [`RuntimeConfig::faults`] is set; `None` on fault-free runs, which
     /// therefore stay byte-identical to a build without the subsystem).
     pub recovery: Option<RecoveryStats>,
+    /// Silent-data-corruption and defense accounting: `Some` when the
+    /// fault plan schedules corruption or a replication policy is active.
+    /// Host-side observability only — like `analysis_cache`, deliberately
+    /// *not* part of [`RunReport::stage_json`], so corruption-free
+    /// defense-off runs stay byte-identical to a build without the
+    /// subsystem.
+    pub sdc: Option<SdcStats>,
 }
 
 /// Counters of fault activity and the recovery protocol's responses,
@@ -184,7 +195,10 @@ pub(crate) enum Msg {
     TaskArrive { task: TaskRef },
     /// Dependence credits (completions/copies) for consumer tasks, all
     /// from producer `from` (the key the duplicate-delivery dedup uses).
-    Credits { from: TaskRef, items: Vec<(TaskRef, u32)> },
+    /// `corrupt` is set in transit when a corrupt sender's payload draw
+    /// fires — the receiver decides (by defense configuration) whether to
+    /// detect it or accept the flipped payload.
+    Credits { from: TaskRef, items: Vec<(TaskRef, u32)>, corrupt: bool },
     /// A task finished executing on this node's processor.
     TaskDone { task: TaskRef },
     /// Non-DCR: completion/coordination records arriving at the
@@ -200,6 +214,19 @@ pub(crate) enum Msg {
     /// waits) on the receiving node — the original owner, or a survivor
     /// the group was re-sharded onto.
     Retry { op: u32, items: Vec<(TaskRef, u32)> },
+    /// SDC defense: execute a replica of `task` (vote round `attempt`) on
+    /// this node and digest its output for the vote `owner` runs. With
+    /// `fallback` the receiver is the session base — corruption-exempt by
+    /// construction — which executes once more and commits without a vote.
+    ReplicaExec { task: TaskRef, attempt: u32, owner: NodeId, fallback: bool },
+    /// SDC defense: a primary/replica/fallback execution of `task`
+    /// finished on this node's processor; digest it under
+    /// [`Stage::Verify`] and route the result into the vote (or, for a
+    /// fallback, straight into the commit).
+    ReplicaDone { task: TaskRef, attempt: u32, owner: NodeId, fallback: bool },
+    /// SDC defense: a replica's output digest arriving at the vote owner
+    /// over the control channel.
+    ReplicaDigest { task: TaskRef, attempt: u32, digest: u64 },
 }
 
 #[derive(Default, Clone, Copy)]
@@ -260,6 +287,10 @@ pub(crate) struct Shared<'p> {
     /// Fault-injection runtime state (when `config.faults`). `None` keeps
     /// every recovery code path inert.
     pub(crate) faults: Option<FaultRuntime>,
+    /// Silent-data-corruption state: `Some` when the fault plan schedules
+    /// corruption or a replication policy is active; `None` keeps every
+    /// defense code path inert (and the report's `sdc` absent).
+    pub(crate) sdc: Option<SdcRuntime>,
     /// Trace-replay stats, seeded from the expansion and bumped when a
     /// crash re-shard lands on a replayed op (the trace that produced it
     /// is then stale for any later capture epoch).
@@ -308,6 +339,33 @@ impl FaultRuntime {
     }
 }
 
+/// Runtime-side state of the silent-data-corruption defense.
+///
+/// Corruption never announces itself — a corrupt node's task output or
+/// message payload is silently flipped (see the `corrupt_*` draws on
+/// [`FaultPlan`]). The defense executes policy-selected tasks on `k`
+/// nodes, digests each output, and commits only a unanimous vote;
+/// divergence quarantines the result and re-runs the task. The
+/// per-(node, round) corruption deltas are nonzero and pairwise distinct
+/// (locked by a plan-level test), so a unanimous vote *proves* every
+/// replica executed clean — which is what makes "zero escapes under any
+/// active policy covering the corrupted tasks" a theorem, not a
+/// probability.
+pub(crate) struct SdcRuntime {
+    /// Resolved replication policy ([`NoReplication`] when corruption is
+    /// scheduled with no defense configured — the negative control).
+    policy: Box<dyn ReplicationPolicy>,
+    /// Whether the policy can ever replicate. False means corruption
+    /// escapes: task-output flips commit unverified, payload flips are
+    /// accepted by receivers.
+    defense_on: bool,
+    stats: RefCell<SdcStats>,
+    /// `(producer, consumer)` credit edges whose corrupted payload a
+    /// receiver accepted (defense off): validation mode flips a bit in
+    /// the copied data when the consumer materializes it.
+    corrupt_edges: RefCell<HashSet<(TaskRef, TaskRef)>>,
+}
+
 impl<'p> Shared<'p> {
     /// Machine node of session-local node id `local`.
     #[inline]
@@ -351,6 +409,9 @@ pub(crate) struct RtNode<'p> {
     /// Faults only: `(producer, consumer)` credit edges already paid on
     /// this node, so duplicated credit messages are discarded.
     paid: HashSet<(TaskRef, TaskRef)>,
+    /// SDC defense: open digest votes this node owns, keyed by
+    /// `(task, round)` → (expected vote count, digests so far).
+    votes: HashMap<(TaskRef, u32), (usize, Vec<u64>)>,
 }
 
 impl<'p> RtNode<'p> {
@@ -361,6 +422,7 @@ impl<'p> RtNode<'p> {
             states: HashMap::new(),
             slice_remaining: HashMap::new(),
             paid: HashSet::new(),
+            votes: HashMap::new(),
         }
     }
 
@@ -370,6 +432,7 @@ impl<'p> RtNode<'p> {
         self.states.clear();
         self.slice_remaining.clear();
         self.paid.clear();
+        self.votes.clear();
     }
 
     /// Release the session binding (drops this node's `Rc` so the
@@ -445,6 +508,16 @@ impl<'p> RtNode<'p> {
             return;
         }
         self.state(task).started = true;
+        self.launch_execution(ctx, task, 0);
+    }
+
+    /// Dispatch one execution of `task` on this node's processor.
+    /// `attempt` counts SDC vote rounds (always 0 without an active
+    /// replication policy). A replicated task recruits its buddy nodes
+    /// over the control channel and defers completion to the digest vote;
+    /// everything else completes directly via `TaskDone`, exactly as
+    /// before the defense existed.
+    fn launch_execution(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, attempt: u32) {
         let shared = self.sh();
         let inst = &shared.expanded.tasks[task as usize];
         let op = inst.op as usize;
@@ -462,7 +535,170 @@ impl<'p> RtNode<'p> {
             start: exec_start,
             duration,
         });
-        ctx.send_self_at(done, Msg::TaskDone { task });
+        let buddies = self.replica_buddies(&shared, task, shared.local(ctx.node()));
+        if buddies.is_empty() {
+            ctx.send_self_at(done, Msg::TaskDone { task });
+            return;
+        }
+        let sdc = shared.sdc.as_ref().expect("buddies imply an active policy");
+        {
+            let mut stats = sdc.stats.borrow_mut();
+            if attempt == 0 {
+                stats.replicated_tasks += 1;
+            }
+            stats.replicas += buddies.len() as u64;
+        }
+        self.votes.insert((task, attempt), (1 + buddies.len(), Vec::new()));
+        let owner = ctx.node();
+        let prev = ctx.stage();
+        ctx.set_stage(Stage::Verify);
+        for buddy in buddies {
+            ctx.send_control(
+                shared.abs(buddy),
+                Msg::ReplicaExec { task, attempt, owner, fallback: false },
+                shared.config.cost.task_message_bytes,
+            );
+        }
+        ctx.set_stage(prev);
+        ctx.send_self_at(done, Msg::ReplicaDone { task, attempt, owner, fallback: false });
+    }
+
+    /// The replica nodes the policy recruits for `task` when it executes
+    /// on `exec_local`: the next `k - 1` distinct never-crashing nodes in
+    /// rotation. Deterministic in (task, node), so the escape check at
+    /// completion recomputes the same answer. Empty when the task is
+    /// unreplicated — or when the session has no other usable node, in
+    /// which case the task falls back to unverified execution.
+    fn replica_buddies(
+        &self,
+        shared: &Shared<'_>,
+        task: TaskRef,
+        exec_local: NodeId,
+    ) -> Vec<NodeId> {
+        let Some(sdc) = &shared.sdc else { return Vec::new() };
+        if !sdc.defense_on {
+            return Vec::new();
+        }
+        let inst = &shared.expanded.tasks[task as usize];
+        let launch = shared.program.ops[inst.op as usize].launch();
+        let k = sdc.policy.replicas(inst.op, launch.cost.at(inst.point));
+        if k <= 1 {
+            return Vec::new();
+        }
+        let nodes = shared.config.nodes;
+        let plan = shared.faults.as_ref().map(|fr| &fr.plan);
+        let mut out = Vec::new();
+        for step in 1..nodes {
+            if out.len() == k - 1 {
+                break;
+            }
+            let candidate = (exec_local + step) % nodes;
+            if plan.is_some_and(|p| p.ever_crashes(shared.abs(candidate))) {
+                continue;
+            }
+            out.push(candidate);
+        }
+        out
+    }
+
+    /// Digest the output this node's execution of `task` produced in vote
+    /// round `attempt`. Models the content checksum
+    /// ([`il_region::PhysicalInstance::digest`] is the real-data
+    /// analogue): clean executions of the same task agree exactly, while
+    /// a corrupt node's firing draw XORs in its nonzero per-(node, round)
+    /// delta — so no corrupt replica ever collides with a clean one, or
+    /// with another corrupt one.
+    fn output_digest(&self, shared: &Shared<'_>, task: TaskRef, attempt: u32, node: NodeId) -> u64 {
+        let seed = shared.faults.as_ref().map_or(0, |fr| fr.cfg.seed);
+        let clean = mix64((task as u64) ^ seed.rotate_left(32));
+        match shared
+            .faults
+            .as_ref()
+            .and_then(|fr| fr.plan.corrupt_task_output(node, sdc_nonce(task, attempt)))
+        {
+            Some(delta) => clean ^ delta,
+            None => clean,
+        }
+    }
+
+    /// Record one digest vote for `(task, attempt)`. When the last vote
+    /// lands: a unanimous vote commits (agreement proves clean — the
+    /// corruption deltas are distinct); a divergent vote quarantines the
+    /// result and re-runs the task, bounded by the retry budget, after
+    /// which a final fallback execution on the corruption-exempt session
+    /// base commits honest-by-construction.
+    fn record_vote(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, attempt: u32, digest: u64) {
+        let Some((expected, votes)) = self.votes.get_mut(&(task, attempt)) else {
+            // Vote already decided, or state from before a crash re-shard
+            // — a stale digest is harmless.
+            return;
+        };
+        votes.push(digest);
+        if votes.len() < *expected {
+            return;
+        }
+        let (_, votes) = self.votes.remove(&(task, attempt)).expect("entry checked above");
+        let shared = self.sh();
+        let sdc = shared.sdc.as_ref().expect("a vote implies the sdc runtime");
+        if votes.iter().all(|&d| d == votes[0]) {
+            self.complete_task(ctx, task);
+            return;
+        }
+        {
+            let mut stats = sdc.stats.borrow_mut();
+            stats.detected += 1;
+            stats.quarantined += 1;
+            stats.reruns += 1;
+        }
+        let budget = shared.faults.as_ref().map_or(3, |fr| fr.cfg.max_retries);
+        if attempt + 1 < budget {
+            self.launch_execution(ctx, task, attempt + 1);
+            return;
+        }
+        // Rounds exhausted (reachable only at extreme corruption rates):
+        // one final execution on the session base, which never corrupts
+        // by construction, commits without a vote.
+        let prev = ctx.stage();
+        ctx.set_stage(Stage::Verify);
+        if ctx.node() == shared.base {
+            self.handle_replica_exec(ctx, task, attempt + 1, shared.base, true);
+        } else {
+            ctx.send_control(
+                shared.base,
+                Msg::ReplicaExec { task, attempt: attempt + 1, owner: shared.base, fallback: true },
+                shared.config.cost.task_message_bytes,
+            );
+        }
+        ctx.set_stage(prev);
+    }
+
+    /// Execute a replica (or base fallback) of `task` on this node's
+    /// processor and schedule its digest step at completion.
+    fn handle_replica_exec(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Msg>,
+        task: TaskRef,
+        attempt: u32,
+        owner: NodeId,
+        fallback: bool,
+    ) {
+        let shared = self.sh();
+        let inst = &shared.expanded.tasks[task as usize];
+        let launch = shared.program.ops[inst.op as usize].launch();
+        let gpus = shared.machine.gpus_per_node.max(1);
+        let local_proc = shared.machine.cpus_per_node + (inst.point_idx as usize % gpus);
+        let duration = shared.config.cost.start_task + launch.cost.at(inst.point);
+        let exec_start = ctx.now().max(ctx.proc_free(local_proc));
+        let done = ctx.exec_on_proc(local_proc, duration);
+        shared.record(TraceEvent {
+            op: inst.op,
+            task: Some(task),
+            node: ctx.node(),
+            stage: Stage::Verify,
+            start: exec_start,
+            duration,
+        });
+        ctx.send_self_at(done, Msg::ReplicaDone { task, attempt, owner, fallback });
     }
 
     /// Run the body (validation mode) and fan out completion credits.
@@ -478,8 +714,27 @@ impl<'p> RtNode<'p> {
             }
             completed[task as usize] = true;
         }
+        // SDC: an unreplicated execution on a corrupt node may have
+        // produced a silently flipped output — committing it here is
+        // exactly the escape the defense exists to prevent. Counted, and
+        // in validation mode the flip lands in the real store below.
+        // Replicated commits (buddies nonempty) never reach this: a
+        // unanimous vote proved them clean, and the base fallback is
+        // corruption-exempt.
+        let mut escaped_delta = None;
+        if let (Some(sdc), Some(fr)) = (&shared.sdc, &shared.faults) {
+            if self.replica_buddies(&shared, task, shared.local(ctx.node())).is_empty() {
+                if let Some(delta) = fr.plan.corrupt_task_output(ctx.node(), sdc_nonce(task, 0)) {
+                    sdc.stats.borrow_mut().escaped += 1;
+                    escaped_delta = Some(delta);
+                }
+            }
+        }
         if shared.config.mode == ExecutionMode::Validate {
             self.run_body(task);
+            if let Some(delta) = escaped_delta {
+                self.corrupt_task_store(task, delta);
+            }
         }
         // Record timing.
         {
@@ -516,7 +771,11 @@ impl<'p> RtNode<'p> {
                     self.pay(ctx, task, succ, credits);
                 }
             } else {
-                ctx.send(shared.abs(node), Msg::Credits { from: task, items }, bytes);
+                ctx.send_data(
+                    shared.abs(node),
+                    |corrupt| Msg::Credits { from: task, items, corrupt },
+                    bytes,
+                );
             }
         }
         // Recovery: report the completion to the session coordinator's
@@ -620,6 +879,74 @@ impl<'p> RtNode<'p> {
         self.try_start(ctx, task);
     }
 
+    /// A credit message whose payload the fault plan flipped in transit.
+    /// Defense on: the receiver-side checksum catches it — count it,
+    /// charge the verification, and schedule a clean retransmission one
+    /// acknowledgement timeout later (returns true: the corrupt delivery
+    /// pays nothing). Defense off: the flipped payload is accepted
+    /// (returns false) — counted, and in validation mode the
+    /// consumer-side copy of the data takes a real bit flip when it
+    /// materializes.
+    fn handle_corrupt_payload(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Msg>,
+        from: TaskRef,
+        items: &[(TaskRef, u32)],
+    ) -> bool {
+        let shared = self.sh();
+        let Some(sdc) = &shared.sdc else { return false };
+        if sdc.defense_on {
+            sdc.stats.borrow_mut().payload_detected += 1;
+            let prev = ctx.stage();
+            ctx.set_stage(Stage::Verify);
+            ctx.charge(shared.config.cost.verify_digest);
+            ctx.set_stage(prev);
+            let delay = shared.faults.as_ref().map_or(SimTime::ZERO, |fr| fr.cfg.ack_timeout);
+            ctx.send_self_at(
+                ctx.now() + delay,
+                Msg::Credits { from, items: items.to_vec(), corrupt: false },
+            );
+            true
+        } else {
+            sdc.stats.borrow_mut().payload_escaped += 1;
+            sdc.corrupt_edges
+                .borrow_mut()
+                .extend(items.iter().map(|&(t, _)| (from, t)));
+            false
+        }
+    }
+
+    /// Validation mode: land an escaped output corruption in the real
+    /// store — flip bits of one element of the task's first written
+    /// *data* field, so a defense-off run's final store provably
+    /// diverges from the fault-free one. Only floating-point fields are
+    /// targeted: integer fields double as topology pointers in the
+    /// golden apps (wire endpoints, cell neighbors), and a flipped
+    /// pointer crashes the validation interpreter instead of modeling a
+    /// silent wrong answer.
+    fn corrupt_task_store(&mut self, task: TaskRef, delta: u64) {
+        let shared = self.sh();
+        let inst = &shared.expanded.tasks[task as usize];
+        let launch = shared.program.ops[inst.op as usize].launch();
+        let mut store = shared.store.borrow_mut();
+        for (req_idx, req) in launch.reqs.iter().enumerate() {
+            if matches!(req.privilege, Privilege::Read) {
+                continue;
+            }
+            let space = inst.subspaces[req_idx];
+            let Some(instance) = store.get_mut((req.tree, space)) else { continue };
+            let candidates: Vec<FieldId> = if req.fields.is_empty() {
+                instance.field_ids().collect()
+            } else {
+                req.fields.clone()
+            };
+            if let Some(f) = float_field(instance, &candidates) {
+                instance.corrupt_element(f, delta);
+                return;
+            }
+        }
+    }
+
     /// Validation mode: apply incoming copies, fill reduction buffers,
     /// run the kernel.
     fn run_body(&mut self, task: TaskRef) {
@@ -661,6 +988,17 @@ impl<'p> RtNode<'p> {
                     Some(op_id) => {
                         let kind = op_id.kind().expect("built-in reduction");
                         dst.fold_from(&src, &overlap, &c.fields, kind);
+                    }
+                }
+                // An escaped payload corruption (defense off) flips bits
+                // of the copied data as the consumer materializes it.
+                let edge_corrupt = shared
+                    .sdc
+                    .as_ref()
+                    .is_some_and(|s| s.corrupt_edges.borrow().contains(&(c.from, task)));
+                if edge_corrupt {
+                    if let Some(f) = float_field(dst, &c.fields) {
+                        dst.corrupt_element(f, payload_delta(c.from, task));
                     }
                 }
             }
@@ -753,8 +1091,11 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                 ctx.set_stage(Stage::Distribution);
                 self.inject_task(ctx, task);
             }
-            Msg::Credits { from, items } => {
+            Msg::Credits { from, items, corrupt } => {
                 ctx.set_stage(Stage::Network);
+                if corrupt && self.handle_corrupt_payload(ctx, from, &items) {
+                    return;
+                }
                 for (task, credits) in items {
                     self.pay(ctx, from, task, credits);
                 }
@@ -780,6 +1121,35 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
             }
             Msg::Retry { op, items } => {
                 self.handle_retry(ctx, op, items);
+            }
+            Msg::ReplicaExec { task, attempt, owner, fallback } => {
+                ctx.set_stage(Stage::Verify);
+                self.handle_replica_exec(ctx, task, attempt, owner, fallback);
+            }
+            Msg::ReplicaDone { task, attempt, owner, fallback } => {
+                ctx.set_stage(Stage::Verify);
+                let shared = self.sh();
+                ctx.charge(shared.config.cost.verify_digest);
+                if fallback {
+                    // The base's fallback execution is honest by
+                    // construction: commit without a vote.
+                    self.complete_task(ctx, task);
+                } else if ctx.node() == owner {
+                    let digest = self.output_digest(&shared, task, attempt, ctx.node());
+                    self.record_vote(ctx, task, attempt, digest);
+                } else {
+                    let digest = self.output_digest(&shared, task, attempt, ctx.node());
+                    ctx.send_control(
+                        owner,
+                        Msg::ReplicaDigest { task, attempt, digest },
+                        shared.config.cost.digest_message_bytes,
+                    );
+                }
+            }
+            Msg::ReplicaDigest { task, attempt, digest } => {
+                ctx.set_stage(Stage::Verify);
+                ctx.charge(self.sh().config.cost.verify_vote);
+                self.record_vote(ctx, task, attempt, digest);
             }
         }
     }
@@ -974,6 +1344,45 @@ fn next_survivor(dead: NodeId, nodes: usize, base: NodeId, plan: &FaultPlan) -> 
         }
     }
     0
+}
+
+/// SplitMix64 finalizer (the same mixer the fault schedule uses): the
+/// modeled digest and payload-delta domains live in the executor,
+/// independent of the plan's draw salts.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-(task, vote round) nonce for output-corruption draws: a re-run of
+/// a quarantined task draws fresh corruption, so a corrupt replica does
+/// not deterministically re-corrupt every round — which is what makes
+/// the bounded re-run loop converge at any rate below certainty.
+fn sdc_nonce(task: TaskRef, attempt: u32) -> u64 {
+    ((attempt as u64) << 40) | task as u64
+}
+
+/// Nonzero bit-flip delta for an accepted corrupt payload on the
+/// `(producer, consumer)` edge — deterministic, so validation-mode store
+/// divergence replays exactly.
+fn payload_delta(from: TaskRef, to: TaskRef) -> u64 {
+    mix64(((from as u64) << 32) ^ (to as u64) ^ 0xFA1C) | 1
+}
+
+/// First floating-point field among `candidates` that `instance` holds —
+/// the only fields validation-mode bit flips may land in (integer fields
+/// double as topology pointers the interpreter dereferences).
+fn float_field(instance: &PhysicalInstance, candidates: &[FieldId]) -> Option<FieldId> {
+    candidates
+        .iter()
+        .copied()
+        .find(|&f| {
+            instance.has_field(f)
+                && matches!(instance.store(f).kind(), FieldKind::F64 | FieldKind::F32)
+        })
 }
 
 /// Whether this op travels as a compact slice descriptor without DCR.
@@ -1195,6 +1604,25 @@ pub(crate) fn build_shared<'p>(
         None
     };
     let trace_stats = RefCell::new(expanded.trace_replay);
+    // The SDC runtime exists when there is anything for it to observe:
+    // scheduled corruption (even undefended — the escape counters are the
+    // negative control's evidence) or an active replication policy.
+    // Otherwise `None`, keeping every defense code path inert.
+    let defense_on = config.replication.as_ref().is_some_and(|r| r.is_active());
+    let corrupts = config.faults.as_ref().is_some_and(|f| f.corrupts());
+    let sdc = if defense_on || corrupts {
+        Some(SdcRuntime {
+            policy: config
+                .replication
+                .as_ref()
+                .map_or(Box::new(NoReplication) as Box<dyn ReplicationPolicy>, |r| r.policy()),
+            defense_on,
+            stats: RefCell::new(SdcStats::default()),
+            corrupt_edges: RefCell::new(HashSet::new()),
+        })
+    } else {
+        None
+    };
     Rc::new(Shared {
         program,
         expanded,
@@ -1218,6 +1646,7 @@ pub(crate) fn build_shared<'p>(
         trace,
         audit,
         faults,
+        sdc,
         trace_stats,
     })
 }
@@ -1339,6 +1768,7 @@ pub(crate) fn finish_report(shared: Shared<'_>, agg: SimAggregates) -> RunReport
         r.crash_dropped = agg.fault_counters.crash_dropped;
         r
     });
+    let sdc = shared.sdc.as_ref().map(|s| s.stats.borrow().clone());
 
     // Fold the issuance/logical/dynamic-check timeline in once: under
     // DCR it is replicated identically on every node, so multiplying it
@@ -1366,6 +1796,7 @@ pub(crate) fn finish_report(shared: Shared<'_>, agg: SimAggregates) -> RunReport
         analysis_cache: shared.expanded.analysis_cache,
         trace_replay: shared.trace_stats.into_inner(),
         recovery,
+        sdc,
     }
 }
 
@@ -1543,6 +1974,78 @@ mod tests {
         }
         assert_eq!(json, off.stage_json().to_string(), "stage JSON differs with replay on/off");
         assert_eq!(on.makespan, off.makespan);
+    }
+
+    /// Transparency of the SDC surface, mirroring the trace-replay
+    /// contract: `RunReport.sdc` carries the corruption/defense counters,
+    /// but `stage_json()` — the byte-compared observable — must never
+    /// mention them; and an *inactive* replication config must leave the
+    /// whole report identical to one from a config without the field.
+    #[test]
+    fn sdc_stats_stay_out_of_stage_json() {
+        use crate::sdc::ReplicationConfig;
+        let mut b = ProgramBuilder::new();
+        let mut fs = FieldSpaceDesc::new();
+        let f = fs.add("v", FieldKind::F64);
+        let fs = b.forest.create_field_space(fs);
+        let r = b.forest.create_region(Domain::range(16), fs);
+        let p = equal_partition_1d(&mut b.forest, r.space, 8);
+        let ident = b.identity_functor();
+        let t = b.task_modeled("t");
+        for _ in 0..4 {
+            b.index_launch(IndexLaunchDesc {
+                task: t,
+                domain: Domain::range(8),
+                reqs: vec![RegionReq {
+                    partition: p,
+                    functor: ident,
+                    privilege: Privilege::ReadWrite,
+                    fields: vec![f],
+                    tree: r.tree,
+                    field_space: fs,
+                }],
+                scalars: vec![],
+                cost: CostSpec::Uniform(SimTime::us(25)),
+                shard: None,
+            });
+        }
+        let program = b.build();
+
+        let cfg = RuntimeConfig::scale(2)
+            .with_corruption(7)
+            .with_replication(ReplicationConfig::all(2));
+        let on = execute(&program, &cfg);
+        let sdc = on.sdc.clone().expect("a corrupting run must report sdc stats");
+        assert!(
+            sdc.replicated_tasks > 0 && sdc.replicas > 0,
+            "replicate-all must have replicated something: {sdc:?}"
+        );
+        assert_eq!(sdc.escaped, 0, "replication covered every task: {sdc:?}");
+        let json = on.stage_json().to_string();
+        for counter in [
+            "replicated_tasks",
+            "replicas",
+            "detected",
+            "quarantined",
+            "reruns",
+            "escaped",
+            "payload_detected",
+            "payload_escaped",
+        ] {
+            assert!(
+                !json.contains(counter),
+                "sdc counter {counter:?} leaked into stage JSON: {json}"
+            );
+        }
+
+        let plain = execute(&program, &RuntimeConfig::scale(2));
+        let inert =
+            execute(&program, &RuntimeConfig::scale(2).with_replication(ReplicationConfig::None));
+        assert!(inert.sdc.is_none(), "an inactive policy must not create the sdc runtime");
+        assert_eq!(plain.stage_json().to_string(), inert.stage_json().to_string());
+        assert_eq!(plain.makespan, inert.makespan);
+        assert_eq!(plain.messages, inert.messages);
+        assert_eq!(plain.bytes, inert.bytes);
     }
 
     /// The physical-analysis weight is ceil(log2 |P|) per requirement: a

@@ -52,6 +52,7 @@ pub mod exec;
 pub mod pool;
 pub mod program;
 pub mod replay;
+pub mod sdc;
 pub mod service;
 pub mod shard;
 pub mod trace;
@@ -73,6 +74,10 @@ pub use program::{
     TaskId,
 };
 pub use replay::{LaunchTrace, TraceMark, TraceMarkKind, TraceReplayStats};
+pub use sdc::{
+    CriticalityThreshold, FlaggedOps, NoReplication, ReplicateAll, ReplicationConfig,
+    ReplicationPolicy, SdcStats,
+};
 pub use shard::{
     block_shard, position_in_domain, round_robin_shard, sharding_identity, ShardDomain, ShardingFn,
 };

@@ -1,0 +1,248 @@
+//! Silent-data-corruption defense: replication policies and counters.
+//!
+//! PR 5's faults all *announce themselves* — a crash stops answering, a
+//! dropped message times out. Corruption doesn't: a flipped bit in a task
+//! output propagates silently into every downstream consumer. Following
+//! the selective-replication design of *Protecting Futures against Silent
+//! Data Corruption* (see PAPERS.md), the defense executes selected tasks
+//! on `k` nodes, digests each output ([`PhysicalInstance::digest`]
+//! (il_region::PhysicalInstance::digest)), and commits a result only when
+//! every replica's digest agrees; divergent votes quarantine the result
+//! and re-run the task through the PR 5 retry path.
+//!
+//! Which tasks get replicated — and at what `k` — is a policy decision
+//! with a real cost (k× execution plus digest/vote overhead, visible
+//! under `Stage::Verify`). [`ReplicationPolicy`] is the trait; the
+//! shipped implementations cover the none / flagged-ops /
+//! criticality-threshold / all spectrum. [`ReplicationConfig`] is the
+//! plain-data form carried in [`RuntimeConfig`](crate::RuntimeConfig)
+//! (and per-tenant in `ServiceConfig`), turned into a policy object at
+//! execution time.
+
+use il_machine::SimTime;
+
+/// Decides, per task, how many nodes execute it.
+///
+/// `replicas` returns the *total* number of executions including the
+/// primary: 1 means no replication, `k >= 2` means `k - 1` extra replica
+/// executions plus a digest vote before the result commits.
+pub trait ReplicationPolicy {
+    /// Short policy name for reports and CLIs.
+    fn name(&self) -> &'static str;
+
+    /// Total executions (primary included) for a task of operation `op`
+    /// whose modeled execution cost is `task_cost`.
+    fn replicas(&self, op: u32, task_cost: SimTime) -> usize;
+}
+
+/// Never replicate: every task runs once, corruption escapes undetected.
+/// The explicit-off policy the negative-control tests run under.
+pub struct NoReplication;
+
+impl ReplicationPolicy for NoReplication {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn replicas(&self, _op: u32, _task_cost: SimTime) -> usize {
+        1
+    }
+}
+
+/// Replicate every task `k` ways: maximum protection, k× execution cost.
+pub struct ReplicateAll {
+    /// Total executions per task (clamped to at least 1).
+    pub k: usize,
+}
+
+impl ReplicationPolicy for ReplicateAll {
+    fn name(&self) -> &'static str {
+        "all"
+    }
+
+    fn replicas(&self, _op: u32, _task_cost: SimTime) -> usize {
+        self.k.max(1)
+    }
+}
+
+/// Replicate only tasks of explicitly flagged operations — the
+/// application knows which launches produce data it cannot afford to
+/// lose silently.
+pub struct FlaggedOps {
+    /// Operation indices (issue order) whose tasks are replicated.
+    pub ops: Vec<u32>,
+    /// Total executions per flagged task.
+    pub k: usize,
+}
+
+impl ReplicationPolicy for FlaggedOps {
+    fn name(&self) -> &'static str {
+        "flagged"
+    }
+
+    fn replicas(&self, op: u32, _task_cost: SimTime) -> usize {
+        if self.ops.contains(&op) {
+            self.k.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Cost-model-driven selection: replicate a task when its modeled
+/// execution cost reaches `min_cost`. Expensive tasks are the ones whose
+/// corrupted results poison the most downstream work per flipped bit;
+/// cheap tasks are cheaper to lose and re-derive than to triple-run.
+pub struct CriticalityThreshold {
+    /// Minimum modeled task cost that triggers replication.
+    pub min_cost: SimTime,
+    /// Total executions per selected task.
+    pub k: usize,
+}
+
+impl ReplicationPolicy for CriticalityThreshold {
+    fn name(&self) -> &'static str {
+        "critical"
+    }
+
+    fn replicas(&self, _op: u32, task_cost: SimTime) -> usize {
+        if task_cost >= self.min_cost {
+            self.k.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Plain-data replication policy selection, carried in configuration
+/// (which must stay `Clone + Debug`) and resolved to a
+/// [`ReplicationPolicy`] object when execution starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicationConfig {
+    /// [`NoReplication`].
+    None,
+    /// [`FlaggedOps`] over the listed operation indices.
+    Flagged {
+        /// Operation indices (issue order) to protect.
+        ops: Vec<u32>,
+        /// Total executions per flagged task.
+        k: usize,
+    },
+    /// [`CriticalityThreshold`] at `min_cost`.
+    Criticality {
+        /// Minimum modeled task cost that triggers replication.
+        min_cost: SimTime,
+        /// Total executions per selected task.
+        k: usize,
+    },
+    /// [`ReplicateAll`].
+    All {
+        /// Total executions per task.
+        k: usize,
+    },
+}
+
+impl ReplicationConfig {
+    /// Replicate every task `k` ways.
+    pub fn all(k: usize) -> Self {
+        ReplicationConfig::All { k }
+    }
+
+    /// Replicate tasks whose modeled cost reaches `min_cost`, `k` ways.
+    pub fn critical(min_cost: SimTime, k: usize) -> Self {
+        ReplicationConfig::Criticality { min_cost, k }
+    }
+
+    /// Replicate tasks of the flagged operations, `k` ways.
+    pub fn flagged(ops: Vec<u32>, k: usize) -> Self {
+        ReplicationConfig::Flagged { ops, k }
+    }
+
+    /// Whether this configuration can ever replicate a task.
+    pub fn is_active(&self) -> bool {
+        match self {
+            ReplicationConfig::None => false,
+            ReplicationConfig::Flagged { ops, k } => !ops.is_empty() && *k >= 2,
+            ReplicationConfig::Criticality { k, .. } => *k >= 2,
+            ReplicationConfig::All { k } => *k >= 2,
+        }
+    }
+
+    /// Build the policy object this configuration describes.
+    pub fn policy(&self) -> Box<dyn ReplicationPolicy> {
+        match self {
+            ReplicationConfig::None => Box::new(NoReplication),
+            ReplicationConfig::Flagged { ops, k } => {
+                Box::new(FlaggedOps { ops: ops.clone(), k: *k })
+            }
+            ReplicationConfig::Criticality { min_cost, k } => {
+                Box::new(CriticalityThreshold { min_cost: *min_cost, k: *k })
+            }
+            ReplicationConfig::All { k } => Box::new(ReplicateAll { k: *k }),
+        }
+    }
+}
+
+/// Counters of silent-data-corruption activity and defense during a run,
+/// reported in [`RunReport::sdc`](crate::RunReport::sdc).
+///
+/// Like the host-side cache counters, these are deliberately excluded
+/// from `stage_json`, so a defense-off run's observable report stays
+/// byte-identical whether or not the subsystem exists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SdcStats {
+    /// Tasks the policy selected for replicated execution (k >= 2).
+    pub replicated_tasks: u64,
+    /// Extra (non-primary) replica executions performed.
+    pub replicas: u64,
+    /// Divergent digest votes: corruption detected before commit.
+    pub detected: u64,
+    /// Results quarantined after a divergent vote (never committed).
+    pub quarantined: u64,
+    /// Re-executions triggered by quarantined results.
+    pub reruns: u64,
+    /// Corrupted task outputs that committed unverified (k = 1) — the
+    /// damage the defense exists to prevent. Zero whenever replication
+    /// covers the corrupted tasks.
+    pub escaped: u64,
+    /// Corrupted message payloads detected at the receiver (defense on)
+    /// and re-delivered clean.
+    pub payload_detected: u64,
+    /// Corrupted message payloads accepted by the receiver (defense off).
+    pub payload_escaped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_select_as_documented() {
+        assert_eq!(NoReplication.replicas(0, SimTime::ms(1)), 1);
+        assert_eq!(ReplicateAll { k: 3 }.replicas(7, SimTime::ZERO), 3);
+        assert_eq!(ReplicateAll { k: 0 }.replicas(7, SimTime::ZERO), 1);
+        let flagged = FlaggedOps { ops: vec![2, 5], k: 2 };
+        assert_eq!(flagged.replicas(2, SimTime::ZERO), 2);
+        assert_eq!(flagged.replicas(3, SimTime::ZERO), 1);
+        let crit = CriticalityThreshold { min_cost: SimTime::us(100), k: 3 };
+        assert_eq!(crit.replicas(0, SimTime::us(99)), 1);
+        assert_eq!(crit.replicas(0, SimTime::us(100)), 3);
+    }
+
+    #[test]
+    fn config_resolves_to_matching_policies() {
+        for (cfg, name) in [
+            (ReplicationConfig::None, "none"),
+            (ReplicationConfig::flagged(vec![1], 2), "flagged"),
+            (ReplicationConfig::critical(SimTime::us(10), 2), "critical"),
+            (ReplicationConfig::all(3), "all"),
+        ] {
+            assert_eq!(cfg.policy().name(), name);
+        }
+        assert!(!ReplicationConfig::None.is_active());
+        assert!(!ReplicationConfig::all(1).is_active());
+        assert!(!ReplicationConfig::flagged(vec![], 2).is_active());
+        assert!(ReplicationConfig::all(2).is_active());
+        assert!(ReplicationConfig::critical(SimTime::ZERO, 2).is_active());
+    }
+}

@@ -52,6 +52,7 @@ use crate::exec::{
     RunReport, Shared, SimAggregates,
 };
 use crate::program::Program;
+use crate::sdc::ReplicationConfig;
 
 /// One session submitted to the service: a launch program plus the
 /// tenant it belongs to, its static priority, and its arrival time on
@@ -87,9 +88,17 @@ pub struct ServiceConfig {
     /// Machine-wide fault configuration. The plan is generated over the
     /// whole machine with per-slot base nodes exempted (each session
     /// keeps a live recovery coordinator, mirroring the single-machine
-    /// invariant that node 0 never crashes). For n=1 transparency pass
-    /// the same config the session itself carries.
+    /// invariant that node 0 never crashes — and, since PR 9, that slot
+    /// bases never corrupt either). For n=1 transparency pass the same
+    /// config the session itself carries.
     pub faults: Option<FaultConfig>,
+    /// Per-tenant SDC replication overrides, `(tenant, policy)`: at
+    /// admission, a session whose tenant appears here runs under that
+    /// replication policy instead of whatever its own config carries.
+    /// This is how operators sell "verified execution" as a per-tenant
+    /// service tier without tenants editing their programs. Tenants not
+    /// listed keep their submitted config untouched.
+    pub replication_overrides: Vec<(u32, ReplicationConfig)>,
 }
 
 /// A pending session as shown to a [`SchedulingPolicy`].
@@ -433,13 +442,24 @@ impl Service {
                     self.policy.on_admit(spec.tenant, now);
                     admitted_any = true;
 
-                    // Admit session `i` on slot `s` at `t0 = now`.
+                    // Admit session `i` on slot `s` at `t0 = now`,
+                    // applying the tenant's replication tier (if any)
+                    // over its submitted config.
                     let base = s * slot_nodes;
+                    let mut session_cfg = spec.config.clone();
+                    if let Some((_, r)) = self
+                        .cfg
+                        .replication_overrides
+                        .iter()
+                        .find(|(t, _)| *t == spec.tenant)
+                    {
+                        session_cfg.replication = Some(r.clone());
+                    }
                     let warm = self
                         .warm
                         .entry((spec.tenant, program_fingerprint(&spec.program)))
                         .or_default();
-                    let expanded = expand_program_warm(&spec.program, &spec.config, Some(warm));
+                    let expanded = expand_program_warm(&spec.program, &session_cfg, Some(warm));
                     let total_tasks = expanded.len() as u64;
                     let faults = self.cfg.faults.as_ref().map(|fc| {
                         FaultRuntime::new(
@@ -455,7 +475,7 @@ impl Service {
                         faults.is_some(),
                     ));
                     let shared =
-                        build_shared(&spec.program, &spec.config, base, now, expanded, faults);
+                        build_shared(&spec.program, &session_cfg, base, now, expanded, faults);
                     for n in base..base + slot_nodes {
                         sim.node_mut(n).bind(shared.clone());
                     }

@@ -128,7 +128,13 @@ fn workload() -> (Vec<SessionSpec>, Vec<u64>) {
 
 fn run(sessions: &[SessionSpec], slots: usize, policy: &str) -> ServiceReport {
     let mut svc = Service::new(
-        ServiceConfig { slots, slot_nodes: NODES, queue_cap: 64, faults: None },
+        ServiceConfig {
+            slots,
+            slot_nodes: NODES,
+            queue_cap: 64,
+            faults: None,
+            replication_overrides: vec![],
+        },
         policy_by_name(policy),
     );
     svc.run(sessions)

@@ -54,6 +54,12 @@ echo "== chaos smoke (200 seeded programs, each re-run under a fault schedule) =
 # better than fault-free, byte-identical replay.
 cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --seed 42 --faults 0xFA17
 
+echo "== corruption smoke (200 seeded programs, replicate-2 digest-vote defense) =="
+# Every case re-executes under a seeded bit-flip schedule (task outputs
+# + message payloads) with the replicate-2 defense armed: zero escapes,
+# final store byte-equal to the fault-free run, byte-identical replay.
+cargo run --release --offline -q -p il-apps --bin ilaunch -- fuzz --cases 200 --seed 42 --corrupt 0x5DC0
+
 echo "== replay-equivalence tier (trace capture & replay) =="
 # Trace replay is host-side memoization: these tiers assert replay-on
 # vs replay-off runs are byte-identical (reports, stage attribution,
@@ -135,6 +141,19 @@ grep -q '"pr": "PR8"' BENCH_PR8.json \
 grep -q '"fair_beats_fifo_p99": true' BENCH_PR8.json \
     || { echo "fair share did not beat FIFO p99 on the skewed mix"; exit 1; }
 echo "BENCH_PR8.json written (fair-share p99 < FIFO p99 on the skewed mix)"
+
+echo "== sdc bench (BENCH_PR9.json replication-overhead sweep) =="
+# Golden apps under a corrupting schedule at replication factors
+# k in {1,2,3}: makespan overhead vs the undefended run, verify-stage
+# busy time, detection/rerun counters. The sweep re-asserts zero
+# escapes and store convergence at every defended point.
+cargo run --release --offline -q -p il-bench --bin figures -- sdc --no-bench
+test -s BENCH_PR9.json || { echo "BENCH_PR9.json was not written"; exit 1; }
+grep -q '"schema": "il-bench-trajectory-v1"' BENCH_PR9.json \
+    || { echo "BENCH_PR9.json has the wrong schema"; exit 1; }
+grep -q '"pr": "PR9"' BENCH_PR9.json \
+    || { echo "BENCH_PR9.json is not the PR9 trajectory"; exit 1; }
+echo "BENCH_PR9.json written"
 
 echo "== chaos leg at 65k simulated nodes (release) =="
 # The full runtime stack — expansion, distribution, recovery — on a

@@ -27,6 +27,7 @@ fn corpus_has_no_divergence_and_covers_every_verdict_class() {
         inject: false,
         threads: 0,
         faults: Some(0xFA17_5EED),
+        corrupt: None,
     };
     let report = run_differential(&cfg);
     for d in &report.divergences {
@@ -62,6 +63,7 @@ fn injected_divergence_reproduces_from_the_printed_seed_alone() {
         inject: true,
         threads: 0,
         faults: None,
+        corrupt: None,
     };
     let report = run_differential(&cfg);
     assert_eq!(
@@ -71,14 +73,14 @@ fn injected_divergence_reproduces_from_the_printed_seed_alone() {
         report.divergences.len()
     );
     for d in &report.divergences {
-        let replay = run_case(d.seed, NODES, true, None);
+        let replay = run_case(d.seed, NODES, true, None, None);
         assert_eq!(
             replay.error.as_deref(),
             Some(d.detail.as_str()),
             "seed {:#x} did not reproduce the identical divergence",
             d.seed
         );
-        let clean = run_case(d.seed, NODES, false, None);
+        let clean = run_case(d.seed, NODES, false, None, None);
         assert_eq!(
             clean.error, None,
             "seed {:#x} diverges even without injection",

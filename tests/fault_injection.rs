@@ -133,25 +133,36 @@ fn early_crash_is_detected_resharded_and_survived() {
     };
     let faulted = execute(&program, &RuntimeConfig::validate(4).with_fault_config(faults));
     let rec = faulted.recovery.expect("recovery stats");
+    // Golden counters for this pinned (seed 42, validate(4), tiny
+    // stencil) schedule. Recovery is a pure function of `(seed, config,
+    // program)`, so any drift in these exact values is a behavior change
+    // in the crash/re-shard protocol, not noise — update them only with
+    // an explanation of what legitimately moved.
     assert_eq!(rec.crashes, 1, "{name}: schedule must crash exactly one node");
     assert_eq!(rec.dropped, 0);
     assert_eq!(rec.duplicated, 0);
-    assert!(
-        rec.crash_dropped > 0,
-        "{name}: an early crash must discard in-flight events"
+    assert_eq!(
+        rec.crash_dropped, 36,
+        "{name}: the early crash must discard exactly the victim's in-flight events"
     );
-    assert!(
-        rec.resharded_groups > 0,
-        "{name}: the dead node's slices must be re-sharded onto survivors"
+    assert_eq!(
+        rec.recovery_checks, 29,
+        "{name}: the timeout/heartbeat protocol's check count drifted"
     );
-    assert!(
-        rec.retried_tasks > 0 && rec.recovery_checks > 0,
-        "{name}: recovery must go through the timeout/retry protocol"
+    assert_eq!(
+        rec.retried_tasks, 81,
+        "{name}: the retry protocol's task count drifted"
     );
-    assert!(
-        rec.reanalyses > 0,
-        "{name}: re-sharded launches must be re-analyzed"
+    assert_eq!(
+        rec.resharded_groups, 5,
+        "{name}: the dead node's slices must re-shard in exactly 5 groups"
     );
+    assert_eq!(
+        rec.reanalyses, 5,
+        "{name}: every re-sharded launch must be re-analyzed exactly once"
+    );
+    assert_eq!(rec.duplicate_credits, 0);
+    assert_eq!(rec.late_credits, 0);
     assert_eq!(faulted.tasks, clean.tasks, "{name}: every task still runs");
     assert_eq!(faulted.store, clean.store, "{name}: data survives the crash");
     assert!(faulted.makespan >= clean.makespan);
@@ -349,6 +360,7 @@ fn node_crash_reshards_only_the_affected_tenant() {
             slot_nodes: SLOT_NODES,
             queue_cap: 4,
             faults: Some(faults),
+            replication_overrides: vec![],
         },
         policy_by_name("fifo"),
     );

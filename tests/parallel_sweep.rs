@@ -59,6 +59,7 @@ fn fuzz_corpus_report_is_identical_at_every_pool_size() {
         inject: false,
         threads: 0,
         faults: Some(0xFA17),
+        corrupt: Some(0x5DC0),
     };
     let render = |threads: usize| {
         let report = run_differential_on(&cfg, &ThreadPool::new(threads));

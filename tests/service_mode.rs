@@ -66,6 +66,7 @@ fn service_solo(program: &Rc<Program>, cfg: &RuntimeConfig) -> RunReport {
             slot_nodes: cfg.nodes,
             queue_cap: 2,
             faults: cfg.faults.clone(),
+            replication_overrides: vec![],
         },
         policy_by_name("fifo"),
     );
@@ -209,7 +210,13 @@ fn mixed_workload(nodes: usize) -> Vec<SessionSpec> {
 fn run_service(sessions: &[SessionSpec], slots: usize, policy: &str) -> ServiceReport {
     let nodes = sessions[0].config.nodes;
     let mut svc = Service::new(
-        ServiceConfig { slots, slot_nodes: nodes, queue_cap: 64, faults: None },
+        ServiceConfig {
+            slots,
+            slot_nodes: nodes,
+            queue_cap: 64,
+            faults: None,
+            replication_overrides: vec![],
+        },
         policy_by_name(policy),
     );
     svc.run(sessions)
@@ -292,7 +299,13 @@ fn warm_state_is_isolated_per_tenant() {
     );
     let cfg = RuntimeConfig::validate(4);
     let mut svc = Service::new(
-        ServiceConfig { slots: 1, slot_nodes: cfg.nodes, queue_cap: 8, faults: None },
+        ServiceConfig {
+            slots: 1,
+            slot_nodes: cfg.nodes,
+            queue_cap: 8,
+            faults: None,
+            replication_overrides: vec![],
+        },
         policy_by_name("fifo"),
     );
     // Interleaved: A, B, A, B — one slot, so they serialize in order.
@@ -362,6 +375,88 @@ fn warm_state_is_isolated_per_tenant() {
     assert_eq!(svc.warm_entries(1), 1);
 }
 
+/// Corruption blast radius: two tenants share a two-slot service under a
+/// machine-global corruption schedule whose single corrupt node (seed 5
+/// → machine node 6) sits in slot 1. Tenant 1 — the victim — holds a
+/// replicate-2 service tier via `replication_overrides`; tenant 0 runs
+/// un-tiered on slot 0. The victim's flips must be detected and its data
+/// must converge, while the co-located tenant's whole report — schedule,
+/// stage JSON, SDC counters, final store — is byte-equal to a solo run
+/// of the same service with the victim absent. Corruption, like a crash,
+/// is a single-tenant event.
+#[test]
+fn corruption_blast_radius_is_one_tenant() {
+    use index_launch::runtime::{FaultConfig, ReplicationConfig};
+
+    const SLOT_NODES: usize = 4;
+    let seed = 5u64; // pinned: corrupt node 6, i.e. slot 1, not a slot base
+    let fc = FaultConfig::corrupting(seed);
+    let apps = golden_apps();
+    let (spared_prog, victim_prog) = (apps[0].1.clone(), apps[1].1.clone());
+    let session_cfg = RuntimeConfig::validate(SLOT_NODES).with_fault_config(fc.clone());
+    let service_cfg = ServiceConfig {
+        slots: 2,
+        slot_nodes: SLOT_NODES,
+        queue_cap: 4,
+        faults: Some(fc.clone()),
+        replication_overrides: vec![(1, ReplicationConfig::all(2))],
+    };
+    let spec = |tenant: u32, program: &Rc<Program>| SessionSpec {
+        tenant,
+        priority: 0,
+        arrival: SimTime::ZERO,
+        program: program.clone(),
+        config: session_cfg.clone(),
+    };
+    // Fingerprint extended with the SDC counters this tier is about.
+    let fp = |r: &RunReport| format!("{} sdc={:?}", fingerprint(r), r.sdc);
+
+    // Solo baseline: the spared tenant alone on the *same* service shape
+    // (same 8-node machine, same global fault plan, same overrides).
+    let mut solo_svc = Service::new(service_cfg.clone(), policy_by_name("fifo"));
+    let solo_out = solo_svc.run(&[spec(0, &spared_prog)]);
+    assert_eq!(solo_out.sessions.len(), 1);
+    assert_eq!(solo_out.sessions[0].slot, 0);
+    let solo = &solo_out.sessions[0].report;
+
+    // Co-located run: the victim joins on slot 1.
+    let mut svc = Service::new(service_cfg, policy_by_name("fifo"));
+    let out = svc.run(&[spec(0, &spared_prog), spec(1, &victim_prog)]);
+    assert_eq!(out.sessions.len(), 2);
+    assert_eq!(out.sessions[0].slot, 0);
+    assert_eq!(out.sessions[1].slot, 1);
+    let (spared, victim) = (&out.sessions[0].report, &out.sessions[1].report);
+
+    // The victim actually suffers — and survives — the corruption.
+    let victim_sdc = victim.sdc.clone().expect("victim carries SDC stats");
+    assert!(
+        victim_sdc.detected + victim_sdc.payload_detected > 0,
+        "pinned seed must corrupt the victim's slot: {victim_sdc:?}"
+    );
+    assert_eq!(victim_sdc.escaped, 0, "victim's tier must catch every flip");
+    let victim_clean = execute(&victim_prog, &RuntimeConfig::validate(SLOT_NODES));
+    assert_eq!(victim.tasks, victim_clean.tasks);
+    assert_eq!(
+        victim.store, victim_clean.store,
+        "victim must converge to its fault-free store"
+    );
+
+    // Blast radius: the spared tenant never notices the victim existed.
+    let spared_sdc = spared.sdc.clone().expect("corrupting config carries SDC stats");
+    assert_eq!(
+        (spared_sdc.detected, spared_sdc.escaped, spared_sdc.payload_detected,
+         spared_sdc.payload_escaped),
+        (0, 0, 0, 0),
+        "corruption leaked into the co-located tenant's slot: {spared_sdc:?}"
+    );
+    assert_eq!(
+        fp(solo),
+        fp(spared),
+        "co-located tenant's report differs from its solo run"
+    );
+    assert_eq!(solo.store, spared.store, "co-located tenant's final data differs from solo");
+}
+
 /// Backpressure: a bounded pending queue rejects overload instead of
 /// growing without bound, and every submission is either finished or
 /// rejected — never lost.
@@ -372,7 +467,13 @@ fn bounded_queue_rejects_overload_and_loses_nothing() {
         s.arrival = SimTime::ZERO; // all at once: queue fills instantly
     }
     let mut svc = Service::new(
-        ServiceConfig { slots: 1, slot_nodes: 2, queue_cap: 3, faults: None },
+        ServiceConfig {
+            slots: 1,
+            slot_nodes: 2,
+            queue_cap: 3,
+            faults: None,
+            replication_overrides: vec![],
+        },
         policy_by_name("fifo"),
     );
     let out = svc.run(&sessions);
