@@ -372,10 +372,16 @@ fn image_interval(f: &ProjExpr, domain: &Domain) -> Option<(i64, i64)> {
         ProjExpr::Affine(t) if t.in_dim == 1 && t.out_dim == 1 => {
             let a = t.matrix[0][0];
             let b = t.offset[0];
-            let (x, y) = (a * r.lo[0] + b, a * r.hi[0] + b);
+            // Checked: an overflowing image is not a provable interval
+            // (eval projects such points to the out-of-bounds sentinel).
+            let x = a.checked_mul(r.lo[0])?.checked_add(b)?;
+            let y = a.checked_mul(r.hi[0])?.checked_add(b)?;
             Some((x.min(y), x.max(y)))
         }
-        ProjExpr::Modular { m, .. } => Some((0, m - 1)),
+        // A non-positive modulus is ill-formed (eval projects every point
+        // to the sentinel color): no interval claim, let the dynamic
+        // check produce the verdict.
+        ProjExpr::Modular { m, .. } if *m > 0 => Some((0, m - 1)),
         _ => None,
     }
 }

@@ -29,5 +29,5 @@ pub use dynamic::{
     self_check_with, ArgCheck, CheckOutcome, CheckStrategy, PAR_CHUNK, PAR_MIN_VOLUME,
 };
 pub use hybrid::{analyze_launch, DynamicCheckPlan, HybridVerdict, LaunchArg, UnsafeReason};
-pub use proj::{ColorRun, ProjExpr, MAX_COLOR_RUNS};
+pub use proj::{ColorRun, ProjExpr, ILL_FORMED_COLOR, MAX_COLOR_RUNS};
 pub use static_analysis::{analyze_injectivity, StaticVerdict};

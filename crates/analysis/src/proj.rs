@@ -53,29 +53,65 @@ pub enum ProjExpr {
     Opaque(OpaqueFn),
 }
 
+/// The sentinel color produced by [`ProjExpr::eval`] for ill-formed
+/// evaluations (rank mismatch, non-positive modulus, overflow, malformed
+/// swizzle). It lies far outside every realizable color space, so the
+/// dynamic bounds check reports such a projection as **out of bounds** —
+/// a verdict — instead of the evaluation panicking mid-analysis.
+pub const ILL_FORMED_COLOR: i64 = i64::MIN;
+
 impl ProjExpr {
     /// Evaluate the functor at a launch-domain point.
+    ///
+    /// Total: evaluations that used to panic (a modular or quadratic
+    /// functor applied to a multi-dimensional point, a non-positive
+    /// modulus, coefficient overflow, a swizzle selecting a coordinate the
+    /// point does not have) project to [`ILL_FORMED_COLOR`] instead. The
+    /// analysis layers treat that color like any other out-of-domain
+    /// projection: the dynamic bounds check counts it and the launch gets
+    /// a verdict rather than a crash. The sparse-graph workload's
+    /// data-dependent functors are exactly the users that reach these
+    /// edges.
     pub fn eval(&self, p: DomainPoint) -> DomainPoint {
+        self.try_eval(p)
+            .unwrap_or(DomainPoint::new1(ILL_FORMED_COLOR))
+    }
+
+    /// [`eval`](ProjExpr::eval) that reports ill-formed evaluations as
+    /// `None` instead of the sentinel color.
+    pub fn try_eval(&self, p: DomainPoint) -> Option<DomainPoint> {
         match self {
-            ProjExpr::Identity => p,
-            ProjExpr::Constant(c) => *c,
-            ProjExpr::Affine(t) => t.apply(p),
+            ProjExpr::Identity => Some(p),
+            ProjExpr::Constant(c) => Some(*c),
+            ProjExpr::Affine(t) => checked_affine_apply(t, p),
             ProjExpr::Modular { a, b, m } => {
-                assert!(*m > 0, "modulus must be positive");
-                assert_eq!(p.dim(), 1, "modular functor is 1-D");
-                DomainPoint::new1((a * p.x() + b).rem_euclid(*m))
+                if *m <= 0 || p.dim() != 1 {
+                    return None;
+                }
+                let raw = a.checked_mul(p.x())?.checked_add(*b)?;
+                Some(DomainPoint::new1(raw.rem_euclid(*m)))
             }
             ProjExpr::Quadratic { a, b, c } => {
-                assert_eq!(p.dim(), 1, "quadratic functor is 1-D");
+                if p.dim() != 1 {
+                    return None;
+                }
                 let i = p.x();
-                DomainPoint::new1(a * i * i + b * i + c)
+                let sq = i.checked_mul(i)?;
+                let v = a
+                    .checked_mul(sq)?
+                    .checked_add(b.checked_mul(i)?)?
+                    .checked_add(*c)?;
+                Some(DomainPoint::new1(v))
             }
             ProjExpr::Swizzle(take) => {
+                if take.is_empty() || take.len() > 3 || take.iter().any(|&d| d >= p.dim()) {
+                    return None;
+                }
                 let coords: Vec<i64> = take.iter().map(|&d| p.coord(d)).collect();
-                DomainPoint::from_slice(&coords)
+                Some(DomainPoint::from_slice(&coords))
             }
-            ProjExpr::Compose(g, f) => g.eval(f.eval(p)),
-            ProjExpr::Opaque(f) => f(p),
+            ProjExpr::Compose(g, f) => g.try_eval(f.try_eval(p)?),
+            ProjExpr::Opaque(f) => Some(f(p)),
         }
     }
 
@@ -236,6 +272,24 @@ impl ProjExpr {
     }
 }
 
+/// Rank-checked, overflow-checked application of a rank-erased affine
+/// transform (`DynTransform::apply` asserts on rank mismatch and uses
+/// unchecked arithmetic; the analysis must stay total).
+fn checked_affine_apply(t: &DynTransform, p: DomainPoint) -> Option<DomainPoint> {
+    if p.dim() != t.in_dim as usize {
+        return None;
+    }
+    let mut out = [0i64; 3];
+    for (r, out_coord) in out.iter_mut().enumerate().take(t.out_dim as usize) {
+        let mut acc = t.offset[r];
+        for c in 0..t.in_dim as usize {
+            acc = acc.checked_add(t.matrix[r][c].checked_mul(p.coord(c))?)?;
+        }
+        *out_coord = acc;
+    }
+    Some(DomainPoint::from_slice(&out[..t.out_dim as usize]))
+}
+
 /// Cap on the number of runs [`ProjExpr::color_runs_1d`] will produce; a
 /// modular functor wrapping more often than this is checked pointwise
 /// instead (each run has fixed word-op overhead, so past this point the
@@ -350,9 +404,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "modular functor is 1-D")]
-    fn modular_rejects_2d() {
-        ProjExpr::Modular { a: 1, b: 0, m: 3 }.eval(DomainPoint::new2(0, 0));
+    fn ill_formed_evaluations_yield_sentinel_not_panic() {
+        let oob = DomainPoint::new1(ILL_FORMED_COLOR);
+        // Rank mismatch: 1-D functor families on a 2-D point.
+        assert_eq!(ProjExpr::Modular { a: 1, b: 0, m: 3 }.eval(DomainPoint::new2(0, 0)), oob);
+        assert_eq!(ProjExpr::Quadratic { a: 1, b: 0, c: 0 }.eval(DomainPoint::new2(1, 1)), oob);
+        assert_eq!(ProjExpr::linear(2, 1).eval(DomainPoint::new2(1, 1)), oob);
+        // Non-positive modulus (the "zero-stride" degenerate family).
+        assert_eq!(ProjExpr::Modular { a: 1, b: 0, m: 0 }.eval(DomainPoint::new1(4)), oob);
+        assert_eq!(ProjExpr::Modular { a: 1, b: 0, m: -5 }.eval(DomainPoint::new1(4)), oob);
+        // Coefficient overflow.
+        assert_eq!(ProjExpr::linear(i64::MAX, 1).eval(DomainPoint::new1(2)), oob);
+        assert_eq!(
+            ProjExpr::Quadratic { a: i64::MAX, b: 0, c: 0 }.eval(DomainPoint::new1(3)),
+            oob
+        );
+        // Swizzles selecting coordinates the point does not have.
+        assert_eq!(ProjExpr::Swizzle(vec![2]).eval(DomainPoint::new1(7)), oob);
+        assert_eq!(ProjExpr::Swizzle(vec![]).eval(DomainPoint::new2(1, 2)), oob);
+        // Ill-formedness propagates through compositions.
+        let c = ProjExpr::Compose(
+            Box::new(ProjExpr::linear(1, 0)),
+            Box::new(ProjExpr::Modular { a: 1, b: 0, m: 0 }),
+        );
+        assert_eq!(c.eval(DomainPoint::new1(3)), oob);
+        // try_eval reports the same edges as None.
+        assert_eq!(ProjExpr::Modular { a: 1, b: 0, m: 0 }.try_eval(DomainPoint::new1(4)), None);
+        // Well-formed evaluations are untouched.
+        assert_eq!(
+            ProjExpr::Modular { a: 1, b: 0, m: 3 }.try_eval(DomainPoint::new1(5)),
+            Some(DomainPoint::new1(2))
+        );
     }
 
     /// Expand runs back to a flat color sequence.

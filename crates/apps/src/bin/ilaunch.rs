@@ -5,6 +5,8 @@
 //! cargo run -p il-apps --release --bin ilaunch -- stencil --nodes 64
 //! cargo run -p il-apps --release --bin ilaunch -- soleil --nodes 16 --fluid-only
 //! cargo run -p il-apps --release --bin ilaunch -- circuit --nodes 256 --no-idx
+//! cargo run -p il-apps --release --bin ilaunch -- amr --nodes 16 --validate
+//! cargo run -p il-apps --release --bin ilaunch -- pagerank --pieces 100000
 //! ```
 //!
 //! Scale mode (default) runs the cost-modeled simulation and reports
@@ -49,7 +51,7 @@
 //! with the final store converging byte-for-byte to the fault-free run.
 
 use il_apps::service_mix::{generate_mix, skewed_mix, MixConfig};
-use il_apps::{circuit, soleil, stencil};
+use il_apps::{amr, circuit, pagerank, soleil, stencil};
 use il_machine::SimTime;
 use il_oracle::{run_case, run_differential, DiffConfig};
 use il_runtime::{
@@ -71,6 +73,7 @@ struct Args {
     trace_out: Option<String>,
     audit: bool,
     faults: Option<u64>,
+    pieces: usize,
 }
 
 fn parse() -> Result<Args, String> {
@@ -90,9 +93,12 @@ fn parse() -> Result<Args, String> {
         trace_out: None,
         audit: false,
         faults: None,
+        pieces: 0,
     };
     let mut it = argv.into_iter();
-    args.app = it.next().ok_or("usage: ilaunch <circuit|stencil|soleil> [flags]")?;
+    args.app = it
+        .next()
+        .ok_or("usage: ilaunch <circuit|stencil|soleil|amr|pagerank> [flags]")?;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--nodes" => {
@@ -101,6 +107,13 @@ fn parse() -> Result<Args, String> {
                     .ok_or("--nodes takes a value")?
                     .parse()
                     .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--pieces" => {
+                args.pieces = it
+                    .next()
+                    .ok_or("--pieces takes a value")?
+                    .parse()
+                    .map_err(|e| format!("--pieces: {e}"))?;
             }
             "--overdecompose" => {
                 args.overdecompose = it
@@ -623,8 +636,71 @@ fn main() {
                 assert!(err < 1e-12, "validation failed");
             }
         }
+        "amr" => {
+            let config = if args.validate {
+                amr::AmrConfig::tiny()
+            } else if args.strong {
+                amr::AmrConfig::strong(args.nodes)
+            } else {
+                amr::AmrConfig::weak(args.nodes)
+            };
+            let app = amr::build(&config);
+            let report = execute(&app.program, &rt);
+            report_line(&args, &report);
+            println!(
+                "throughput: {:.3e} cells/s ({:.3e} per node)",
+                amr::throughput(&config, &report),
+                amr::throughput(&config, &report) / args.nodes as f64
+            );
+            if args.validate {
+                let got = amr::extract_u(&app, &report);
+                let want = amr::reference(&config);
+                let err = got
+                    .iter()
+                    .zip(&want)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                println!("validation: max |u error| = {err:.2e}");
+                assert!(err < 1e-9, "validation failed");
+            }
+        }
+        "pagerank" => {
+            let config = if args.validate {
+                pagerank::PagerankConfig::tiny(if args.pieces == 0 { 6 } else { args.pieces })
+            } else {
+                let pieces = if args.pieces == 0 { args.nodes * 1024 } else { args.pieces };
+                pagerank::PagerankConfig::scale(pieces)
+            };
+            println!(
+                "pagerank: {} pieces, {} vertices, {} edges",
+                config.pieces,
+                config.total_nodes(),
+                config.total_edges()
+            );
+            let app = pagerank::build(&config);
+            let report = execute(&app.program, &rt);
+            report_line(&args, &report);
+            println!(
+                "throughput: {:.3e} edges/s ({:.3e} per node)",
+                pagerank::throughput(&config, &report),
+                pagerank::throughput(&config, &report) / args.nodes as f64
+            );
+            if args.validate {
+                let got = pagerank::extract_ranks(&app, &report);
+                let want = pagerank::reference(&config, &app.edges);
+                let err = got
+                    .iter()
+                    .zip(&want)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                println!("validation: max |rank error| = {err:.2e}");
+                assert!(err < 1e-12, "validation failed");
+            }
+        }
         other => {
-            eprintln!("unknown app {other:?} (expected circuit, stencil, or soleil)");
+            eprintln!(
+                "unknown app {other:?} (expected circuit, stencil, soleil, amr, or pagerank)"
+            );
             std::process::exit(2);
         }
     }

@@ -10,6 +10,14 @@
 //!   sweeps launch over 3-D diagonal wavefront slices with non-trivial
 //!   projection functors into 2-D exchange planes — statically
 //!   undecidable, verified by the dynamic check (§6.2.3).
+//! * [`amr`] — a block-structured adaptive-mesh-refinement driver whose
+//!   partitions are refined/coarsened in place every few timesteps,
+//!   turning over captured traces, cached verdicts, and shard maps at
+//!   every regrid boundary.
+//! * [`pagerank`] — pull-mode PageRank over a seeded power-law graph
+//!   with a data-dependent (opaque) piece permutation: the static
+//!   analyzer cannot classify it, so every update launch takes the
+//!   dynamic bitmask check at full launch-domain size.
 //!
 //! Every application provides a [`il_runtime::Program`] builder usable in
 //! two modes: **validation** (real kernels over real instances on a small
@@ -20,7 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod amr;
 pub mod circuit;
+pub mod pagerank;
 pub mod service_mix;
 pub mod soleil;
 pub mod stencil;

@@ -29,7 +29,7 @@ use il_machine::SimTime;
 use il_runtime::{Program, RuntimeConfig, SessionSpec};
 use il_testkit::{SplitMix64, TestRng};
 
-use crate::{circuit, soleil, stencil};
+use crate::{amr, circuit, pagerank, soleil, stencil};
 
 /// Shape of a generated multi-tenant workload.
 #[derive(Clone, Debug)]
@@ -75,9 +75,11 @@ fn exp_gap(rng: &mut TestRng, mean: SimTime) -> SimTime {
 }
 
 /// A golden-app program of roughly `weight` iterations, cycling over
-/// the three applications.
+/// the five applications (the AMR regrid cadence and pagerank's
+/// dynamic-check loop included, so service slots exercise trace
+/// invalidation and the bitmask path under multi-tenancy).
 fn golden_program(which: usize, weight: usize) -> Program {
-    match which % 3 {
+    match which % 5 {
         0 => {
             stencil::build(&stencil::StencilConfig {
                 iterations: weight.max(1),
@@ -92,10 +94,24 @@ fn golden_program(which: usize, weight: usize) -> Program {
             })
             .program
         }
-        _ => {
+        2 => {
             soleil::build(&soleil::SoleilConfig {
                 iterations: weight.max(1),
                 ..soleil::SoleilConfig::tiny((2, 1, 1))
+            })
+            .program
+        }
+        3 => {
+            amr::build(&amr::AmrConfig {
+                epochs: weight.max(1),
+                ..amr::AmrConfig::tiny()
+            })
+            .program
+        }
+        _ => {
+            pagerank::build(&pagerank::PagerankConfig {
+                iterations: weight.max(1),
+                ..pagerank::PagerankConfig::tiny(4)
             })
             .program
         }
@@ -115,7 +131,7 @@ pub fn generate_mix(cfg: &MixConfig) -> Vec<SessionSpec> {
         let program = if rng.next_below(1000) < cfg.fuzz_per_mille as u64 {
             il_oracle::generate_program(SplitMix64::mix(cfg.seed, 0xF0_0000 + i as u64))
         } else {
-            golden_program(rng.next_below(3) as usize, 1 + rng.next_below(4) as usize)
+            golden_program(rng.next_below(5) as usize, 1 + rng.next_below(4) as usize)
         };
         out.push(SessionSpec {
             tenant,
@@ -151,7 +167,7 @@ pub fn skewed_mix(cfg: &MixConfig, heavy: usize, light: usize) -> Vec<SessionSpe
         let program = if rng.next_below(1000) < cfg.fuzz_per_mille as u64 {
             il_oracle::generate_program(SplitMix64::mix(cfg.seed, 0x11_0000 + i as u64))
         } else {
-            golden_program(rng.next_below(3) as usize, 1)
+            golden_program(rng.next_below(5) as usize, 1)
         };
         out.push(SessionSpec {
             tenant,

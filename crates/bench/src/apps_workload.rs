@@ -1,0 +1,310 @@
+//! Adaptive-workload sweep: what the PR 10 apps cost the analysis
+//! machinery, written to `BENCH_PR10.json` by `figures -- apps`.
+//!
+//! Two sections:
+//!
+//! * **AMR regrid cadence** — the AMR app re-partitions its block
+//!   structure every `steps_per_epoch` timesteps, which is exactly the
+//!   workload that churns the launch-signature analysis cache and
+//!   invalidates captured traces. The sweep holds the total timestep
+//!   count fixed and varies the cadence, reporting trace
+//!   capture/replay/invalidation counts and the analysis-cache hit rate
+//!   at each point: short epochs never amortize a capture, long epochs
+//!   replay almost everything.
+//! * **Pagerank dynamic checks** — every pagerank update launch carries
+//!   data-dependent opaque projection functors, so safety rides the
+//!   dynamic bitmask-check path. The sweep expands the app at 10⁵+
+//!   graph pieces and reports host-side functor-evaluation throughput
+//!   (evaluations per second of analysis wall-clock), the quantity
+//!   Tables 2–3 pin for synthetic functors, here measured end-to-end
+//!   through a real launch pipeline.
+//!
+//! Counts (captures, replays, invalidations, cache hits, evals) are
+//! pure functions of `(config)` and reproduce bit-for-bit; the
+//! throughput column is host wall-clock and varies run to run.
+
+use il_apps::{amr, pagerank};
+use il_runtime::{expand_program, OpSafety, RuntimeConfig};
+use il_testkit::Json;
+use std::time::Instant;
+
+/// Nodes in the swept machine.
+const NODES: usize = 4;
+/// Total AMR timesteps per cadence point (cadence must divide this).
+const AMR_TOTAL_STEPS: usize = 16;
+/// Regrid cadences swept (timesteps between partition changes).
+const AMR_CADENCES: [usize; 3] = [2, 4, 8];
+
+/// One cadence point of the AMR sweep.
+#[derive(Clone, Debug)]
+pub struct AmrPoint {
+    /// Timesteps between regrids.
+    pub cadence: usize,
+    /// Epochs run (`AMR_TOTAL_STEPS / cadence`).
+    pub epochs: usize,
+    /// Launches in the program.
+    pub ops: u64,
+    /// Launches materialized by replaying a captured trace.
+    pub replayed_ops: u64,
+    /// Traces captured.
+    pub captured: u64,
+    /// Whole-trace replays.
+    pub replayed: u64,
+    /// Captured traces invalidated (regrid boundaries).
+    pub invalidated: u64,
+    /// Per-launch analyses replay skipped.
+    pub analyses_skipped: u64,
+    /// Analysis-cache hits / misses.
+    pub cache_hits: u64,
+    /// Analysis-cache misses (forced by the partition churn).
+    pub cache_misses: u64,
+}
+
+/// One piece-count point of the pagerank dynamic-check sweep.
+#[derive(Clone, Debug)]
+pub struct PagerankPoint {
+    /// Graph pieces (= launch-domain size of every update launch).
+    pub pieces: usize,
+    /// Launches that cleared safety statically.
+    pub static_ops: u64,
+    /// Launches that needed the dynamic bitmask check.
+    pub dynamic_ops: u64,
+    /// Total dynamic functor evaluations across the program.
+    pub evals: u64,
+    /// Host wall-clock of the full expansion.
+    pub expand_ns: u64,
+    /// Host wall-clock the profiler attributes to analysis.
+    pub analysis_ns: u64,
+    /// Dynamic evaluations per second of analysis wall-clock.
+    pub evals_per_sec: f64,
+}
+
+/// The full PR 10 sweep.
+#[derive(Clone, Debug)]
+pub struct AppsSweep {
+    /// AMR cadence points, ascending cadence.
+    pub amr: Vec<AmrPoint>,
+    /// Pagerank piece-count points, ascending size.
+    pub pagerank: Vec<PagerankPoint>,
+}
+
+/// Run the AMR regrid-cadence sweep.
+fn amr_cadence_sweep() -> Vec<AmrPoint> {
+    let mut out = Vec::new();
+    for cadence in AMR_CADENCES {
+        let cfg = amr::AmrConfig {
+            cells: 1 << 20,
+            base_blocks: 8,
+            refine_factor: 4,
+            steps_per_epoch: cadence,
+            epochs: AMR_TOTAL_STEPS / cadence,
+            ..amr::AmrConfig::weak(NODES)
+        };
+        let app = amr::build(&cfg);
+        let expanded = expand_program(&app.program, &RuntimeConfig::scale(NODES));
+        let trace = expanded.trace_replay;
+        let cache = expanded.analysis_cache;
+        assert!(
+            trace.invalidated >= 1,
+            "cadence {cadence}: the regrid churn must invalidate at least one captured trace"
+        );
+        out.push(AmrPoint {
+            cadence,
+            epochs: AMR_TOTAL_STEPS / cadence,
+            ops: expanded.replayed_ops.len() as u64,
+            replayed_ops: expanded.replayed_ops.iter().filter(|&&r| r).count() as u64,
+            captured: trace.captured,
+            replayed: trace.replayed,
+            invalidated: trace.invalidated,
+            analyses_skipped: trace.analyses_skipped,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        });
+    }
+    out
+}
+
+/// Expand one pagerank configuration and measure its dynamic-check
+/// throughput.
+fn pagerank_point(pieces: usize) -> PagerankPoint {
+    let cfg = pagerank::PagerankConfig {
+        iterations: 2,
+        ..pagerank::PagerankConfig::scale(pieces)
+    };
+    let app = pagerank::build(&cfg);
+    let start = Instant::now();
+    let expanded = expand_program(&app.program, &RuntimeConfig::scale(NODES));
+    let expand_ns = start.elapsed().as_nanos() as u64;
+    let (mut static_ops, mut dynamic_ops, mut evals) = (0u64, 0u64, 0u64);
+    for safety in &expanded.safety {
+        match safety {
+            OpSafety::Dynamic { evals: e, .. } => {
+                dynamic_ops += 1;
+                evals += e;
+            }
+            _ => static_ops += 1,
+        }
+    }
+    assert!(
+        dynamic_ops > 0 && evals >= pieces as u64,
+        "pagerank at {pieces} pieces must ride the dynamic-check path"
+    );
+    let analysis_ns = expanded.profile.analysis_ns;
+    PagerankPoint {
+        pieces,
+        static_ops,
+        dynamic_ops,
+        evals,
+        expand_ns,
+        analysis_ns,
+        evals_per_sec: evals as f64 / (analysis_ns.max(1) as f64 / 1e9),
+    }
+}
+
+/// Run the pagerank dynamic-check throughput sweep at `max_pieces` and
+/// at 10⁵ (the sweep's contract is "10⁵+ pieces", so the floor clamps
+/// smaller requests up).
+fn pagerank_dynamic_sweep(max_pieces: usize) -> Vec<PagerankPoint> {
+    let max_pieces = max_pieces.max(100_000);
+    let mut sizes = vec![100_000];
+    if max_pieces > 100_000 {
+        sizes.push(max_pieces);
+    }
+    sizes.into_iter().map(pagerank_point).collect()
+}
+
+/// Run the full adaptive-workload sweep. `max_pieces` sizes the largest
+/// pagerank point (floored at 10⁵).
+pub fn apps_sweep(max_pieces: usize) -> AppsSweep {
+    AppsSweep { amr: amr_cadence_sweep(), pagerank: pagerank_dynamic_sweep(max_pieces) }
+}
+
+impl AppsSweep {
+    /// Render the sweep as ASCII tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "amr regrid cadence: trace & analysis-cache behavior ({AMR_TOTAL_STEPS} timesteps)\n"
+        ));
+        out.push_str(
+            "  cadence  epochs  ops  replayed-ops  captured  replayed  invalidated  skipped  cache-hit\n",
+        );
+        for p in &self.amr {
+            let hit_rate = p.cache_hits as f64 / (p.cache_hits + p.cache_misses).max(1) as f64;
+            out.push_str(&format!(
+                "  {:>7}  {:>6}  {:>3}  {:>12}  {:>8}  {:>8}  {:>11}  {:>7}  {:>8.1}%\n",
+                p.cadence,
+                p.epochs,
+                p.ops,
+                p.replayed_ops,
+                p.captured,
+                p.replayed,
+                p.invalidated,
+                p.analyses_skipped,
+                hit_rate * 100.0,
+            ));
+        }
+        out.push_str("pagerank dynamic checks: bitmask-path throughput\n");
+        out.push_str("  pieces   static  dynamic        evals   analysis      evals/s\n");
+        for p in &self.pagerank {
+            out.push_str(&format!(
+                "  {:>7}  {:>5}  {:>7}  {:>11}  {:>6.1} ms  {:>9.2e}\n",
+                p.pieces,
+                p.static_ops,
+                p.dynamic_ops,
+                p.evals,
+                p.analysis_ns as f64 / 1e6,
+                p.evals_per_sec,
+            ));
+        }
+        out
+    }
+
+    /// The sweep as a `BENCH_PR10.json` trajectory document.
+    pub fn to_json(&self) -> Json {
+        let amr: Vec<Json> = self
+            .amr
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .set("cadence", p.cadence)
+                    .set("epochs", p.epochs)
+                    .set("ops", p.ops)
+                    .set("replayed_ops", p.replayed_ops)
+                    .set("captured", p.captured)
+                    .set("replayed", p.replayed)
+                    .set("invalidated", p.invalidated)
+                    .set("analyses_skipped", p.analyses_skipped)
+                    .set("cache_hits", p.cache_hits)
+                    .set("cache_misses", p.cache_misses)
+            })
+            .collect();
+        let pagerank: Vec<Json> = self
+            .pagerank
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .set("pieces", p.pieces)
+                    .set("static_ops", p.static_ops)
+                    .set("dynamic_ops", p.dynamic_ops)
+                    .set("evals", p.evals)
+                    .set("expand_ns", p.expand_ns)
+                    .set("analysis_ns", p.analysis_ns)
+                    .set("evals_per_sec", p.evals_per_sec)
+            })
+            .collect();
+        Json::obj()
+            .set("schema", "il-bench-trajectory-v1")
+            .set("pr", "PR10")
+            .set("amr_cadence", Json::Arr(amr))
+            .set("pagerank_dynamic", Json::Arr(pagerank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The AMR leg covers every cadence, sees invalidations at every
+    /// regrid boundary, and replays more as epochs lengthen; counts are
+    /// deterministic.
+    #[test]
+    fn amr_cadence_counts_are_deterministic_and_monotone() {
+        let a = amr_cadence_sweep();
+        assert_eq!(a.len(), AMR_CADENCES.len());
+        for p in &a {
+            assert!(p.invalidated >= 1, "cadence {}: regrids must invalidate", p.cadence);
+            assert!(p.captured >= 1);
+        }
+        // The shortest epoch is too short to ever replay its capture
+        // before the regrid kills it; the longest replays most launches.
+        assert_eq!(a[0].replayed, 0, "cadence 2 must never amortize a capture");
+        assert!(
+            a[a.len() - 1].replayed_ops * 2 > a[a.len() - 1].ops,
+            "the longest cadence must replay most launches"
+        );
+        // Longer epochs amortize captures into more whole-trace replays
+        // per capture.
+        let replay_per_capture: Vec<f64> =
+            a.iter().map(|p| p.replayed as f64 / p.captured.max(1) as f64).collect();
+        assert!(
+            replay_per_capture.windows(2).all(|w| w[0] <= w[1]),
+            "replays per capture must grow with cadence: {replay_per_capture:?}"
+        );
+        let b = amr_cadence_sweep();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// The pagerank leg rides the dynamic path. A bench-scale piece
+    /// count is too slow for a debug-profile unit test, so exercise the
+    /// single-point helper below the sweep's 10⁵ floor — the safety
+    /// verdict classes are size-independent.
+    #[test]
+    fn pagerank_leg_counts_dynamic_evals() {
+        let p = pagerank_point(2_000);
+        assert_eq!(p.pieces, 2_000);
+        assert!(p.dynamic_ops >= 2, "every update launch is dynamic");
+        assert!(p.evals >= 2_000);
+        assert!(p.evals_per_sec > 0.0);
+    }
+}

@@ -9,6 +9,7 @@
 //! cargo run -p il-bench --release --bin figures -- scale --scale-max-nodes 65536
 //! cargo run -p il-bench --release --bin figures -- serve --serve-light 120
 //! cargo run -p il-bench --release --bin figures -- sdc --sdc-seed 24000
+//! cargo run -p il-bench --release --bin figures -- apps --apps-pieces 250000
 //! ```
 //!
 //! ASCII tables print to stdout; CSVs land in `--out-dir` (default
@@ -29,6 +30,7 @@
 use il_analysis::{
     cross_check, cross_check_reference, self_check, self_check_reference, ArgCheck, ProjExpr,
 };
+use il_bench::apps_workload;
 use il_bench::figures::{fig10, fig4, fig5, fig6, fig7, fig8, fig9, Figure, SweepOpts};
 use il_bench::machine_scale;
 use il_bench::sdc_overhead;
@@ -48,6 +50,7 @@ fn main() {
     let mut serve_light = 1500usize;
     let mut serve_seed = 0x5E8Eu64;
     let mut sdc_seed = 0x5DC0u64;
+    let mut apps_pieces = 250_000usize;
     let mut repeats = 1u32;
     let mut pool_size = 0usize;
     let mut out_dir = PathBuf::from("results");
@@ -75,6 +78,10 @@ fn main() {
             "--sdc-seed" => {
                 i += 1;
                 sdc_seed = args[i].parse().expect("--sdc-seed takes a number");
+            }
+            "--apps-pieces" => {
+                i += 1;
+                apps_pieces = args[i].parse().expect("--apps-pieces takes a number");
             }
             "--repeats" => {
                 i += 1;
@@ -172,6 +179,19 @@ fn main() {
                 println!("wrote BENCH_PR9.json");
                 println!();
             }
+            // Not part of "all" either: the adaptive-workload sweep
+            // benches the PR 10 apps (AMR regrid churn against the
+            // trace/cache machinery, pagerank's dynamic bitmask path at
+            // scale), not a paper figure. `--apps-pieces N` sizes the
+            // largest pagerank point (default 250000, floored at 1e5).
+            "apps" => {
+                let sweep = apps_workload::apps_sweep(apps_pieces);
+                print!("{}", sweep.render());
+                std::fs::write("BENCH_PR10.json", sweep.to_json().to_string_pretty())
+                    .expect("write apps-workload trajectory");
+                println!("wrote BENCH_PR10.json");
+                println!();
+            }
             "table3" => {
                 let rows = table3();
                 print!("{}", render_table("Table 3: dynamic cross-checks", "Number of arguments", &rows));
@@ -179,7 +199,7 @@ fn main() {
                 println!();
             }
             other => eprintln!(
-                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, serve, sdc, all)"
+                "unknown target {other:?} (expected fig4..fig10, table2, table3, scale, serve, sdc, apps, all)"
             ),
         }
     }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apps_workload;
 pub mod figures;
 pub mod machine_scale;
 pub mod render;

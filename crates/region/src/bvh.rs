@@ -63,7 +63,7 @@ impl BBox {
 
 enum Node {
     Leaf {
-        /// Range of `items` covered by this leaf.
+        /// Range of the level's `items` covered by this leaf.
         start: u32,
         len: u32,
         bbox: BBox,
@@ -75,50 +75,66 @@ enum Node {
     },
 }
 
-/// An incrementally-filled BVH set with payloads of type `T`.
-pub struct BvhSet<T> {
-    /// All items, reordered during builds.
+/// One static sub-tree of the level structure: items of one rank in the
+/// tree proper, the (rare) other ranks linear-scanned.
+struct Level<T> {
+    /// The level's items, reordered by the build.
     items: Vec<(BBox, T)>,
-    /// Items inserted since the last build (linear-scanned by queries).
-    pending_from: usize,
+    /// Items `[0, tree_count)` are covered by `nodes`; the rest are
+    /// other-rank strays scanned linearly.
+    tree_count: usize,
     nodes: Vec<Node>,
     root: Option<u32>,
 }
 
 const LEAF_SIZE: usize = 8;
+/// Inserts buffered before they are merged into the level structure.
 const PENDING_LIMIT: usize = 64;
 
-impl<T: Copy> BvhSet<T> {
-    /// An empty set.
-    pub fn new() -> Self {
-        BvhSet { items: Vec::new(), pending_from: 0, nodes: Vec::new(), root: None }
-    }
-
-    /// Number of items.
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// True iff empty.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// Insert an item; rebuilds the tree lazily once enough inserts
-    /// accumulate.
-    pub fn insert(&mut self, bbox: BBox, payload: T) {
-        self.items.push((bbox, payload));
-        if self.items.len() - self.pending_from > PENDING_LIMIT {
-            self.rebuild();
+impl<T: Copy> Level<T> {
+    fn build(items: Vec<(BBox, T)>) -> Self {
+        let mut lvl = Level { items, tree_count: 0, nodes: Vec::new(), root: None };
+        if lvl.items.is_empty() {
+            return lvl;
         }
+        // Mixed-rank content can't share one tree; keep same-rank items in
+        // the tree and scan the (rare) other ranks linearly.
+        let major_dim = lvl.items[0].0.dim();
+        lvl.items.sort_by_key(|(b, _)| usize::from(b.dim() != major_dim));
+        lvl.tree_count = lvl.items.iter().take_while(|(b, _)| b.dim() == major_dim).count();
+        let root = lvl.build_range(0, lvl.tree_count);
+        lvl.root = Some(root);
+        lvl
     }
 
-    /// Collect payloads of all items whose boxes overlap `query`.
-    pub fn query(&self, query: &BBox, out: &mut Vec<T>) {
+    fn build_range(&mut self, start: usize, len: usize) -> u32 {
+        let bbox = self.items[start..start + len]
+            .iter()
+            .map(|(b, _)| *b)
+            .reduce(|a, b| a.merge(&b))
+            .expect("non-empty range");
+        if len <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { start: start as u32, len: len as u32, bbox });
+            return (self.nodes.len() - 1) as u32;
+        }
+        // Split along the widest dimension at the median center.
+        let dim = (0..bbox.dim())
+            .max_by_key(|&d| bbox.hi.coord(d) - bbox.lo.coord(d))
+            .expect("rank >= 1");
+        self.items[start..start + len].sort_by_key(|(b, _)| b.center2(dim));
+        let mid = len / 2;
+        let left = self.build_range(start, mid);
+        let right = self.build_range(start + mid, len - mid);
+        let node = Node::Inner { left, right, bbox };
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn query(&self, query: &BBox, out: &mut Vec<T>) {
         if let Some(root) = self.root {
             self.query_node(root, query, out);
         }
-        for (bbox, payload) in &self.items[self.pending_from..] {
+        for (bbox, payload) in &self.items[self.tree_count..] {
             if bbox.overlaps(query) {
                 out.push(*payload);
             }
@@ -144,45 +160,82 @@ impl<T: Copy> BvhSet<T> {
             }
         }
     }
+}
 
-    fn rebuild(&mut self) {
-        self.nodes.clear();
-        if self.items.is_empty() {
-            self.root = None;
-            self.pending_from = 0;
-            return;
-        }
-        // Mixed-rank content can't share one tree; keep same-rank items in
-        // the tree and leave the (rare) other ranks pending.
-        let major_dim = self.items[0].0.dim();
-        self.items.sort_by_key(|(b, _)| usize::from(b.dim() != major_dim));
-        let tree_count = self.items.iter().take_while(|(b, _)| b.dim() == major_dim).count();
-        let root = self.build_range(0, tree_count);
-        self.root = Some(root);
-        self.pending_from = tree_count;
+/// An incrementally-filled BVH set with payloads of type `T`.
+///
+/// Dynamized with the Bentley–Saxe logarithmic method: static sub-trees
+/// of geometrically growing sizes, merged binary-counter style as
+/// inserts accumulate. A naive "rebuild the one tree every K inserts"
+/// policy costs Θ(n²/K · log n) to fill incrementally — measurably
+/// quadratic once an app registers 10⁵+ subregions — while the level
+/// structure amortizes to O(log² n) per insert and keeps queries at
+/// O(log² n + k).
+pub struct BvhSet<T> {
+    /// Occupied levels, in carry order (level i holds ~`PENDING_LIMIT ·
+    /// 2^i` items or is empty).
+    levels: Vec<Level<T>>,
+    /// Items inserted since the last carry (linear-scanned by queries).
+    pending: Vec<(BBox, T)>,
+    len: usize,
+}
+
+impl<T: Copy> BvhSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        BvhSet { levels: Vec::new(), pending: Vec::new(), len: 0 }
     }
 
-    fn build_range(&mut self, start: usize, len: usize) -> u32 {
-        let bbox = self.items[start..start + len]
-            .iter()
-            .map(|(b, _)| *b)
-            .reduce(|a, b| a.merge(&b))
-            .expect("non-empty range");
-        if len <= LEAF_SIZE {
-            self.nodes.push(Node::Leaf { start: start as u32, len: len as u32, bbox });
-            return (self.nodes.len() - 1) as u32;
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an item; merges into the level structure once enough
+    /// inserts accumulate.
+    pub fn insert(&mut self, bbox: BBox, payload: T) {
+        self.pending.push((bbox, payload));
+        self.len += 1;
+        if self.pending.len() >= PENDING_LIMIT {
+            self.carry();
         }
-        // Split along the widest dimension at the median center.
-        let dim = (0..bbox.dim())
-            .max_by_key(|&d| bbox.hi.coord(d) - bbox.lo.coord(d))
-            .expect("rank >= 1");
-        self.items[start..start + len].sort_by_key(|(b, _)| b.center2(dim));
-        let mid = len / 2;
-        let left = self.build_range(start, mid);
-        let right = self.build_range(start + mid, len - mid);
-        let node = Node::Inner { left, right, bbox };
-        self.nodes.push(node);
-        (self.nodes.len() - 1) as u32
+    }
+
+    /// Merge the pending buffer into the first empty level, folding in
+    /// every occupied level below it (the binary-counter carry).
+    fn carry(&mut self) {
+        let mut items = std::mem::take(&mut self.pending);
+        let mut i = 0;
+        loop {
+            if i == self.levels.len() {
+                self.levels.push(Level::build(items));
+                break;
+            }
+            if self.levels[i].items.is_empty() {
+                self.levels[i] = Level::build(items);
+                break;
+            }
+            let lower = std::mem::replace(&mut self.levels[i], Level::build(Vec::new()));
+            items.extend(lower.items);
+            i += 1;
+        }
+    }
+
+    /// Collect payloads of all items whose boxes overlap `query`.
+    pub fn query(&self, query: &BBox, out: &mut Vec<T>) {
+        for level in &self.levels {
+            level.query(query, out);
+        }
+        for (bbox, payload) in &self.pending {
+            if bbox.overlaps(query) {
+                out.push(*payload);
+            }
+        }
     }
 }
 
@@ -190,6 +243,58 @@ impl<T: Copy> Default for BvhSet<T> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Boxes ≥ the number of runs force adjacent-run merging (bounds BVH
+/// fan-out per sparse domain).
+pub const MAX_COVERAGE_BOXES: usize = 8;
+
+/// The BVH boxes a domain is indexed and queried under. A rect domain is
+/// its own box. A sparse domain's bounding box can span nearly the whole
+/// tree (a ghost set holding a far hub window *and* a local neighbor),
+/// which would make everything in between a bbox candidate — so split it
+/// at the [`MAX_COVERAGE_BOXES`]` - 1` widest first-coordinate gaps into
+/// tight cluster boxes instead. The boxes jointly cover every point, so
+/// no genuine overlap is lost; anything the big box would have hit
+/// between clusters was an exact-test reject anyway.
+pub fn coverage_boxes(domain: &il_geometry::Domain) -> Vec<BBox> {
+    if domain.is_empty() {
+        return Vec::new();
+    }
+    if let il_geometry::Domain::Sparse { points, .. } = domain {
+        if points.len() > 1 {
+            let mut pts: Vec<DomainPoint> = points.to_vec();
+            pts.sort_by_key(|p| p.coord(0));
+            // Split indices by gap width (descending, then position for
+            // determinism), keep the widest few.
+            let mut gaps: Vec<(i64, usize)> = (1..pts.len())
+                .filter_map(|i| {
+                    let g = pts[i].coord(0) - pts[i - 1].coord(0);
+                    (g > 1).then_some((g, i))
+                })
+                .collect();
+            gaps.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            gaps.truncate(MAX_COVERAGE_BOXES - 1);
+            let mut splits: Vec<usize> = gaps.into_iter().map(|(_, i)| i).collect();
+            splits.sort_unstable();
+            splits.push(pts.len());
+            let dim = pts[0].dim();
+            let mut boxes = Vec::with_capacity(splits.len());
+            let mut start = 0;
+            for end in splits {
+                let run = &pts[start..end];
+                let lo: Vec<i64> =
+                    (0..dim).map(|d| run.iter().map(|p| p.coord(d)).min().unwrap()).collect();
+                let hi: Vec<i64> =
+                    (0..dim).map(|d| run.iter().map(|p| p.coord(d)).max().unwrap()).collect();
+                boxes.push(BBox::new(DomainPoint::from_slice(&lo), DomainPoint::from_slice(&hi)));
+                start = end;
+            }
+            return boxes;
+        }
+    }
+    let (lo, hi) = domain.bounds();
+    vec![BBox::new(lo, hi)]
 }
 
 #[cfg(test)]
@@ -254,6 +359,62 @@ mod tests {
         set.query(&bb1(0, 10), &mut out);
         assert!(out.is_empty());
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn incremental_queries_agree_with_linear_scan() {
+        // Interleave inserts and queries so every Bentley–Saxe shape is
+        // exercised: partially filled pending buffer, single level, and
+        // multi-level states after several binary-counter carries.
+        let mut set = BvhSet::new();
+        let mut items: Vec<(BBox, i64)> = Vec::new();
+        let mut x = 7i64;
+        for i in 0..600i64 {
+            // Deterministic LCG spread with varied widths.
+            x = (x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) >> 33;
+            let lo = x.rem_euclid(10_000);
+            let b = bb1(lo, lo + i % 17);
+            set.insert(b.clone(), i);
+            items.push((b, i));
+            if i % 37 == 0 {
+                let probe = bb1(lo - 20, lo + 20);
+                let mut got = Vec::new();
+                set.query(&probe, &mut got);
+                got.sort_unstable();
+                let mut want: Vec<i64> = items
+                    .iter()
+                    .filter(|(bb, _)| bb.overlaps(&probe))
+                    .map(|&(_, v)| v)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "after {} inserts", i + 1);
+            }
+        }
+        assert_eq!(set.len(), 600);
+    }
+
+    #[test]
+    fn coverage_boxes_cluster_sparse_domains() {
+        use il_geometry::Domain;
+        // Two tight clusters far apart: one wide bbox would overlap
+        // everything in between; the decomposition must split them.
+        let mut pts: Vec<DomainPoint> =
+            (0..6).map(|i| DomainPoint::new1(i)).collect();
+        pts.extend((0..6).map(|i| DomainPoint::new1(1_000_000 + i)));
+        let boxes = coverage_boxes(&Domain::sparse(pts.clone()));
+        assert!(boxes.len() >= 2 && boxes.len() <= MAX_COVERAGE_BOXES);
+        // Every point is covered, and no box spans the gap.
+        for p in &pts {
+            let probe = BBox::new(p.clone(), p.clone());
+            assert!(boxes.iter().any(|b| b.overlaps(&probe)), "{p:?} uncovered");
+        }
+        let mid = BBox::new(DomainPoint::new1(500_000), DomainPoint::new1(500_000));
+        assert!(boxes.iter().all(|b| !b.overlaps(&mid)), "a box spans the gap");
+        // Deterministic: same input, same decomposition.
+        assert_eq!(boxes, coverage_boxes(&Domain::sparse(pts)));
+        // Empty domains decompose to nothing.
+        let empty = Domain::Rect1(il_geometry::Rect::new1(5, 4));
+        assert!(coverage_boxes(&empty).is_empty());
     }
 
     #[test]

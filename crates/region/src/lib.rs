@@ -31,17 +31,19 @@ pub mod partition_ops;
 pub mod privilege;
 pub mod reduction;
 
-pub use bvh::{BBox, BvhSet};
+pub use bvh::{coverage_boxes, BBox, BvhSet, MAX_COVERAGE_BOXES};
 pub use field::{FieldKind, FieldSpaceDesc, FieldValue};
 pub use forest::{
     domain_intersection, domains_overlap, overlap_volume, Disjointness, IndexPartitionNode,
-    IndexSpaceNode, RegionForest,
+    IndexSpaceNode, PartitionError, RegionForest,
 };
 pub use ids::{FieldId, FieldSpaceId, IndexPartitionId, IndexSpaceId, LogicalRegion, RegionTreeId};
 pub use instance::{FieldStore, PhysicalInstance};
 pub use partition_ops::{
     block_partition_2d, block_partition_3d, coloring_partition, equal_partition_1d,
-    halo_partition_2d, halo_partition_3d,
+    halo_partition_1d, halo_partition_2d, halo_partition_3d, replace_equal_partition_1d,
+    replace_halo_partition_1d, try_block_partition_2d, try_block_partition_3d,
+    try_equal_partition_1d, try_halo_partition_1d, try_halo_partition_2d, try_halo_partition_3d,
 };
 pub use privilege::Privilege;
 pub use reduction::{ReductionKind, ReductionOpId};

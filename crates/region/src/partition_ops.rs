@@ -7,40 +7,43 @@
 //! partitions (aliased), and explicit colorings (e.g. from a graph
 //! partitioner, as in Circuit).
 
-use crate::forest::{Disjointness, RegionForest};
+use crate::forest::{Disjointness, PartitionError, RegionForest};
 use crate::ids::{IndexPartitionId, IndexSpaceId};
 use il_geometry::{Domain, DomainPoint, Rect};
 
-/// Partition a 1-D space into `parts` nearly-equal disjoint blocks, colored
-/// `0..parts`.
-pub fn equal_partition_1d(
-    forest: &mut RegionForest,
-    space: IndexSpaceId,
+fn wrong_shape(expected: &'static str, found: &Domain) -> PartitionError {
+    PartitionError::WrongShape {
+        expected,
+        found: format!("{found:?}"),
+    }
+}
+
+/// Equal 1-D block coloring of `domain`: `(color_space, coloring)` or an
+/// error if the domain is not a dense 1-D rectangle.
+fn equal_coloring_1d(
+    domain: &Domain,
     parts: usize,
-) -> IndexPartitionId {
-    let Domain::Rect1(rect) = forest.domain(space).clone() else {
-        panic!("equal_partition_1d requires a dense 1-D space");
+) -> Result<(Domain, Vec<(DomainPoint, Domain)>), PartitionError> {
+    let Domain::Rect1(rect) = domain else {
+        return Err(wrong_shape("dense 1-D", domain));
     };
-    let pieces = rect.split(parts);
-    let coloring = pieces
+    let coloring = rect
+        .split(parts)
         .into_iter()
         .enumerate()
         .map(|(i, r)| (DomainPoint::new1(i as i64), Domain::Rect1(r)))
         .collect();
-    forest.create_partition(space, Domain::range(parts as i64), coloring, Disjointness::Disjoint)
+    Ok((Domain::range(parts as i64), coloring))
 }
 
-/// Partition a 2-D space into a `tiles.0 × tiles.1` grid of disjoint
-/// blocks, colored by 2-D tile coordinates.
-pub fn block_partition_2d(
-    forest: &mut RegionForest,
-    space: IndexSpaceId,
+fn block_coloring_2d(
+    domain: &Domain,
     tiles: (usize, usize),
-) -> IndexPartitionId {
-    let Domain::Rect2(rect) = forest.domain(space).clone() else {
-        panic!("block_partition_2d requires a dense 2-D space");
+) -> Result<(Domain, Vec<(DomainPoint, Domain)>), PartitionError> {
+    let Domain::Rect2(rect) = domain else {
+        return Err(wrong_shape("dense 2-D", domain));
     };
-    let rows = split_dim(&rect, 0, tiles.0);
+    let rows = split_dim(rect, 0, tiles.0);
     let mut coloring = Vec::with_capacity(tiles.0 * tiles.1);
     for (i, row) in rows.iter().enumerate() {
         // Split the other dimension: transpose trick — split() picks the
@@ -54,20 +57,17 @@ pub fn block_partition_2d(
         (0, 0),
         (tiles.0 as i64 - 1, tiles.1 as i64 - 1),
     ));
-    forest.create_partition(space, color_space, coloring, Disjointness::Disjoint)
+    Ok((color_space, coloring))
 }
 
-/// Partition a 3-D space into a grid of disjoint blocks colored by 3-D
-/// tile coordinates.
-pub fn block_partition_3d(
-    forest: &mut RegionForest,
-    space: IndexSpaceId,
+fn block_coloring_3d(
+    domain: &Domain,
     tiles: (usize, usize, usize),
-) -> IndexPartitionId {
-    let Domain::Rect3(rect) = forest.domain(space).clone() else {
-        panic!("block_partition_3d requires a dense 3-D space");
+) -> Result<(Domain, Vec<(DomainPoint, Domain)>), PartitionError> {
+    let Domain::Rect3(rect) = domain else {
+        return Err(wrong_shape("dense 3-D", domain));
     };
-    let xs = split_dim(&rect, 0, tiles.0);
+    let xs = split_dim(rect, 0, tiles.0);
     let mut coloring = Vec::with_capacity(tiles.0 * tiles.1 * tiles.2);
     for (i, x) in xs.iter().enumerate() {
         let ys = split_dim(x, 1, tiles.1);
@@ -85,22 +85,18 @@ pub fn block_partition_3d(
         (0, 0, 0),
         (tiles.0 as i64 - 1, tiles.1 as i64 - 1, tiles.2 as i64 - 1),
     ));
-    forest.create_partition(space, color_space, coloring, Disjointness::Disjoint)
+    Ok((color_space, coloring))
 }
 
-/// Aliased halo partition of a 2-D space: the tile of `base` at each color
-/// grown by `radius` in every direction (clamped to the space bounds).
-/// Used for the ghost/exchange regions of the stencil (§6.1).
-pub fn halo_partition_2d(
-    forest: &mut RegionForest,
-    space: IndexSpaceId,
+fn halo_coloring_2d(
+    domain: &Domain,
     tiles: (usize, usize),
     radius: i64,
-) -> IndexPartitionId {
-    let Domain::Rect2(bounds) = forest.domain(space).clone() else {
-        panic!("halo_partition_2d requires a dense 2-D space");
+) -> Result<(Domain, Vec<(DomainPoint, Domain)>), PartitionError> {
+    let Domain::Rect2(bounds) = domain else {
+        return Err(wrong_shape("dense 2-D", domain));
     };
-    let rows = split_dim(&bounds, 0, tiles.0);
+    let rows = split_dim(bounds, 0, tiles.0);
     let mut coloring = Vec::with_capacity(tiles.0 * tiles.1);
     for (i, row) in rows.iter().enumerate() {
         for (j, tile) in split_dim(row, 1, tiles.1).into_iter().enumerate() {
@@ -121,22 +117,18 @@ pub fn halo_partition_2d(
         (0, 0),
         (tiles.0 as i64 - 1, tiles.1 as i64 - 1),
     ));
-    forest.create_partition(space, color_space, coloring, Disjointness::Aliased)
+    Ok((color_space, coloring))
 }
 
-/// Aliased halo partition of a 3-D space: each tile of the block grid
-/// grown by `radius` in every direction (clamped to the space bounds).
-/// Used for the fluid exchange regions of Soleil-mini.
-pub fn halo_partition_3d(
-    forest: &mut RegionForest,
-    space: IndexSpaceId,
+fn halo_coloring_3d(
+    domain: &Domain,
     tiles: (usize, usize, usize),
     radius: i64,
-) -> IndexPartitionId {
-    let Domain::Rect3(bounds) = forest.domain(space).clone() else {
-        panic!("halo_partition_3d requires a dense 3-D space");
+) -> Result<(Domain, Vec<(DomainPoint, Domain)>), PartitionError> {
+    let Domain::Rect3(bounds) = domain else {
+        return Err(wrong_shape("dense 3-D", domain));
     };
-    let xs = split_dim(&bounds, 0, tiles.0);
+    let xs = split_dim(bounds, 0, tiles.0);
     let mut coloring = Vec::with_capacity(tiles.0 * tiles.1 * tiles.2);
     for (i, x) in xs.iter().enumerate() {
         for (j, y) in split_dim(x, 1, tiles.1).iter().enumerate() {
@@ -164,7 +156,195 @@ pub fn halo_partition_3d(
         (0, 0, 0),
         (tiles.0 as i64 - 1, tiles.1 as i64 - 1, tiles.2 as i64 - 1),
     ));
-    forest.create_partition(space, color_space, coloring, Disjointness::Aliased)
+    Ok((color_space, coloring))
+}
+
+/// Partition a 1-D space into `parts` nearly-equal disjoint blocks, colored
+/// `0..parts`.
+pub fn equal_partition_1d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    parts: usize,
+) -> IndexPartitionId {
+    try_equal_partition_1d(forest, space, parts)
+        .unwrap_or_else(|e| panic!("equal_partition_1d requires a dense 1-D space: {e}"))
+}
+
+/// Fallible [`equal_partition_1d`]: wrong-shaped spaces yield an error
+/// instead of a panic.
+pub fn try_equal_partition_1d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    parts: usize,
+) -> Result<IndexPartitionId, PartitionError> {
+    let (color_space, coloring) = equal_coloring_1d(forest.domain(space), parts)?;
+    forest.try_create_partition(space, color_space, coloring, Disjointness::Disjoint)
+}
+
+/// Replace an existing partition **in place** with an equal 1-D split of
+/// its parent space into `parts` blocks — the refine/coarsen step of the
+/// AMR workload. The partition keeps its id; retained colors keep their
+/// subspace ids; the forest generation is bumped so cached analyses and
+/// captured traces keyed on the old shape are invalidated.
+pub fn replace_equal_partition_1d(
+    forest: &mut RegionForest,
+    partition: IndexPartitionId,
+    parts: usize,
+) -> Result<(), PartitionError> {
+    let parent = forest.partition(partition).parent;
+    let (color_space, coloring) = equal_coloring_1d(forest.domain(parent), parts)?;
+    forest.replace_partition(partition, color_space, coloring, Disjointness::Disjoint)
+}
+
+/// Partition a 2-D space into a `tiles.0 × tiles.1` grid of disjoint
+/// blocks, colored by 2-D tile coordinates.
+pub fn block_partition_2d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize),
+) -> IndexPartitionId {
+    try_block_partition_2d(forest, space, tiles)
+        .unwrap_or_else(|e| panic!("block_partition_2d requires a dense 2-D space: {e}"))
+}
+
+/// Fallible [`block_partition_2d`].
+pub fn try_block_partition_2d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize),
+) -> Result<IndexPartitionId, PartitionError> {
+    let (color_space, coloring) = block_coloring_2d(forest.domain(space), tiles)?;
+    forest.try_create_partition(space, color_space, coloring, Disjointness::Disjoint)
+}
+
+/// Partition a 3-D space into a grid of disjoint blocks colored by 3-D
+/// tile coordinates.
+pub fn block_partition_3d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize, usize),
+) -> IndexPartitionId {
+    try_block_partition_3d(forest, space, tiles)
+        .unwrap_or_else(|e| panic!("block_partition_3d requires a dense 3-D space: {e}"))
+}
+
+/// Fallible [`block_partition_3d`].
+pub fn try_block_partition_3d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize, usize),
+) -> Result<IndexPartitionId, PartitionError> {
+    let (color_space, coloring) = block_coloring_3d(forest.domain(space), tiles)?;
+    forest.try_create_partition(space, color_space, coloring, Disjointness::Disjoint)
+}
+
+/// Aliased halo partition of a 2-D space: the tile of `base` at each color
+/// grown by `radius` in every direction (clamped to the space bounds).
+/// Used for the ghost/exchange regions of the stencil (§6.1).
+pub fn halo_partition_2d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize),
+    radius: i64,
+) -> IndexPartitionId {
+    try_halo_partition_2d(forest, space, tiles, radius)
+        .unwrap_or_else(|e| panic!("halo_partition_2d requires a dense 2-D space: {e}"))
+}
+
+/// Fallible [`halo_partition_2d`].
+pub fn try_halo_partition_2d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize),
+    radius: i64,
+) -> Result<IndexPartitionId, PartitionError> {
+    let (color_space, coloring) = halo_coloring_2d(forest.domain(space), tiles, radius)?;
+    forest.try_create_partition(space, color_space, coloring, Disjointness::Aliased)
+}
+
+/// Aliased halo partition of a 3-D space: each tile of the block grid
+/// grown by `radius` in every direction (clamped to the space bounds).
+/// Used for the fluid exchange regions of Soleil-mini.
+pub fn halo_partition_3d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize, usize),
+    radius: i64,
+) -> IndexPartitionId {
+    try_halo_partition_3d(forest, space, tiles, radius)
+        .unwrap_or_else(|e| panic!("halo_partition_3d requires a dense 3-D space: {e}"))
+}
+
+/// Fallible [`halo_partition_3d`].
+pub fn try_halo_partition_3d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    tiles: (usize, usize, usize),
+    radius: i64,
+) -> Result<IndexPartitionId, PartitionError> {
+    let (color_space, coloring) = halo_coloring_3d(forest.domain(space), tiles, radius)?;
+    forest.try_create_partition(space, color_space, coloring, Disjointness::Aliased)
+}
+
+/// Replace an existing aliased halo partition in place with a halo
+/// coloring matching a new tile grid (the AMR exchange partition follows
+/// the block partition through refine/coarsen).
+pub fn replace_halo_partition_1d(
+    forest: &mut RegionForest,
+    partition: IndexPartitionId,
+    parts: usize,
+    radius: i64,
+) -> Result<(), PartitionError> {
+    let parent = forest.partition(partition).parent;
+    let (color_space, coloring) = halo_coloring_1d(forest.domain(parent), parts, radius)?;
+    forest.replace_partition(partition, color_space, coloring, Disjointness::Aliased)
+}
+
+/// Aliased halo partition of a 1-D space: each equal block grown by
+/// `radius` on both sides (clamped to the space bounds). The exchange
+/// partition of the 1-D AMR workload.
+pub fn halo_partition_1d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    parts: usize,
+    radius: i64,
+) -> IndexPartitionId {
+    try_halo_partition_1d(forest, space, parts, radius)
+        .unwrap_or_else(|e| panic!("halo_partition_1d requires a dense 1-D space: {e}"))
+}
+
+/// Fallible [`halo_partition_1d`].
+pub fn try_halo_partition_1d(
+    forest: &mut RegionForest,
+    space: IndexSpaceId,
+    parts: usize,
+    radius: i64,
+) -> Result<IndexPartitionId, PartitionError> {
+    let (color_space, coloring) = halo_coloring_1d(forest.domain(space), parts, radius)?;
+    forest.try_create_partition(space, color_space, coloring, Disjointness::Aliased)
+}
+
+fn halo_coloring_1d(
+    domain: &Domain,
+    parts: usize,
+    radius: i64,
+) -> Result<(Domain, Vec<(DomainPoint, Domain)>), PartitionError> {
+    let Domain::Rect1(bounds) = domain else {
+        return Err(wrong_shape("dense 1-D", domain));
+    };
+    let coloring = bounds
+        .split(parts)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let grown = Rect::new1(
+                (r.lo[0] - radius).max(bounds.lo[0]),
+                (r.hi[0] + radius).min(bounds.hi[0]),
+            );
+            (DomainPoint::new1(i as i64), Domain::Rect1(grown))
+        })
+        .collect();
+    Ok((Domain::range(parts as i64), coloring))
 }
 
 /// Partition by an explicit coloring (e.g. the output of a graph
@@ -271,6 +451,157 @@ mod tests {
         assert_eq!(f.domain(ghost), &Domain::Rect2(Rect::new2((0, 0), (5, 5))));
         let ghost11 = f.subspace(halo, DomainPoint::new2(1, 1));
         assert_eq!(f.domain(ghost11), &Domain::Rect2(Rect::new2((4, 4), (9, 9))));
+    }
+
+    // --- regression tests: one per former panic site -------------------
+    // Each of the five shaped operators used to panic outright when handed
+    // a space of the wrong rank (or a sparse space). The fallible variants
+    // must report `PartitionError::WrongShape` instead, leaving the forest
+    // untouched.
+
+    #[test]
+    fn equal_1d_rejects_wrong_rank_gracefully() {
+        let mut f = forest();
+        let s2 = f.create_index_space(Domain::Rect2(Rect::new2((0, 0), (3, 3))));
+        let spaces_before = f.num_spaces();
+        let err = try_equal_partition_1d(&mut f, s2, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::WrongShape { expected: "dense 1-D", .. }));
+        assert_eq!(f.num_spaces(), spaces_before, "failed op must not leak spaces");
+        assert_eq!(f.num_partitions(), 0);
+    }
+
+    #[test]
+    fn blocks_2d_rejects_wrong_rank_gracefully() {
+        let mut f = forest();
+        let s1 = f.create_index_space(Domain::range(16));
+        let err = try_block_partition_2d(&mut f, s1, (2, 2)).unwrap_err();
+        assert!(matches!(err, PartitionError::WrongShape { expected: "dense 2-D", .. }));
+        assert_eq!(f.num_partitions(), 0);
+    }
+
+    #[test]
+    fn blocks_3d_rejects_wrong_rank_gracefully() {
+        let mut f = forest();
+        let s2 = f.create_index_space(Domain::Rect2(Rect::new2((0, 0), (7, 7))));
+        let err = try_block_partition_3d(&mut f, s2, (2, 2, 2)).unwrap_err();
+        assert!(matches!(err, PartitionError::WrongShape { expected: "dense 3-D", .. }));
+        assert_eq!(f.num_partitions(), 0);
+    }
+
+    #[test]
+    fn halo_2d_rejects_sparse_space_gracefully() {
+        let mut f = forest();
+        let sparse = f.create_index_space(Domain::sparse(vec![
+            DomainPoint::new2(0, 0),
+            DomainPoint::new2(3, 3),
+        ]));
+        let err = try_halo_partition_2d(&mut f, sparse, (2, 2), 1).unwrap_err();
+        assert!(matches!(err, PartitionError::WrongShape { expected: "dense 2-D", .. }));
+        assert_eq!(f.num_partitions(), 0);
+    }
+
+    #[test]
+    fn halo_3d_rejects_wrong_rank_gracefully() {
+        let mut f = forest();
+        let s1 = f.create_index_space(Domain::range(64));
+        let err = try_halo_partition_3d(&mut f, s1, (2, 2, 2), 1).unwrap_err();
+        assert!(matches!(err, PartitionError::WrongShape { expected: "dense 3-D", .. }));
+        assert_eq!(f.num_partitions(), 0);
+    }
+
+    // --- partition replacement (AMR refine/coarsen) --------------------
+
+    #[test]
+    fn replace_refines_in_place_and_keeps_retained_ids() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::range(48));
+        let p = equal_partition_1d(&mut f, s, 4);
+        let g0 = f.generation();
+        let old_ids: Vec<_> = (0..4)
+            .map(|c| f.subspace(p, DomainPoint::new1(c)))
+            .collect();
+
+        // Refine 4 → 8: the first four colors keep their subspace ids.
+        replace_equal_partition_1d(&mut f, p, 8).unwrap();
+        assert!(f.generation() > g0, "replacement must bump the generation");
+        assert_eq!(f.partition(p).children.len(), 8);
+        assert!(f.is_disjoint(p));
+        for (c, &old) in old_ids.iter().enumerate() {
+            assert_eq!(f.subspace(p, DomainPoint::new1(c as i64)), old);
+            // ... but with refined (6-cell) bounds now.
+            assert_eq!(f.domain(old).volume(), 6);
+        }
+        let total: u64 = f
+            .partition(p)
+            .children
+            .values()
+            .map(|&sid| f.domain(sid).volume())
+            .sum();
+        assert_eq!(total, 48, "refined coloring must still cover the space");
+
+        // Coarsen 8 → 2: dropped colors' subspaces become empty tombstones.
+        let dropped = f.subspace(p, DomainPoint::new1(5));
+        replace_equal_partition_1d(&mut f, p, 2).unwrap();
+        assert_eq!(f.partition(p).children.len(), 2);
+        assert!(f.domain(dropped).is_empty(), "dropped subspace must read as empty");
+        assert_eq!(f.try_subspace(p, DomainPoint::new1(5)), None);
+        assert!(
+            f.spaces_disjoint(dropped, f.subspace(p, DomainPoint::new1(0))),
+            "tombstoned subspace must be disjoint from live data"
+        );
+    }
+
+    #[test]
+    fn replace_refuses_to_orphan_nested_partitions() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::range(40));
+        let p = equal_partition_1d(&mut f, s, 4);
+        // Hang a nested partition off color 3.
+        let leaf = f.subspace(p, DomainPoint::new1(3));
+        equal_partition_1d(&mut f, leaf, 2);
+        let g = f.generation();
+        // Coarsening to 2 colors would drop color 3 and strand its subtree.
+        let err = replace_equal_partition_1d(&mut f, p, 2).unwrap_err();
+        assert!(matches!(err, PartitionError::WouldOrphanSubtree { .. }));
+        assert_eq!(f.generation(), g, "failed replacement must not bump generation");
+        assert_eq!(f.partition(p).children.len(), 4, "failed replacement must not mutate");
+        // Refining keeps color 3 alive, so it is allowed.
+        replace_equal_partition_1d(&mut f, p, 8).unwrap();
+        assert_eq!(f.subspace(p, DomainPoint::new1(3)), leaf);
+    }
+
+    #[test]
+    fn replace_halo_follows_block_refinement() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::range(32));
+        let halo = halo_partition_1d(&mut f, s, 4, 1);
+        assert!(!f.is_disjoint(halo));
+        let ghost = f.subspace(halo, DomainPoint::new1(1));
+        // Blocks of 8 grown by 1, clamped: [7,16].
+        assert_eq!(f.domain(ghost), &Domain::Rect1(Rect::new1(7, 16)));
+        replace_halo_partition_1d(&mut f, halo, 8, 1).unwrap();
+        // Same color, same subspace id, refined (4-wide) grown bounds [3,8].
+        assert_eq!(f.subspace(halo, DomainPoint::new1(1)), ghost);
+        assert_eq!(f.domain(ghost), &Domain::Rect1(Rect::new1(3, 8)));
+        assert_eq!(f.partition(halo).children.len(), 8);
+    }
+
+    #[test]
+    fn try_create_verifies_declared_disjointness() {
+        let mut f = forest();
+        let s = f.create_index_space(Domain::range(10));
+        let err = f
+            .try_create_partition(
+                s,
+                Domain::range(2),
+                vec![
+                    (DomainPoint::new1(0), Domain::Rect1(Rect::new1(0, 5))),
+                    (DomainPoint::new1(1), Domain::Rect1(Rect::new1(5, 9))),
+                ],
+                Disjointness::Disjoint,
+            )
+            .unwrap_err();
+        assert_eq!(err, PartitionError::NotDisjoint);
     }
 
     #[test]

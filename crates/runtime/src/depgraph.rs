@@ -333,7 +333,21 @@ pub(crate) struct Oracle {
     /// bounding-volume hierarchy — the §5 structure Legion uses for its
     /// logarithmic-time physical analysis.
     touched: HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>>,
-    /// Overlap sets, append-only once registered.
+    /// The subset of `touched` holding only spaces with writer usage
+    /// (write, read-write, or reduce). Read-only registrations query
+    /// this tree instead of `touched`: read–read overlaps never produce
+    /// dependences, so materializing them is pure waste — and on apps
+    /// where every piece reads a shared hub region (power-law pagerank)
+    /// it is *quadratic* waste that breaks §5's O(|D| log |P|) bound.
+    writer_bvh: HashMap<RegionTreeId, il_region::BvhSet<IndexSpaceId>>,
+    /// Spaces ever used with writer privilege.
+    writers: HashSet<(RegionTreeId, IndexSpaceId)>,
+    /// Overlap sets, append-only once registered. Privilege-aware: a
+    /// writer space's list holds *every* overlapping registered space
+    /// (its scan needs readers for WAR edges); a read-only space's list
+    /// holds only overlapping *writer* spaces (the only ones that can
+    /// produce its RAW edges). A read-only space promoted to writer is
+    /// upgraded in place — see [`Oracle::upgrade`].
     pub(crate) overlaps: HashMap<(RegionTreeId, IndexSpaceId), Vec<IndexSpaceId>>,
     /// Monotone id source for reduction epochs (globally unique so the
     /// executor's once-per-epoch fill markers never collide across
@@ -382,11 +396,22 @@ pub(crate) struct ProvEntry {
     pub(crate) fold_src: Option<TaskRef>,
 }
 
+/// Deduplicate BVH query hits in place, keeping first-encounter order
+/// (multi-box queries can return the same space once per box).
+/// Box decomposition itself is [`il_region::coverage_boxes`] — shared
+/// with the forest's partition-disjointness check.
+fn dedup_in_order(v: &mut Vec<IndexSpaceId>) {
+    let mut seen = HashSet::with_capacity(v.len());
+    v.retain(|&s| seen.insert(s));
+}
+
 impl Oracle {
     fn new() -> Self {
         Oracle {
             states: HashMap::new(),
             touched: HashMap::new(),
+            writer_bvh: HashMap::new(),
+            writers: HashSet::new(),
             overlaps: HashMap::new(),
             next_epoch: 0,
             prov: None,
@@ -398,35 +423,104 @@ impl Oracle {
     /// region-forest disjointness test on each candidate. This mirrors
     /// §5's "distributed bounding volume hierarchy" used by Legion's
     /// physical analysis. Overlap lists are append-only: registering a
-    /// new space pushes it onto the lists of everything it overlaps, and
-    /// nothing is ever removed — so list *length* equality implies list
-    /// equality, which the trace-replay validity check relies on.
+    /// new space pushes it onto the lists of everything it (relevantly)
+    /// overlaps, and nothing is ever removed — so list *length* equality
+    /// implies list equality, which the trace-replay validity check
+    /// relies on.
+    ///
+    /// `writes` is whether the requirement registering this space
+    /// carries writer privilege. Read-only registrations query only the
+    /// writer BVH and join only writer lists: read–read pairs produce no
+    /// dependences, so omitting them loses nothing (the replay member
+    /// walk inherits the same guarantee — a read-only direct space's
+    /// consults only ever touch writer spaces). A sparse domain queries
+    /// per contiguous run rather than by its whole bounding box, so a
+    /// ghost set of "a far hub window plus a near neighbor" does not
+    /// collide with every piece in between.
     pub(crate) fn register(
         &mut self,
         forest: &RegionForest,
         tree: RegionTreeId,
         space: IndexSpaceId,
+        writes: bool,
     ) {
         if self.overlaps.contains_key(&(tree, space)) {
+            if writes && !self.writers.contains(&(tree, space)) {
+                self.upgrade(forest, tree, space);
+            }
             return;
         }
-        let bvh = self.touched.entry(tree).or_default();
         let mut mine = vec![space];
         let domain = forest.domain(space);
         if !domain.is_empty() {
-            let (lo, hi) = domain.bounds();
-            let query = il_region::BBox::new(lo, hi);
+            let boxes = il_region::coverage_boxes(&domain);
+            let searched =
+                if writes { self.touched.entry(tree).or_default() } else { self.writer_bvh.entry(tree).or_default() };
             let mut candidates = Vec::new();
-            bvh.query(&query, &mut candidates);
+            for b in &boxes {
+                searched.query(b, &mut candidates);
+            }
+            dedup_in_order(&mut candidates);
             for other in candidates {
                 if !forest.spaces_disjoint(space, other) {
                     mine.push(other);
                     self.overlaps.get_mut(&(tree, other)).expect("present").push(space);
                 }
             }
-            bvh.insert(query, space);
+            let all = self.touched.entry(tree).or_default();
+            for b in &boxes {
+                all.insert(*b, space);
+            }
+            if writes {
+                let wb = self.writer_bvh.entry(tree).or_default();
+                for b in &boxes {
+                    wb.insert(*b, space);
+                }
+            }
+        }
+        if writes {
+            self.writers.insert((tree, space));
         }
         self.overlaps.insert((tree, space), mine);
+    }
+
+    /// Promote a read-only-registered space to writer: join the writer
+    /// BVH and connect it to the overlapping read-only spaces its first
+    /// registration skipped. All touched lists only ever grow, so the
+    /// append-only replay invariant survives (and any live trace whose
+    /// direct spaces gain entries is invalidated by the length check —
+    /// exactly right, since a new writer can add edges).
+    fn upgrade(&mut self, forest: &RegionForest, tree: RegionTreeId, space: IndexSpaceId) {
+        self.writers.insert((tree, space));
+        let domain = forest.domain(space);
+        if domain.is_empty() {
+            return;
+        }
+        let boxes = il_region::coverage_boxes(&domain);
+        let mut candidates = Vec::new();
+        if let Some(bvh) = self.touched.get(&tree) {
+            for b in &boxes {
+                bvh.query(b, &mut candidates);
+            }
+        }
+        dedup_in_order(&mut candidates);
+        let known: HashSet<IndexSpaceId> =
+            self.overlaps[&(tree, space)].iter().copied().collect();
+        for other in candidates {
+            // `known` holds every writer this space already overlaps (and
+            // itself); the rest are read-only spaces that queried only the
+            // writer BVH when they registered, so neither side lists the
+            // other yet.
+            if known.contains(&other) || forest.spaces_disjoint(space, other) {
+                continue;
+            }
+            self.overlaps.get_mut(&(tree, space)).expect("registered").push(other);
+            self.overlaps.get_mut(&(tree, other)).expect("present").push(space);
+        }
+        let wb = self.writer_bvh.entry(tree).or_default();
+        for b in &boxes {
+            wb.insert(*b, space);
+        }
     }
 
     /// Run the dependence scan for task `t`: discover its predecessor
@@ -450,10 +544,23 @@ impl Oracle {
             let space = tasks[t].subspaces[req_idx];
             let tree = req.tree;
             let mask = field_mask(program, req.field_space, &req.fields);
-            self.register(forest, tree, space);
+            self.register(forest, tree, space, !matches!(req.privilege, Privilege::Read));
             let fsd = forest.field_space(req.field_space);
 
             let over = self.overlaps.get(&(tree, space)).expect("registered").clone();
+            // This subspace's own write records, by producer: a copy from
+            // an *older* writer in an overlapping aliased space must not
+            // carry fields a newer in-place write already produced here —
+            // at apply time the in-place data is "already there" and a
+            // stale copy would clobber it (the AMR pattern: `unew` written
+            // through the fine blocks after an earlier write through the
+            // coarse blocks). The dependence edges stay; only the data
+            // movement is suppressed.
+            let own_writes: Vec<(TaskRef, u64)> = self
+                .states
+                .get(&(tree, space))
+                .map(|s| s.writes.iter().map(|w| (w.0, w.2)).collect())
+                .unwrap_or_default();
             for o_space in over {
                 let Some(state) = self.states.get(&(tree, o_space)) else {
                     continue;
@@ -461,9 +568,22 @@ impl Oracle {
                 // Contributions already folded into an earlier op's
                 // write: keep the dependence edges, skip the data fold.
                 let consumed = state.consumed_before(tasks[t].op);
-                // Bytes of an incoming copy for a producer mask.
-                let copy_bytes = |pmask: u64| -> (Vec<il_region::FieldId>, u64) {
-                    let shared = mask_fields(pmask & mask);
+                // Bytes of an incoming copy from `producer` for its
+                // mask. Staleness only ever suppresses plain overwrite
+                // copies: a reduction fold accumulates into the
+                // destination instead of clobbering it, and fold
+                // staleness is already governed by the consumption
+                // records (`consumed_before`).
+                let copy_bytes = |pmask: u64, producer: TaskRef, is_fold: bool| -> (Vec<il_region::FieldId>, u64) {
+                    let stale = if is_fold || o_space == space {
+                        0
+                    } else {
+                        own_writes
+                            .iter()
+                            .filter(|&&(w, _)| w > producer)
+                            .fold(0u64, |m, &(_, wm)| m | wm)
+                    };
+                    let shared = mask_fields(pmask & mask & !stale);
                     let per_point: u64 = shared.iter().map(|f| fsd.kind(*f).size()).sum();
                     let vol = overlap_volume(forest.domain(space), forest.domain(o_space));
                     (shared, vol * per_point)
@@ -476,7 +596,7 @@ impl Oracle {
                         for &(w, _wreq, wmask, reduce) in &state.writes {
                             if w != tref && wmask & mask != 0 {
                                 new_deps.push(w);
-                                let (fields, bytes) = copy_bytes(wmask);
+                                let (fields, bytes) = copy_bytes(wmask, w, reduce.is_some());
                                 if bytes > 0 {
                                     copies_t.push(CopyIn {
                                         from: w,
@@ -496,7 +616,7 @@ impl Oracle {
                         for &(red_op, r, _rreq, rmask) in &state.reducers {
                             if r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
-                                let (fields, bytes) = copy_bytes(rmask & !consumed);
+                                let (fields, bytes) = copy_bytes(rmask & !consumed, r, true);
                                 if bytes > 0 && fold_src.is_none() {
                                     fold_src = Some(r);
                                     copies_t.push(CopyIn {
@@ -518,7 +638,7 @@ impl Oracle {
                             if w != tref && wmask & mask != 0 {
                                 new_deps.push(w);
                                 if wants_data {
-                                    let (fields, bytes) = copy_bytes(wmask);
+                                    let (fields, bytes) = copy_bytes(wmask, w, reduce.is_some());
                                     if bytes > 0 {
                                         copies_t.push(CopyIn {
                                             from: w,
@@ -542,7 +662,7 @@ impl Oracle {
                             if r != tref && rmask & mask != 0 {
                                 new_deps.push(r);
                                 if wants_data {
-                                    let (fields, bytes) = copy_bytes(rmask & !consumed);
+                                    let (fields, bytes) = copy_bytes(rmask & !consumed, r, true);
                                     if bytes > 0 && fold_src.is_none() {
                                         fold_src = Some(r);
                                         copies_t.push(CopyIn {
@@ -1103,6 +1223,10 @@ pub fn launch_signature(launch: &crate::program::IndexLaunchDesc, program: &Prog
         }
         r.fields.hash(&mut h);
     }
-    let _ = program;
+    // In-place partition replacement (AMR refine/coarsen) keeps partition
+    // ids stable while changing their colorings; the forest generation
+    // distinguishes the shapes so cached verdicts and captured traces are
+    // invalidated rather than replayed against stale bounds.
+    program.forest.generation().hash(&mut h);
     h.finish()
 }

@@ -138,8 +138,8 @@ pub struct RecoveryStats {
     /// Credit messages discarded as duplicate deliveries of an already
     /// paid (producer, consumer) edge.
     pub duplicate_credits: u64,
-    /// Credits that arrived after a retry snapshot had already resolved
-    /// the corresponding waits (absorbed by saturation, never applied).
+    /// Credits that arrived after a retry's journal snapshot had already
+    /// settled their edge (discarded — the settlement paid them).
     pub late_credits: u64,
 }
 
@@ -210,10 +210,13 @@ pub(crate) enum Msg {
     /// Recovery: the coordinator's acknowledgement-timeout probe for `op`
     /// (self-scheduled with exponential backoff until fully journaled).
     RecoveryCheck { op: u32, attempt: u32 },
-    /// Recovery: re-issue `items` (task, journal-snapshot remaining
-    /// waits) on the receiving node — the original owner, or a survivor
-    /// the group was re-sharded onto.
-    Retry { op: u32, items: Vec<(TaskRef, u32)> },
+    /// Recovery: re-issue `items` (task, producers the coordinator's
+    /// journal shows completed) on the receiving node — the original
+    /// owner, or a survivor the group was re-sharded onto. Settlement is
+    /// per-edge so it composes with the credit dedup: an edge settled
+    /// from the journal discards that producer's in-flight credit
+    /// message instead of double-counting it.
+    Retry { op: u32, items: Vec<(TaskRef, Vec<TaskRef>)> },
     /// SDC defense: execute a replica of `task` (vote round `attempt`) on
     /// this node and digest its output for the vote `owner` runs. With
     /// `fallback` the receiver is the session base — corruption-exempt by
@@ -409,6 +412,11 @@ pub(crate) struct RtNode<'p> {
     /// Faults only: `(producer, consumer)` credit edges already paid on
     /// this node, so duplicated credit messages are discarded.
     paid: HashSet<(TaskRef, TaskRef)>,
+    /// Faults only: the subset of `paid` that was settled from a retry's
+    /// journal snapshot rather than a delivered credit message — the
+    /// producer's own credits may still be in flight, and must count as
+    /// late (not duplicated) when they land.
+    journal_settled: HashSet<(TaskRef, TaskRef)>,
     /// SDC defense: open digest votes this node owns, keyed by
     /// `(task, round)` → (expected vote count, digests so far).
     votes: HashMap<(TaskRef, u32), (usize, Vec<u64>)>,
@@ -422,6 +430,7 @@ impl<'p> RtNode<'p> {
             states: HashMap::new(),
             slice_remaining: HashMap::new(),
             paid: HashSet::new(),
+            journal_settled: HashSet::new(),
             votes: HashMap::new(),
         }
     }
@@ -432,6 +441,7 @@ impl<'p> RtNode<'p> {
         self.states.clear();
         self.slice_remaining.clear();
         self.paid.clear();
+        self.journal_settled.clear();
         self.votes.clear();
     }
 
@@ -768,7 +778,7 @@ impl<'p> RtNode<'p> {
         for (node, (items, bytes)) in targets {
             if shared.abs(node) == ctx.node() {
                 for (succ, credits) in items {
-                    self.pay(ctx, task, succ, credits);
+                    self.pay(ctx, task, succ, credits, false);
                 }
             } else {
                 ctx.send_data(
@@ -843,14 +853,40 @@ impl<'p> RtNode<'p> {
     }
 
     /// Pay `credits` from producer `from` to consumer `task`. Under faults
-    /// the `(from, task)` edge is paid at most once — a duplicated credit
-    /// message is discarded here.
-    fn pay(&mut self, ctx: &mut NodeCtx<'_, Msg>, from: TaskRef, task: TaskRef, credits: u32) {
+    /// the `(from, task)` edge is paid at most once — a credit message for
+    /// an edge a retry's journal snapshot already settled arrives late,
+    /// and a duplicated delivery of an already paid edge is discarded.
+    /// `via_journal` marks a settlement from the coordinator's journal:
+    /// excluded from the credit-conservation audit (which tracks
+    /// delivered credit messages — a re-sharded consumer's edge can be
+    /// legitimately paid by message on the dead node and by journal on
+    /// the survivor) and remembered so the producer's still-in-flight
+    /// credits count as late rather than duplicated when they land.
+    fn pay(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Msg>,
+        from: TaskRef,
+        task: TaskRef,
+        credits: u32,
+        via_journal: bool,
+    ) {
         let shared = self.sh();
         if let Some(fr) = &shared.faults {
             if !self.paid.insert((from, task)) {
-                fr.stats.borrow_mut().duplicate_credits += 1;
+                if self.journal_settled.remove(&(from, task)) {
+                    fr.stats.borrow_mut().late_credits += credits as u64;
+                } else {
+                    fr.stats.borrow_mut().duplicate_credits += 1;
+                }
                 return;
+            }
+            if via_journal {
+                self.journal_settled.insert((from, task));
+            }
+        }
+        if !via_journal {
+            if let Some(audit) = &shared.audit {
+                audit.borrow_mut().credits_paid[task as usize] += credits as u64;
             }
         }
         self.apply_credits(ctx, task, credits);
@@ -858,15 +894,12 @@ impl<'p> RtNode<'p> {
 
     fn apply_credits(&mut self, ctx: &mut NodeCtx<'_, Msg>, task: TaskRef, credits: u32) {
         let shared = self.sh();
-        if let Some(audit) = &shared.audit {
-            audit.borrow_mut().credits_paid[task as usize] += credits as u64;
-        }
         let st = self.state(task);
         let waits = st.waits;
         if let Some(fr) = &shared.faults {
-            // A retry snapshot may already have resolved these waits
-            // (the producer was journaled before its credit message made
-            // it through): saturate instead of panicking, and count it.
+            // Per-edge dedup bounds the total paid by the initial wait
+            // count, so this saturation is unreachable — kept as a
+            // defensive bound (an underflow would stall, not corrupt).
             if credits > waits {
                 fr.stats.borrow_mut().late_credits += (credits - waits) as u64;
             }
@@ -1097,7 +1130,7 @@ impl<'p> NodeBehavior<Msg> for RtNode<'p> {
                     return;
                 }
                 for (task, credits) in items {
-                    self.pay(ctx, from, task, credits);
+                    self.pay(ctx, from, task, credits, false);
                 }
             }
             Msg::TaskDone { task } => {
@@ -1170,7 +1203,7 @@ impl<'p> RtNode<'p> {
         ctx.charge(shared.config.cost.recovery_check);
         fr.stats.borrow_mut().recovery_checks += 1;
         let (lo, hi) = shared.expanded.op_tasks[op as usize];
-        let mut by_node: HashMap<NodeId, Vec<(TaskRef, u32)>> = HashMap::new();
+        let mut by_node: HashMap<NodeId, Vec<(TaskRef, Vec<TaskRef>)>> = HashMap::new();
         {
             let journal = fr.journal.borrow();
             let mut reassigned = fr.reassigned.borrow_mut();
@@ -1211,18 +1244,22 @@ impl<'p> RtNode<'p> {
                     }
                     ctx.charge(reanalysis);
                 }
-                // Journal-snapshot wait count: edges from producers not
-                // yet journaled. Monotone in the journal, so an upper
-                // bound on the true remaining waits — and eventually 0.
-                let waits = shared.expanded.deps[t as usize]
+                // Journal-snapshot settlement: the producers the journal
+                // shows completed. The receiver settles each such edge
+                // through the credit dedup, so a settled producer's
+                // still-in-flight credit message is discarded rather
+                // than double-counted — a wait-count clamp here once
+                // raced exactly that way, letting a consumer start (and
+                // commit) before an unjournaled producer. Monotone in
+                // the journal, so retry rounds eventually settle every
+                // edge. Copy producers are a subset of `deps` (every
+                // copy rides a dependence edge), so deps alone cover it.
+                let settled: Vec<TaskRef> = shared.expanded.deps[t as usize]
                     .iter()
-                    .filter(|&&p| !journal[p as usize])
-                    .count()
-                    + shared.expanded.copies[t as usize]
-                        .iter()
-                        .filter(|c| !journal[c.from as usize])
-                        .count();
-                by_node.entry(dest).or_default().push((t, waits as u32));
+                    .copied()
+                    .filter(|&p| journal[p as usize])
+                    .collect();
+                by_node.entry(dest).or_default().push((t, settled));
             }
         }
         let fully_journaled = by_node.is_empty();
@@ -1252,14 +1289,21 @@ impl<'p> RtNode<'p> {
     }
 
     /// Re-issue retried tasks locally: inject if the launch message was
-    /// lost, then resolve waits down to the coordinator's journal
-    /// snapshot. `min` keeps both bounds honest — the snapshot and the
-    /// locally paid credits are each upper bounds on the true remaining
-    /// waits, so a task never starts before all its producers completed.
-    fn handle_retry(&mut self, ctx: &mut NodeCtx<'_, Msg>, op: u32, items: Vec<(TaskRef, u32)>) {
+    /// lost, then settle the edges from producers the coordinator's
+    /// journal shows completed. Settlement flows through the per-edge
+    /// credit dedup (`paid`), so an edge is only ever paid once whether
+    /// its credits arrive by message or by journal — and a task never
+    /// starts before every producer committed.
+    fn handle_retry(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Msg>,
+        op: u32,
+        items: Vec<(TaskRef, Vec<TaskRef>)>,
+    ) {
         let retry_start = ctx.now();
         ctx.set_stage(Stage::Recovery);
-        for (task, waits) in items {
+        let shared = self.sh();
+        for (task, settled) in items {
             let st = *self.state(task);
             if st.started {
                 continue;
@@ -1267,10 +1311,17 @@ impl<'p> RtNode<'p> {
             if !st.injected {
                 self.inject_task(ctx, task);
             }
-            let s = self.state(task);
-            if !s.started {
-                s.waits = s.waits.min(waits);
-                self.try_start(ctx, task);
+            for from in settled {
+                if self.state(task).started || self.paid.contains(&(from, task)) {
+                    continue;
+                }
+                // Mirror the credit fan-out in `complete_task`: one
+                // credit per dependence edge plus one per copy it feeds.
+                let credits = 1 + shared.expanded.copies[task as usize]
+                    .iter()
+                    .filter(|c| c.from == from)
+                    .count() as u32;
+                self.pay(ctx, from, task, credits, true);
             }
         }
         self.sh().record(TraceEvent {

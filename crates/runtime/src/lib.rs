@@ -61,7 +61,7 @@ pub use config::{CostModel, ExecutionMode, FaultConfig, RuntimeConfig};
 pub use context::{InstanceStore, TaskContext};
 pub use depgraph::{
     expand_program, expand_program_warm, launch_signature, AnalysisCacheStats, ExpandProfile,
-    ExpandedProgram, OpDist, TaskInstance, WarmState,
+    ExpandedProgram, OpDist, OpSafety, TaskInstance, WarmState,
 };
 pub use exec::{execute, RecoveryStats, RunReport};
 pub use service::{

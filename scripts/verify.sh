@@ -155,6 +155,43 @@ grep -q '"pr": "PR9"' BENCH_PR9.json \
     || { echo "BENCH_PR9.json is not the PR9 trajectory"; exit 1; }
 echo "BENCH_PR9.json written"
 
+echo "== AMR regrid invalidation smoke (release) =="
+# The adaptive-mesh app refines/coarsens its block partition every
+# epoch, forcing analysis-cache misses and trace invalidation +
+# re-capture; the validated run must still match the sequential
+# reference, and the faulted leg re-checks the same result under
+# recovery. The run prints the trace-replay counters; regrids showing
+# `invalidated >= 1` is locked by the il-bench cadence-sweep test.
+cargo run --release --offline -q -p il-apps --bin ilaunch -- amr --validate
+cargo run --release --offline -q -p il-apps --bin ilaunch -- amr --validate --faults 7
+
+echo "== sparse-graph oracle leg (release) =="
+# PageRank's data-dependent opaque projection (σ over ghost sets of a
+# seeded power-law graph) drives the dynamic bitmask-check path; the
+# validated run cross-checks final ranks against the sequential
+# reference, fault-free and under the survivable fault schedule.
+cargo run --release --offline -q -p il-apps --bin ilaunch -- pagerank --validate
+cargo run --release --offline -q -p il-apps --bin ilaunch -- pagerank --validate --faults 7
+
+echo "== apps bench (BENCH_PR10.json regrid-cadence + dynamic-check sweep) =="
+# AMR trace/cache hit rates + invalidation counts across regrid
+# cadences, and pagerank's dynamic-check throughput at 1e5+ pieces.
+# The 1e5-piece floor keeps the oracle's privilege-aware registration,
+# the dynamized BVH, and the BVH-pruned disjointness check honest: any
+# of the three regressing to quadratic turns this leg from seconds
+# into minutes.
+cargo run --release --offline -q -p il-bench --bin figures -- apps --no-bench --apps-pieces 100000
+test -s BENCH_PR10.json || { echo "BENCH_PR10.json was not written"; exit 1; }
+grep -q '"schema": "il-bench-trajectory-v1"' BENCH_PR10.json \
+    || { echo "BENCH_PR10.json has the wrong schema"; exit 1; }
+grep -q '"pr": "PR10"' BENCH_PR10.json \
+    || { echo "BENCH_PR10.json is not the PR10 trajectory"; exit 1; }
+grep -q '"amr_cadence"' BENCH_PR10.json \
+    || { echo "BENCH_PR10.json is missing the AMR cadence sweep"; exit 1; }
+grep -q '"pagerank_dynamic"' BENCH_PR10.json \
+    || { echo "BENCH_PR10.json is missing the pagerank dynamic-check sweep"; exit 1; }
+echo "BENCH_PR10.json written"
+
 echo "== chaos leg at 65k simulated nodes (release) =="
 # The full runtime stack — expansion, distribution, recovery — on a
 # 65,536-node machine, fault-free and faulted. Release-only: the test

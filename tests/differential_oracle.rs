@@ -6,7 +6,7 @@
 //! Every case is a pure function of one seed; a failure message carries
 //! the seed, and `ilaunch fuzz --repro <seed>` replays exactly that case.
 
-use il_apps::{circuit, stencil};
+use il_apps::{amr, circuit, pagerank, stencil};
 use il_oracle::{check_program, run_case, run_differential, DiffConfig};
 
 const NODES: usize = 2;
@@ -101,4 +101,21 @@ fn oracle_agrees_on_real_applications() {
     let circuit_app = circuit::build(&circuit::CircuitConfig::tiny(2));
     check_program(&circuit_app.program, NODES)
         .unwrap_or_else(|e| panic!("circuit diverged: {e}"));
+
+    // The regrid cadence: partition-cycling launches must desugar to the
+    // same dependence closure the fast path plans across epoch
+    // boundaries (where the cross-partition copies the PR-10 staleness
+    // fix governs are emitted).
+    let amr_app = amr::build(&amr::AmrConfig {
+        epochs: 2,
+        steps_per_epoch: 2,
+        ..amr::AmrConfig::tiny()
+    });
+    check_program(&amr_app.program, NODES).unwrap_or_else(|e| panic!("amr diverged: {e}"));
+
+    // Every pagerank update launch takes the dynamic-check path; the
+    // oracle must still see the identical verdict class and closure.
+    let pagerank_app = pagerank::build(&pagerank::PagerankConfig::tiny(2));
+    check_program(&pagerank_app.program, NODES)
+        .unwrap_or_else(|e| panic!("pagerank diverged: {e}"));
 }

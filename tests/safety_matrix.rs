@@ -295,6 +295,16 @@ fn apps_clear_safety_matrix_end_to_end() {
         iterations: 2,
         ..index_launch::apps::soleil::SoleilConfig::tiny((2, 1, 1))
     });
+    // AMR cycles its launches through per-level block/halo partitions:
+    // every epoch's launches are affine over a disjoint partition, so
+    // the whole refinement cadence stays in the static column.
+    let amr = index_launch::apps::amr::build(&index_launch::apps::amr::AmrConfig::tiny());
+    // PageRank's update launches project through a data-dependent
+    // (opaque) piece permutation: statically undecidable, so every one
+    // of them lands in the dynamic column and must pass the Listing-3
+    // bitmask check.
+    let pagerank =
+        index_launch::apps::pagerank::build(&index_launch::apps::pagerank::PagerankConfig::tiny(4));
 
     // A fourth program whose second launch uses an opaque functor, so the
     // hybrid analysis must fall back to the Listing-3 dynamic self-check
@@ -345,6 +355,8 @@ fn apps_clear_safety_matrix_end_to_end() {
         ("circuit", &circuit.program, 8, 0),
         ("soleil", &soleil.program, 94, 0),
         ("opaque", &opaque, 1, 1),
+        ("amr", &amr.program, 37, 0),
+        ("pagerank", &pagerank.program, 4, 3),
     ];
     for (name, program, want_static, want_dynamic) in golden {
         let (got_static, got_dynamic) = classify(name, program);

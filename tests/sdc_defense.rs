@@ -18,7 +18,7 @@
 //!    policy, every SDC code path is dormant: no stats, reports
 //!    byte-identical to a build without the subsystem.
 
-use index_launch::apps::{circuit, soleil, stencil};
+use index_launch::apps::{amr, circuit, pagerank, soleil, stencil};
 use index_launch::runtime::{
     execute, Program, ReplicationConfig, RunReport, RuntimeConfig,
 };
@@ -51,10 +51,17 @@ fn golden_apps() -> Vec<(&'static str, Program)> {
         iterations: 2,
         ..soleil::SoleilConfig::tiny((2, 1, 1))
     });
+    let amr = amr::build(&amr::AmrConfig {
+        epochs: 2,
+        ..amr::AmrConfig::tiny()
+    });
+    let pagerank = pagerank::build(&pagerank::PagerankConfig::tiny(4));
     vec![
         ("stencil", stencil.program),
         ("circuit", circuit.program),
         ("soleil", soleil.program),
+        ("amr", amr.program),
+        ("pagerank", pagerank.program),
     ]
 }
 

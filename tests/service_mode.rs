@@ -133,7 +133,7 @@ fn opaque_program() -> Program {
 }
 
 fn golden_apps() -> Vec<(&'static str, Rc<Program>)> {
-    use index_launch::apps::{circuit, soleil, stencil};
+    use index_launch::apps::{amr, circuit, pagerank, soleil, stencil};
     let stencil = stencil::build(&stencil::StencilConfig {
         iterations: 4,
         ..stencil::StencilConfig::tiny((2, 2))
@@ -146,11 +146,18 @@ fn golden_apps() -> Vec<(&'static str, Rc<Program>)> {
         iterations: 3,
         ..soleil::SoleilConfig::tiny((2, 1, 1))
     });
+    let amr = amr::build(&amr::AmrConfig {
+        epochs: 2,
+        ..amr::AmrConfig::tiny()
+    });
+    let pagerank = pagerank::build(&pagerank::PagerankConfig::tiny(4));
     vec![
         ("stencil", Rc::new(stencil.program)),
         ("circuit", Rc::new(circuit.program)),
         ("soleil", Rc::new(soleil.program)),
         ("opaque", Rc::new(opaque_program())),
+        ("amr", Rc::new(amr.program)),
+        ("pagerank", Rc::new(pagerank.program)),
     ]
 }
 

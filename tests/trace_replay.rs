@@ -94,7 +94,7 @@ fn corpus_runs_identically_with_replay_on_and_off() {
 /// equivalence assertions prove the replays change nothing observable.
 #[test]
 fn safety_matrix_apps_run_identically_with_replay_on_and_off() {
-    use index_launch::apps::{circuit, soleil, stencil};
+    use index_launch::apps::{amr, circuit, pagerank, soleil, stencil};
 
     let stencil = stencil::build(&stencil::StencilConfig {
         iterations: 6,
@@ -108,12 +108,18 @@ fn safety_matrix_apps_run_identically_with_replay_on_and_off() {
         iterations: 4,
         ..soleil::SoleilConfig::tiny((2, 1, 1))
     });
+    let amr = amr::build(&amr::AmrConfig::tiny());
+    let pagerank = pagerank::build(&pagerank::PagerankConfig::tiny(4));
     let opaque = opaque_program();
 
     for (name, program, want_replay) in [
         ("stencil", &stencil.program, true),
         ("circuit", &circuit.program, true),
         ("soleil", &soleil.program, true),
+        // AMR invalidates at every regrid boundary but replays within
+        // each epoch; pagerank replays its dynamic-verdict loop whole.
+        ("amr", &amr.program, true),
+        ("pagerank", &pagerank.program, true),
         ("opaque", &opaque, false),
     ] {
         let stats = assert_replay_transparent(name, program, &RuntimeConfig::validate(4));
@@ -132,7 +138,7 @@ fn safety_matrix_apps_run_identically_with_replay_on_and_off() {
 /// still match byte-for-byte.)
 #[test]
 fn replay_is_transparent_across_dcr_idx_tracing_axes() {
-    use index_launch::apps::{circuit, stencil};
+    use index_launch::apps::{amr, circuit, pagerank, stencil};
 
     let stencil = stencil::build(&stencil::StencilConfig {
         iterations: 6,
@@ -142,8 +148,18 @@ fn replay_is_transparent_across_dcr_idx_tracing_axes() {
         iterations: 4,
         ..circuit::CircuitConfig::tiny(4)
     });
+    let amr = amr::build(&amr::AmrConfig {
+        epochs: 2,
+        ..amr::AmrConfig::tiny()
+    });
+    let pagerank = pagerank::build(&pagerank::PagerankConfig::tiny(4));
 
-    for (name, program) in [("stencil", &stencil.program), ("circuit", &circuit.program)] {
+    for (name, program) in [
+        ("stencil", &stencil.program),
+        ("circuit", &circuit.program),
+        ("amr", &amr.program),
+        ("pagerank", &pagerank.program),
+    ] {
         for dcr in [false, true] {
             for idx in [false, true] {
                 for tracing in [false, true] {
@@ -292,6 +308,67 @@ fn pinned_lifecycle_mutation_invalidates_and_recaptures() {
     );
 
     assert_replay_transparent("pinned-mutated", &program, &cfg);
+}
+
+/// Pinned lifecycle on the AMR application's regrid cadence (tiny: 3
+/// epochs of 4 timesteps, alternating the coarse and fine partition
+/// pair). Each timestep issues the same 3-launch body (flag, step,
+/// copy), so the rolling window captures one iteration per epoch; at
+/// every regrid boundary the epoch-invariant `flag` launch re-issues
+/// the stored trace's first key with a *different* continuation (the
+/// step/copy launches switch partition pairs), so the trace is
+/// invalidated and the new epoch's body re-captured — exactly one
+/// invalidation per regrid, never a stale replay. Counter- and
+/// mark-pinned so a drift in capture cadence, invalidation placement,
+/// or replay coverage shows up as a diff here.
+#[test]
+fn pinned_amr_regrid_lifecycle_invalidates_and_recaptures() {
+    use index_launch::apps::amr;
+
+    let app = amr::build(&amr::AmrConfig::tiny());
+    let cfg = RuntimeConfig::validate(4);
+    let exp = expand_program(&app.program, &cfg);
+
+    assert_eq!(
+        exp.trace_replay,
+        TraceReplayStats {
+            enabled: true,
+            captured: 3,
+            replayed: 6,
+            invalidated: 2,
+            analyses_skipped: 18,
+            tasks_replayed: 66,
+        },
+        "amr regrid cadence: lifecycle counts drifted"
+    );
+    let marks: Vec<_> = exp.trace_marks.iter().map(|m| (m.op, m.len, m.kind)).collect();
+    assert_eq!(
+        marks,
+        vec![
+            // Epoch 0 (coarse): capture at the loop's first repetition,
+            // replay the remaining two timesteps (9 tasks per window).
+            (4, 3, TraceMarkKind::Captured),
+            (7, 3, TraceMarkKind::Replayed),
+            (10, 3, TraceMarkKind::Replayed),
+            // Regrid to fine: `flag`'s key reappears with a different
+            // continuation — invalidate, then re-capture the fine body
+            // (15 tasks per window: 3 flag + 6 step + 6 copy).
+            (13, 1, TraceMarkKind::Invalidated),
+            (16, 3, TraceMarkKind::Captured),
+            (19, 3, TraceMarkKind::Replayed),
+            (22, 3, TraceMarkKind::Replayed),
+            // Regrid back to coarse: the fine trace dies the same way.
+            (25, 1, TraceMarkKind::Invalidated),
+            (28, 3, TraceMarkKind::Captured),
+            (31, 3, TraceMarkKind::Replayed),
+            (34, 3, TraceMarkKind::Replayed),
+        ],
+        "amr regrid cadence: mark sequence drifted"
+    );
+
+    // And the whole cadence is observationally replay-transparent.
+    let stats = assert_replay_transparent("amr", &app.program, &cfg);
+    assert_eq!(stats, exp.trace_replay);
 }
 
 /// Capture/replay/invalidate markers surface in the execution trace as
